@@ -1,0 +1,585 @@
+(* Benchmark harness regenerating every table and figure of the
+   thesis's evaluation chapter (ch. 7).  See EXPERIMENTS.md for the
+   mapping from thesis experiment to harness section and for the
+   recorded results.
+
+   Usage: main.exe [all|raw|queries|struct|fig44|fig45|fig46|tax|ablation|tables|schema|micro]
+*)
+
+open Pmodel
+module O7 = Oo7bench.Oo7_schema
+module Gen = Oo7bench.Oo7_gen
+module RawDb = Oo7bench.Oo7_raw
+module Ops = Oo7bench.Oo7_ops
+
+let tmp_counter = ref 0
+
+let tmp_path prefix =
+  incr tmp_counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "%s_%d_%d.db" prefix (Unix.getpid ()) !tmp_counter)
+
+let cleanup path =
+  if Sys.file_exists path then Sys.remove path;
+  if Sys.file_exists (path ^ ".journal") then Sys.remove (path ^ ".journal")
+
+(* ------------------------------------------------------------------ *)
+(* Timing helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let t1 = Unix.gettimeofday () in
+  (r, (t1 -. t0) *. 1000.)
+
+(** Median wall-clock of [runs] executions, in ms. *)
+let time_median ?(runs = 3) f =
+  let samples = List.init runs (fun _ -> snd (time_once f)) in
+  match List.sort compare samples with
+  | [] -> nan
+  | l -> List.nth l (List.length l / 2)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel integration                                                *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let run_bechamel (test : Test.t) : (string * float) list =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let raw_results = Benchmark.all cfg instances test in
+  let results = Analyze.all ols Instance.monotonic_clock raw_results in
+  Hashtbl.fold
+    (fun name ols acc ->
+      let est =
+        match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> Float.nan
+      in
+      (name, est /. 1e6 (* ns -> ms *)) :: acc)
+    results []
+  |> List.sort compare
+
+let print_two_column_table ~title ~unit rows =
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "%-12s %14s %14s %10s\n" "operation" ("prometheus " ^ unit) ("raw " ^ unit) "overhead";
+  List.iter
+    (fun (name, prom, raw) ->
+      Printf.printf "%-12s %14.3f %14.3f %9.2fx\n" name prom raw
+        (if raw > 0. then prom /. raw else nan))
+    rows;
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* Database construction                                               *)
+(* ------------------------------------------------------------------ *)
+
+type pair = {
+  prom : Ops.Prom.ctx;
+  raw : Ops.Raw.ctx;
+  prom_path : string;
+  raw_path : string;
+  pdb : Database.t;
+  rdb : RawDb.t;
+}
+
+let build_pair ?(params = O7.tiny) ?cache_pages () : pair =
+  let prom_path = tmp_path "oo7_prom" in
+  let raw_path = tmp_path "oo7_raw" in
+  let pdb = Database.open_ ?cache_pages prom_path in
+  O7.install pdb;
+  let ph = Gen.generate pdb params in
+  let rdb = RawDb.open_ ?cache_pages raw_path in
+  let rh = RawDb.generate rdb params in
+  {
+    prom = { Ops.Prom.db = pdb; h = ph };
+    raw = { Ops.Raw.t = rdb; h = rh };
+    prom_path;
+    raw_path;
+    pdb;
+    rdb;
+  }
+
+let destroy_pair pair =
+  Database.close pair.pdb;
+  RawDb.close pair.rdb;
+  cleanup pair.prom_path;
+  cleanup pair.raw_path
+
+(* ------------------------------------------------------------------ *)
+(* Section: raw performance (traversals T1-T6)                          *)
+(* ------------------------------------------------------------------ *)
+
+let bench_raw_performance () =
+  let pair = build_pair ~params:O7.small () in
+  let p = pair.prom and r = pair.raw in
+  let t name fp fr =
+    Test.make_grouped ~name
+      [
+        Test.make ~name:"prometheus" (Staged.stage (fun () -> ignore (fp p)));
+        Test.make ~name:"raw" (Staged.stage (fun () -> ignore (fr r)));
+      ]
+  in
+  let tests =
+    Test.make_grouped ~name:"traversals"
+      [
+        t "T1" Ops.Prom.t1 Ops.Raw.t1;
+        t "T2" Ops.Prom.t2 Ops.Raw.t2;
+        t "T3" Ops.Prom.t3 Ops.Raw.t3;
+        t "T5" Ops.Prom.t5 Ops.Raw.t5;
+        t "T6" Ops.Prom.t6 Ops.Raw.t6;
+      ]
+  in
+  let results = run_bechamel tests in
+  let get name =
+    try List.assoc name results with Not_found -> nan
+  in
+  print_two_column_table ~title:"Raw performance: traversals (thesis 7.2.1.2.1)" ~unit:"(ms)"
+    (List.map
+       (fun op ->
+         ( op,
+           get (Printf.sprintf "traversals/%s/prometheus" op),
+           get (Printf.sprintf "traversals/%s/raw" op) ))
+       [ "T1"; "T2"; "T3"; "T5"; "T6" ]);
+  Printf.printf "(T1 visits %d atomic parts on both backends)\n"
+    (Ops.Prom.t1 p);
+  assert (Ops.Prom.t5 p = Ops.Raw.t5 r);
+  destroy_pair pair
+
+(* ------------------------------------------------------------------ *)
+(* Section: queries (Q1-Q8)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let bench_queries () =
+  let pair = build_pair ~params:O7.small () in
+  let p = pair.prom and r = pair.raw in
+  (* Q1 uses the index layer on the Prometheus side (thesis 6.1.5.2) *)
+  Database.create_index pair.pdb O7.atomic_part "id";
+  let t name fp fr =
+    Test.make_grouped ~name
+      [
+        Test.make ~name:"prometheus" (Staged.stage (fun () -> ignore (fp p)));
+        Test.make ~name:"raw" (Staged.stage (fun () -> ignore (fr r)));
+      ]
+  in
+  let tests =
+    Test.make_grouped ~name:"queries"
+      [
+        t "Q1" (Ops.Prom.q1 ~n:10) (Ops.Raw.q1 ~n:10);
+        t "Q2" (Ops.Prom.q_range ~pct:1) (Ops.Raw.q_range ~pct:1);
+        t "Q3" (Ops.Prom.q_range ~pct:10) (Ops.Raw.q_range ~pct:10);
+        t "Q4" Ops.Prom.q4 Ops.Raw.q4;
+        t "Q7" Ops.Prom.q7 Ops.Raw.q7;
+        t "Q8" (Ops.Prom.q8 ~len:100) (Ops.Raw.q8 ~len:100);
+      ]
+  in
+  let results = run_bechamel tests in
+  let get name = try List.assoc name results with Not_found -> nan in
+  print_two_column_table ~title:"Queries (thesis 7.2.1.2.2)" ~unit:"(ms)"
+    (List.map
+       (fun op ->
+         (op, get (Printf.sprintf "queries/%s/prometheus" op), get (Printf.sprintf "queries/%s/raw" op)))
+       [ "Q1"; "Q2"; "Q3"; "Q4"; "Q7"; "Q8" ]);
+  (* POOL end-to-end query for reference *)
+  let pool_ms = time_median (fun () -> ignore (Ops.Prom.q7_pool p)) in
+  Printf.printf "(Q7 through the full POOL pipeline: %.3f ms)\n" pool_ms;
+  (* both backends scan the same number of atomic parts *)
+  assert (Ops.Prom.q7 p = Ops.Raw.q7 r);
+  destroy_pair pair
+
+(* ------------------------------------------------------------------ *)
+(* Section: structural modifications (S1/S2)                            *)
+(* ------------------------------------------------------------------ *)
+
+let bench_struct () =
+  let pair = build_pair ~params:O7.small () in
+  let p = pair.prom and r = pair.raw in
+  let k = 5 and parts_per_comp = 10 in
+  (* measured as insert-then-delete pairs so state stays stable *)
+  let tests =
+    Test.make_grouped ~name:"structural"
+      [
+        Test.make_grouped ~name:"S1S2"
+          [
+            Test.make ~name:"prometheus"
+              (Staged.stage (fun () ->
+                   let cs = Ops.Prom.s1 p ~k ~parts_per_comp in
+                   Ops.Prom.s2 p cs));
+            Test.make ~name:"raw"
+              (Staged.stage (fun () ->
+                   let cs = Ops.Raw.s1 r ~k ~parts_per_comp in
+                   Ops.Raw.s2 r cs));
+          ];
+      ]
+  in
+  let results = run_bechamel tests in
+  let get name = try List.assoc name results with Not_found -> nan in
+  print_two_column_table
+    ~title:
+      (Printf.sprintf "Structural modifications: S1 insert + S2 delete of %d composites (thesis 7.2.1.2.3)" k)
+    ~unit:"(ms)"
+    [
+      ( "S1+S2",
+        get "structural/S1S2/prometheus",
+        get "structural/S1S2/raw" );
+    ];
+  (* separate one-shot S1 and S2 timings *)
+  let s1p, s1pt = time_once (fun () -> Ops.Prom.s1 p ~k ~parts_per_comp) in
+  let _, s2pt = time_once (fun () -> Ops.Prom.s2 p s1p) in
+  let s1r, s1rt = time_once (fun () -> Ops.Raw.s1 r ~k ~parts_per_comp) in
+  let _, s2rt = time_once (fun () -> Ops.Raw.s2 r s1r) in
+  Printf.printf "one-shot: S1 prom %.2f ms / raw %.2f ms; S2 prom %.2f ms / raw %.2f ms\n" s1pt
+    s1rt s2pt s2rt;
+  destroy_pair pair
+
+(* ------------------------------------------------------------------ *)
+(* Figures 44-46: cost vs database size                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The sweeps run with a constrained buffer pool (256 pages), so that
+   larger databases genuinely exercise the storage layer rather than
+   sitting wholly in cache — the regime the thesis's curves measure. *)
+let sweep_cache_pages = 256
+
+let size_sweep ~title ~op_name fprom fraw =
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "%-12s %16s %16s %12s %12s\n" "composites" "prometheus (ms)" "raw (ms)"
+    "prom/size" "raw/size";
+  List.iter
+    (fun n ->
+      let pair = build_pair ~params:(O7.with_composites O7.tiny n) ~cache_pages:sweep_cache_pages () in
+      let pm = time_median ~runs:3 (fun () -> ignore (fprom pair.prom)) in
+      let rm = time_median ~runs:3 (fun () -> ignore (fraw pair.raw)) in
+      Printf.printf "%-12d %16.3f %16.3f %12.5f %12.5f\n" n pm rm (pm /. float_of_int n)
+        (rm /. float_of_int n);
+      flush stdout;
+      destroy_pair pair)
+    [ 25; 50; 100; 200; 400 ];
+  Printf.printf "(%s: per-composite cost column flags constant vs non-constant growth)\n" op_name
+
+let bench_fig44 () =
+  size_sweep ~title:"Figure 44: increase in cost of T5 with database size"
+    ~op_name:"T5" Ops.Prom.t5 Ops.Raw.t5
+
+let bench_fig45 () =
+  size_sweep ~title:"Figure 45: increase in cost of S1 with database size" ~op_name:"S1"
+    (fun p ->
+      let cs = Ops.Prom.s1 p ~k:20 ~parts_per_comp:10 in
+      Ops.Prom.s2 p cs (* restore so the size axis stays honest *))
+    (fun r ->
+      let cs = Ops.Raw.s1 r ~k:20 ~parts_per_comp:10 in
+      Ops.Raw.s2 r cs)
+
+let bench_fig46 () =
+  Printf.printf "\n== Figure 46: increase in cost of S2 with database size ==\n";
+  Printf.printf "%-12s %16s %16s\n" "composites" "prometheus (ms)" "raw (ms)";
+  List.iter
+    (fun n ->
+      let pair = build_pair ~params:(O7.with_composites O7.tiny n) ~cache_pages:sweep_cache_pages () in
+      (* time delete alone: inserts happen outside the timer; median
+         of 3 insert/delete rounds *)
+      let pm =
+        let samples =
+          List.init 3 (fun _ ->
+              let cs = Ops.Prom.s1 pair.prom ~k:20 ~parts_per_comp:10 in
+              snd (time_once (fun () -> Ops.Prom.s2 pair.prom cs)))
+        in
+        List.nth (List.sort compare samples) 1
+      in
+      let rm =
+        let samples =
+          List.init 3 (fun _ ->
+              let cs = Ops.Raw.s1 pair.raw ~k:20 ~parts_per_comp:10 in
+              snd (time_once (fun () -> Ops.Raw.s2 pair.raw cs)))
+        in
+        List.nth (List.sort compare samples) 1
+      in
+      Printf.printf "%-12d %16.3f %16.3f\n" n pm rm;
+      flush stdout;
+      destroy_pair pair)
+    [ 25; 50; 100; 200; 400 ]
+
+(* ------------------------------------------------------------------ *)
+(* Section: taxonomic workloads (thesis 7.1.3.1)                        *)
+(* ------------------------------------------------------------------ *)
+
+let bench_tax () =
+  let path = tmp_path "tax" in
+  let db = Database.open_ path in
+  Taxonomy.Tax_schema.install db;
+  let params =
+    { Taxonomy.Flora_gen.families = 3; genera_per_family = 6; species_per_genus = 8; specimens_per_species = 3; seed = 11 }
+  in
+  let flora = Taxonomy.Flora_gen.generate db ~params () in
+  let ctx2 = Taxonomy.Flora_gen.perturb db flora () in
+  let root = List.hd flora.Taxonomy.Flora_gen.root_taxa in
+  let ctx = flora.Taxonomy.Flora_gen.ctx in
+  Printf.printf "\n== Taxonomic workloads (thesis 7.1) ==\n";
+  Printf.printf "flora: %d species taxa, %d specimens, 2 overlapping classifications\n"
+    (List.length flora.Taxonomy.Flora_gen.species_taxa)
+    (List.length flora.Taxonomy.Flora_gen.specimens);
+  let report name ms = Printf.printf "%-38s %10.3f ms\n" name ms in
+  report "recursive circumscription (family)"
+    (time_median (fun () ->
+         ignore (Taxonomy.Classify.specimens_of db ~ctx root)));
+  report "name derivation (whole family)"
+    (time_median ~runs:1 (fun () ->
+         ignore (Taxonomy.Derivation.derive db ~ctx ~root ())));
+  report "specimen-based synonym detection"
+    (time_median ~runs:1 (fun () -> ignore (Taxonomy.Synonymy.find db ~ctx_a:ctx ~ctx_b:ctx2)));
+  report "name-based synonym detection"
+    (time_median ~runs:1 (fun () ->
+         ignore (Taxonomy.Synonymy.find_by_name db ~ctx_a:ctx ~ctx_b:ctx2)));
+  report "classification comparison (Compare)"
+    (time_median ~runs:1 (fun () ->
+         ignore
+           (Pgraph.Compare.compare_contexts db ~rel:Taxonomy.Tax_schema.circumscribes
+              ~ctx_a:ctx ~ctx_b:ctx2)));
+  let env = [ ("root", Value.VRef root); ("ctx", Value.VRef ctx) ] in
+  report "POOL: names at rank Species"
+    (time_median (fun () ->
+         ignore
+           (Pool_lang.Pool.query db "count(select n from Name n where n.rank = 'Species')")));
+  report "POOL: taxa below root in context"
+    (time_median (fun () ->
+         ignore
+           (Pool_lang.Pool.query ~env db
+              "count(select t from Taxon t where t in descendants(root, 'Circumscribes') in context ctx)")));
+  Database.close db;
+  cleanup path
+
+(* ------------------------------------------------------------------ *)
+(* Section: ablations (DESIGN.md design decisions)                      *)
+(* ------------------------------------------------------------------ *)
+
+let bench_ablation () =
+  Printf.printf "\n== Ablations ==\n";
+  (* 1. index layer on/off for Q1-style lookups *)
+  let pair = build_pair ~params:O7.small () in
+  let p = pair.prom in
+  let without = time_median (fun () -> ignore (Ops.Prom.q1 p ~n:10)) in
+  Database.create_index pair.pdb O7.atomic_part "id";
+  let with_ = time_median (fun () -> ignore (Ops.Prom.q1 p ~n:10)) in
+  Printf.printf "index layer:    Q1 without index %10.3f ms, with index %10.3f ms (%.1fx)\n"
+    without with_ (without /. with_);
+  destroy_pair pair;
+  (* 2. rules engine on/off for S1 *)
+  let pair = build_pair ~params:O7.small () in
+  let engine = Prules.Engine.create pair.pdb in
+  (* install a representative rule load *)
+  Prules.Engine.add_rule engine
+    (Prules.Rule.invariant "positive_build_date" ~class_name:O7.atomic_part (fun _ o ->
+         match Pmodel.Obj.get o "buildDate" with Value.VInt d -> d >= 0 | _ -> true));
+  let with_rules =
+    time_median ~runs:3 (fun () ->
+        let cs = Ops.Prom.s1 pair.prom ~k:5 ~parts_per_comp:10 in
+        Ops.Prom.s2 pair.prom cs)
+  in
+  Prules.Engine.set_enabled engine false;
+  let without_rules =
+    time_median ~runs:3 (fun () ->
+        let cs = Ops.Prom.s1 pair.prom ~k:5 ~parts_per_comp:10 in
+        Ops.Prom.s2 pair.prom cs)
+  in
+  Printf.printf "rules layer:    S1+S2 with rules %9.3f ms, without %9.3f ms (%.2fx)\n" with_rules
+    without_rules
+    (with_rules /. without_rules);
+  destroy_pair pair;
+  (* 3. transaction batching (journal) for bulk writes *)
+  let path = tmp_path "batch" in
+  let store = Pstore.Store.open_ path in
+  let n = 500 in
+  let batched =
+    time_median ~runs:1 (fun () ->
+        Pstore.Store.with_tx store (fun () ->
+            for i = 1 to n do
+              Pstore.Store.put store ~oid:(Pstore.Store.fresh_oid store) (string_of_int i)
+            done))
+  in
+  let per_op =
+    time_median ~runs:1 (fun () ->
+        for i = 1 to n do
+          Pstore.Store.with_tx store (fun () ->
+              Pstore.Store.put store ~oid:(Pstore.Store.fresh_oid store) (string_of_int i))
+        done)
+  in
+  Printf.printf
+    "journal:        %d puts, one tx %9.3f ms vs one tx per put %9.3f ms (%.1fx)\n" n batched
+    per_op (per_op /. batched);
+  Pstore.Store.close store;
+  cleanup path
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks: storage primitives and the POOL pipeline           *)
+(* ------------------------------------------------------------------ *)
+
+let bench_micro () =
+  let spath = tmp_path "micro_store" in
+  let store = Pstore.Store.open_ spath in
+  let payload = String.make 128 'p' in
+  let preloaded = Array.init 1000 (fun _ -> Pstore.Store.fresh_oid store) in
+  Array.iter (fun oid -> Pstore.Store.put store ~oid payload) preloaded;
+  let ppath = tmp_path "micro_pool" in
+  let db = Database.open_ ppath in
+  ignore (Database.define_class db "Item" [ Meta.attr "v" Value.TInt ]);
+  ignore (Database.define_class db "Scratch" [ Meta.attr "v" Value.TInt ]);
+  for i = 1 to 500 do
+    ignore (Database.create db "Item" [ ("v", Value.VInt i) ])
+  done;
+  let q = "select i.v from Item i where i.v > 250 order by i.v" in
+  let cursor = ref 0 in
+  let tests =
+    Test.make_grouped ~name:"micro"
+      [
+        Test.make ~name:"store_get"
+          (Staged.stage (fun () ->
+               cursor := (!cursor + 1) mod 1000;
+               ignore (Pstore.Store.get store ~oid:preloaded.(!cursor))));
+        Test.make ~name:"store_put"
+          (Staged.stage (fun () ->
+               cursor := (!cursor + 1) mod 1000;
+               Pstore.Store.put store ~oid:preloaded.(!cursor) payload));
+        Test.make ~name:"obj_create"
+          (Staged.stage (fun () -> ignore (Database.create db "Scratch" [ ("v", Value.VInt 0) ])));
+        Test.make ~name:"pool_parse" (Staged.stage (fun () -> ignore (Pool_lang.Parser.parse q)));
+        Test.make ~name:"pool_query" (Staged.stage (fun () -> ignore (Pool_lang.Pool.query db q)));
+      ]
+  in
+  let results = run_bechamel tests in
+  Printf.printf "\n== Micro-benchmarks ==\n";
+  List.iter (fun (name, ms) -> Printf.printf "%-24s %12.6f ms\n" name ms) results;
+  Database.close db;
+  Pstore.Store.close store;
+  cleanup spath;
+  cleanup ppath
+
+(* ------------------------------------------------------------------ *)
+(* Tables 4 and 5: comparative matrices                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Table 5's Prometheus column is *verified*: each feature row runs a
+   live POOL probe against a scratch database. *)
+let bench_tables () =
+  Printf.printf "\n== Table 4: database models vs classification requirements (thesis ch. 4) ==\n";
+  let rows =
+    (* requirement, relational, object-oriented, graph-based, extended-OO, prometheus *)
+    [
+      ("tree/graph structure", "poor", "partial", "yes", "yes", "yes");
+      ("directed graphs", "no", "partial", "yes", "most", "yes");
+      ("multiple classifications", "no", "views only", "no", "no", "yes");
+      ("traceability", "no", "no", "no", "attrs only", "yes");
+      ("composite objects", "no", "partial", "no", "partial", "yes");
+      ("population-based classif.", "yes", "no", "yes", "yes", "yes");
+      ("roles", "views only", "limited", "no", "ADAM only", "yes");
+      ("rules/constraints", "yes", "yes", "some", "some", "yes");
+      ("recursive behaviour", "limited", "rare", "yes", "some", "yes");
+      ("integration w/ existing", "yes", "partial", "graph only", "yes", "yes");
+      ("generic classifications", "generic only", "is-a/is-of", "untyped", "yes", "yes");
+      ("orthogonal classification", "no", "no", "no", "partial", "yes");
+    ]
+  in
+  Printf.printf "%-28s %-14s %-12s %-12s %-12s %-12s\n" "requirement" "relational" "object-or."
+    "graph" "extended-OO" "prometheus";
+  List.iter
+    (fun (r, a, b, c, d, e) ->
+      Printf.printf "%-28s %-14s %-12s %-12s %-12s %-12s\n" r a b c d e)
+    rows;
+  (* live verification of the Prometheus column's key claims *)
+  let path = tmp_path "probe" in
+  let db = Database.open_ path in
+  ignore (Database.define_class db "N" [ Meta.attr "v" Value.TInt ]);
+  ignore (Database.define_rel db "E" ~origin:"N" ~destination:"N" ~attrs:[ Meta.attr "why" Value.TString ]);
+  let a = Database.create db "N" [ ("v", Value.VInt 1) ] in
+  let b = Database.create db "N" [ ("v", Value.VInt 2) ] in
+  let c1 = Database.create_context db "c1" in
+  let c2 = Database.create_context db "c2" in
+  ignore (Database.link db "E" ~context:c1 ~origin:a ~destination:b ~attrs:[ ("why", Value.VString "traceable") ]);
+  ignore (Database.link db "E" ~context:c2 ~origin:b ~destination:a);
+  Printf.printf "\n== Table 5: query language features (thesis ch. 5) — POOL column live-verified ==\n";
+  let env = [ ("a", Value.VRef a); ("ctx1", Value.VRef c1) ] in
+  let probe name sql oql graphql query expect =
+    let ok =
+      try Value.equal_value (Pool_lang.Pool.query ~env db query) expect with _ -> false
+    in
+    Printf.printf "%-30s %-10s %-10s %-10s POOL: %s\n" name sql oql graphql
+      (if ok then "yes (verified)" else "PROBE FAILED")
+  in
+  probe "relationships as objects" "no" "no" "edges" "count(select e from E e)" (Value.VInt 2);
+  probe "recursion / closure" "limited" "no" "yes" "count(closure(a, 'E', null))" (Value.VInt 2);
+  probe "graph extraction" "no" "no" "some" "count(nodes(graph(a, 'E', null)))" (Value.VInt 2);
+  probe "classification context" "no" "no" "no"
+    "count(select n from N n where n in descendants(a, 'E') in context ctx1)" (Value.VInt 1);
+  probe "selective downcast" "n/a" "cast only" "no" "count((N) (select x from N x))" (Value.VInt 2);
+  probe "aggregates" "yes" "yes" "some" "sum(select n.v from N n)" (Value.VInt 3);
+  probe "edge attributes" "n/a" "n/a" "some" "first(select e.why from E e where e.why != null)"
+    (Value.VString "traceable");
+  Database.close db;
+  cleanup path
+
+let print_schema () =
+  Printf.printf "\n== Benchmark schemas (thesis figs. 41-43, 47-48) ==\n";
+  let path = tmp_path "schema" in
+  let db = Database.open_ path in
+  O7.install db;
+  let schema = Database.schema db in
+  Printf.printf "-- classes --\n";
+  List.iter
+    (fun (c : Meta.class_def) ->
+      if not (String.length c.Meta.class_name > 1 && c.Meta.class_name.[0] = '_') then
+        Printf.printf "  class %-16s supers=[%s] attrs=[%s]%s\n" c.Meta.class_name
+          (String.concat "," c.Meta.supers)
+          (String.concat ","
+             (List.map (fun (a : Meta.attr_def) -> a.Meta.attr_name) c.Meta.attrs))
+          (if c.Meta.abstract then " (abstract)" else ""))
+    (List.sort compare (Meta.classes schema));
+  Printf.printf "-- relationship classes --\n";
+  List.iter
+    (fun (r : Meta.rel_def) ->
+      Printf.printf "  rel %-16s %s -> %s [%s%s%s%s]\n" r.Meta.rel_name r.Meta.origin
+        r.Meta.destination
+        (match r.Meta.kind with Meta.Aggregation -> "aggregation" | Meta.Association -> "association")
+        (if r.Meta.exclusive then ", exclusive" else "")
+        (if not r.Meta.sharable then ", non-sharable" else "")
+        (if r.Meta.lifetime_dep then ", lifetime-dep" else ""))
+    (List.sort compare (Meta.rels schema));
+  Database.close db;
+  cleanup path
+
+(* ------------------------------------------------------------------ *)
+(* Main                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let section = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let run = function
+    | "raw" -> bench_raw_performance ()
+    | "micro" -> bench_micro ()
+    | "queries" -> bench_queries ()
+    | "struct" -> bench_struct ()
+    | "fig44" -> bench_fig44 ()
+    | "fig45" -> bench_fig45 ()
+    | "fig46" -> bench_fig46 ()
+    | "tax" -> bench_tax ()
+    | "ablation" -> bench_ablation ()
+    | "tables" -> bench_tables ()
+    | "schema" -> print_schema ()
+    | s ->
+        Printf.eprintf "unknown section %s\n" s;
+        exit 1
+  in
+  match section with
+  | "all" ->
+      print_schema ();
+      bench_tables ();
+      bench_raw_performance ();
+      bench_queries ();
+      bench_struct ();
+      bench_fig44 ();
+      bench_fig45 ();
+      bench_fig46 ();
+      bench_tax ();
+      bench_ablation ();
+      bench_micro ()
+  | s -> run s

@@ -1,0 +1,128 @@
+(* pdb — the Prometheus database command-line tool.
+
+   Subcommands:
+     pdb query FILE QUERY       run a POOL query against a database
+     pdb check FILE QUERY       static-check a POOL query
+     pdb schema FILE            print classes and relationship classes
+     pdb contexts FILE          list classifications
+     pdb stats FILE             storage statistics
+     pdb serve FILE [-p PORT]   HTTP interface (thesis 6.1.7)
+     pdb demo FILE              populate FILE with a demo flora
+*)
+
+open Cmdliner
+open Pmodel
+
+let db_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Database file.")
+
+let with_db file f =
+  let db = Database.open_ file in
+  Fun.protect ~finally:(fun () -> Database.close db) (fun () -> f db)
+
+(* --- query ----------------------------------------------------------- *)
+
+let query_cmd =
+  let q = Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc:"POOL query.") in
+  let run file query =
+    with_db file (fun db ->
+        match Pool_lang.Pool.query db query with
+        | Value.VList rows ->
+            List.iter (fun r -> print_endline (Value.to_string r)) rows;
+            Printf.printf "(%d rows)\n" (List.length rows)
+        | v -> print_endline (Value.to_string v))
+  in
+  Cmd.v (Cmd.info "query" ~doc:"Run a POOL query.") Term.(const run $ db_arg $ q)
+
+let check_cmd =
+  let q = Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc:"POOL query.") in
+  let run file query =
+    with_db file (fun db ->
+        match Pool_lang.Typecheck.check_string (Database.schema db) query with
+        | [] -> print_endline "ok"
+        | errs ->
+            List.iter
+              (fun (e : Pool_lang.Typecheck.error) ->
+                Printf.printf "error: %s\n  in: %s\n" e.Pool_lang.Typecheck.message
+                  e.Pool_lang.Typecheck.expr)
+              errs;
+            exit 1)
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Static-check a POOL query.") Term.(const run $ db_arg $ q)
+
+(* --- introspection ------------------------------------------------------ *)
+
+let schema_cmd =
+  let run file = with_db file (fun db -> print_string (Pserver.Http_server.schema_text db)) in
+  Cmd.v (Cmd.info "schema" ~doc:"Print the database schema.") Term.(const run $ db_arg)
+
+let contexts_cmd =
+  let run file =
+    with_db file (fun db ->
+        List.iter (fun (oid, name) -> Printf.printf "#%d %s\n" oid name) (Database.contexts db))
+  in
+  Cmd.v (Cmd.info "contexts" ~doc:"List classifications.") Term.(const run $ db_arg)
+
+let stats_cmd =
+  let run file =
+    with_db file (fun db ->
+        let s = Pstore.Store.stats (Database.store db) in
+        Printf.printf "objects      %d\npages        %d\npage reads   %d\npage writes  %d\n"
+          s.Pstore.Store.objects s.Pstore.Store.pages s.Pstore.Store.page_reads
+          s.Pstore.Store.page_writes)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print storage statistics.") Term.(const run $ db_arg)
+
+(* --- server --------------------------------------------------------------- *)
+
+let serve_cmd =
+  let port =
+    Arg.(value & opt int 8080 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Port to listen on.")
+  in
+  let run file port = with_db file (fun db -> Pserver.Http_server.serve db ~port ()) in
+  Cmd.v (Cmd.info "serve" ~doc:"Serve the database over HTTP.") Term.(const run $ db_arg $ port)
+
+(* --- schema loading ----------------------------------------------------------- *)
+
+let load_schema_cmd =
+  let odl =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"ODL" ~doc:"ODL schema file.")
+  in
+  let run file odl =
+    with_db file (fun db ->
+        Podl.Odl.load_file db odl;
+        Printf.printf "schema loaded from %s into %s\n" odl file)
+  in
+  Cmd.v (Cmd.info "load-schema" ~doc:"Load an ODL schema file into the database.")
+    Term.(const run $ db_arg $ odl)
+
+let dump_schema_cmd =
+  let run file =
+    with_db file (fun db -> print_string (Podl.Odl.print (Database.schema db)))
+  in
+  Cmd.v (Cmd.info "dump-schema" ~doc:"Export the schema as ODL text.")
+    Term.(const run $ db_arg)
+
+(* --- demo ------------------------------------------------------------------- *)
+
+let demo_cmd =
+  let run file =
+    with_db file (fun db ->
+        Taxonomy.Tax_schema.install db;
+        let flora = Taxonomy.Flora_gen.generate db () in
+        let ctx2 = Taxonomy.Flora_gen.perturb db flora () in
+        let root = List.hd flora.Taxonomy.Flora_gen.root_taxa in
+        ignore (Taxonomy.Derivation.derive db ~ctx:flora.Taxonomy.Flora_gen.ctx ~root ());
+        Printf.printf
+          "demo flora written to %s:\n  %d species taxa, %d specimens\n  classifications: #%d and #%d\n\
+           try: pdb query %s \"select n.epithet from Name n where n.rank = 'Species'\"\n"
+          file
+          (List.length flora.Taxonomy.Flora_gen.species_taxa)
+          (List.length flora.Taxonomy.Flora_gen.specimens)
+          flora.Taxonomy.Flora_gen.ctx ctx2 file)
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Populate a demo taxonomic database.") Term.(const run $ db_arg)
+
+let () =
+  let info = Cmd.info "pdb" ~version:"1.0" ~doc:"Prometheus taxonomic database tool" in
+  exit (Cmd.eval (Cmd.group info [ query_cmd; check_cmd; schema_cmd; contexts_cmd; stats_cmd; serve_cmd; demo_cmd; load_schema_cmd; dump_schema_cmd ]))

@@ -1,0 +1,1 @@
+examples/apium_revision.ml: Classify Database Derivation Filename Icbn List Nomen Pmodel Printf Prules Rank Sys Tax_schema Taxonomy

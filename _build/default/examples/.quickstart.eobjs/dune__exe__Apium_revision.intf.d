@@ -1,0 +1,1 @@
+examples/apium_revision.mli:

@@ -1,0 +1,1 @@
+examples/library_catalogue.ml: Filename Format List Pmodel Printf Prometheus String Sys

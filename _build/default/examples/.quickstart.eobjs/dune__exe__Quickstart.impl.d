@@ -1,0 +1,1 @@
+examples/quickstart.ml: Filename Format List Pmodel Prometheus Sys

@@ -1,0 +1,1 @@
+examples/shapes_classifications.ml: Classify Database Filename List Nomen Pmodel Printf Rank String Synonymy Sys Tax_schema Taxonomy Value

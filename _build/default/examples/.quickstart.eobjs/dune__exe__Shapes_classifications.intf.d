@@ -1,0 +1,1 @@
+examples/shapes_classifications.mli:

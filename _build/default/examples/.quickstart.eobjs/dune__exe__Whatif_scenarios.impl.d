@@ -1,0 +1,1 @@
+examples/whatif_scenarios.ml: Classify Database Derivation Filename Flora_gen Icbn List Nomen Option Pmodel Printf Prules Rank Synonymy Sys Tax_schema Taxonomy

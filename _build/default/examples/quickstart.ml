@@ -1,0 +1,68 @@
+(* Quickstart: the Prometheus public API in five minutes.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  let path = Filename.temp_file "prometheus_quickstart" ".db" in
+  let p = Prometheus.open_ path in
+
+  (* 1. Schema: classes and FIRST-CLASS relationship classes.  A
+     relationship class has semantics: kind, exclusivity, sharability,
+     lifetime dependency, cardinalities, its own attributes. *)
+  ignore
+    (Prometheus.define_class p "Person"
+       [ Prometheus.attr "name" Prometheus.TString; Prometheus.attr "age" Prometheus.TInt ]);
+  ignore (Prometheus.define_class p "Company" [ Prometheus.attr "name" Prometheus.TString ]);
+  ignore
+    (Prometheus.define_rel p "WorksFor" ~origin:"Person" ~destination:"Company"
+       ~attrs:[ Prometheus.attr "role" Prometheus.TString ]);
+
+  (* 2. Objects and links. *)
+  let ada = Prometheus.create p "Person" [ ("name", Prometheus.vstr "Ada"); ("age", Prometheus.vint 36) ] in
+  let alan = Prometheus.create p "Person" [ ("name", Prometheus.vstr "Alan"); ("age", Prometheus.vint 41) ] in
+  let acme = Prometheus.create p "Company" [ ("name", Prometheus.vstr "Acme") ] in
+  ignore (Prometheus.link p "WorksFor" ~origin:ada ~destination:acme ~attrs:[ ("role", Prometheus.vstr "engineer") ]);
+  ignore (Prometheus.link p "WorksFor" ~origin:alan ~destination:acme ~attrs:[ ("role", Prometheus.vstr "analyst") ]);
+
+  (* 3. POOL queries: relationships are queryable objects. *)
+  print_endline "Who works at Acme, and as what?";
+  List.iter
+    (fun row -> Format.printf "  %a@." Pmodel.Value.pp row)
+    (Prometheus.rows p
+       "select w.origin.name, w.role from WorksFor w where w.destination.name = 'Acme' order by w.origin.name");
+
+  (* 4. Rules: a PCL constraint, enforced from now on. *)
+  ignore (Prometheus.pcl p "context Person inv adult: self.age >= 18");
+  (match
+     Prometheus.with_tx p (fun () ->
+         Prometheus.create p "Person" [ ("name", Prometheus.vstr "Kid"); ("age", Prometheus.vint 7) ])
+   with
+  | exception Prometheus.Violation _ -> print_endline "Rule vetoed the under-age person (transaction aborted)."
+  | _ -> assert false);
+
+  (* 5. Multiple overlapping classifications via contexts. *)
+  ignore (Prometheus.define_class p "Team" [ Prometheus.attr "name" Prometheus.TString ]);
+  ignore
+    (Prometheus.define_rel p "MemberOf" ~origin:"Team" ~destination:"Person" ~exclusive:true
+       ~kind:Prometheus.Aggregation);
+  let org_2024 = Prometheus.create_context p "org-chart-2024" in
+  let org_2025 = Prometheus.create_context p "org-chart-2025" in
+  let research = Prometheus.create p "Team" [ ("name", Prometheus.vstr "Research") ] in
+  let product = Prometheus.create p "Team" [ ("name", Prometheus.vstr "Product") ] in
+  ignore (Prometheus.link p "MemberOf" ~context:org_2024 ~origin:research ~destination:ada);
+  ignore (Prometheus.link p "MemberOf" ~context:org_2025 ~origin:product ~destination:ada);
+  let team_in ctx =
+    match
+      Prometheus.rows ~env:[ ("ada", Prometheus.VRef ada); ("ctx", Prometheus.VRef ctx) ] p
+        "select r.origin.name from Person x, x.into('MemberOf') r where x = ada in context ctx"
+    with
+    | [ Prometheus.VString t ] -> t
+    | _ -> "?"
+  in
+  Format.printf "Ada is in %s in 2024 and in %s in 2025 — same person, two overlapping classifications.@."
+    (team_in org_2024) (team_in org_2025);
+
+  Prometheus.close p;
+  Sys.remove path;
+  (try Sys.remove (path ^ ".journal") with _ -> ());
+  print_endline "quickstart: done."

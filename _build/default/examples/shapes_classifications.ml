@@ -1,0 +1,110 @@
+(* The thesis's figure-4 scenario: four successive taxonomists classify
+   an evolving set of "shape" specimens in overlapping, conflicting
+   ways — and Prometheus keeps all classifications, compares them, and
+   infers synonyms from circumscriptions.
+
+   Run with: dune exec examples/shapes_classifications.exe *)
+
+open Pmodel
+open Taxonomy
+module OidSet = Database.OidSet
+
+let () =
+  let path = Filename.temp_file "shapes" ".db" in
+  let db = Database.open_ path in
+  Tax_schema.install db;
+
+  (* specimens *)
+  let spec name = Nomen.create_specimen db ~collector:name () in
+  let white_square = spec "white square" in
+  let white_rect = spec "white rectangle" in
+  let grey_tri = spec "light grey triangle" in
+  let black_oval = spec "black oval" in
+  let dark_circle = spec "dark grey circle" in
+  let diamond = spec "diamond" in
+  let label s =
+    match Database.get_attr db s "collector" with Value.VString v -> v | _ -> "?"
+  in
+
+  let group _ctx rank = Classify.create_taxon db ~rank () in
+  let put ctx g items =
+    List.iter (fun i -> ignore (Classify.circumscribe db ~ctx ~group:g ~item:i ())) items
+  in
+
+  (* taxonomist 1: by shape, two levels *)
+  let c1 = Classify.create_classification db "taxonomist 1 (1820): by shape" in
+  let shapes1 = group c1 Rank.Genus in
+  let squares1 = group c1 Rank.Species and tri1 = group c1 Rank.Species and ovals1 = group c1 Rank.Species in
+  put c1 shapes1 [ squares1; tri1; ovals1 ];
+  put c1 squares1 [ white_square; white_rect ];
+  put c1 tri1 [ grey_tri ];
+  put c1 ovals1 [ black_oval; dark_circle ];
+
+  (* taxonomist 2: by shape with an intermediate level *)
+  let c2 = Classify.create_classification db "taxonomist 2 (1850): finer shapes" in
+  let shapes2 = group c2 Rank.Genus in
+  let angled2 = group c2 Rank.Sectio and round2 = group c2 Rank.Sectio in
+  let squares2 = group c2 Rank.Species and rect2 = group c2 Rank.Species in
+  let ovals2 = group c2 Rank.Species and circles2 = group c2 Rank.Species in
+  put c2 shapes2 [ angled2; round2 ];
+  put c2 angled2 [ squares2; rect2 ];
+  put c2 round2 [ ovals2; circles2 ];
+  put c2 squares2 [ white_square ];
+  put c2 rect2 [ white_rect ];
+  put c2 ovals2 [ black_oval ];
+  put c2 circles2 [ dark_circle; grey_tri ];
+
+  (* taxonomist 3: by brightness, ignoring shape (and adding diamonds) *)
+  let c3 = Classify.create_classification db "taxonomist 3 (1900): by brightness" in
+  let shapes3 = group c3 Rank.Genus in
+  let light3 = group c3 Rank.Species and dark3 = group c3 Rank.Species in
+  put c3 shapes3 [ light3; dark3 ];
+  put c3 light3 [ white_square; white_rect; diamond ];
+  put c3 dark3 [ grey_tri; black_oval; dark_circle ];
+
+  Printf.printf "three overlapping classifications of %d specimens coexist:\n"
+    6;
+  List.iter
+    (fun (ctx, root) ->
+      let n = OidSet.cardinal (Classify.specimens_of db ~ctx root) in
+      let name =
+        match Database.get_attr db ctx "name" with Value.VString s -> s | _ -> "?"
+      in
+      Printf.printf "  %-40s circumscribes %d specimens\n" name n)
+    [ (c1, shapes1); (c2, shapes2); (c3, shapes3) ];
+
+  (* inferred synonymy between classifications 1 and 3 *)
+  print_endline "\nSpecimen-based synonyms between taxonomist 1 and taxonomist 3:";
+  List.iter
+    (fun s ->
+      Printf.printf "  taxon#%d ~ taxon#%d: %s, %s (%d shared specimens)\n" s.Synonymy.taxon_a
+        s.Synonymy.taxon_b
+        (match s.Synonymy.extent with Synonymy.Full -> "FULL" | Synonymy.Pro_parte -> "pro parte")
+        (match s.Synonymy.typ with Synonymy.Homotypic -> "homotypic" | Synonymy.Heterotypic -> "heterotypic")
+        s.Synonymy.shared_specimens)
+    (Synonymy.find db ~ctx_a:c1 ~ctx_b:c3);
+
+  (* the same specimen has a different position in each classification *)
+  print_endline "\nWhere is the dark grey circle in each classification?";
+  List.iter
+    (fun ctx ->
+      let cname = match Database.get_attr db ctx "name" with Value.VString s -> s | _ -> "?" in
+      match Classify.group_of db ~ctx dark_circle with
+      | Some g ->
+          let siblings =
+            Classify.members db ~ctx g |> List.filter (Tax_schema.is_specimen db)
+            |> List.map label
+          in
+          Printf.printf "  %-40s grouped with: %s\n" cname (String.concat ", " siblings)
+      | None -> Printf.printf "  %-40s not classified\n" cname)
+    [ c1; c2; c3 ];
+
+  (* suspicious one-specimen overlaps often flag misplacements *)
+  (match Synonymy.suspicious_overlaps db ~ctx_a:c1 ~ctx_b:c2 with
+  | [] -> ()
+  | l -> Printf.printf "\n%d suspicious single-specimen overlaps between 1 and 2 (possible misplacements)\n" (List.length l));
+
+  Database.close db;
+  Sys.remove path;
+  (try Sys.remove (path ^ ".journal") with _ -> ());
+  print_endline "\nshapes_classifications: done."

@@ -1,0 +1,192 @@
+(** Prometheus: an extended object-oriented database with first-class
+    relationships and multiple overlapping classifications.
+
+    This module is the public facade over the layered architecture of
+    thesis ch. 6: storage substrate ({!Pstore}), event layer
+    ({!Pevent}), object layer ({!Pmodel.Database}), graph/view layer
+    ({!Pgraph}), rules layer ({!Prules}), query layer ({!Pool_lang})
+    and the PCL constraint language ({!Pcl_lang}).
+
+    {2 Quickstart}
+
+    {[
+      let p = Prometheus.open_ "garden.db" in
+      ignore (Prometheus.define_class p "Taxon" [ Prometheus.attr "name" TString ]);
+      ignore (Prometheus.define_rel p "ChildOf" ~origin:"Taxon" ~destination:"Taxon"
+                ~kind:Aggregation ~exclusive:true);
+      let ctx = Prometheus.create_context p "Linnaeus 1753" in
+      ...
+      let v = Prometheus.query p "select t.name from Taxon t" in
+      Prometheus.close p
+    ]} *)
+
+open Pmodel
+
+type t = { db : Database.t; engine : Prules.Engine.t; views : Pviews.View.t }
+
+(* Re-exports so users need only this module for common work. *)
+
+type value = Value.t =
+  | VNull
+  | VInt of int
+  | VFloat of float
+  | VString of string
+  | VBool of bool
+  | VDate of Value.date
+  | VRef of int
+  | VList of Value.t list
+  | VSet of Value.t list
+  | VBag of Value.t list
+
+type ty = Value.ty =
+  | TInt
+  | TFloat
+  | TString
+  | TBool
+  | TDate
+  | TRef of string
+  | TList of ty
+  | TSet of ty
+  | TBag of ty
+  | TAny
+
+type rel_kind = Meta.rel_kind = Aggregation | Association
+
+exception Violation = Prules.Rule.Violation
+
+let attr = Meta.attr
+let card = Meta.card
+let vset = Value.vset
+let vstr s = Value.VString s
+let vint i = Value.VInt i
+let vdate = Value.date
+
+(* --- lifecycle ---------------------------------------------------------- *)
+
+let open_ ?cache_pages ?(check_min_cards = true) path : t =
+  let db = Database.open_ ?cache_pages path in
+  let engine = Prules.Engine.create ~check_min_cards db in
+  let views = Pviews.View.create db in
+  { db; engine; views }
+
+let close t = Database.close t.db
+let database t = t.db
+let engine t = t.engine
+let schema t = Database.schema t.db
+let bus t = Database.bus t.db
+let stats t = Pstore.Store.stats (Database.store t.db)
+
+(* --- schema -------------------------------------------------------------- *)
+
+let define_class t = Database.define_class t.db
+let define_rel t = Database.define_rel t.db
+
+(* --- transactions ---------------------------------------------------------- *)
+
+(** Run [f] in a transaction.  Any exception — including a rule
+    {!Violation} raised by an immediate or deferred (commit-time) rule —
+    aborts the transaction and re-raises. *)
+let with_tx t f = Database.with_tx t.db f
+
+let begin_tx t = Database.begin_tx t.db
+let commit t = Database.commit t.db
+let abort t = Database.abort t.db
+
+(** What-if scenario (thesis 7.1.4): run speculative changes, observe
+    the outcome, then roll everything back.  Returns [f]'s result. *)
+let whatif t (f : unit -> 'a) : 'a =
+  Database.begin_tx t.db;
+  match f () with
+  | v ->
+      Database.abort t.db;
+      v
+  | exception e ->
+      Database.abort t.db;
+      raise e
+
+(* --- objects -------------------------------------------------------------- *)
+
+let create t = Database.create t.db
+let get t = Database.get t.db
+let get_exn t = Database.get_exn t.db
+let get_attr t = Database.get_attr t.db
+let update t = Database.update t.db
+let delete t = Database.delete t.db
+let class_of t = Database.class_of t.db
+let extent t = Database.extent t.db
+let extent_list t = Database.extent_list t.db
+let count t = Database.count t.db
+
+(* --- relationships ---------------------------------------------------------- *)
+
+let link t = Database.link t.db
+let unlink t = Database.unlink t.db
+let retarget t = Database.retarget t.db
+let outgoing t = Database.outgoing t.db
+let incoming t = Database.incoming t.db
+let rels_of t = Database.rels_of t.db
+let has_role t = Database.has_role t.db
+
+(* --- contexts (classifications) ---------------------------------------------- *)
+
+let create_context t = Database.create_context t.db
+let contexts t = Database.contexts t.db
+let find_context t = Database.find_context t.db
+let context_rels t = Database.context_rels t.db
+
+(* --- synonyms ------------------------------------------------------------------ *)
+
+let declare_synonym t = Database.declare_synonym t.db
+let same_entity t = Database.same_entity t.db
+let synonym_set t = Database.synonym_set t.db
+
+(* --- indexes ------------------------------------------------------------------- *)
+
+let create_index t = Database.create_index t.db
+let drop_index t = Database.drop_index t.db
+
+(* --- queries (POOL) --------------------------------------------------------------- *)
+
+let query ?env t src = Pool_lang.Pool.query ?env t.db src
+let rows ?env t src = Pool_lang.Pool.rows ?env t.db src
+let scalar ?env t src = Pool_lang.Pool.scalar ?env t.db src
+let check ?env t src = Pool_lang.Pool.check ?env t.db src
+
+(* --- rules ------------------------------------------------------------------------ *)
+
+let add_rule t rule = Prules.Engine.add_rule t.engine rule
+let add_rules t rules = Prules.Engine.add_rules t.engine rules
+let remove_rule t name = Prules.Engine.remove_rule t.engine name
+let rule_warnings t = Prules.Engine.warnings t.engine
+let clear_warnings t = Prules.Engine.clear_warnings t.engine
+
+(** Install a PCL constraint, e.g.
+    [pcl t "context Family inv suffix: endswith(self.name, 'aceae')"]. *)
+let pcl t src = Pcl_lang.Pcl.install t.engine src
+
+(* --- views (thesis 6.1.3) ---------------------------------------------------------- *)
+
+let define_view t ~name ~query ?materialised () =
+  Pviews.View.define t.views ~name ~query ?materialised ()
+
+let drop_view t name = Pviews.View.drop t.views name
+let view t ?env name = Pviews.View.query ?env t.views name
+let view_rows t ?env name = Pviews.View.rows ?env t.views name
+let views t = Pviews.View.list t.views
+
+(* --- static query checking (thesis 5.1.2.4) ------------------------------------------ *)
+
+let check_query t src : string list =
+  List.map
+    (fun (e : Pool_lang.Typecheck.error) ->
+      Printf.sprintf "%s (in %s)" e.Pool_lang.Typecheck.message e.Pool_lang.Typecheck.expr)
+    (Pool_lang.Typecheck.check_string (Database.schema t.db) src)
+
+(* --- graph operations ---------------------------------------------------------------- *)
+
+let descendants t = Pgraph.Traverse.descendants t.db
+let ancestors t = Pgraph.Traverse.ancestors t.db
+let closure t = Pgraph.Traverse.closure t.db
+let subgraph t = Pgraph.Subgraph.extract t.db
+let subgraph_of_context t = Pgraph.Subgraph.of_context t.db
+let copy_subgraph t = Pgraph.Subgraph.copy_into t.db

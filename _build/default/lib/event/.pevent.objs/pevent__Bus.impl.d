@@ -1,0 +1,1 @@
+lib/event/bus.ml: Event Fun List

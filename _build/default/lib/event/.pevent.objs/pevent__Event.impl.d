@@ -1,0 +1,1 @@
+lib/event/event.ml: Format List

@@ -1,0 +1,60 @@
+(** The event bus: routes primitive events to subscribers.
+
+    Subscribers register an {!Event.spec} and a handler.  Composite
+    specifications carry per-subscription trackers which are reset at
+    transaction boundaries (commit or abort), so a sequence pattern
+    cannot straddle transactions. *)
+
+type sub_id = int
+
+type subscription = {
+  id : sub_id;
+  name : string;
+  tracker : Event.Tracker.t;
+  handler : Event.primitive -> unit;
+  mutable active : bool;
+}
+
+type t = {
+  mutable subs : subscription list; (* newest first; iterated in subscription order *)
+  mutable next_id : int;
+  mutable is_subclass : Event.subclass_pred;
+  mutable emitting : int; (* re-entrancy depth, for diagnostics *)
+}
+
+let create ?(is_subclass = fun ~sub:_ ~super:_ -> false) () =
+  { subs = []; next_id = 1; is_subclass; emitting = 0 }
+
+(** The schema is loaded after the bus exists; the object layer injects
+    the real subclass predicate here. *)
+let set_subclass_pred t p = t.is_subclass <- p
+
+let subscribe t ?(name = "") spec handler : sub_id =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let sub = { id; name; tracker = Event.Tracker.create spec; handler; active = true } in
+  t.subs <- sub :: t.subs;
+  id
+
+let unsubscribe t id =
+  List.iter (fun s -> if s.id = id then s.active <- false) t.subs;
+  t.subs <- List.filter (fun s -> s.active) t.subs
+
+let subscriber_count t = List.length t.subs
+
+let emit t (ev : Event.primitive) : unit =
+  (* Transaction boundaries reset composite trackers. *)
+  (match ev with
+  | Event.Tx_commit | Event.Tx_abort | Event.Tx_begin ->
+      List.iter (fun s -> Event.Tracker.reset s.tracker) t.subs
+  | _ -> ());
+  t.emitting <- t.emitting + 1;
+  Fun.protect
+    ~finally:(fun () -> t.emitting <- t.emitting - 1)
+    (fun () ->
+      (* Iterate over a snapshot: handlers may (un)subscribe. *)
+      let snapshot = List.rev t.subs in
+      List.iter
+        (fun s ->
+          if s.active && Event.Tracker.feed s.tracker t.is_subclass ev then s.handler ev)
+        snapshot)

@@ -1,0 +1,1 @@
+lib/graph/compare.ml: Database Format List Pmodel Traverse

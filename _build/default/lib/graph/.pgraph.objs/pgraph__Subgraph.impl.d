@@ -1,0 +1,1 @@
+lib/graph/subgraph.ml: Database List Meta Obj Pmodel Traverse

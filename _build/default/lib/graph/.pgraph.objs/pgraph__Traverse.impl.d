@@ -1,0 +1,1 @@
+lib/graph/traverse.ml: Database Hashtbl List Meta Obj Pmodel Queue

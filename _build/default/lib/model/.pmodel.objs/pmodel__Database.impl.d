@@ -1,0 +1,1 @@
+lib/model/database.ml: Bus Event Format Hashtbl Int List Meta Obj Option Pevent Pstore Set Store Value

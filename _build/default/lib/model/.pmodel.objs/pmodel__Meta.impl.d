@@ -1,0 +1,1 @@
+lib/model/meta.ml: Codec Format Hashtbl List Pstore Value

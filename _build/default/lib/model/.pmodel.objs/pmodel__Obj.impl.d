@@ -1,0 +1,1 @@
+lib/model/obj.ml: Codec Format List Map Pstore String Value

@@ -1,0 +1,1 @@
+lib/model/value.ml: Codec Format List Pstore

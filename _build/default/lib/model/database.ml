@@ -1,0 +1,734 @@
+(** The Prometheus object layer.
+
+    Sits on the {!Pstore.Store} substrate and implements the extended
+    object model of thesis ch. 4: objects, extents, first-class
+    relationship instances with semantic checks (exclusivity,
+    sharability, lifetime dependency, constancy, cardinality),
+    classification contexts, attribute inheritance (roles) and instance
+    synonyms.  Every state change emits a primitive event on the
+    {!Pevent.Bus} for the rules and view layers.
+
+    All objects are mirrored in memory (write-through to the store);
+    abort rebuilds the in-memory mirror from the rolled-back store. *)
+
+open Pstore
+open Pevent
+
+exception Model_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Model_error s)) fmt
+
+module OidSet = Set.Make (Int)
+
+let schema_oid = 1 (* reserved oid holding the serialised schema *)
+let synonym_class = "__synonym"
+
+type t = {
+  store : Store.t;
+  schema : Meta.t;
+  bus : Bus.t;
+  (* in-memory mirror *)
+  objects : (int, Obj.t) Hashtbl.t;
+  extents : (string, OidSet.t ref) Hashtbl.t; (* exact class -> oids *)
+  out_rels : (int, OidSet.t ref) Hashtbl.t; (* origin oid -> rel oids *)
+  in_rels : (int, OidSet.t ref) Hashtbl.t; (* destination oid -> rel oids *)
+  (* secondary attribute indexes: (class, attr) -> value -> oids *)
+  indexes : (string * string, (Value.t, OidSet.t ref) Hashtbl.t) Hashtbl.t;
+  (* instance synonyms: union-find parent map (rebuilt on open) *)
+  syn_parent : (int, int) Hashtbl.t;
+  (* oids touched in the current transaction, for deferred checks *)
+  touched : (int, unit) Hashtbl.t;
+  mutable tx_depth : int;
+}
+
+(* ---------------------------------------------------------------------- *)
+(* Small helpers over the mirror                                           *)
+(* ---------------------------------------------------------------------- *)
+
+let set_of tbl key = match Hashtbl.find_opt tbl key with Some r -> !r | None -> OidSet.empty
+
+let add_to tbl key oid =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r := OidSet.add oid !r
+  | None -> Hashtbl.replace tbl key (ref (OidSet.singleton oid))
+
+let remove_from tbl key oid =
+  match Hashtbl.find_opt tbl key with
+  | Some r ->
+      r := OidSet.remove oid !r;
+      if OidSet.is_empty !r then Hashtbl.remove tbl key
+  | None -> ()
+
+let schema t = t.schema
+let bus t = t.bus
+let store t = t.store
+let is_subclass t = fun ~sub ~super -> Meta.is_subclass t.schema ~sub ~super
+
+let get t oid : Obj.t option = Hashtbl.find_opt t.objects oid
+
+let get_exn t oid =
+  match get t oid with Some o -> o | None -> fail "no object with oid %d" oid
+
+let class_of t oid = Option.map (fun (o : Obj.t) -> o.Obj.class_name) (get t oid)
+
+let is_rel_instance t (o : Obj.t) = Meta.is_rel t.schema o.Obj.class_name
+
+let touch t oid = if t.tx_depth > 0 then Hashtbl.replace t.touched oid ()
+
+(* ---------------------------------------------------------------------- *)
+(* Index maintenance                                                       *)
+(* ---------------------------------------------------------------------- *)
+
+let index_covers t ~index_class ~obj_class =
+  Meta.is_subclass t.schema ~sub:obj_class ~super:index_class
+
+let index_add t (o : Obj.t) =
+  Hashtbl.iter
+    (fun (cls, attr) table ->
+      if index_covers t ~index_class:cls ~obj_class:o.Obj.class_name then
+        add_to table (Obj.get o attr) o.Obj.oid)
+    t.indexes
+
+let index_remove t (o : Obj.t) =
+  Hashtbl.iter
+    (fun (cls, attr) table ->
+      if index_covers t ~index_class:cls ~obj_class:o.Obj.class_name then
+        remove_from table (Obj.get o attr) o.Obj.oid)
+    t.indexes
+
+let index_update t (o : Obj.t) attr ~old_v ~new_v =
+  Hashtbl.iter
+    (fun (cls, a) table ->
+      if a = attr && index_covers t ~index_class:cls ~obj_class:o.Obj.class_name then begin
+        remove_from table old_v o.Obj.oid;
+        add_to table new_v o.Obj.oid
+      end)
+    t.indexes
+
+(* ---------------------------------------------------------------------- *)
+(* Mirror (re)construction                                                 *)
+(* ---------------------------------------------------------------------- *)
+
+let mirror_insert t (o : Obj.t) =
+  Hashtbl.replace t.objects o.Obj.oid o;
+  add_to t.extents o.Obj.class_name o.Obj.oid;
+  if is_rel_instance t o then begin
+    add_to t.out_rels (Obj.origin o) o.Obj.oid;
+    add_to t.in_rels (Obj.destination o) o.Obj.oid
+  end;
+  if o.Obj.class_name = synonym_class then begin
+    (* union the two endpoints *)
+    let a = Value.as_ref (Obj.get o "a") and b = Value.as_ref (Obj.get o "b") in
+    let rec root x = match Hashtbl.find_opt t.syn_parent x with Some p when p <> x -> root p | _ -> x in
+    let ra = root a and rb = root b in
+    if ra <> rb then Hashtbl.replace t.syn_parent (max ra rb) (min ra rb)
+  end;
+  index_add t o
+
+let mirror_remove t (o : Obj.t) =
+  Hashtbl.remove t.objects o.Obj.oid;
+  remove_from t.extents o.Obj.class_name o.Obj.oid;
+  if is_rel_instance t o then begin
+    remove_from t.out_rels (Obj.origin o) o.Obj.oid;
+    remove_from t.in_rels (Obj.destination o) o.Obj.oid
+  end;
+  index_remove t o
+
+let rebuild_mirror t =
+  Hashtbl.reset t.objects;
+  Hashtbl.reset t.extents;
+  Hashtbl.reset t.out_rels;
+  Hashtbl.reset t.in_rels;
+  Hashtbl.reset t.syn_parent;
+  Hashtbl.iter (fun _ table -> Hashtbl.reset table) t.indexes;
+  Store.iter t.store (fun oid data ->
+      if oid <> schema_oid then mirror_insert t (Obj.decode ~oid data))
+
+(* ---------------------------------------------------------------------- *)
+(* Lifecycle                                                               *)
+(* ---------------------------------------------------------------------- *)
+
+let persist_schema t = Store.put t.store ~oid:schema_oid (Meta.encode t.schema)
+
+let register_builtin_classes schema =
+  if not (Meta.is_class schema synonym_class) then
+    ignore
+      (Meta.define_class schema synonym_class
+         [ Meta.attr "a" (Value.TRef Meta.object_class); Meta.attr "b" (Value.TRef Meta.object_class) ])
+
+let open_ ?cache_pages path : t =
+  let store = Store.open_ ?cache_pages path in
+  let schema = Meta.empty () in
+  (match Store.get store ~oid:schema_oid with
+  | Some data -> Meta.decode_into schema data
+  | None ->
+      let oid = Store.fresh_oid store in
+      if oid <> schema_oid then fail "fresh store did not yield the schema oid (got %d)" oid);
+  register_builtin_classes schema;
+  let bus = Bus.create () in
+  let t =
+    {
+      store;
+      schema;
+      bus;
+      objects = Hashtbl.create 1024;
+      extents = Hashtbl.create 64;
+      out_rels = Hashtbl.create 1024;
+      in_rels = Hashtbl.create 1024;
+      indexes = Hashtbl.create 8;
+      syn_parent = Hashtbl.create 64;
+      touched = Hashtbl.create 64;
+      tx_depth = 0;
+    }
+  in
+  Bus.set_subclass_pred bus (is_subclass t);
+  persist_schema t;
+  rebuild_mirror t;
+  t
+
+let close t = Store.close t.store
+
+(* ---------------------------------------------------------------------- *)
+(* Schema definition (persisted)                                           *)
+(* ---------------------------------------------------------------------- *)
+
+let define_class t ?supers ?abstract name attrs =
+  let c = Meta.define_class t.schema ?supers ?abstract name attrs in
+  persist_schema t;
+  c
+
+let define_rel t ?supers ?kind ?card_out ?card_in ?exclusive ?sharable ?lifetime_dep ?constant
+    ?inherited_attrs ?attrs name ~origin ~destination =
+  let r =
+    Meta.define_rel t.schema ?supers ?kind ?card_out ?card_in ?exclusive ?sharable ?lifetime_dep
+      ?constant ?inherited_attrs ?attrs name ~origin ~destination
+  in
+  persist_schema t;
+  r
+
+(* ---------------------------------------------------------------------- *)
+(* Transactions                                                            *)
+(* ---------------------------------------------------------------------- *)
+
+let in_tx t = t.tx_depth > 0
+
+let begin_tx t =
+  if t.tx_depth = 0 then begin
+    Store.begin_tx t.store;
+    Hashtbl.reset t.touched;
+    Bus.emit t.bus Event.Tx_begin
+  end;
+  t.tx_depth <- t.tx_depth + 1
+
+(** Oids of objects created, updated or linked in the current
+    transaction (used for deferred validation). *)
+let touched_oids t = Hashtbl.fold (fun oid () acc -> oid :: acc) t.touched []
+
+let commit t =
+  if t.tx_depth <= 0 then fail "commit outside transaction";
+  if t.tx_depth = 1 then begin
+    (* The commit event runs deferred rules; they may raise to veto. *)
+    Bus.emit t.bus Event.Tx_commit;
+    Store.commit t.store;
+    t.tx_depth <- 0;
+    Hashtbl.reset t.touched
+  end
+  else t.tx_depth <- t.tx_depth - 1
+
+let abort t =
+  if t.tx_depth <= 0 then fail "abort outside transaction";
+  t.tx_depth <- 0;
+  Store.abort t.store;
+  rebuild_mirror t;
+  Hashtbl.reset t.touched;
+  Bus.emit t.bus Event.Tx_abort
+
+let with_tx t f =
+  begin_tx t;
+  match f () with
+  | v ->
+      (match commit t with
+      | () -> v
+      | exception e ->
+          if t.tx_depth > 0 || Store.in_tx t.store then abort t;
+          raise e)
+  | exception e ->
+      abort t;
+      raise e
+
+(* ---------------------------------------------------------------------- *)
+(* Attribute validation                                                    *)
+(* ---------------------------------------------------------------------- *)
+
+let check_attr_value t ~owner_class (def : Meta.attr_def) (v : Value.t) =
+  if
+    not
+      (Value.conforms ~is_subclass:(is_subclass t) ~class_of:(class_of t) v def.Meta.attr_ty)
+  then
+    fail "%s.%s: value %a does not conform to type %a" owner_class def.Meta.attr_name Value.pp v
+      Value.pp_ty def.Meta.attr_ty
+
+let validated_attrs t ~class_name (attrs : (string * Value.t) list) : (string * Value.t) list =
+  let defs = Meta.all_attrs t.schema class_name in
+  List.iter
+    (fun (k, _) ->
+      if Obj.is_reserved_attr k then ()
+      else if not (List.exists (fun (d : Meta.attr_def) -> d.Meta.attr_name = k) defs) then
+        fail "class %s has no attribute %s" class_name k)
+    attrs;
+  List.filter_map
+    (fun (d : Meta.attr_def) ->
+      let v =
+        match List.assoc_opt d.Meta.attr_name attrs with
+        | Some v -> v
+        | None -> d.Meta.default
+      in
+      check_attr_value t ~owner_class:class_name d v;
+      if d.Meta.required && Value.is_null v then
+        fail "class %s: required attribute %s is null" class_name d.Meta.attr_name;
+      if Value.is_null v then None else Some (d.Meta.attr_name, v))
+    defs
+  @ List.filter (fun (k, _) -> Obj.is_reserved_attr k) attrs
+
+(* ---------------------------------------------------------------------- *)
+(* Object creation / update / deletion                                     *)
+(* ---------------------------------------------------------------------- *)
+
+let persist t (o : Obj.t) = Store.put t.store ~oid:o.Obj.oid (Obj.encode o)
+
+let create t class_name (attrs : (string * Value.t) list) : int =
+  let cdef = Meta.class_exn t.schema class_name in
+  if cdef.Meta.abstract then fail "cannot instantiate abstract class %s" class_name;
+  let attrs = validated_attrs t ~class_name attrs in
+  let oid = Store.fresh_oid t.store in
+  let o = Obj.make ~oid ~class_name attrs in
+  persist t o;
+  mirror_insert t o;
+  touch t oid;
+  Bus.emit t.bus (Event.Obj_created { oid; class_name });
+  oid
+
+let update t oid attr (v : Value.t) : unit =
+  let o = get_exn t oid in
+  if Obj.is_reserved_attr attr then fail "attribute %s is reserved" attr;
+  (match Meta.find_attr t.schema o.Obj.class_name attr with
+  | None -> fail "class %s has no attribute %s" o.Obj.class_name attr
+  | Some def ->
+      check_attr_value t ~owner_class:o.Obj.class_name def v;
+      if def.Meta.required && Value.is_null v then
+        fail "class %s: required attribute %s cannot be set to null" o.Obj.class_name attr);
+  (* constancy of relationship instances covers user attributes too *)
+  (if is_rel_instance t o then
+     let rdef = Meta.rel_exn t.schema o.Obj.class_name in
+     if rdef.Meta.constant then fail "relationship %s is constant" o.Obj.class_name);
+  let old_v = Obj.get o attr in
+  Obj.set o attr v;
+  persist t o;
+  index_update t o attr ~old_v ~new_v:v;
+  touch t oid;
+  if is_rel_instance t o then
+    Bus.emit t.bus
+      (Event.Rel_updated
+         { oid; rel_name = o.Obj.class_name; origin = Obj.origin o; destination = Obj.destination o; attr })
+  else Bus.emit t.bus (Event.Obj_updated { oid; class_name = o.Obj.class_name; attr })
+
+(* forward declaration for mutual recursion with cascade delete *)
+let rec delete t oid : unit =
+  match get t oid with
+  | None -> () (* already gone (e.g. via a cascade) *)
+  | Some o ->
+      if is_rel_instance t o then delete_rel_instance t o
+      else begin
+        (* Remove all relationship instances touching this object; apply
+           lifetime dependency along outgoing relationships. *)
+        let outgoing = OidSet.elements (set_of t.out_rels oid) in
+        let incoming = OidSet.elements (set_of t.in_rels oid) in
+        let cascade_candidates = ref [] in
+        List.iter
+          (fun rel_oid ->
+            match get t rel_oid with
+            | None -> ()
+            | Some r ->
+                let rdef = Meta.rel_exn t.schema r.Obj.class_name in
+                let dest = Obj.destination r in
+                delete_rel_instance t r;
+                if rdef.Meta.lifetime_dep then cascade_candidates := dest :: !cascade_candidates)
+          outgoing;
+        List.iter
+          (fun rel_oid -> match get t rel_oid with None -> () | Some r -> delete_rel_instance t r)
+          incoming;
+        mirror_remove t o;
+        ignore (Store.delete t.store ~oid);
+        touch t oid;
+        Bus.emit t.bus (Event.Obj_deleted { oid; class_name = o.Obj.class_name });
+        (* a dependent destination survives only if another lifetime-
+           dependent relationship still reaches it *)
+        List.iter
+          (fun dest ->
+            match get t dest with
+            | None -> ()
+            | Some _ ->
+                let still_supported =
+                  OidSet.exists
+                    (fun rel_oid ->
+                      match get t rel_oid with
+                      | None -> false
+                      | Some r ->
+                          (Meta.rel_exn t.schema r.Obj.class_name).Meta.lifetime_dep)
+                    (set_of t.in_rels dest)
+                in
+                if not still_supported then delete t dest)
+          !cascade_candidates
+      end
+
+and delete_rel_instance t (r : Obj.t) =
+  mirror_remove t r;
+  ignore (Store.delete t.store ~oid:r.Obj.oid);
+  touch t r.Obj.oid;
+  Bus.emit t.bus
+    (Event.Rel_deleted
+       {
+         oid = r.Obj.oid;
+         rel_name = r.Obj.class_name;
+         origin = Obj.origin r;
+         destination = Obj.destination r;
+       })
+
+(* ---------------------------------------------------------------------- *)
+(* Relationships                                                           *)
+(* ---------------------------------------------------------------------- *)
+
+let rel_instances_between t ~rel_name ~origin ~destination =
+  OidSet.filter
+    (fun rel_oid ->
+      match get t rel_oid with
+      | Some r -> r.Obj.class_name = rel_name && Obj.destination r = destination
+      | None -> false)
+    (set_of t.out_rels origin)
+
+(** Incoming instances of relationship class [rel_name] (including its
+    sub-relationship-classes) at [destination], optionally filtered by
+    classification context. *)
+let incoming t ?context ~rel_name destination : Obj.t list =
+  OidSet.fold
+    (fun rel_oid acc ->
+      match get t rel_oid with
+      | Some r
+        when Meta.is_subclass t.schema ~sub:r.Obj.class_name ~super:rel_name
+             && (match context with None -> true | Some c -> Obj.context r = Some c) ->
+          r :: acc
+      | _ -> acc)
+    (set_of t.in_rels destination)
+    []
+
+let outgoing t ?context ~rel_name origin : Obj.t list =
+  OidSet.fold
+    (fun rel_oid acc ->
+      match get t rel_oid with
+      | Some r
+        when Meta.is_subclass t.schema ~sub:r.Obj.class_name ~super:rel_name
+             && (match context with None -> true | Some c -> Obj.context r = Some c) ->
+          r :: acc
+      | _ -> acc)
+    (set_of t.out_rels origin)
+    []
+
+(** All relationship instances touching [oid] (either end). *)
+let rels_of t oid : Obj.t list =
+  let collect set acc =
+    OidSet.fold (fun r acc -> match get t r with Some o -> o :: acc | None -> acc) set acc
+  in
+  collect (set_of t.out_rels oid) (collect (set_of t.in_rels oid) [])
+
+let check_endpoint t ~rel_name ~role ~expected oid =
+  match class_of t oid with
+  | None -> fail "%s: %s object #%d does not exist" rel_name role oid
+  | Some c ->
+      if not (Meta.is_subclass t.schema ~sub:c ~super:expected) then
+        fail "%s: %s object #%d has class %s, expected %s" rel_name role oid c expected
+
+let semantic_checks t (rdef : Meta.rel_def) ~origin ~destination ~context =
+  let ctx = context in
+  (* exclusivity: at most one incoming instance of this relationship
+     class per destination within one context *)
+  if rdef.Meta.exclusive then begin
+    let existing = incoming t ?context:None ~rel_name:rdef.Meta.rel_name destination in
+    let same_ctx = List.filter (fun r -> Obj.context r = ctx) existing in
+    if same_ctx <> [] then
+      fail "%s: destination #%d already classified in this context (exclusive relationship)"
+        rdef.Meta.rel_name destination
+  end;
+  (* sharability: if not sharable, at most one incoming instance across
+     all contexts *)
+  if not rdef.Meta.sharable then begin
+    let existing = incoming t ~rel_name:rdef.Meta.rel_name destination in
+    if existing <> [] then
+      fail "%s: destination #%d is already part of a non-sharable relationship"
+        rdef.Meta.rel_name destination
+  end;
+  (* maximum cardinalities (minima are validated at commit) *)
+  (match rdef.Meta.card_out.Meta.cmax with
+  | Some m ->
+      let n =
+        List.length
+          (List.filter
+             (fun r -> Obj.context r = ctx)
+             (outgoing t ~rel_name:rdef.Meta.rel_name origin))
+      in
+      if n >= m then
+        fail "%s: origin #%d already has %d outgoing instances (max %d)" rdef.Meta.rel_name origin
+          n m
+  | None -> ());
+  match rdef.Meta.card_in.Meta.cmax with
+  | Some m ->
+      let n =
+        List.length
+          (List.filter
+             (fun r -> Obj.context r = ctx)
+             (incoming t ~rel_name:rdef.Meta.rel_name destination))
+      in
+      if n >= m then
+        fail "%s: destination #%d already has %d incoming instances (max %d)" rdef.Meta.rel_name
+          destination n m
+  | None -> ()
+
+(** Create a relationship instance (a link) of class [rel_name] from
+    [origin] to [destination], optionally inside classification context
+    [context], with user attributes [attrs]. *)
+let link t ?context ?(attrs = []) rel_name ~origin ~destination : int =
+  let rdef = Meta.rel_exn t.schema rel_name in
+  check_endpoint t ~rel_name ~role:"origin" ~expected:rdef.Meta.origin origin;
+  check_endpoint t ~rel_name ~role:"destination" ~expected:rdef.Meta.destination destination;
+  (match context with
+  | Some c -> (
+      match class_of t c with
+      | Some cls when Meta.is_subclass t.schema ~sub:cls ~super:"Context" -> ()
+      | _ -> fail "%s: #%d is not a classification context" rel_name c)
+  | None -> ());
+  semantic_checks t rdef ~origin ~destination ~context;
+  let attrs = validated_attrs t ~class_name:rel_name attrs in
+  let oid = Store.fresh_oid t.store in
+  let reserved =
+    [ (Obj.origin_attr, Value.VRef origin); (Obj.destination_attr, Value.VRef destination) ]
+    @ match context with Some c -> [ (Obj.context_attr, Value.VRef c) ] | None -> []
+  in
+  let o = Obj.make ~oid ~class_name:rel_name (attrs @ reserved) in
+  persist t o;
+  mirror_insert t o;
+  touch t oid;
+  touch t origin;
+  touch t destination;
+  Bus.emit t.bus (Event.Rel_created { oid; rel_name; origin; destination });
+  oid
+
+(** Remove a link by its oid. *)
+let unlink t rel_oid =
+  match get t rel_oid with
+  | Some r when is_rel_instance t r ->
+      let rdef = Meta.rel_exn t.schema r.Obj.class_name in
+      if rdef.Meta.constant then fail "relationship %s is constant: cannot unlink" r.Obj.class_name;
+      touch t (Obj.origin r);
+      touch t (Obj.destination r);
+      delete_rel_instance t r
+  | Some _ -> fail "#%d is not a relationship instance" rel_oid
+  | None -> fail "no relationship with oid %d" rel_oid
+
+(** Re-target a relationship instance (move a link).  Violates
+    constancy if the relationship class is constant. *)
+let retarget t rel_oid ?origin ?destination () =
+  let r = get_exn t rel_oid in
+  if not (is_rel_instance t r) then fail "#%d is not a relationship instance" rel_oid;
+  let rdef = Meta.rel_exn t.schema r.Obj.class_name in
+  if rdef.Meta.constant then fail "relationship %s is constant: cannot retarget" r.Obj.class_name;
+  let new_origin = Option.value origin ~default:(Obj.origin r) in
+  let new_destination = Option.value destination ~default:(Obj.destination r) in
+  check_endpoint t ~rel_name:r.Obj.class_name ~role:"origin" ~expected:rdef.Meta.origin new_origin;
+  check_endpoint t ~rel_name:r.Obj.class_name ~role:"destination" ~expected:rdef.Meta.destination
+    new_destination;
+  (* temporarily remove from adjacency so checks don't count self *)
+  mirror_remove t r;
+  (match semantic_checks t rdef ~origin:new_origin ~destination:new_destination ~context:(Obj.context r) with
+  | () -> ()
+  | exception e ->
+      mirror_insert t r;
+      raise e);
+  Obj.set r Obj.origin_attr (Value.VRef new_origin);
+  Obj.set r Obj.destination_attr (Value.VRef new_destination);
+  persist t r;
+  mirror_insert t r;
+  touch t rel_oid;
+  touch t new_origin;
+  touch t new_destination;
+  Bus.emit t.bus
+    (Event.Rel_updated
+       {
+         oid = rel_oid;
+         rel_name = r.Obj.class_name;
+         origin = new_origin;
+         destination = new_destination;
+         attr = "__endpoints";
+       })
+
+(* ---------------------------------------------------------------------- *)
+(* Extents                                                                 *)
+(* ---------------------------------------------------------------------- *)
+
+(** Extent of a class.  [deep] (default) includes subclasses, as in
+    ODMG. *)
+let extent t ?(deep = true) class_name : OidSet.t =
+  if deep then
+    let classes =
+      if Meta.is_rel t.schema class_name then Meta.rel_subclasses t.schema class_name
+      else Meta.subclasses t.schema class_name
+    in
+    List.fold_left (fun acc c -> OidSet.union acc (set_of t.extents c)) OidSet.empty classes
+  else set_of t.extents class_name
+
+let extent_list t ?deep class_name = OidSet.elements (extent t ?deep class_name)
+let count t ?deep class_name = OidSet.cardinal (extent t ?deep class_name)
+
+let iter_objects t f = Hashtbl.iter (fun _ o -> f o) t.objects
+
+(* ---------------------------------------------------------------------- *)
+(* Attribute access with role inheritance (thesis 4.4.5)                   *)
+(* ---------------------------------------------------------------------- *)
+
+(** Get an attribute of an object.  If the object itself has no such
+    attribute, incoming relationship instances whose class declares the
+    attribute as inherited are consulted: the object has acquired a
+    role.  E.g. a specimen targeted by a [TypeOf] relationship acquires
+    the relationship's [kind] attribute. *)
+let get_attr t oid attr : Value.t =
+  let o = get_exn t oid in
+  match Obj.get o attr with
+  | Value.VNull
+    when not (List.exists (fun (d : Meta.attr_def) -> d.Meta.attr_name = attr)
+                (Meta.all_attrs t.schema o.Obj.class_name)) -> (
+      (* look for an inherited (role) attribute on incoming relationships *)
+      let candidates =
+        OidSet.fold
+          (fun rel_oid acc ->
+            match get t rel_oid with
+            | Some r ->
+                let rdef = Meta.rel_exn t.schema r.Obj.class_name in
+                if List.mem attr rdef.Meta.inherited_attrs then Obj.get r attr :: acc else acc
+            | None -> acc)
+          (set_of t.in_rels oid)
+          []
+      in
+      match candidates with
+      | [] -> Value.VNull
+      | [ v ] -> v
+      | vs -> Value.vset vs (* several roles: the object sees the set *))
+  | v -> v
+
+(** Does [oid] currently play a role conferred by relationship class
+    [rel_name] (i.e. is it the destination of such a relationship)? *)
+let has_role t oid ~rel_name = incoming t ~rel_name oid <> []
+
+(* ---------------------------------------------------------------------- *)
+(* Classification contexts (thesis 4.6)                                    *)
+(* ---------------------------------------------------------------------- *)
+
+let create_context t ?(description = "") name : int =
+  create t "Context" [ ("name", Value.VString name); ("description", Value.VString description) ]
+
+let contexts t : (int * string) list =
+  OidSet.fold
+    (fun oid acc ->
+      match get t oid with
+      | Some o -> (oid, Value.as_string (Obj.get o "name")) :: acc
+      | None -> acc)
+    (extent t "Context") []
+
+let find_context t name =
+  List.find_map (fun (oid, n) -> if n = name then Some oid else None) (contexts t)
+
+(** All relationship instances belonging to context [ctx]. *)
+let context_rels t ctx : Obj.t list =
+  Hashtbl.fold
+    (fun _ o acc ->
+      if is_rel_instance t o && Obj.context o = Some ctx then o :: acc else acc)
+    t.objects []
+
+(* ---------------------------------------------------------------------- *)
+(* Instance synonyms (thesis 4.5)                                          *)
+(* ---------------------------------------------------------------------- *)
+
+let rec syn_root t x =
+  match Hashtbl.find_opt t.syn_parent x with Some p when p <> x -> syn_root t p | _ -> x
+
+(** Declare that two instances denote the same real-world entity. *)
+let declare_synonym t a b : unit =
+  ignore (get_exn t a);
+  ignore (get_exn t b);
+  ignore (create t synonym_class [ ("a", Value.VRef a); ("b", Value.VRef b) ])
+
+let same_entity t a b = syn_root t a = syn_root t b
+
+let synonym_set t a : OidSet.t =
+  let ra = syn_root t a in
+  Hashtbl.fold
+    (fun oid _ acc -> if syn_root t oid = ra then OidSet.add oid acc else acc)
+    t.syn_parent
+    (OidSet.singleton a)
+
+(* ---------------------------------------------------------------------- *)
+(* Secondary indexes (index layer, thesis 6.1.4)                           *)
+(* ---------------------------------------------------------------------- *)
+
+let create_index t class_name attr =
+  let key = (class_name, attr) in
+  if not (Hashtbl.mem t.indexes key) then begin
+    let table = Hashtbl.create 256 in
+    Hashtbl.replace t.indexes key table;
+    iter_objects t (fun o ->
+        if index_covers t ~index_class:class_name ~obj_class:o.Obj.class_name then
+          add_to table (Obj.get o attr) o.Obj.oid)
+  end
+
+let drop_index t class_name attr = Hashtbl.remove t.indexes (class_name, attr)
+let has_index t class_name attr = Hashtbl.mem t.indexes (class_name, attr)
+
+let index_lookup t class_name attr (v : Value.t) : OidSet.t option =
+  match Hashtbl.find_opt t.indexes (class_name, attr) with
+  | Some table -> Some (set_of table v)
+  | None -> None
+
+(* ---------------------------------------------------------------------- *)
+(* Deferred validation: minimum cardinalities                              *)
+(* ---------------------------------------------------------------------- *)
+
+(** Validate minimum-cardinality constraints for the objects touched in
+    the current transaction.  Called by the rules layer at commit. *)
+let validate_min_cards t : string list =
+  let errors = ref [] in
+  let check_obj oid =
+    match get t oid with
+    | None -> ()
+    | Some o when is_rel_instance t o -> ()
+    | Some o ->
+        List.iter
+          (fun (rdef : Meta.rel_def) ->
+            (if rdef.Meta.card_out.Meta.cmin > 0
+               && Meta.is_subclass t.schema ~sub:o.Obj.class_name ~super:rdef.Meta.origin
+             then
+               let n = List.length (outgoing t ~rel_name:rdef.Meta.rel_name oid) in
+               if n < rdef.Meta.card_out.Meta.cmin then
+                 errors :=
+                   Format.asprintf "%s: origin #%d has %d outgoing instances, minimum %d"
+                     rdef.Meta.rel_name oid n rdef.Meta.card_out.Meta.cmin
+                   :: !errors);
+            if rdef.Meta.card_in.Meta.cmin > 0
+               && Meta.is_subclass t.schema ~sub:o.Obj.class_name ~super:rdef.Meta.destination
+            then
+              let n = List.length (incoming t ~rel_name:rdef.Meta.rel_name oid) in
+              if n < rdef.Meta.card_in.Meta.cmin then
+                errors :=
+                  Format.asprintf "%s: destination #%d has %d incoming instances, minimum %d"
+                    rdef.Meta.rel_name oid n rdef.Meta.card_in.Meta.cmin
+                  :: !errors)
+          (Meta.rels t.schema)
+  in
+  List.iter check_obj (touched_oids t);
+  !errors

@@ -1,0 +1,263 @@
+(** Values and types of the Prometheus object model.
+
+    The model follows ODMG (thesis ch. 4.2): atomic literals, dates,
+    object references (by oid), and the three ODMG collection
+    constructors (set, bag, list).  Sets are kept sorted and
+    duplicate-free under {!compare}. *)
+
+type oid = int
+
+type ty =
+  | TInt
+  | TFloat
+  | TString
+  | TBool
+  | TDate
+  | TRef of string (* target class name *)
+  | TList of ty
+  | TSet of ty
+  | TBag of ty
+  | TAny
+
+let rec pp_ty ppf = function
+  | TInt -> Format.pp_print_string ppf "int"
+  | TFloat -> Format.pp_print_string ppf "float"
+  | TString -> Format.pp_print_string ppf "string"
+  | TBool -> Format.pp_print_string ppf "bool"
+  | TDate -> Format.pp_print_string ppf "date"
+  | TRef c -> Format.fprintf ppf "ref<%s>" c
+  | TList t -> Format.fprintf ppf "list<%a>" pp_ty t
+  | TSet t -> Format.fprintf ppf "set<%a>" pp_ty t
+  | TBag t -> Format.fprintf ppf "bag<%a>" pp_ty t
+  | TAny -> Format.pp_print_string ppf "any"
+
+type date = { year : int; month : int; day : int }
+
+let date ?(month = 1) ?(day = 1) year = { year; month; day }
+
+let compare_date a b =
+  match compare a.year b.year with
+  | 0 -> ( match compare a.month b.month with 0 -> compare a.day b.day | c -> c)
+  | c -> c
+
+type t =
+  | VNull
+  | VInt of int
+  | VFloat of float
+  | VString of string
+  | VBool of bool
+  | VDate of date
+  | VRef of oid
+  | VList of t list
+  | VSet of t list (* sorted, duplicate-free *)
+  | VBag of t list (* sorted *)
+
+let rec compare_value (a : t) (b : t) : int =
+  match (a, b) with
+  | VNull, VNull -> 0
+  | VNull, _ -> -1
+  | _, VNull -> 1
+  | VInt x, VInt y -> compare x y
+  | VInt x, VFloat y -> compare (float_of_int x) y
+  | VFloat x, VInt y -> compare x (float_of_int y)
+  | VFloat x, VFloat y -> compare x y
+  | VString x, VString y -> compare x y
+  | VBool x, VBool y -> compare x y
+  | VDate x, VDate y -> compare_date x y
+  | VRef x, VRef y -> compare x y
+  | VList x, VList y | VSet x, VSet y | VBag x, VBag y -> compare_list x y
+  | _ ->
+      (* heterogeneous: order by constructor tag *)
+      compare (tag a) (tag b)
+
+and compare_list x y =
+  match (x, y) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | a :: x, b :: y -> ( match compare_value a b with 0 -> compare_list x y | c -> c)
+
+and tag = function
+  | VNull -> 0
+  | VInt _ -> 1
+  | VFloat _ -> 2
+  | VString _ -> 3
+  | VBool _ -> 4
+  | VDate _ -> 5
+  | VRef _ -> 6
+  | VList _ -> 7
+  | VSet _ -> 8
+  | VBag _ -> 9
+
+let equal_value a b = compare_value a b = 0
+
+(* Smart constructors for collections *)
+let vset items = VSet (List.sort_uniq compare_value items)
+let vbag items = VBag (List.sort compare_value items)
+let vlist items = VList items
+
+let rec pp ppf = function
+  | VNull -> Format.pp_print_string ppf "null"
+  | VInt i -> Format.pp_print_int ppf i
+  | VFloat f -> Format.pp_print_float ppf f
+  | VString s -> Format.fprintf ppf "%S" s
+  | VBool b -> Format.pp_print_bool ppf b
+  | VDate d -> Format.fprintf ppf "%04d-%02d-%02d" d.year d.month d.day
+  | VRef o -> Format.fprintf ppf "#%d" o
+  | VList l -> Format.fprintf ppf "[%a]" pp_items l
+  | VSet l -> Format.fprintf ppf "{%a}" pp_items l
+  | VBag l -> Format.fprintf ppf "bag{%a}" pp_items l
+
+and pp_items ppf l =
+  Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp ppf l
+
+let to_string v = Format.asprintf "%a" pp v
+
+(* --- truthiness and coercions used by POOL and rules ------------------- *)
+
+let is_null = function VNull -> true | _ -> false
+
+let as_bool = function
+  | VBool b -> b
+  | VNull -> false
+  | v -> invalid_arg (Format.asprintf "value %a is not a boolean" pp v)
+
+let as_int = function
+  | VInt i -> i
+  | v -> invalid_arg (Format.asprintf "value %a is not an int" pp v)
+
+let as_float = function
+  | VFloat f -> f
+  | VInt i -> float_of_int i
+  | v -> invalid_arg (Format.asprintf "value %a is not a float" pp v)
+
+let as_string = function
+  | VString s -> s
+  | v -> invalid_arg (Format.asprintf "value %a is not a string" pp v)
+
+let as_ref = function
+  | VRef o -> o
+  | v -> invalid_arg (Format.asprintf "value %a is not a reference" pp v)
+
+let as_elements = function
+  | VList l | VSet l | VBag l -> l
+  | VNull -> []
+  | v -> invalid_arg (Format.asprintf "value %a is not a collection" pp v)
+
+(* --- dynamic type checking -------------------------------------------- *)
+
+(** [conforms ~is_subclass v ty] — dynamic typing: does value [v] fit
+    type [ty]?  [VNull] conforms to every type (attributes are
+    nullable, as in ODMG where relationships model optionality). *)
+let rec conforms ~(is_subclass : sub:string -> super:string -> bool)
+    ~(class_of : oid -> string option) (v : t) (ty : ty) : bool =
+  match (v, ty) with
+  | VNull, _ -> true
+  | _, TAny -> true
+  | VInt _, TInt -> true
+  | VInt _, TFloat -> true (* int widens to float *)
+  | VFloat _, TFloat -> true
+  | VString _, TString -> true
+  | VBool _, TBool -> true
+  | VDate _, TDate -> true
+  | VRef o, TRef cls -> (
+      match class_of o with
+      | None -> false
+      | Some c -> c = cls || is_subclass ~sub:c ~super:cls)
+  | VList l, TList t | VSet l, TSet t | VBag l, TBag t ->
+      List.for_all (fun v -> conforms ~is_subclass ~class_of v t) l
+  | _ -> false
+
+(* --- serialisation ------------------------------------------------------ *)
+
+open Pstore
+
+let rec encode (e : Codec.Enc.t) (v : t) : unit =
+  match v with
+  | VNull -> Codec.Enc.u8 e 0
+  | VInt i ->
+      Codec.Enc.u8 e 1;
+      Codec.Enc.int e i
+  | VFloat f ->
+      Codec.Enc.u8 e 2;
+      Codec.Enc.float e f
+  | VString s ->
+      Codec.Enc.u8 e 3;
+      Codec.Enc.string e s
+  | VBool b ->
+      Codec.Enc.u8 e 4;
+      Codec.Enc.bool e b
+  | VDate d ->
+      Codec.Enc.u8 e 5;
+      Codec.Enc.u16 e d.year;
+      Codec.Enc.u8 e d.month;
+      Codec.Enc.u8 e d.day
+  | VRef o ->
+      Codec.Enc.u8 e 6;
+      Codec.Enc.int e o
+  | VList l -> encode_coll e 7 l
+  | VSet l -> encode_coll e 8 l
+  | VBag l -> encode_coll e 9 l
+
+and encode_coll e tag l =
+  Codec.Enc.u8 e tag;
+  Codec.Enc.u32 e (List.length l);
+  List.iter (encode e) l
+
+let rec decode (d : Codec.Dec.t) : t =
+  match Codec.Dec.u8 d with
+  | 0 -> VNull
+  | 1 -> VInt (Codec.Dec.int d)
+  | 2 -> VFloat (Codec.Dec.float d)
+  | 3 -> VString (Codec.Dec.string d)
+  | 4 -> VBool (Codec.Dec.bool d)
+  | 5 ->
+      let year = Codec.Dec.u16 d in
+      let month = Codec.Dec.u8 d in
+      let day = Codec.Dec.u8 d in
+      VDate { year; month; day }
+  | 6 -> VRef (Codec.Dec.int d)
+  | 7 -> VList (decode_coll d)
+  | 8 -> VSet (decode_coll d)
+  | 9 -> VBag (decode_coll d)
+  | n -> Codec.corrupt "unknown value tag %d" n
+
+and decode_coll d =
+  let n = Codec.Dec.u32 d in
+  List.init n (fun _ -> decode d)
+
+(* --- type serialisation -------------------------------------------------- *)
+
+let rec encode_ty e = function
+  | TInt -> Codec.Enc.u8 e 0
+  | TFloat -> Codec.Enc.u8 e 1
+  | TString -> Codec.Enc.u8 e 2
+  | TBool -> Codec.Enc.u8 e 3
+  | TDate -> Codec.Enc.u8 e 4
+  | TRef c ->
+      Codec.Enc.u8 e 5;
+      Codec.Enc.string e c
+  | TList t ->
+      Codec.Enc.u8 e 6;
+      encode_ty e t
+  | TSet t ->
+      Codec.Enc.u8 e 7;
+      encode_ty e t
+  | TBag t ->
+      Codec.Enc.u8 e 8;
+      encode_ty e t
+  | TAny -> Codec.Enc.u8 e 9
+
+let rec decode_ty d =
+  match Codec.Dec.u8 d with
+  | 0 -> TInt
+  | 1 -> TFloat
+  | 2 -> TString
+  | 3 -> TBool
+  | 4 -> TDate
+  | 5 -> TRef (Codec.Dec.string d)
+  | 6 -> TList (decode_ty d)
+  | 7 -> TSet (decode_ty d)
+  | 8 -> TBag (decode_ty d)
+  | 9 -> TAny
+  | n -> Codec.corrupt "unknown type tag %d" n

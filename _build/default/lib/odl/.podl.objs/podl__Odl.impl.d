@@ -1,0 +1,1 @@
+lib/odl/odl.ml: Array Buffer Database Format Hashtbl List Meta Pmodel Pool_lang Printf String Value

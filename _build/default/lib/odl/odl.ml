@@ -1,0 +1,538 @@
+(** ODL — a textual schema definition language.
+
+    The Prometheus model is defined "with reference to ODMG" (thesis
+    ch. 4.2); this module provides the corresponding schema definition
+    syntax, extended with the Prometheus relationship semantics of
+    ch. 4.3–4.4, so that a whole schema can be loaded from a file:
+
+    {v
+      class Person {
+        attribute string name;
+        attribute int age = 0;
+        required attribute string surname;
+      }
+
+      abstract class LegalEntity {}
+      class Company extends LegalEntity {
+        attribute string name;
+      }
+
+      relationship WorksFor (Person -> Company) {
+        association;
+        attribute int salary;
+        card out 0..*;
+        card in 0..100;
+      }
+
+      relationship ChildOf (Taxon -> Taxon) {
+        aggregation;
+        exclusive;
+        lifetime dependent;
+        attribute string reason;
+        inherited attribute string reason;
+      }
+    v}
+
+    Types: [int], [float], [string], [bool], [date], [ref<Class>],
+    [set<T>], [list<T>], [bag<T>], [any].  Comments: [-- to end of line].
+    Defaults follow [=] and use POOL literal syntax. *)
+
+open Pmodel
+
+exception Odl_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Odl_error s)) fmt
+
+(* Reuse the POOL lexer: ODL's tokens are a subset (identifiers,
+   literals, punctuation); ODL keywords arrive as IDENTs or POOL KWs. *)
+module L = Pool_lang.Lexer
+
+type state = { toks : (L.token * int) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let word st =
+  (* treat POOL keywords as plain words in ODL *)
+  match peek st with
+  | L.IDENT s ->
+      advance st;
+      Some s
+  | L.KW s ->
+      advance st;
+      Some s
+  | _ -> None
+
+let expect_word st w =
+  match word st with
+  | Some s when String.lowercase_ascii s = w -> ()
+  | Some s -> fail "ODL: expected '%s', found '%s'" w s
+  | None -> fail "ODL: expected '%s'" w
+
+let expect_tok st tok what =
+  if peek st = tok then advance st else fail "ODL: expected %s" what
+
+let ident st what =
+  match peek st with
+  | L.IDENT s ->
+      advance st;
+      s
+  | t -> fail "ODL: expected %s, found %s" what (Format.asprintf "%a" L.pp_token t)
+
+(* --- types --------------------------------------------------------------- *)
+
+let rec parse_ty st : Value.ty =
+  match word st with
+  | Some "int" -> Value.TInt
+  | Some "float" -> Value.TFloat
+  | Some "string" -> Value.TString
+  | Some "bool" -> Value.TBool
+  | Some "date" -> Value.TDate
+  | Some "any" -> Value.TAny
+  | Some "ref" ->
+      expect_tok st L.LT "'<'";
+      let c = ident st "class name" in
+      expect_tok st L.GT "'>'";
+      Value.TRef c
+  | Some "set" -> parse_coll st (fun t -> Value.TSet t)
+  | Some "list" -> parse_coll st (fun t -> Value.TList t)
+  | Some "bag" -> parse_coll st (fun t -> Value.TBag t)
+  | Some w -> fail "ODL: unknown type %s" w
+  | None -> fail "ODL: expected a type"
+
+and parse_coll st wrap =
+  expect_tok st L.LT "'<'";
+  let t = parse_ty st in
+  expect_tok st L.GT "'>'";
+  wrap t
+
+(* --- attribute declarations ------------------------------------------------ *)
+
+let parse_default st : Value.t =
+  match peek st with
+  | L.INT i ->
+      advance st;
+      Value.VInt i
+  | L.MINUS ->
+      advance st;
+      (match peek st with
+      | L.INT i ->
+          advance st;
+          Value.VInt (-i)
+      | L.FLOAT f ->
+          advance st;
+          Value.VFloat (-.f)
+      | _ -> fail "ODL: expected a number after '-'")
+  | L.FLOAT f ->
+      advance st;
+      Value.VFloat f
+  | L.STRING s ->
+      advance st;
+      Value.VString s
+  | L.KW "true" ->
+      advance st;
+      Value.VBool true
+  | L.KW "false" ->
+      advance st;
+      Value.VBool false
+  | L.KW "null" ->
+      advance st;
+      Value.VNull
+  | _ -> fail "ODL: expected a literal default value"
+
+(* "attribute <ty> <name> [= default] ;" with optional leading "required" *)
+let parse_attribute st ~required : Meta.attr_def =
+  let ty = parse_ty st in
+  let name = ident st "attribute name" in
+  let default = if peek st = L.EQ then (advance st; parse_default st) else Value.VNull in
+  expect_word st ";";
+  Meta.attr ~required ~default name ty
+
+(* --- class bodies ----------------------------------------------------------- *)
+
+(* Statements end with ';' — the POOL lexer has no ';' token, so we
+   pre-split on ';' textually?  No: simpler, we add ';' handling by
+   treating it as a lexer-rejected character.  Instead ODL uses the
+   convention that declarations are newline/keyword delimited; to keep
+   the familiar surface we accept both.  We therefore preprocess the
+   source, replacing ';' with ' '. *)
+
+type decl =
+  | Dclass of Meta.class_def
+  | Drel of {
+      name : string;
+      origin : string;
+      destination : string;
+      kind : Meta.rel_kind option;
+      exclusive : bool;
+      sharable : bool option;
+      lifetime_dep : bool;
+      constant : bool;
+      card_out : Meta.card option;
+      card_in : Meta.card option;
+      attrs : Meta.attr_def list;
+      inherited : string list;
+      supers : string list;
+    }
+
+let parse_card st : Meta.card =
+  let lo = match peek st with
+    | L.INT i -> advance st; i
+    | _ -> fail "ODL: expected cardinality lower bound"
+  in
+  (* "lo..hi" arrives as INT DOT DOT (INT|STAR) *)
+  expect_tok st L.DOT "'..'";
+  expect_tok st L.DOT "'..'";
+  match peek st with
+  | L.INT hi ->
+      advance st;
+      Meta.card ~cmin:lo ~cmax:hi ()
+  | L.STAR ->
+      advance st;
+      Meta.card ~cmin:lo ()
+  | _ -> fail "ODL: expected upper bound or '*'"
+
+let parse_class st ~abstract : decl =
+  let name = ident st "class name" in
+  let supers =
+    match peek st with
+    | L.IDENT "extends" ->
+        advance st;
+        let rec go acc =
+          let s = ident st "superclass" in
+          if peek st = L.COMMA then begin
+            advance st;
+            go (s :: acc)
+          end
+          else List.rev (s :: acc)
+        in
+        go []
+    | _ -> []
+  in
+  expect_word st "{";
+  let attrs = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | L.IDENT "attribute" ->
+        advance st;
+        attrs := parse_attribute st ~required:false :: !attrs
+    | L.IDENT "required" ->
+        advance st;
+        expect_word st "attribute";
+        attrs := parse_attribute st ~required:true :: !attrs
+    | L.IDENT "}" | L.KW "}" ->
+        advance st;
+        continue := false
+    | t -> fail "ODL: unexpected %s in class body" (Format.asprintf "%a" L.pp_token t)
+  done;
+  Dclass { Meta.class_name = name; supers; attrs = List.rev !attrs; abstract }
+
+let parse_rel st : decl =
+  let name = ident st "relationship name" in
+  let supers =
+    match peek st with
+    | L.IDENT "extends" ->
+        advance st;
+        [ ident st "super relationship" ]
+    | _ -> []
+  in
+  expect_tok st L.LPAREN "'('";
+  let origin = ident st "origin class" in
+  (* "->" arrives as MINUS GT *)
+  expect_tok st L.MINUS "'->'";
+  expect_tok st L.GT "'->'";
+  let destination = ident st "destination class" in
+  expect_tok st L.RPAREN "')'";
+  expect_word st "{";
+  let kind = ref None in
+  let exclusive = ref false in
+  let sharable = ref None in
+  let lifetime = ref false in
+  let constant = ref false in
+  let card_out = ref None in
+  let card_in = ref None in
+  let attrs = ref [] in
+  let inherited = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | L.IDENT "aggregation" ->
+        advance st;
+        kind := Some Meta.Aggregation;
+        expect_word st ";"
+    | L.IDENT "association" ->
+        advance st;
+        kind := Some Meta.Association;
+        expect_word st ";"
+    | L.IDENT "exclusive" ->
+        advance st;
+        exclusive := true;
+        expect_word st ";"
+    | L.IDENT "sharable" ->
+        advance st;
+        sharable := Some true;
+        expect_word st ";"
+    | L.KW "not" ->
+        advance st;
+        expect_word st "sharable";
+        sharable := Some false;
+        expect_word st ";"
+    | L.IDENT "lifetime" ->
+        advance st;
+        expect_word st "dependent";
+        lifetime := true;
+        expect_word st ";"
+    | L.IDENT "constant" ->
+        advance st;
+        constant := true;
+        expect_word st ";"
+    | L.IDENT "card" -> (
+        advance st;
+        match word st with
+        | Some "out" ->
+            card_out := Some (parse_card st);
+            expect_word st ";"
+        | Some "in" ->
+            card_in := Some (parse_card st);
+            expect_word st ";"
+        | _ -> fail "ODL: expected 'out' or 'in' after 'card'")
+    | L.KW "in" -> (
+        (* "card in" can tokenize 'in' as a keyword *)
+        advance st;
+        fail "ODL: unexpected 'in'")
+    | L.IDENT "attribute" ->
+        advance st;
+        attrs := parse_attribute st ~required:false :: !attrs
+    | L.IDENT "required" ->
+        advance st;
+        expect_word st "attribute";
+        attrs := parse_attribute st ~required:true :: !attrs
+    | L.IDENT "inherited" ->
+        advance st;
+        expect_word st "attribute";
+        let _ty = parse_ty st in
+        let n = ident st "attribute name" in
+        inherited := n :: !inherited;
+        expect_word st ";"
+    | L.IDENT "}" | L.KW "}" ->
+        advance st;
+        continue := false
+    | t -> fail "ODL: unexpected %s in relationship body" (Format.asprintf "%a" L.pp_token t)
+  done;
+  (* inherited attributes must also be declared as attributes; declare
+     them implicitly when missing *)
+  let attrs_all =
+    List.fold_left
+      (fun acc n ->
+        if List.exists (fun (a : Meta.attr_def) -> a.Meta.attr_name = n) acc then acc
+        else acc @ [ Meta.attr n Value.TAny ])
+      (List.rev !attrs) (List.rev !inherited)
+  in
+  Drel
+    {
+      name;
+      origin;
+      destination;
+      kind = !kind;
+      exclusive = !exclusive;
+      sharable = !sharable;
+      lifetime_dep = !lifetime;
+      constant = !constant;
+      card_out = !card_out;
+      card_in = !card_in;
+      attrs = attrs_all;
+      inherited = List.rev !inherited;
+      supers;
+    }
+
+(* ';', '{' and '}' are not POOL tokens: pad them with spaces and lex
+   them as one-character identifiers via a pre-pass.  Characters inside
+   string literals (and line comments) are left untouched so default
+   values like "a;b" survive. *)
+let preprocess (src : string) : string =
+  let b = Buffer.create (String.length src + 32) in
+  let n = String.length src in
+  let i = ref 0 in
+  let in_quote = ref '\000' in
+  let in_comment = ref false in
+  while !i < n do
+    let c = src.[!i] in
+    (if !in_comment then begin
+       Buffer.add_char b c;
+       if c = '\n' then in_comment := false
+     end
+     else if !in_quote <> '\000' then begin
+       Buffer.add_char b c;
+       if c = !in_quote then in_quote := '\000'
+     end
+     else
+       match c with
+       | '\'' | '"' ->
+           in_quote := c;
+           Buffer.add_char b c
+       | '-' when !i + 1 < n && src.[!i + 1] = '-' ->
+           in_comment := true;
+           Buffer.add_char b c
+       | ';' -> Buffer.add_string b " __SEMI__ "
+       | '{' -> Buffer.add_string b " __LBRACE__ "
+       | '}' -> Buffer.add_string b " __RBRACE__ "
+       | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
+
+let retoken (toks : (L.token * int) list) : (L.token * int) list =
+  List.map
+    (fun (t, p) ->
+      match t with
+      | L.IDENT "__SEMI__" -> (L.IDENT ";", p)
+      | L.IDENT "__LBRACE__" -> (L.IDENT "{", p)
+      | L.IDENT "__RBRACE__" -> (L.IDENT "}", p)
+      | t -> (t, p))
+    toks
+
+let parse (src : string) : decl list =
+  let toks = retoken (L.tokenize (preprocess src)) in
+  let st = { toks = Array.of_list toks; pos = 0 } in
+  let decls = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | L.EOF -> continue := false
+    | L.IDENT "class" ->
+        advance st;
+        decls := parse_class st ~abstract:false :: !decls
+    | L.IDENT "abstract" ->
+        advance st;
+        expect_word st "class";
+        decls := parse_class st ~abstract:true :: !decls
+    | L.IDENT "relationship" ->
+        advance st;
+        decls := parse_rel st :: !decls
+    | t -> fail "ODL: expected 'class', 'abstract class' or 'relationship', found %s"
+             (Format.asprintf "%a" L.pp_token t)
+  done;
+  List.rev !decls
+
+(** Parse [src] and install the declarations into [db] (classes first,
+    then relationships, so forward references within the file work). *)
+let load (db : Database.t) (src : string) : unit =
+  let decls = parse src in
+  List.iter
+    (function
+      | Dclass c ->
+          ignore
+            (Database.define_class db ~supers:c.Meta.supers ~abstract:c.Meta.abstract
+               c.Meta.class_name c.Meta.attrs)
+      | Drel _ -> ())
+    decls;
+  List.iter
+    (function
+      | Dclass _ -> ()
+      | Drel r ->
+          ignore
+            (Database.define_rel db r.name ~origin:r.origin ~destination:r.destination
+               ?kind:r.kind ~exclusive:r.exclusive ?sharable:r.sharable
+               ~lifetime_dep:r.lifetime_dep ~constant:r.constant ?card_out:r.card_out
+               ?card_in:r.card_in ~attrs:r.attrs ~inherited_attrs:r.inherited
+               ~supers:r.supers))
+    decls
+
+let load_file (db : Database.t) (path : string) : unit =
+  let ic = open_in path in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  load db src
+
+(* ---------------------------------------------------------------------- *)
+(* Printing: schema -> ODL text (export / round-trip)                      *)
+(* ---------------------------------------------------------------------- *)
+
+let rec ty_to_string : Value.ty -> string = function
+  | Value.TInt -> "int"
+  | Value.TFloat -> "float"
+  | Value.TString -> "string"
+  | Value.TBool -> "bool"
+  | Value.TDate -> "date"
+  | Value.TAny -> "any"
+  | Value.TRef c -> Printf.sprintf "ref<%s>" c
+  | Value.TSet t -> Printf.sprintf "set<%s>" (ty_to_string t)
+  | Value.TList t -> Printf.sprintf "list<%s>" (ty_to_string t)
+  | Value.TBag t -> Printf.sprintf "bag<%s>" (ty_to_string t)
+
+let default_to_string : Value.t -> string option = function
+  | Value.VNull -> None
+  | Value.VInt i -> Some (string_of_int i)
+  | Value.VFloat f -> Some (Printf.sprintf "%g" f)
+  | Value.VString s -> Some (Printf.sprintf "'%s'" (String.concat "''" (String.split_on_char '\'' s)))
+  | Value.VBool b -> Some (string_of_bool b)
+  | _ -> None (* collection defaults are not expressible in ODL *)
+
+let attr_to_string (a : Meta.attr_def) : string =
+  Printf.sprintf "  %sattribute %s %s%s;"
+    (if a.Meta.required then "required " else "")
+    (ty_to_string a.Meta.attr_ty) a.Meta.attr_name
+    (match default_to_string a.Meta.default with Some d -> " = " ^ d | None -> "")
+
+let card_to_string (c : Meta.card) : string =
+  Printf.sprintf "%d..%s" c.Meta.cmin
+    (match c.Meta.cmax with Some m -> string_of_int m | None -> "*")
+
+(** Render a schema as ODL text.  Built-in classes are omitted; the
+    output round-trips through {!load}. *)
+let print (schema : Meta.t) : string =
+  let b = Buffer.create 1024 in
+  let is_builtin n =
+    n = Meta.object_class || (String.length n > 0 && n.[0] = '_') || n = "Context"
+  in
+  (* classes in dependency order: supers before subclasses *)
+  let printed = Hashtbl.create 16 in
+  let rec emit_class (c : Meta.class_def) =
+    if not (Hashtbl.mem printed c.Meta.class_name || is_builtin c.Meta.class_name) then begin
+      Hashtbl.replace printed c.Meta.class_name ();
+      List.iter
+        (fun s -> match Meta.find_class schema s with Some sc -> emit_class sc | None -> ())
+        c.Meta.supers;
+      let supers = List.filter (fun s -> not (is_builtin s)) c.Meta.supers in
+      Buffer.add_string b
+        (Printf.sprintf "%sclass %s%s {\n"
+           (if c.Meta.abstract then "abstract " else "")
+           c.Meta.class_name
+           (if supers = [] then "" else " extends " ^ String.concat ", " supers));
+      List.iter (fun a -> Buffer.add_string b (attr_to_string a ^ "\n")) c.Meta.attrs;
+      Buffer.add_string b "}\n\n"
+    end
+  in
+  List.iter emit_class (List.sort compare (Meta.classes schema));
+  List.iter
+    (fun (r : Meta.rel_def) ->
+      Buffer.add_string b
+        (Printf.sprintf "relationship %s%s (%s -> %s) {\n" r.Meta.rel_name
+           (match r.Meta.rel_supers with [] -> "" | s :: _ -> " extends " ^ s)
+           r.Meta.origin r.Meta.destination);
+      Buffer.add_string b
+        (match r.Meta.kind with
+        | Meta.Aggregation -> "  aggregation;\n"
+        | Meta.Association -> "  association;\n");
+      if r.Meta.exclusive then Buffer.add_string b "  exclusive;\n";
+      if not r.Meta.sharable then Buffer.add_string b "  not sharable;\n";
+      if r.Meta.lifetime_dep then Buffer.add_string b "  lifetime dependent;\n";
+      if r.Meta.constant then Buffer.add_string b "  constant;\n";
+      if r.Meta.card_out <> Meta.many then
+        Buffer.add_string b (Printf.sprintf "  card out %s;\n" (card_to_string r.Meta.card_out));
+      if r.Meta.card_in <> Meta.many then
+        Buffer.add_string b (Printf.sprintf "  card in %s;\n" (card_to_string r.Meta.card_in));
+      List.iter (fun a -> Buffer.add_string b (attr_to_string a ^ "\n")) r.Meta.rel_attrs;
+      List.iter
+        (fun n ->
+          let ty =
+            match List.find_opt (fun (a : Meta.attr_def) -> a.Meta.attr_name = n) r.Meta.rel_attrs with
+            | Some a -> ty_to_string a.Meta.attr_ty
+            | None -> "any"
+          in
+          Buffer.add_string b (Printf.sprintf "  inherited attribute %s %s;\n" ty n))
+        r.Meta.inherited_attrs;
+      Buffer.add_string b "}\n\n")
+    (List.sort compare (Meta.rels schema));
+  Buffer.contents b

@@ -1,0 +1,1 @@
+lib/oo7/oo7_gen.ml: Array Database List Obj Oo7_schema Pmodel Printf Random String Value

@@ -1,0 +1,1 @@
+lib/oo7/oo7_ops.ml: Array Database Hashtbl List Obj Oo7_raw Oo7_schema Pmodel Pool_lang Random String Value

@@ -1,0 +1,1 @@
+lib/oo7/oo7_raw.ml: Array Hashtbl List Obj Oo7_schema Pmodel Printf Pstore Random Store String Value

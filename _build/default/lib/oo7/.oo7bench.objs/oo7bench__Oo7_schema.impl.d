@@ -1,0 +1,1 @@
+lib/oo7/oo7_schema.ml: Database Meta Pmodel Value

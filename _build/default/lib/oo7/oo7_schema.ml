@@ -1,0 +1,121 @@
+(** The OO7-inspired benchmark schema (thesis 7.2.1, figs. 41–43).
+
+    The thesis benchmarks Prometheus against its underlying storage
+    system with a database "inspired by OO7" [Carey '93]: modules made
+    of assembly hierarchies, whose base assemblies use composite
+    parts; each composite part owns a document and a graph of atomic
+    parts linked by connections.
+
+    Two implementations share this logical schema:
+    - {!Oo7_gen} builds it with Prometheus first-class relationships;
+    - {!Oo7_raw} builds the same data directly on the raw store with
+      embedded references (the "underlying storage system" baseline,
+      standing in for POET). *)
+
+open Pmodel
+
+type params = {
+  num_atomic_per_comp : int;
+  num_conn_per_atomic : int;
+  num_comp_per_module : int;
+  num_assm_per_assm : int;
+  num_assm_levels : int;
+  num_comp_per_assm : int;
+  doc_size : int;
+  seed : int;
+}
+
+(** A deliberately small default so unit tests stay fast. *)
+let tiny =
+  {
+    num_atomic_per_comp = 10;
+    num_conn_per_atomic = 3;
+    num_comp_per_module = 20;
+    num_assm_per_assm = 3;
+    num_assm_levels = 3;
+    num_comp_per_assm = 3;
+    doc_size = 200;
+    seed = 1;
+  }
+
+(** Closer to OO7 "small" in structure (scaled down to container
+    budgets). *)
+let small =
+  {
+    num_atomic_per_comp = 20;
+    num_conn_per_atomic = 3;
+    num_comp_per_module = 50;
+    num_assm_per_assm = 3;
+    num_assm_levels = 4;
+    num_comp_per_assm = 3;
+    doc_size = 500;
+    seed = 1;
+  }
+
+(** Scale a parameter set by growing the number of composite parts —
+    the axis used for the figure 44–46 size sweeps. *)
+let with_composites p n = { p with num_comp_per_module = n }
+
+type handles = {
+  module_oid : int;
+  root_assembly : int;
+  base_assemblies : int array;
+  composites : int array;
+  atomics : int array;
+  documents : int array;
+}
+
+let atomic_part = "AtomicPart"
+let composite_part = "CompositePart"
+let document = "Document"
+let assembly = "Assembly"
+let base_assembly = "BaseAssembly"
+let complex_assembly = "ComplexAssembly"
+let module_cls = "Module"
+let connects = "Connects"
+let root_part = "RootPart"
+let has_part = "HasPart"
+let has_doc = "HasDoc"
+let uses_private = "UsesPrivate"
+let uses_shared = "UsesShared"
+let sub_assembly = "SubAssembly"
+let design_root = "DesignRoot"
+
+(** Install the Prometheus version of the schema (fig. 48). *)
+let install (db : Database.t) : unit =
+  let schema = Database.schema db in
+  if not (Meta.is_class schema atomic_part) then begin
+    let id = Meta.attr "id" Value.TInt in
+    let build_date = Meta.attr "buildDate" Value.TInt in
+    ignore
+      (Database.define_class db atomic_part
+         [ id; Meta.attr "x" Value.TInt; Meta.attr "y" Value.TInt; build_date ]);
+    ignore (Database.define_class db composite_part [ id; build_date ]);
+    ignore
+      (Database.define_class db document
+         [ Meta.attr "title" Value.TString; Meta.attr "text" Value.TString ]);
+    ignore (Database.define_class db assembly ~abstract:true [ id ]);
+    ignore (Database.define_class db base_assembly ~supers:[ assembly ] []);
+    ignore (Database.define_class db complex_assembly ~supers:[ assembly ] []);
+    ignore (Database.define_class db module_cls [ id ]);
+    ignore
+      (Database.define_rel db connects ~origin:atomic_part ~destination:atomic_part
+         ~attrs:[ Meta.attr "ctype" Value.TString; Meta.attr "length" Value.TInt ]);
+    ignore
+      (Database.define_rel db root_part ~origin:composite_part ~destination:atomic_part
+         ~card_out:(Meta.card ~cmax:1 ()));
+    ignore
+      (Database.define_rel db has_part ~origin:composite_part ~destination:atomic_part
+         ~kind:Meta.Aggregation ~lifetime_dep:true ~sharable:false);
+    ignore
+      (Database.define_rel db has_doc ~origin:composite_part ~destination:document
+         ~kind:Meta.Aggregation ~lifetime_dep:true ~sharable:false ~card_out:(Meta.card ~cmax:1 ()));
+    ignore (Database.define_rel db uses_private ~origin:base_assembly ~destination:composite_part);
+    ignore (Database.define_rel db uses_shared ~origin:base_assembly ~destination:composite_part);
+    ignore
+      (Database.define_rel db sub_assembly ~origin:complex_assembly ~destination:assembly
+         ~kind:Meta.Aggregation ~lifetime_dep:true ~sharable:false);
+    ignore
+      (Database.define_rel db design_root ~origin:module_cls ~destination:complex_assembly
+         ~kind:Meta.Aggregation ~lifetime_dep:true ~sharable:false)
+  end

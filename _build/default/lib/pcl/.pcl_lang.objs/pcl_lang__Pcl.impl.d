@@ -1,0 +1,1 @@
+lib/pcl/pcl.ml: Array Ast Database Eval Format Lexer Obj Option Parser Pevent Pmodel Pool_lang Prules String Value

@@ -1,0 +1,1 @@
+lib/pool/ast.ml: Format Pmodel

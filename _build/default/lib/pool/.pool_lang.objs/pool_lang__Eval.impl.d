@@ -1,0 +1,1 @@
+lib/pool/eval.ml: Array Ast Database Float Format Fun Lazy List Meta Obj Pgraph Pmodel String Value

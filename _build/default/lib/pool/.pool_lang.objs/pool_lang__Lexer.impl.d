@@ -1,0 +1,1 @@
+lib/pool/lexer.ml: Buffer Format List String

@@ -1,0 +1,1 @@
+lib/pool/parser.ml: Array Ast Lexer List Pmodel

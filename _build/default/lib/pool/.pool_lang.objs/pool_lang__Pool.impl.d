@@ -1,0 +1,1 @@
+lib/pool/pool.ml: Ast Database Eval Parser Pmodel Value

@@ -1,0 +1,1 @@
+lib/pool/typecheck.ml: Ast Format List Meta Parser Pmodel Printf Value

@@ -1,0 +1,439 @@
+(** POOL evaluator.
+
+    A tree-walking evaluator over {!Pmodel.Value.t}.  Queries run
+    against the object layer; relationship navigation and graph
+    operators delegate to {!Pgraph}.  The [in context] clause scopes
+    relationship navigation to one classification (thesis 4.6.2,
+    5.1.1.3); an explicit [null] context argument escapes the scope.
+
+    Query optimisation (thesis 6.1.5): when the WHERE clause contains
+    an equality between an attribute of the first range variable and a
+    constant, and a secondary index exists on that (class, attribute),
+    the extent scan is replaced by an index probe. *)
+
+open Pmodel
+module OidSet = Database.OidSet
+
+exception Eval_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+type state = {
+  db : Database.t;
+  mutable ctx : int option; (* current classification context *)
+  mutable index_probes : int; (* statistics, for tests and ablation *)
+  mutable extent_scans : int;
+}
+
+let make_state db = { db; ctx = None; index_probes = 0; extent_scans = 0 }
+
+type env = (string * Value.t) list
+
+(* --- helpers -------------------------------------------------------- *)
+
+let elements = function
+  | Value.VList l | Value.VSet l | Value.VBag l -> l
+  | Value.VNull -> []
+  | v -> [ v ]
+
+let collection_or_singleton = function
+  | (Value.VList _ | Value.VSet _ | Value.VBag _ | Value.VNull) as v -> elements v
+  | v -> [ v ]
+
+let refs_of_oidset s = Value.vset (List.map (fun o -> Value.VRef o) (OidSet.elements s))
+let refs_of_objs objs = Value.VList (List.map (fun (o : Obj.t) -> Value.VRef o.Obj.oid) objs)
+
+(* SQL LIKE matching: '%' = any sequence, '_' = any single char. *)
+let like_match (s : string) (pat : string) : bool =
+  let n = String.length s and m = String.length pat in
+  (* dp.(j) = pattern prefix j matches current string prefix *)
+  let dp = Array.make (m + 1) false in
+  dp.(0) <- true;
+  for j = 1 to m do
+    dp.(j) <- dp.(j - 1) && pat.[j - 1] = '%'
+  done;
+  for i = 1 to n do
+    let prev_diag = ref dp.(0) in
+    dp.(0) <- false;
+    for j = 1 to m do
+      let cur = dp.(j) in
+      (dp.(j) <-
+         (match pat.[j - 1] with
+         | '%' -> dp.(j - 1) || dp.(j) (* match empty or extend *)
+         | '_' -> !prev_diag
+         | c -> !prev_diag && c = s.[i - 1]));
+      prev_diag := cur
+    done
+  done;
+  dp.(m)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let ends_with ~suffix s =
+  let ls = String.length s and lx = String.length suffix in
+  ls >= lx && String.sub s (ls - lx) lx = suffix
+
+let contains_sub s sub =
+  let ls = String.length s and lx = String.length sub in
+  let rec go i = i + lx <= ls && (String.sub s i lx = sub || go (i + 1)) in
+  lx = 0 || go 0
+
+(* --- evaluation ------------------------------------------------------ *)
+
+let rec eval (st : state) (env : env) (e : Ast.expr) : Value.t =
+  match e with
+  | Ast.Lit v -> v
+  | Ast.Var x -> (
+      match List.assoc_opt x env with
+      | Some v -> v
+      | None ->
+          let schema = Database.schema st.db in
+          if Meta.is_class schema x || Meta.is_rel schema x then begin
+            st.extent_scans <- st.extent_scans + 1;
+            refs_of_oidset (Database.extent st.db x)
+          end
+          else fail "unbound variable or unknown class: %s" x)
+  | Ast.Path (e, attr) -> eval_path st (eval st env e) attr
+  | Ast.Unop ("not", e) -> Value.VBool (not (Value.as_bool (eval st env e)))
+  | Ast.Unop ("-", e) -> (
+      match eval st env e with
+      | Value.VInt i -> Value.VInt (-i)
+      | Value.VFloat f -> Value.VFloat (-.f)
+      | v -> fail "cannot negate %a" Value.pp v)
+  | Ast.Unop (op, _) -> fail "unknown unary operator %s" op
+  | Ast.Binop ("and", a, b) ->
+      Value.VBool (Value.as_bool (eval st env a) && Value.as_bool (eval st env b))
+  | Ast.Binop ("or", a, b) ->
+      Value.VBool (Value.as_bool (eval st env a) || Value.as_bool (eval st env b))
+  | Ast.Binop (op, a, b) -> eval_binop st op (eval st env a) (eval st env b)
+  | Ast.Downcast (cls, e) -> eval_downcast st cls (eval st env e)
+  | Ast.Call (f, args) -> eval_call st env f args
+  | Ast.Select s -> eval_select st env s
+
+and eval_path st (recv : Value.t) attr : Value.t =
+  match recv with
+  | Value.VRef oid -> eval_obj_attr st oid attr
+  | Value.VList _ | Value.VSet _ | Value.VBag _ ->
+      let results =
+        List.concat_map
+          (fun v -> collection_or_singleton (eval_path st v attr))
+          (elements recv)
+      in
+      Value.VList results
+  | Value.VNull -> Value.VNull
+  | v -> fail "cannot navigate .%s on %a" attr Value.pp v
+
+and eval_obj_attr st oid attr : Value.t =
+  let o = Database.get_exn st.db oid in
+  (* uniform treatment of relationship instances: their endpoints are
+     plain navigable attributes *)
+  if Database.is_rel_instance st.db o then
+    match attr with
+    | "origin" -> Value.VRef (Obj.origin o)
+    | "destination" -> Value.VRef (Obj.destination o)
+    | "context" -> ( match Obj.context o with Some c -> Value.VRef c | None -> Value.VNull)
+    | _ -> Database.get_attr st.db oid attr
+  else Database.get_attr st.db oid attr
+
+and eval_binop _st op (a : Value.t) (b : Value.t) : Value.t =
+  match op with
+  | "=" -> Value.VBool (Value.equal_value a b)
+  | "!=" -> Value.VBool (not (Value.equal_value a b))
+  | "<" -> Value.VBool (Value.compare_value a b < 0)
+  | "<=" -> Value.VBool (Value.compare_value a b <= 0)
+  | ">" -> Value.VBool (Value.compare_value a b > 0)
+  | ">=" -> Value.VBool (Value.compare_value a b >= 0)
+  | "in" -> Value.VBool (List.exists (Value.equal_value a) (elements b))
+  | "like" -> Value.VBool (like_match (Value.as_string a) (Value.as_string b))
+  | "union" -> Value.vset (elements a @ elements b)
+  | "inter" ->
+      let eb = elements b in
+      Value.vset (List.filter (fun x -> List.exists (Value.equal_value x) eb) (elements a))
+  | "except" ->
+      let eb = elements b in
+      Value.vset (List.filter (fun x -> not (List.exists (Value.equal_value x) eb)) (elements a))
+  | "+" | "-" | "*" | "/" | "mod" -> eval_arith op a b
+  | _ -> fail "unknown operator %s" op
+
+and eval_arith op a b =
+  match (op, a, b) with
+  | "+", Value.VString x, Value.VString y -> Value.VString (x ^ y)
+  | _, Value.VInt x, Value.VInt y -> (
+      match op with
+      | "+" -> Value.VInt (x + y)
+      | "-" -> Value.VInt (x - y)
+      | "*" -> Value.VInt (x * y)
+      | "/" -> if y = 0 then fail "division by zero" else Value.VInt (x / y)
+      | "mod" -> if y = 0 then fail "division by zero" else Value.VInt (x mod y)
+      | _ -> assert false)
+  | _, (Value.VInt _ | Value.VFloat _), (Value.VInt _ | Value.VFloat _) -> (
+      let x = Value.as_float a and y = Value.as_float b in
+      match op with
+      | "+" -> Value.VFloat (x +. y)
+      | "-" -> Value.VFloat (x -. y)
+      | "*" -> Value.VFloat (x *. y)
+      | "/" -> Value.VFloat (x /. y)
+      | "mod" -> Value.VFloat (Float.rem x y)
+      | _ -> assert false)
+  | _ -> fail "cannot apply %s to %a and %a" op Value.pp a Value.pp b
+
+and eval_downcast st cls (v : Value.t) : Value.t =
+  let schema = Database.schema st.db in
+  if not (Meta.is_class schema cls || Meta.is_rel schema cls) then fail "unknown class %s in downcast" cls;
+  let keep = function
+    | Value.VRef oid -> (
+        match Database.class_of st.db oid with
+        | Some c -> Meta.is_subclass schema ~sub:c ~super:cls
+        | None -> false)
+    | _ -> false
+  in
+  match v with
+  | Value.VRef _ -> if keep v then v else Value.VNull
+  | Value.VList l -> Value.VList (List.filter keep l)
+  | Value.VSet l -> Value.vset (List.filter keep l)
+  | Value.VBag l -> Value.vbag (List.filter keep l)
+  | Value.VNull -> Value.VNull
+  | v -> fail "cannot downcast %a" Value.pp v
+
+and ctx_arg st (args : Value.t list) (expected_before : int) : int option =
+  (* Relationship builtins accept an optional trailing context argument:
+     absent -> current query context; VNull -> explicitly unscoped. *)
+  if List.length args > expected_before then
+    match List.nth args expected_before with
+    | Value.VRef c -> Some c
+    | Value.VNull -> None
+    | v -> fail "context argument must be a context reference, got %a" Value.pp v
+  else st.ctx
+
+and eval_call st env f (arg_exprs : Ast.expr list) : Value.t =
+  let args = lazy (List.map (eval st env) arg_exprs) in
+  let arg n =
+    let l = Lazy.force args in
+    if n < List.length l then List.nth l n else fail "%s: missing argument %d" f (n + 1)
+  in
+  let oid_arg n = Value.as_ref (arg n) in
+  let str_arg n = Value.as_string (arg n) in
+  let int_arg n = Value.as_int (arg n) in
+  let nargs () = List.length (Lazy.force args) in
+  match f with
+  (* collection builders *)
+  | "list" -> Value.VList (Lazy.force args)
+  | "set" -> Value.vset (Lazy.force args)
+  | "bag" -> Value.vbag (Lazy.force args)
+  | "elements" -> Value.VList (List.concat_map elements (elements (arg 0)))
+  | "unique" -> Value.vset (elements (arg 0))
+  | "first" -> ( match elements (arg 0) with [] -> Value.VNull | x :: _ -> x)
+  | "isempty" -> Value.VBool (elements (arg 0) = [])
+  | "exists" -> Value.VBool (elements (arg 0) <> [])
+  | "isnull" -> Value.VBool (Value.is_null (arg 0))
+  (* aggregates *)
+  | "count" -> Value.VInt (List.length (elements (arg 0)))
+  | "sum" ->
+      List.fold_left (fun acc v -> eval_arith "+" acc v) (Value.VInt 0) (elements (arg 0))
+  | "avg" -> (
+      match elements (arg 0) with
+      | [] -> Value.VNull
+      | l ->
+          let s = List.fold_left (fun acc v -> acc +. Value.as_float v) 0. l in
+          Value.VFloat (s /. float_of_int (List.length l)))
+  | "min" -> (
+      match elements (arg 0) with
+      | [] -> Value.VNull
+      | x :: rest -> List.fold_left (fun a b -> if Value.compare_value b a < 0 then b else a) x rest)
+  | "max" -> (
+      match elements (arg 0) with
+      | [] -> Value.VNull
+      | x :: rest -> List.fold_left (fun a b -> if Value.compare_value b a > 0 then b else a) x rest)
+  (* object introspection *)
+  | "oid" -> Value.VInt (oid_arg 0)
+  | "class_of" -> (
+      match Database.class_of st.db (oid_arg 0) with
+      | Some c -> Value.VString c
+      | None -> Value.VNull)
+  | "attr" -> Database.get_attr st.db (oid_arg 0) (str_arg 1)
+  | "has_role" -> Value.VBool (Database.has_role st.db (oid_arg 0) ~rel_name:(str_arg 1))
+  (* relationship navigation (uniform treatment, thesis 5.1.1.2) *)
+  | "out" ->
+      refs_of_objs (Database.outgoing st.db ?context:(ctx_arg st (Lazy.force args) 2) ~rel_name:(str_arg 1) (oid_arg 0))
+  | "into" ->
+      refs_of_objs (Database.incoming st.db ?context:(ctx_arg st (Lazy.force args) 2) ~rel_name:(str_arg 1) (oid_arg 0))
+  | "targets" ->
+      Value.VList
+        (List.map
+           (fun (r : Obj.t) -> Value.VRef (Obj.destination r))
+           (Database.outgoing st.db ?context:(ctx_arg st (Lazy.force args) 2) ~rel_name:(str_arg 1) (oid_arg 0)))
+  | "sources" ->
+      Value.VList
+        (List.map
+           (fun (r : Obj.t) -> Value.VRef (Obj.origin r))
+           (Database.incoming st.db ?context:(ctx_arg st (Lazy.force args) 2) ~rel_name:(str_arg 1) (oid_arg 0)))
+  | "origin" -> Value.VRef (Obj.origin (Database.get_exn st.db (oid_arg 0)))
+  | "destination" -> Value.VRef (Obj.destination (Database.get_exn st.db (oid_arg 0)))
+  | "context_of" -> (
+      match Obj.context (Database.get_exn st.db (oid_arg 0)) with
+      | Some c -> Value.VRef c
+      | None -> Value.VNull)
+  (* graph exploration and extraction (thesis 5.1.1.3) *)
+  | "traverse" ->
+      let ctx = ctx_arg st (Lazy.force args) 4 in
+      let max_depth = match arg 3 with Value.VNull -> None | v -> Some (Value.as_int v) in
+      refs_of_oidset
+        (Pgraph.Traverse.descendants st.db ?context:ctx ~min_depth:(int_arg 2) ?max_depth
+           ~rel:(str_arg 1) (oid_arg 0))
+  | "closure" ->
+      refs_of_oidset
+        (Pgraph.Traverse.closure st.db ?context:(ctx_arg st (Lazy.force args) 2) ~rel:(str_arg 1) (oid_arg 0))
+  | "descendants" ->
+      refs_of_oidset
+        (Pgraph.Traverse.descendants st.db ?context:(ctx_arg st (Lazy.force args) 2) ~rel:(str_arg 1) (oid_arg 0))
+  | "ancestors" ->
+      refs_of_oidset
+        (Pgraph.Traverse.ancestors st.db ?context:(ctx_arg st (Lazy.force args) 2) ~rel:(str_arg 1) (oid_arg 0))
+  | "reachable" ->
+      Value.VBool
+        (Pgraph.Traverse.reachable st.db ?context:(ctx_arg st (Lazy.force args) 3) ~rel:(str_arg 2) (oid_arg 0)
+           (oid_arg 1))
+  | "path" -> (
+      match
+        Pgraph.Traverse.shortest_path st.db ?context:(ctx_arg st (Lazy.force args) 3) ~rel:(str_arg 2)
+          (oid_arg 0) (oid_arg 1)
+      with
+      | Some p -> Value.VList (List.map (fun o -> Value.VRef o) p)
+      | None -> Value.VNull)
+  | "graph" ->
+      let g =
+        Pgraph.Subgraph.extract st.db ?context:(ctx_arg st (Lazy.force args) 2) ~rel:(str_arg 1) (oid_arg 0)
+      in
+      Value.VList
+        [ refs_of_oidset g.Pgraph.Subgraph.nodes;
+          Value.vset (List.map (fun o -> Value.VRef o) g.Pgraph.Subgraph.edges) ]
+  | "nodes" -> (
+      match elements (arg 0) with [ ns; _ ] -> ns | _ -> fail "nodes: expected a graph value")
+  | "edges" -> (
+      match elements (arg 0) with [ _; es ] -> es | _ -> fail "edges: expected a graph value")
+  (* instance synonyms (thesis 4.5) *)
+  | "synonyms" -> refs_of_oidset (Database.synonym_set st.db (oid_arg 0))
+  | "same_entity" -> Value.VBool (Database.same_entity st.db (oid_arg 0) (oid_arg 1))
+  (* strings *)
+  | "strlen" -> Value.VInt (String.length (str_arg 0))
+  | "lower" -> Value.VString (String.lowercase_ascii (str_arg 0))
+  | "upper" -> Value.VString (String.uppercase_ascii (str_arg 0))
+  | "startswith" -> Value.VBool (starts_with ~prefix:(str_arg 1) (str_arg 0))
+  | "endswith" -> Value.VBool (ends_with ~suffix:(str_arg 1) (str_arg 0))
+  | "contains" -> Value.VBool (contains_sub (str_arg 0) (str_arg 1))
+  (* dates and numbers *)
+  | "date" -> Value.VDate (Value.date ~month:(int_arg 1) ~day:(int_arg 2) (int_arg 0))
+  | "year" -> ( match arg 0 with Value.VDate d -> Value.VInt d.Value.year | _ -> Value.VNull)
+  | "month" -> ( match arg 0 with Value.VDate d -> Value.VInt d.Value.month | _ -> Value.VNull)
+  | "day" -> ( match arg 0 with Value.VDate d -> Value.VInt d.Value.day | _ -> Value.VNull)
+  | "abs" -> (
+      match arg 0 with
+      | Value.VInt i -> Value.VInt (abs i)
+      | Value.VFloat f -> Value.VFloat (Float.abs f)
+      | v -> fail "abs: not a number: %a" Value.pp v)
+  | _ ->
+      ignore (nargs ());
+      fail "unknown function %s" f
+
+(* --- select ----------------------------------------------------------- *)
+
+(** Try to satisfy the first range via an index probe: look for a
+    top-level conjunct [var.attr = constant] in the WHERE clause. *)
+and index_probe st (s : Ast.select) : OidSet.t option =
+  match (s.Ast.ranges, s.Ast.where) with
+  | (Ast.Var cls, var) :: _, Some w when Meta.is_class (Database.schema st.db) cls ->
+      let rec conjuncts e =
+        match e with Ast.Binop ("and", a, b) -> conjuncts a @ conjuncts b | e -> [ e ]
+      in
+      let probe_of = function
+        | Ast.Binop ("=", Ast.Path (Ast.Var v, attr), Ast.Lit value)
+        | Ast.Binop ("=", Ast.Lit value, Ast.Path (Ast.Var v, attr))
+          when v = var ->
+            Some (attr, value)
+        | _ -> None
+      in
+      List.find_map
+        (fun c ->
+          match probe_of c with
+          | Some (attr, value) -> (
+              match Database.index_lookup st.db cls attr value with
+              | Some oids ->
+                  st.index_probes <- st.index_probes + 1;
+                  Some oids
+              | None -> None)
+          | None -> None)
+        (conjuncts w)
+  | _ -> None
+
+and eval_select st (env : env) (s : Ast.select) : Value.t =
+  let saved_ctx = st.ctx in
+  (match s.Ast.context with
+  | Some c -> (
+      match eval st env c with
+      | Value.VRef ctx -> st.ctx <- Some ctx
+      | Value.VNull -> st.ctx <- None
+      | v -> fail "in context: expected a context reference, got %a" Value.pp v)
+  | None -> ());
+  Fun.protect
+    ~finally:(fun () -> st.ctx <- saved_ctx)
+    (fun () ->
+      let rows = ref [] in
+      let probe = index_probe st s in
+      let rec bind env ranges =
+        match ranges with
+        | [] ->
+            let keep =
+              match s.Ast.where with Some w -> Value.as_bool (eval st env w) | None -> true
+            in
+            if keep then begin
+              let row =
+                match s.Ast.projections with
+                | None -> (
+                    match s.Ast.ranges with
+                    | [ (_, v) ] -> List.assoc v env
+                    | rs -> Value.VList (List.map (fun (_, v) -> List.assoc v env) rs))
+                | Some [ (e, _) ] -> eval st env e
+                | Some ps -> Value.VList (List.map (fun (e, _) -> eval st env e) ps)
+              in
+              let sort_key = List.map (fun (e, asc) -> (eval st env e, asc)) s.Ast.order_by in
+              rows := (row, sort_key) :: !rows
+            end
+        | (src, var) :: rest ->
+            let candidates =
+              match (probe, ranges == s.Ast.ranges) with
+              | Some oids, true ->
+                  (* index probe replaces the first extent scan *)
+                  List.map (fun o -> Value.VRef o) (OidSet.elements oids)
+              | _ -> elements (eval st env src)
+            in
+            List.iter (fun v -> bind ((var, v) :: env) rest) candidates
+      in
+      bind env s.Ast.ranges;
+      let rows = List.rev !rows in
+      let rows =
+        if s.Ast.order_by = [] then rows
+        else
+          List.stable_sort
+            (fun (_, ka) (_, kb) ->
+              let rec cmp a b =
+                match (a, b) with
+                | [], [] -> 0
+                | (va, asc) :: ra, (vb, _) :: rb ->
+                    let c = Value.compare_value va vb in
+                    if c <> 0 then if asc then c else -c else cmp ra rb
+                | _ -> 0
+              in
+              cmp ka kb)
+            rows
+      in
+      let values = List.map fst rows in
+      let values =
+        if s.Ast.distinct then
+          List.rev
+            (List.fold_left
+               (fun acc v -> if List.exists (Value.equal_value v) acc then acc else v :: acc)
+               [] values)
+        else values
+      in
+      Value.VList values)

@@ -1,0 +1,46 @@
+(** POOL front-end: parse and run queries against a database.
+
+    {[
+      let open Pool_lang in
+      let rows = Pool.query db "select p.name from Person p where p.age > 30" in
+      ...
+    ]} *)
+
+open Pmodel
+
+type plan = { ast : Ast.expr; used_index : bool }
+
+let parse = Parser.parse
+
+(** Run a POOL query string; returns the result value (a [VList] of
+    rows for select queries). *)
+let query ?(env = []) (db : Database.t) (src : string) : Value.t =
+  let ast = Parser.parse src in
+  let st = Eval.make_state db in
+  Eval.eval st env ast
+
+(** Run a query and return the rows of a select as a list. *)
+let rows ?env db src : Value.t list =
+  match query ?env db src with
+  | Value.VList l | Value.VSet l | Value.VBag l -> l
+  | v -> [ v ]
+
+(** Run a query expected to produce a single scalar (e.g.
+    [count(select ...)]). *)
+let scalar ?env db src : Value.t =
+  match query ?env db src with Value.VList [ v ] -> v | v -> v
+
+(** Run a query and report whether an index probe was used — exposed
+    for the index-ablation benchmark. *)
+let query_explain ?(env = []) db src : Value.t * [ `Index_probe | `Extent_scan ] =
+  let ast = Parser.parse src in
+  let st = Eval.make_state db in
+  let v = Eval.eval st env ast in
+  ((v : Value.t), if st.Eval.index_probes > 0 then `Index_probe else `Extent_scan)
+
+(** Evaluate a boolean POOL expression — used by rule conditions. *)
+let check ?(env = []) db src : bool =
+  match query ~env db src with
+  | Value.VBool b -> b
+  | Value.VList l -> l <> []
+  | v -> not (Value.is_null v)

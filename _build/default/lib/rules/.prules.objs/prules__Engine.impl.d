@@ -1,0 +1,1 @@
+lib/rules/engine.ml: Bus Database Event Format Fun List Logs Pevent Pmodel Queue Rule String

@@ -1,0 +1,1 @@
+lib/rules/rule.ml: Database Event Obj Option Pevent Pmodel Printexc Printf

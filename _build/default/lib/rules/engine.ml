@@ -1,0 +1,119 @@
+(** The rules layer: subscribes rules to the event bus and schedules
+    their evaluation (thesis 5.2.2 and 6.1.6).
+
+    - Immediate rules run synchronously inside the mutating operation;
+      a Violation propagates out of the operation and the enclosing
+      [with_tx] aborts, realising "automatic transaction abortion".
+    - Deferred rules are queued and evaluated when the commit event
+      fires, against the final state of the transaction, in priority
+      order; a violation vetoes the commit.
+    - Repair actions may themselves trigger events; a cascade depth
+      limit guards against non-terminating rule cascades. *)
+
+open Pevent
+open Pmodel
+
+let src = Logs.Src.create "prometheus.rules" ~doc:"Prometheus rule engine"
+
+module Log = (val Logs.src_log src)
+
+type queued = { rule : Rule.t; ev : Event.primitive }
+
+type t = {
+  db : Database.t;
+  mutable subs : (string * Bus.sub_id) list;
+  deferred : queued Queue.t;
+  mutable warnings : (string * string) list; (* rule name, message *)
+  mutable cascade_depth : int;
+  max_cascade : int;
+  mutable enabled : bool;
+  (* built-in deferred validation of minimum cardinalities *)
+  mutable check_min_cards : bool;
+}
+
+let warnings t = List.rev t.warnings
+let clear_warnings t = t.warnings <- []
+let set_enabled t b = t.enabled <- b
+
+let handle_violation t (rule : Rule.t) ev =
+  let message =
+    Format.asprintf "%s (event: %a)" rule.Rule.message Event.pp_primitive ev
+  in
+  match rule.Rule.on_violation with
+  | Rule.Abort -> raise (Rule.violation ~rule:rule.Rule.name ~message)
+  | Rule.Warn ->
+      Log.warn (fun m -> m "rule %s violated: %s" rule.Rule.name message);
+      t.warnings <- (rule.Rule.name, message) :: t.warnings
+  | Rule.Repair f ->
+      if t.cascade_depth >= t.max_cascade then
+        raise
+          (Rule.violation ~rule:rule.Rule.name
+             ~message:(message ^ " (repair cascade limit reached)"));
+      t.cascade_depth <- t.cascade_depth + 1;
+      Fun.protect ~finally:(fun () -> t.cascade_depth <- t.cascade_depth - 1) (fun () -> f t.db ev)
+  | Rule.Interactive ask -> if not (ask message) then raise (Rule.violation ~rule:rule.Rule.name ~message)
+
+let applies (rule : Rule.t) db ev =
+  match rule.Rule.applicability with None -> true | Some p -> p db ev
+
+let evaluate t (rule : Rule.t) ev =
+  if applies rule t.db ev then
+    if not (rule.Rule.condition t.db ev) then handle_violation t rule ev
+
+let run_deferred t =
+  (* drain in priority order, stable within a priority *)
+  let items = List.of_seq (Queue.to_seq t.deferred) in
+  Queue.clear t.deferred;
+  let items =
+    List.stable_sort (fun a b -> compare a.rule.Rule.priority b.rule.Rule.priority) items
+  in
+  List.iter (fun { rule; ev } -> evaluate t rule ev) items;
+  if t.check_min_cards then
+    match Database.validate_min_cards t.db with
+    | [] -> ()
+    | errs ->
+        raise (Rule.violation ~rule:"__min_cardinality" ~message:(String.concat "; " errs))
+
+let create ?(max_cascade = 16) ?(check_min_cards = true) db : t =
+  let t =
+    {
+      db;
+      subs = [];
+      deferred = Queue.create ();
+      warnings = [];
+      cascade_depth = 0;
+      max_cascade;
+      enabled = true;
+      check_min_cards;
+    }
+  in
+  let bus = Database.bus db in
+  (* commit/abort handling for the deferred queue *)
+  ignore
+    (Bus.subscribe bus ~name:"__rules_commit" Event.On_commit (fun _ ->
+         if t.enabled then run_deferred t else Queue.clear t.deferred));
+  ignore
+    (Bus.subscribe bus ~name:"__rules_abort" Event.On_abort (fun _ -> Queue.clear t.deferred));
+  t
+
+let add_rule t (rule : Rule.t) : unit =
+  let bus = Database.bus t.db in
+  let id =
+    Bus.subscribe bus ~name:rule.Rule.name rule.Rule.event (fun ev ->
+        if t.enabled then
+          match rule.Rule.timing with
+          | Rule.Immediate -> evaluate t rule ev
+          | Rule.Deferred ->
+              if Database.in_tx t.db then Queue.add { rule; ev } t.deferred
+              else evaluate t rule ev (* outside a tx, deferred = immediate *))
+  in
+  t.subs <- (rule.Rule.name, id) :: t.subs
+
+let add_rules t rules = List.iter (add_rule t) rules
+
+let remove_rule t name =
+  let bus = Database.bus t.db in
+  List.iter (fun (n, id) -> if n = name then Bus.unsubscribe bus id) t.subs;
+  t.subs <- List.filter (fun (n, _) -> n <> name) t.subs
+
+let rule_names t = List.rev_map fst t.subs

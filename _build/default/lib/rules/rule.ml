@@ -1,0 +1,97 @@
+(** Rule definitions: Event–Condition(applicability)–Condition/Action.
+
+    Follows thesis ch. 5.2: a Prometheus rule has an activation event,
+    an optional *condition of applicability* (if it does not hold, the
+    rule simply does not apply — distinct from a violation), the
+    constraint proper, a scheduling mode (immediate or deferred to
+    commit), and a violation action.  The thesis's taxonomy of rules
+    (invariants, pre-/post-conditions, relationship rules) is provided
+    as constructors. *)
+
+open Pevent
+open Pmodel
+
+type timing = Immediate | Deferred
+
+(** What happens when the condition evaluates to false. *)
+type violation_action =
+  | Abort (* raise {!Violation}; the enclosing transaction aborts *)
+  | Warn (* record a warning and continue *)
+  | Repair of (Database.t -> Event.primitive -> unit) (* corrective action *)
+  | Interactive of (string -> bool)
+    (* ask the user (callback receives the message); [false] aborts.
+       Supports the thesis's interactive rules for taxonomists. *)
+
+type t = {
+  name : string;
+  event : Event.spec;
+  applicability : (Database.t -> Event.primitive -> bool) option;
+  condition : Database.t -> Event.primitive -> bool;
+  timing : timing;
+  on_violation : violation_action;
+  priority : int; (* lower runs first *)
+  message : string;
+}
+
+exception Violation of { rule : string; message : string }
+
+let violation ~rule ~message = Violation { rule; message }
+
+let () =
+  Printexc.register_printer (function
+    | Violation { rule; message } -> Some (Printf.sprintf "Rule violation [%s]: %s" rule message)
+    | _ -> None)
+
+let make ?(applicability = None) ?(timing = Immediate) ?(on_violation = Abort) ?(priority = 100)
+    ?message name event condition =
+  {
+    name;
+    event;
+    applicability;
+    condition;
+    timing;
+    on_violation;
+    priority;
+    message = Option.value message ~default:name;
+  }
+
+(* --- rule-kind constructors (thesis 5.2.1.4) --------------------------- *)
+
+(** Invariant over a class: checked whenever an instance of
+    [class_name] is created or updated.  The condition receives the
+    object. *)
+let invariant ?timing ?on_violation ?priority ?message name ~class_name
+    (cond : Database.t -> Obj.t -> bool) =
+  make ?timing ?on_violation ?priority ?message name
+    (Event.Any_of [ Event.On_create (Some class_name); Event.On_update (Some class_name, None) ])
+    (fun db ev ->
+      match ev with
+      | Event.Obj_created { oid; _ } | Event.Obj_updated { oid; _ } -> (
+          (* the object may have been deleted again before a deferred check *)
+          match Database.get db oid with Some o -> cond db o | None -> true)
+      | _ -> true)
+
+(** Pre-condition on an operation.  The object layer emits events after
+    the mutation; an immediate Abort rule therefore realises the
+    pre-condition by vetoing the enclosing transaction, which restores
+    the pre-state (thesis 5.2.2.2: automatic transaction abortion). *)
+let precondition ?priority ?message name event cond =
+  make ~timing:Immediate ~on_violation:Abort ?priority ?message name event cond
+
+(** Post-condition: checked at commit over the final state. *)
+let postcondition ?on_violation ?priority ?message name event cond =
+  make ~timing:Deferred ?on_violation ?priority ?message name event cond
+
+(** Relationship rule (thesis 5.2.1.4.4 and figs. 38–40): fires on
+    creation or re-targeting of instances of a relationship class; the
+    condition receives the relationship instance. *)
+let relationship_rule ?timing ?on_violation ?priority ?message name ~rel_name
+    (cond : Database.t -> Obj.t -> bool) =
+  make ?timing ?on_violation ?priority ?message name
+    (Event.Any_of
+       [ Event.On_rel_create (Some rel_name); Event.On_rel_update (Some rel_name, None) ])
+    (fun db ev ->
+      match ev with
+      | Event.Rel_created { oid; _ } | Event.Rel_updated { oid; _ } -> (
+          match Database.get db oid with Some r -> cond db r | None -> true)
+      | _ -> true)

@@ -1,0 +1,1 @@
+lib/server/http_server.ml: Buffer Char Database List Meta Pmodel Pool_lang Printexc Printf Pstore String Unix Value

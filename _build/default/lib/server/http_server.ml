@@ -1,0 +1,179 @@
+(** A small HTTP/1.0 front-end to a Prometheus database (thesis 6.1.7).
+
+    The thesis prototype exposed the database to user interfaces
+    through an HTTP server; this module provides the same access path:
+
+    - [GET /]            — usage;
+    - [GET /query?q=...] — run a POOL query (URL-encoded), text result;
+    - [GET /check?q=...] — static-check a POOL query;
+    - [GET /schema]      — the schema, classes and relationship classes;
+    - [GET /contexts]    — the classifications in the database;
+    - [GET /stats]       — storage statistics.
+
+    Single-threaded by design: the object layer is not re-entrant and
+    taxonomic interfaces are single-user editors (the thesis's
+    multi-user distribution is listed as future work). *)
+
+open Pmodel
+
+let url_decode (s : string) : string =
+  let b = Buffer.create (String.length s) in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    (match s.[!i] with
+    | '+' -> Buffer.add_char b ' '
+    | '%' when !i + 2 < n ->
+        (try
+           Buffer.add_char b (Char.chr (int_of_string ("0x" ^ String.sub s (!i + 1) 2)));
+           i := !i + 2
+         with _ -> Buffer.add_char b '%')
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
+
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | [ meth; target; _version ] -> Some (meth, target)
+  | _ -> None
+
+let split_target target =
+  match String.index_opt target '?' with
+  | None -> (target, [])
+  | Some i ->
+      let path = String.sub target 0 i in
+      let qs = String.sub target (i + 1) (String.length target - i - 1) in
+      let params =
+        String.split_on_char '&' qs
+        |> List.filter_map (fun kv ->
+               match String.index_opt kv '=' with
+               | Some j ->
+                   Some
+                     ( String.sub kv 0 j,
+                       url_decode (String.sub kv (j + 1) (String.length kv - j - 1)) )
+               | None -> Some (kv, ""))
+      in
+      (path, params)
+
+let respond out ~status ~body =
+  let headers =
+    Printf.sprintf
+      "HTTP/1.0 %s\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      status (String.length body)
+  in
+  output_string out headers;
+  output_string out body
+
+let schema_text db =
+  let schema = Database.schema db in
+  let b = Buffer.create 512 in
+  List.iter
+    (fun (c : Meta.class_def) ->
+      if c.Meta.class_name = "" || c.Meta.class_name.[0] <> '_' then
+        Buffer.add_string b
+          (Printf.sprintf "class %s supers=[%s] attrs=[%s]%s\n" c.Meta.class_name
+             (String.concat "," c.Meta.supers)
+             (String.concat ","
+                (List.map (fun (a : Meta.attr_def) -> a.Meta.attr_name) c.Meta.attrs))
+             (if c.Meta.abstract then " abstract" else "")))
+    (List.sort compare (Meta.classes schema));
+  List.iter
+    (fun (r : Meta.rel_def) ->
+      Buffer.add_string b
+        (Printf.sprintf "rel %s : %s -> %s (%s)\n" r.Meta.rel_name r.Meta.origin
+           r.Meta.destination
+           (match r.Meta.kind with Meta.Aggregation -> "aggregation" | Meta.Association -> "association")))
+    (List.sort compare (Meta.rels schema));
+  Buffer.contents b
+
+let usage =
+  "Prometheus HTTP interface\n\
+   GET /query?q=<pool query>   run a POOL query\n\
+   GET /check?q=<pool query>   static-check a POOL query\n\
+   GET /schema                 list classes and relationship classes\n\
+   GET /contexts               list classifications\n\
+   GET /stats                  storage statistics\n"
+
+let handle (db : Database.t) (path : string) (params : (string * string) list) :
+    string * string =
+  match path with
+  | "/" -> ("200 OK", usage)
+  | "/query" -> (
+      match List.assoc_opt "q" params with
+      | None | Some "" -> ("400 Bad Request", "missing q parameter\n")
+      | Some q -> (
+          try ("200 OK", Value.to_string (Pool_lang.Pool.query db q) ^ "\n") with
+          | Pool_lang.Lexer.Syntax_error (m, pos) ->
+              ("400 Bad Request", Printf.sprintf "syntax error at %d: %s\n" pos m)
+          | Pool_lang.Eval.Eval_error m -> ("400 Bad Request", "evaluation error: " ^ m ^ "\n")
+          | e -> ("500 Internal Server Error", Printexc.to_string e ^ "\n")))
+  | "/check" -> (
+      match List.assoc_opt "q" params with
+      | None | Some "" -> ("400 Bad Request", "missing q parameter\n")
+      | Some q -> (
+          try
+            match Pool_lang.Typecheck.check_string (Database.schema db) q with
+            | [] -> ("200 OK", "ok\n")
+            | errs ->
+                ( "200 OK",
+                  String.concat ""
+                    (List.map
+                       (fun (e : Pool_lang.Typecheck.error) ->
+                         Printf.sprintf "error: %s (in %s)\n" e.Pool_lang.Typecheck.message
+                           e.Pool_lang.Typecheck.expr)
+                       errs) )
+          with Pool_lang.Lexer.Syntax_error (m, pos) ->
+            ("400 Bad Request", Printf.sprintf "syntax error at %d: %s\n" pos m)))
+  | "/schema" -> ("200 OK", schema_text db)
+  | "/contexts" ->
+      ( "200 OK",
+        String.concat ""
+          (List.map
+             (fun (oid, name) -> Printf.sprintf "#%d %s\n" oid name)
+             (Database.contexts db)) )
+  | "/stats" ->
+      let s = Pstore.Store.stats (Database.store db) in
+      ( "200 OK",
+        Printf.sprintf "objects %d\npages %d\npage_reads %d\npage_writes %d\ncache_hits %d\ncache_misses %d\n"
+          s.Pstore.Store.objects s.Pstore.Store.pages s.Pstore.Store.page_reads
+          s.Pstore.Store.page_writes s.Pstore.Store.cache_hits s.Pstore.Store.cache_misses )
+  | _ -> ("404 Not Found", "not found\n")
+
+(** Serve [db] on [port] until [max_requests] requests have been
+    handled (None = forever). *)
+let serve ?(host = "127.0.0.1") ?max_requests (db : Database.t) ~port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen sock 16;
+  Printf.printf "prometheus: serving on http://%s:%d/\n%!" host port;
+  let handled = ref 0 in
+  let continue () = match max_requests with None -> true | Some m -> !handled < m in
+  while continue () do
+    let client, _addr = Unix.accept sock in
+    (try
+       let inp = Unix.in_channel_of_descr client in
+       let out = Unix.out_channel_of_descr client in
+       (match input_line inp with
+       | line -> (
+           (* drain headers *)
+           (try
+              while String.trim (input_line inp) <> "" do
+                ()
+              done
+            with End_of_file -> ());
+           match parse_request_line (String.trim line) with
+           | Some ("GET", target) ->
+               let path, params = split_target target in
+               let status, body = handle db path params in
+               respond out ~status ~body
+           | Some _ -> respond out ~status:"405 Method Not Allowed" ~body:"GET only\n"
+           | None -> respond out ~status:"400 Bad Request" ~body:"bad request\n")
+       | exception End_of_file -> ());
+       flush out
+     with _ -> ());
+    (try Unix.close client with _ -> ());
+    incr handled
+  done;
+  Unix.close sock

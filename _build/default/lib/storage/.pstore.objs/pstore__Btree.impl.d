@@ -1,0 +1,1 @@
+lib/storage/btree.ml: Bytes Format Heap Int32 Int64 Option Pager

@@ -1,0 +1,1 @@
+lib/storage/codec.ml: Array Buffer Bytes Char Format Int32 Int64 Lazy String

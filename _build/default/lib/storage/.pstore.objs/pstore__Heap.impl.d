@@ -1,0 +1,1 @@
+lib/storage/heap.ml: Buffer Bytes Codec Format Hashtbl Int32 List Pager String

@@ -1,0 +1,1 @@
+lib/storage/pager.ml: Bytes Codec Format Hashtbl Int32 Int64 List String Sys Unix

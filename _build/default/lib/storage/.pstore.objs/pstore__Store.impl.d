@@ -1,0 +1,1 @@
+lib/storage/store.ml: Btree Bytes Format Heap Int32 Int64 Pager Sys

@@ -1,0 +1,107 @@
+(** Binary encoding and decoding of primitive values.
+
+    All multi-byte quantities are little-endian.  Strings are
+    length-prefixed with an unsigned 32-bit length.  This module is the
+    single place in the storage substrate that defines the on-disk
+    representation of scalars; higher layers (object serialisation,
+    B-tree nodes, page headers) build on it. *)
+
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+
+(** Encoder: an append-only buffer of bytes. *)
+module Enc = struct
+  type t = Buffer.t
+
+  let create ?(size = 256) () : t = Buffer.create size
+  let to_string (t : t) = Buffer.contents t
+  let length (t : t) = Buffer.length t
+  let u8 t v = Buffer.add_uint8 t (v land 0xff)
+  let u16 t v = Buffer.add_uint16_le t (v land 0xffff)
+  let u32 t v = Buffer.add_int32_le t (Int32.of_int v)
+  let i64 t v = Buffer.add_int64_le t v
+  let int t v = Buffer.add_int64_le t (Int64.of_int v)
+  let bool t v = u8 t (if v then 1 else 0)
+  let float t v = Buffer.add_int64_le t (Int64.bits_of_float v)
+
+  let string t s =
+    u32 t (String.length s);
+    Buffer.add_string t s
+
+  let raw t s = Buffer.add_string t s
+end
+
+(** Decoder: a cursor over an immutable string. *)
+module Dec = struct
+  type t = { src : string; mutable pos : int }
+
+  let of_string ?(pos = 0) src = { src; pos }
+  let remaining t = String.length t.src - t.pos
+  let eof t = remaining t <= 0
+
+  let need t n =
+    if remaining t < n then
+      corrupt "decoder underrun: need %d bytes, have %d" n (remaining t)
+
+  let u8 t =
+    need t 1;
+    let v = Char.code t.src.[t.pos] in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    need t 2;
+    let v = String.get_uint16_le t.src t.pos in
+    t.pos <- t.pos + 2;
+    v
+
+  let u32 t =
+    need t 4;
+    let v = Int32.to_int (String.get_int32_le t.src t.pos) in
+    t.pos <- t.pos + 4;
+    v land 0xffffffff
+
+  let i64 t =
+    need t 8;
+    let v = String.get_int64_le t.src t.pos in
+    t.pos <- t.pos + 8;
+    v
+
+  let int t = Int64.to_int (i64 t)
+  let bool t = u8 t <> 0
+  let float t = Int64.float_of_bits (i64 t)
+
+  let string t =
+    let n = u32 t in
+    need t n;
+    let s = String.sub t.src t.pos n in
+    t.pos <- t.pos + n;
+    s
+end
+
+(** CRC-32 (IEEE 802.3 polynomial), used to validate journal frames. *)
+module Crc32 = struct
+  let table =
+    lazy
+      (Array.init 256 (fun n ->
+           let c = ref (Int32.of_int n) in
+           for _ = 0 to 7 do
+             if Int32.logand !c 1l <> 0l then
+               c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else c := Int32.shift_right_logical !c 1
+           done;
+           !c))
+
+  let digest_sub s pos len =
+    let table = Lazy.force table in
+    let c = ref 0xFFFFFFFFl in
+    for i = pos to pos + len - 1 do
+      let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code s.[i]))) 0xffl) in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+    done;
+    Int32.logxor !c 0xFFFFFFFFl
+
+  let digest s = digest_sub s 0 (String.length s)
+  let digest_bytes b = digest (Bytes.unsafe_to_string b)
+end

@@ -1,0 +1,305 @@
+(** Slotted-page record heap with overflow (blob) chains.
+
+    Records are byte strings addressed by a [rid] (page number, slot
+    index).  Small records live inline in slotted heap pages; records
+    larger than {!inline_threshold} are stored in a chain of dedicated
+    blob pages and the heap slot holds a 12-byte pointer record.
+
+    Heap page layout:
+    {v
+      off 0 : u8  kind (= 2)
+      off 1 : u16 nslots
+      off 3 : u16 free_start   (first free byte after records)
+      off 5 : u16 free_end     (last free byte, before slot array)
+      7 .. free_start-1        record bytes
+      free_end .. page_size-1  slot array, growing downwards
+    v}
+    Each slot is 4 bytes: [u16 off; u16 len].  A dead slot has off
+    0xFFFF (len 0 is a valid empty record).
+    A blob-pointer slot has the high bit of len set (stored len 12).
+
+    Blob page layout: [u8 kind (= 4); u32 next_page; u16 len; data]. *)
+
+exception Heap_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Heap_error s)) fmt
+
+type rid = { page : int; slot : int }
+
+let rid_equal a b = a.page = b.page && a.slot = b.slot
+let pp_rid ppf r = Format.fprintf ppf "(%d,%d)" r.page r.slot
+
+let kind_heap = 2
+let kind_blob = 4
+let header_size = 7
+let slot_size = 4
+let blob_header = 7
+let blob_capacity = Pager.page_size - blob_header
+let inline_threshold = 3500
+let blob_ptr_len = 12
+let len_blob_flag = 0x8000
+let dead_off = 0xFFFF
+
+(** Page allocation callbacks, provided by the store (which owns the
+    free-page list in the header). *)
+type page_alloc = { alloc_page : unit -> int; free_page : int -> unit }
+
+type t = {
+  pager : Pager.t;
+  pa : page_alloc;
+  (* In-memory free-space map: page -> free bytes.  Built lazily; pages
+     not present are assumed full.  Survives only for the process
+     lifetime, which merely costs some space reuse across restarts. *)
+  avail : (int, int) Hashtbl.t;
+}
+
+let create pager pa = { pager; pa; avail = Hashtbl.create 256 }
+
+(* --- page accessors ------------------------------------------------- *)
+
+let get_nslots b = Bytes.get_uint16_le b 1
+let set_nslots b v = Bytes.set_uint16_le b 1 v
+let get_free_start b = Bytes.get_uint16_le b 3
+let set_free_start b v = Bytes.set_uint16_le b 3 v
+let get_free_end b = Bytes.get_uint16_le b 5
+let set_free_end b v = Bytes.set_uint16_le b 5 v
+let slot_pos i = Pager.page_size - (slot_size * (i + 1))
+let get_slot b i = (Bytes.get_uint16_le b (slot_pos i), Bytes.get_uint16_le b (slot_pos i + 2))
+
+let set_slot b i ~off ~len =
+  Bytes.set_uint16_le b (slot_pos i) off;
+  Bytes.set_uint16_le b (slot_pos i + 2) len
+
+let init_heap_page b =
+  Bytes.fill b 0 Pager.page_size '\000';
+  Bytes.set_uint8 b 0 kind_heap;
+  set_nslots b 0;
+  set_free_start b header_size;
+  set_free_end b Pager.page_size
+
+let page_contiguous_free b =
+  let fe = get_free_end b and fs = get_free_start b in
+  if fe >= fs then fe - fs else 0
+
+(* Total reclaimable free space: contiguous space plus holes left by
+   deleted or shrunk records (recoverable by compaction). *)
+let page_total_free b =
+  let nslots = get_nslots b in
+  let live = ref 0 in
+  for i = 0 to nslots - 1 do
+    let off, len = get_slot b i in
+    if off <> dead_off then live := !live + (len land lnot len_blob_flag)
+  done;
+  Pager.page_size - header_size - (slot_size * nslots) - !live
+
+(* --- blob chains ---------------------------------------------------- *)
+
+let write_blob t (data : string) : int =
+  let len = String.length data in
+  let n_pages = max 1 ((len + blob_capacity - 1) / blob_capacity) in
+  let pages = List.init n_pages (fun _ -> t.pa.alloc_page ()) in
+  let rec go pages off =
+    match pages with
+    | [] -> ()
+    | p :: rest ->
+        let chunk = min blob_capacity (len - off) in
+        Pager.with_write t.pager p (fun b ->
+            Bytes.fill b 0 Pager.page_size '\000';
+            Bytes.set_uint8 b 0 kind_blob;
+            let next = match rest with [] -> 0 | q :: _ -> q in
+            Bytes.set_int32_le b 1 (Int32.of_int next);
+            Bytes.set_uint16_le b 5 chunk;
+            Bytes.blit_string data off b blob_header chunk);
+        go rest (off + chunk)
+  in
+  go pages 0;
+  List.hd pages
+
+let read_blob t first total_len : string =
+  let buf = Buffer.create total_len in
+  let rec go page =
+    if page <> 0 then begin
+      let b = Pager.read t.pager page in
+      if Bytes.get_uint8 b 0 <> kind_blob then fail "blob chain hits non-blob page %d" page;
+      let next = Int32.to_int (Bytes.get_int32_le b 1) in
+      let len = Bytes.get_uint16_le b 5 in
+      Buffer.add_subbytes buf b blob_header len;
+      go next
+    end
+  in
+  go first;
+  let s = Buffer.contents buf in
+  if String.length s <> total_len then
+    fail "blob length mismatch: expected %d got %d" total_len (String.length s);
+  s
+
+let free_blob t first =
+  let rec go page =
+    if page <> 0 then begin
+      let next =
+        let b = Pager.read t.pager page in
+        Int32.to_int (Bytes.get_int32_le b 1)
+      in
+      t.pa.free_page page;
+      go next
+    end
+  in
+  go first
+
+(* --- slotted page operations ---------------------------------------- *)
+
+(* Compact a heap page in place: repack live records to remove holes. *)
+let compact_page b =
+  let nslots = get_nslots b in
+  let live = ref [] in
+  for i = 0 to nslots - 1 do
+    let off, len = get_slot b i in
+    let real_len = len land lnot len_blob_flag in
+    if off <> dead_off then live := (i, off, len, real_len) :: !live
+  done;
+  (* copy live records into a scratch buffer, then repack *)
+  let scratch =
+    List.map (fun (i, off, len, real_len) -> (i, len, Bytes.sub b off real_len)) !live
+  in
+  let pos = ref header_size in
+  List.iter
+    (fun (i, len, data) ->
+      Bytes.blit data 0 b !pos (Bytes.length data);
+      set_slot b i ~off:!pos ~len;
+      pos := !pos + Bytes.length data)
+    (List.rev scratch);
+  set_free_start b !pos
+
+(* Find a slot index to reuse (dead) or append a new one. Returns
+   (slot_index, extra_space_needed_for_slot_array). *)
+let find_slot b =
+  let nslots = get_nslots b in
+  let rec find i = if i >= nslots then None else
+      let off, _ = get_slot b i in
+      if off = dead_off then Some i else find (i + 1)
+  in
+  match find 0 with Some i -> (i, 0) | None -> (nslots, slot_size)
+
+let insert_into_page t page (payload : string) (len_field : int) : rid =
+  let slot_ref = ref (-1) in
+  Pager.with_write t.pager page (fun b ->
+      let need = String.length payload in
+      let slot, extra = find_slot b in
+      if page_total_free b < need + extra then fail "insert_into_page: no space";
+      (* ensure contiguous space *)
+      if page_contiguous_free b < need + extra then compact_page b;
+      let off = get_free_start b in
+      Bytes.blit_string payload 0 b off need;
+      set_free_start b (off + need);
+      if extra > 0 then begin
+        set_nslots b (get_nslots b + 1);
+        set_free_end b (get_free_end b - slot_size)
+      end;
+      set_slot b slot ~off ~len:len_field;
+      slot_ref := slot;
+      Hashtbl.replace t.avail page (page_total_free b));
+  { page; slot = !slot_ref }
+
+let find_page_with_space t need =
+  let found = ref None in
+  (try
+     Hashtbl.iter
+       (fun page free ->
+         if free >= need + slot_size then begin
+           found := Some page;
+           raise Exit
+         end)
+       t.avail
+   with Exit -> ());
+  match !found with
+  | Some p -> p
+  | None ->
+      let p = t.pa.alloc_page () in
+      Pager.with_write t.pager p (fun b -> init_heap_page b);
+      Hashtbl.replace t.avail p (Pager.page_size - header_size);
+      p
+
+(* --- public record operations --------------------------------------- *)
+
+let encode_blob_ptr first total =
+  let e = Codec.Enc.create ~size:blob_ptr_len () in
+  Codec.Enc.u32 e first;
+  Codec.Enc.u32 e total;
+  Codec.Enc.u32 e 0;
+  Codec.Enc.to_string e
+
+let insert t (data : string) : rid =
+  let len = String.length data in
+  if len <= inline_threshold then begin
+    let page = find_page_with_space t len in
+    insert_into_page t page data len
+  end
+  else begin
+    let first = write_blob t data in
+    let ptr = encode_blob_ptr first len in
+    let page = find_page_with_space t blob_ptr_len in
+    insert_into_page t page ptr (blob_ptr_len lor len_blob_flag)
+  end
+
+let get t (r : rid) : string =
+  let b = Pager.read t.pager r.page in
+  if Bytes.get_uint8 b 0 <> kind_heap then fail "rid %a points to non-heap page" pp_rid r;
+  if r.slot >= get_nslots b then fail "rid %a: slot out of range" pp_rid r;
+  let off, len = get_slot b r.slot in
+  if off = dead_off then fail "rid %a: dead slot" pp_rid r;
+  if len land len_blob_flag <> 0 then begin
+    let d = Codec.Dec.of_string (Bytes.sub_string b off blob_ptr_len) in
+    let first = Codec.Dec.u32 d in
+    let total = Codec.Dec.u32 d in
+    read_blob t first total
+  end
+  else Bytes.sub_string b off len
+
+let delete t (r : rid) : unit =
+  Pager.with_write t.pager r.page (fun b ->
+      if Bytes.get_uint8 b 0 <> kind_heap then fail "delete %a: non-heap page" pp_rid r;
+      let off, len = get_slot b r.slot in
+      if off = dead_off then fail "delete %a: dead slot" pp_rid r;
+      if len land len_blob_flag <> 0 then begin
+        let d = Codec.Dec.of_string (Bytes.sub_string b off blob_ptr_len) in
+        let first = Codec.Dec.u32 d in
+        free_blob t first
+      end;
+      set_slot b r.slot ~off:dead_off ~len:0;
+      (* If this was the last record we can reset the page cheaply. *)
+      let any_live = ref false in
+      for i = 0 to get_nslots b - 1 do
+        let o, _ = get_slot b i in
+        if o <> dead_off then any_live := true
+      done;
+      if not !any_live then init_heap_page b;
+      Hashtbl.replace t.avail r.page (page_total_free b))
+
+(** Update record [r] with [data]; returns the (possibly new) rid. *)
+let update t (r : rid) (data : string) : rid =
+  let b = Pager.read t.pager r.page in
+  let off, len = get_slot b r.slot in
+  if off = dead_off then fail "update %a: dead slot" pp_rid r;
+  let is_blob = len land len_blob_flag <> 0 in
+  let new_len = String.length data in
+  if (not is_blob) && new_len <= len then begin
+    (* fits in place *)
+    Pager.with_write t.pager r.page (fun b ->
+        Bytes.blit_string data 0 b off new_len;
+        set_slot b r.slot ~off ~len:new_len;
+        Hashtbl.replace t.avail r.page (page_total_free b));
+    r
+  end
+  else begin
+    delete t r;
+    insert t data
+  end
+
+(** Iterate over all live records of heap page [page]. *)
+let iter_page t page (f : rid -> string -> unit) =
+  let b = Pager.read t.pager page in
+  if Bytes.get_uint8 b 0 = kind_heap then
+    for i = 0 to get_nslots b - 1 do
+      let off, _ = get_slot b i in
+      if off <> dead_off then f { page; slot = i } (get t { page; slot = i })
+    done

@@ -1,0 +1,324 @@
+(** Page cache and transactional page I/O.
+
+    The pager owns the database file and an undo journal.  All access to
+    the file goes through fixed-size pages ({!page_size} bytes).  A
+    transaction protocol provides atomic multi-page updates:
+
+    - Before a page is modified for the first time inside a transaction,
+      its before-image is appended to the journal file.
+    - Dirty pages may be written back to the main file at any time
+      (steal), but only after the journal containing their before-image
+      has been fsynced.
+    - [commit] flushes all dirty pages, fsyncs the main file, then
+      truncates the journal (the commit point).
+    - [abort] (or crash recovery on open) copies the before-images from
+      the journal back into the main file.
+
+    Page 0 is reserved for the store header and is managed like any
+    other page (so header updates are also journaled and thus atomic). *)
+
+let page_size = 4096
+
+exception Pager_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Pager_error s)) fmt
+
+type page = {
+  no : int;
+  data : Bytes.t;
+  mutable dirty : bool;
+  mutable lru : int; (* last-touch tick, for eviction *)
+}
+
+type t = {
+  fd : Unix.file_descr;
+  path : string;
+  journal_path : string;
+  mutable page_count : int;
+  cache : (int, page) Hashtbl.t;
+  mutable cache_cap : int;
+  mutable tick : int;
+  (* transaction state *)
+  mutable in_tx : bool;
+  mutable journaled : (int, unit) Hashtbl.t; (* pages whose before-image is in the journal *)
+  mutable jfd : Unix.file_descr option;
+  mutable journal_synced : bool;
+  mutable tx_new_pages : (int, unit) Hashtbl.t; (* pages allocated in this tx *)
+  (* statistics *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let really_pread fd buf off file_off =
+  ignore (Unix.lseek fd file_off Unix.SEEK_SET);
+  let rec go pos remaining =
+    if remaining > 0 then begin
+      let n = Unix.read fd buf (off + pos) remaining in
+      if n = 0 then Bytes.fill buf (off + pos) remaining '\000'
+      else go (pos + n) (remaining - n)
+    end
+  in
+  go 0 page_size
+
+let really_write fd buf =
+  let len = Bytes.length buf in
+  let rec go pos =
+    if pos < len then begin
+      let n = Unix.write fd buf pos (len - pos) in
+      go (pos + n)
+    end
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Journal frame layout: magic u32 | page_no i64 | crc32 u32 | page bytes *)
+let journal_frame_magic = 0x4A524E4C (* "JRNL" *)
+let journal_frame_size = 4 + 8 + 4 + page_size
+
+let journal_append t page_no (data : Bytes.t) =
+  let jfd =
+    match t.jfd with
+    | Some fd -> fd
+    | None ->
+        let fd =
+          Unix.openfile t.journal_path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+        in
+        t.jfd <- Some fd;
+        fd
+  in
+  let e = Codec.Enc.create ~size:journal_frame_size () in
+  Codec.Enc.u32 e journal_frame_magic;
+  Codec.Enc.i64 e (Int64.of_int page_no);
+  Codec.Enc.u32 e (Int32.to_int (Codec.Crc32.digest_bytes data) land 0xffffffff);
+  Codec.Enc.raw e (Bytes.to_string data);
+  ignore (Unix.lseek jfd 0 Unix.SEEK_END);
+  really_write jfd (Bytes.of_string (Codec.Enc.to_string e));
+  t.journal_synced <- false
+
+let journal_truncate t =
+  (match t.jfd with
+  | Some fd ->
+      Unix.ftruncate fd 0;
+      Unix.fsync fd
+  | None -> ());
+  Hashtbl.reset t.journaled;
+  Hashtbl.reset t.tx_new_pages;
+  t.journal_synced <- true
+
+let journal_sync t =
+  if not t.journal_synced then begin
+    (match t.jfd with Some fd -> Unix.fsync fd | None -> ());
+    t.journal_synced <- true
+  end
+
+(* Read all valid frames from the journal file at [path]; returns the
+   frames in order.  Stops at the first corrupt/truncated frame. *)
+let journal_read_frames path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let frames = ref [] in
+    (try
+       let buf = really_input_string ic len in
+       let d = Codec.Dec.of_string buf in
+       let continue = ref true in
+       while !continue && Codec.Dec.remaining d >= journal_frame_size do
+         let magic = Codec.Dec.u32 d in
+         let page_no = Int64.to_int (Codec.Dec.i64 d) in
+         let crc = Codec.Dec.u32 d in
+         let start = d.Codec.Dec.pos in
+         let data = String.sub buf start page_size in
+         d.Codec.Dec.pos <- start + page_size;
+         if
+           magic = journal_frame_magic
+           && Int32.to_int (Codec.Crc32.digest data) land 0xffffffff = crc
+         then frames := (page_no, data) :: !frames
+         else continue := false
+       done
+     with _ -> ());
+    close_in ic;
+    List.rev !frames
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cache management                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let write_page_to_disk t (p : page) =
+  (* A dirty page must never hit the disk before its before-image is
+     durable in the journal. *)
+  if t.in_tx && Hashtbl.mem t.journaled p.no then journal_sync t;
+  ignore (Unix.lseek t.fd (p.no * page_size) Unix.SEEK_SET);
+  really_write t.fd p.data;
+  t.writes <- t.writes + 1;
+  p.dirty <- false
+
+let evict_if_needed t =
+  if Hashtbl.length t.cache > t.cache_cap then begin
+    (* Evict the ~25% least recently used pages. *)
+    let pages = Hashtbl.fold (fun _ p acc -> p :: acc) t.cache [] in
+    let sorted = List.sort (fun a b -> compare a.lru b.lru) pages in
+    let n_evict = max 1 (List.length sorted / 4) in
+    List.iteri
+      (fun i p ->
+        if i < n_evict && p.no <> 0 then begin
+          if p.dirty then write_page_to_disk t p;
+          Hashtbl.remove t.cache p.no
+        end)
+      sorted
+  end
+
+let load_page t no =
+  match Hashtbl.find_opt t.cache no with
+  | Some p ->
+      t.tick <- t.tick + 1;
+      p.lru <- t.tick;
+      t.hits <- t.hits + 1;
+      p
+  | None ->
+      t.misses <- t.misses + 1;
+      let data = Bytes.create page_size in
+      if no < t.page_count then begin
+        really_pread t.fd data 0 (no * page_size);
+        t.reads <- t.reads + 1
+      end
+      else Bytes.fill data 0 page_size '\000';
+      t.tick <- t.tick + 1;
+      let p = { no; data; dirty = false; lru = t.tick } in
+      Hashtbl.replace t.cache no p;
+      evict_if_needed t;
+      p
+
+(* ------------------------------------------------------------------ *)
+(* Public API                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let recover_from_journal path journal_path =
+  let frames = journal_read_frames journal_path in
+  if frames <> [] then begin
+    let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+    List.iter
+      (fun (page_no, data) ->
+        ignore (Unix.lseek fd (page_no * page_size) Unix.SEEK_SET);
+        really_write fd (Bytes.of_string data))
+      frames;
+    Unix.fsync fd;
+    Unix.close fd
+  end;
+  if Sys.file_exists journal_path then Sys.remove journal_path
+
+let open_file ?(cache_pages = 2048) path =
+  let journal_path = path ^ ".journal" in
+  let existed = Sys.file_exists path in
+  if existed then recover_from_journal path journal_path;
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  let page_count = (size + page_size - 1) / page_size in
+  {
+    fd;
+    path;
+    journal_path;
+    page_count = max page_count 1;
+    cache = Hashtbl.create 1024;
+    cache_cap = cache_pages;
+    tick = 0;
+    in_tx = false;
+    journaled = Hashtbl.create 64;
+    jfd = None;
+    journal_synced = true;
+    tx_new_pages = Hashtbl.create 16;
+    reads = 0;
+    writes = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let page_count t = t.page_count
+
+(** Read access to a page.  The returned bytes must not be mutated; use
+    {!with_write} for mutation. *)
+let read t no : Bytes.t =
+  if no < 0 || no >= t.page_count then fail "read: page %d out of range (count %d)" no t.page_count;
+  (load_page t no).data
+
+(** Mutate page [no].  Inside a transaction the before-image is
+    journaled on first touch. *)
+let with_write t no (f : Bytes.t -> 'a) : 'a =
+  if no < 0 || no >= t.page_count then fail "write: page %d out of range (count %d)" no t.page_count;
+  let p = load_page t no in
+  if t.in_tx && (not (Hashtbl.mem t.journaled no)) && not (Hashtbl.mem t.tx_new_pages no)
+  then begin
+    journal_append t no p.data;
+    Hashtbl.replace t.journaled no ()
+  end;
+  p.dirty <- true;
+  f p.data
+
+(** Allocate a fresh page at the end of the file; returns its number.
+    The page is zero-filled. *)
+let allocate t : int =
+  let no = t.page_count in
+  t.page_count <- t.page_count + 1;
+  let data = Bytes.make page_size '\000' in
+  t.tick <- t.tick + 1;
+  let p = { no; data; dirty = true; lru = t.tick } in
+  Hashtbl.replace t.cache no p;
+  if t.in_tx then Hashtbl.replace t.tx_new_pages no ();
+  evict_if_needed t;
+  no
+
+let flush_all t =
+  Hashtbl.iter (fun _ p -> if p.dirty then write_page_to_disk t p) t.cache;
+  Unix.fsync t.fd
+
+let begin_tx t =
+  if t.in_tx then fail "nested transactions are not supported at the pager level";
+  (* Checkpoint: pre-transaction state must be durable on disk, because
+     abort discards the cache and reconstructs state from the file plus
+     the journal's before-images. *)
+  flush_all t;
+  t.in_tx <- true;
+  Hashtbl.reset t.journaled;
+  Hashtbl.reset t.tx_new_pages
+
+let commit t =
+  if not t.in_tx then fail "commit outside transaction";
+  flush_all t;
+  journal_truncate t;
+  t.in_tx <- false
+
+let abort t =
+  if not t.in_tx then fail "abort outside transaction";
+  (* Drop all cached state, then restore before-images from the journal. *)
+  (match t.jfd with
+  | Some fd ->
+      Unix.fsync fd;
+      Unix.close fd;
+      t.jfd <- None
+  | None -> ());
+  Hashtbl.reset t.cache;
+  recover_from_journal t.path t.journal_path;
+  Hashtbl.reset t.journaled;
+  Hashtbl.reset t.tx_new_pages;
+  t.journal_synced <- true;
+  let size = (Unix.fstat t.fd).Unix.st_size in
+  t.page_count <- max ((size + page_size - 1) / page_size) 1;
+  t.in_tx <- false
+
+let close t =
+  if t.in_tx then abort t;
+  flush_all t;
+  (match t.jfd with Some fd -> Unix.close fd | None -> ());
+  t.jfd <- None;
+  Unix.close t.fd
+
+type stats = { s_reads : int; s_writes : int; s_hits : int; s_misses : int; s_pages : int }
+
+let stats t =
+  { s_reads = t.reads; s_writes = t.writes; s_hits = t.hits; s_misses = t.misses; s_pages = t.page_count }

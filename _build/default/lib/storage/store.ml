@@ -1,0 +1,236 @@
+(** The persistent object store: the storage substrate Prometheus sits on.
+
+    In the thesis the prototype was layered on the commercial POET
+    OODBMS; this module is our substitute substrate.  It exposes a flat
+    transactional map from object identifiers (oids) to byte records:
+
+    - records are stored in a slotted-page {!Heap},
+    - an oid -> rid directory is kept in a persistent {!Btree},
+    - atomic commit/abort is provided by the {!Pager} undo journal,
+    - freed pages are recycled through a free-page list rooted in the
+      header page.
+
+    Header page (page 0) layout:
+    {v
+      off 0  : 8-byte magic "PROMDB01"
+      off 8  : u32 version
+      off 12 : i64 next_oid
+      off 20 : u32 directory btree root page
+      off 24 : u32 free-page list head
+    v} *)
+
+exception Store_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Store_error s)) fmt
+
+let magic = "PROMDB01"
+let version = 1
+let kind_free = 5
+
+type t = {
+  pager : Pager.t;
+  mutable heap : Heap.t;
+  mutable dir : Btree.t;
+  mutable next_oid : int;
+  mutable tx_depth : int; (* supports nested begin via counting *)
+  path : string;
+}
+
+(* --- header accessors -------------------------------------------------- *)
+
+let hdr_read_next_oid pager = Int64.to_int (Bytes.get_int64_le (Pager.read pager 0) 12)
+
+let hdr_write_next_oid pager v =
+  Pager.with_write pager 0 (fun b -> Bytes.set_int64_le b 12 (Int64.of_int v))
+
+let hdr_read_dir_root pager = Int32.to_int (Bytes.get_int32_le (Pager.read pager 0) 20)
+
+let hdr_write_dir_root pager v =
+  Pager.with_write pager 0 (fun b -> Bytes.set_int32_le b 20 (Int32.of_int v))
+
+let hdr_read_free_head pager = Int32.to_int (Bytes.get_int32_le (Pager.read pager 0) 24)
+
+let hdr_write_free_head pager v =
+  Pager.with_write pager 0 (fun b -> Bytes.set_int32_le b 24 (Int32.of_int v))
+
+(* --- free-page list ----------------------------------------------------- *)
+
+let alloc_page pager () =
+  let head = hdr_read_free_head pager in
+  if head <> 0 then begin
+    let next =
+      let b = Pager.read pager head in
+      Int32.to_int (Bytes.get_int32_le b 1)
+    in
+    hdr_write_free_head pager next;
+    Pager.with_write pager head (fun b -> Bytes.fill b 0 Pager.page_size '\000');
+    head
+  end
+  else Pager.allocate pager
+
+let free_page pager no =
+  let head = hdr_read_free_head pager in
+  Pager.with_write pager no (fun b ->
+      Bytes.fill b 0 Pager.page_size '\000';
+      Bytes.set_uint8 b 0 kind_free;
+      Bytes.set_int32_le b 1 (Int32.of_int head));
+  hdr_write_free_head pager no
+
+(* --- lifecycle ----------------------------------------------------------- *)
+
+let build_components pager =
+  let pa = { Heap.alloc_page = alloc_page pager; free_page = free_page pager } in
+  let heap = Heap.create pager pa in
+  let dir =
+    Btree.create pager ~root:(hdr_read_dir_root pager)
+      ~set_root:(fun r -> hdr_write_dir_root pager r)
+      ~alloc_page:(alloc_page pager)
+  in
+  (heap, dir)
+
+let open_ ?cache_pages path =
+  let pager = Pager.open_file ?cache_pages path in
+  let hdr = Pager.read pager 0 in
+  let fresh = Bytes.sub_string hdr 0 8 <> magic in
+  if fresh then
+    Pager.with_write pager 0 (fun b ->
+        Bytes.fill b 0 Pager.page_size '\000';
+        Bytes.blit_string magic 0 b 0 8;
+        Bytes.set_int32_le b 8 (Int32.of_int version);
+        Bytes.set_int64_le b 12 1L;
+        Bytes.set_int32_le b 20 0l;
+        Bytes.set_int32_le b 24 0l)
+  else if Int32.to_int (Bytes.get_int32_le hdr 8) <> version then
+    fail "%s: unsupported store version" path;
+  let heap, dir = build_components pager in
+  { pager; heap; dir; next_oid = hdr_read_next_oid pager; tx_depth = 0; path }
+
+let close t =
+  hdr_write_next_oid t.pager t.next_oid;
+  Pager.close t.pager
+
+let path t = t.path
+
+(* --- transactions ---------------------------------------------------------- *)
+
+let in_tx t = t.tx_depth > 0
+
+let begin_tx t =
+  if t.tx_depth = 0 then begin
+    (* Persist the current next_oid *before* the transaction starts, so
+       that the header before-image captured inside the transaction (and
+       hence the state restored by abort) reflects oids already handed
+       out, avoiding oid reuse after rollback. *)
+    hdr_write_next_oid t.pager t.next_oid;
+    Pager.begin_tx t.pager
+  end;
+  t.tx_depth <- t.tx_depth + 1
+
+let commit t =
+  if t.tx_depth <= 0 then fail "commit outside transaction";
+  t.tx_depth <- t.tx_depth - 1;
+  if t.tx_depth = 0 then begin
+    hdr_write_next_oid t.pager t.next_oid;
+    Pager.commit t.pager
+  end
+
+let abort t =
+  if t.tx_depth <= 0 then fail "abort outside transaction";
+  t.tx_depth <- 0;
+  Pager.abort t.pager;
+  (* In-memory state may be stale after rollback: rebuild. *)
+  let heap, dir = build_components t.pager in
+  t.heap <- heap;
+  t.dir <- dir;
+  t.next_oid <- hdr_read_next_oid t.pager
+
+let with_tx t f =
+  begin_tx t;
+  match f () with
+  | v ->
+      commit t;
+      v
+  | exception e ->
+      if t.tx_depth > 0 then abort t;
+      raise e
+
+(* --- records ------------------------------------------------------------------ *)
+
+let fresh_oid t =
+  let oid = t.next_oid in
+  t.next_oid <- t.next_oid + 1;
+  oid
+
+let key_of_oid oid = Int64.of_int oid
+
+let put t ~oid (data : string) : unit =
+  match Btree.find t.dir (key_of_oid oid) with
+  | Some rid ->
+      let rid' = Heap.update t.heap rid data in
+      if not (Heap.rid_equal rid rid') then Btree.insert t.dir (key_of_oid oid) rid'
+  | None ->
+      let rid = Heap.insert t.heap data in
+      Btree.insert t.dir (key_of_oid oid) rid
+
+let get t ~oid : string option =
+  match Btree.find t.dir (key_of_oid oid) with
+  | Some rid -> Some (Heap.get t.heap rid)
+  | None -> None
+
+let mem t ~oid = Btree.mem t.dir (key_of_oid oid)
+
+let delete t ~oid : bool =
+  match Btree.find t.dir (key_of_oid oid) with
+  | Some rid ->
+      Heap.delete t.heap rid;
+      Btree.delete t.dir (key_of_oid oid)
+  | None -> false
+
+(** Iterate all records in oid order. *)
+let iter t (f : int -> string -> unit) =
+  Btree.iter t.dir (fun k rid -> f (Int64.to_int k) (Heap.get t.heap rid))
+
+let count t = Btree.cardinal t.dir
+
+type stats = { pages : int; objects : int; page_reads : int; page_writes : int; cache_hits : int; cache_misses : int }
+
+let stats t =
+  let s = Pager.stats t.pager in
+  {
+    pages = s.Pager.s_pages;
+    objects = count t;
+    page_reads = s.Pager.s_reads;
+    page_writes = s.Pager.s_writes;
+    cache_hits = s.Pager.s_hits;
+    cache_misses = s.Pager.s_misses;
+  }
+
+(** Consistency check used by tests: the directory B-tree is structurally
+    valid and every directory entry resolves to a live heap record. *)
+let check t =
+  let n = Btree.check t.dir in
+  Btree.iter t.dir (fun _ rid -> ignore (Heap.get t.heap rid));
+  n
+
+(** Vacuum: rewrite the store into a fresh compact file, dropping dead
+    pages (fragmentation from deletes, lazily-deleted B-tree space,
+    abandoned pages after aborts) and renaming it over the original.
+    The store must not be inside a transaction.  Returns the new store
+    handle — the old one is consumed. *)
+let vacuum t : t =
+  if in_tx t then fail "vacuum inside a transaction";
+  let tmp = t.path ^ ".vacuum" in
+  if Sys.file_exists tmp then Sys.remove tmp;
+  if Sys.file_exists (tmp ^ ".journal") then Sys.remove (tmp ^ ".journal");
+  let fresh = open_ tmp in
+  (* preserve oids exactly *)
+  iter t (fun oid data -> put fresh ~oid data);
+  fresh.next_oid <- t.next_oid;
+  hdr_write_next_oid fresh.pager fresh.next_oid;
+  Pager.flush_all fresh.pager;
+  let path = t.path in
+  close t;
+  close fresh;
+  Sys.rename tmp path;
+  if Sys.file_exists (tmp ^ ".journal") then Sys.remove (tmp ^ ".journal");
+  open_ path

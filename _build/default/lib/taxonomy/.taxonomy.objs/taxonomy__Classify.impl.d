@@ -1,0 +1,1 @@
+lib/taxonomy/classify.ml: Database List Obj Pgraph Pmodel Rank Tax_schema Value

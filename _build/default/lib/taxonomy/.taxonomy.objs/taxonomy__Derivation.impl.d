@@ -1,0 +1,1 @@
+lib/taxonomy/derivation.ml: Classify Database Hashtbl List Nomen Obj Pmodel Printf Queue Rank String Tax_schema Value

@@ -1,0 +1,1 @@
+lib/taxonomy/flora_gen.ml: Array Classify List Nomen Pmodel Random Rank String Tax_schema Value

@@ -1,0 +1,1 @@
+lib/taxonomy/historical.ml: Classify Database Hashtbl List Nomen Pmodel Synonymy Tax_schema

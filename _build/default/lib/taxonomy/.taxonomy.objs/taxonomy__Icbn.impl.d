@@ -1,0 +1,1 @@
+lib/taxonomy/icbn.ml: Char Database List Obj Option Pmodel Prules Rank String Tax_schema Value

@@ -1,0 +1,1 @@
+lib/taxonomy/nomen.ml: Database List Obj Option Pmodel Printf Rank String Tax_schema Value

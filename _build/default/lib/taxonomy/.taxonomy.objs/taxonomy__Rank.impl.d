@@ -1,0 +1,1 @@
+lib/taxonomy/rank.ml: List Printf String

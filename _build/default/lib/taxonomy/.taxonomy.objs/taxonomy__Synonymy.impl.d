@@ -1,0 +1,1 @@
+lib/taxonomy/synonymy.ml: Classify Database Derivation Format List Nomen Option Pmodel Rank Tax_schema

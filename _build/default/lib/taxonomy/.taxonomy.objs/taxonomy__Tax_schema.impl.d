@@ -1,0 +1,1 @@
+lib/taxonomy/tax_schema.ml: Database Meta Pmodel Printf Rank Value

@@ -1,0 +1,233 @@
+(** Automatic derivation of names from classifications (thesis 2.1.2,
+    fig. 3).
+
+    The ICBN process, faithfully:
+
+    - Work top-down from the root of the classification.
+    - For each group, collect *all* specimens described at any level
+      below it (recursing through the classification until specimens
+      are reached — the depth may vary between branches).
+    - Among them, keep the *naming* type specimens (holotype,
+      lectotype or neotype targets of [HasType]).
+    - From each type specimen, traverse the nomenclatural type
+      hierarchy bottom-up (specimen -> species name -> genus name ...)
+      collecting candidate names published at the group's rank.
+    - The oldest validly published candidate becomes the group's name.
+    - Multinomial names (Species and below) must additionally be a
+      published *combination* with the derived parent genus name: if
+      the oldest candidate is placed in a different genus, a new
+      combination is published (epithet kept, basionym author
+      bracketed) — e.g. Apium repens (Jacq.)Lag. under Heliosciadium
+      becomes the new Heliosciadium repens (Jacq.).
+    - A group with no type specimen elects one (the oldest available
+      specimen) and publishes a fresh name, seeded from the group's
+      working name if present. *)
+
+open Pmodel
+module S = Tax_schema
+module OidSet = Database.OidSet
+
+type outcome =
+  | Existing of int (* an already-published name was selected *)
+  | New_combination of { name : int; basionym : int } (* epithet moved to a new genus *)
+  | New_name of { name : int; elected_type : int } (* no type found: elected + published *)
+
+let name_of_outcome = function
+  | Existing n -> n
+  | New_combination { name; _ } -> name
+  | New_name { name; _ } -> name
+
+type assignment = { taxon : int; rank : Rank.t; outcome : outcome }
+
+(** Candidate names at [rank] reachable upward through the type
+    hierarchy from [spec] (a type specimen). *)
+let candidates_at_rank db ~rank spec : int list =
+  let target_order = Rank.order rank in
+  let seen = Hashtbl.create 16 in
+  let result = ref [] in
+  let rec walk frontier =
+    match frontier with
+    | [] -> ()
+    | _ ->
+        let names =
+          List.concat_map (fun target -> Nomen.typified_by db target) frontier
+          |> List.filter (fun n -> not (Hashtbl.mem seen n))
+        in
+        List.iter (fun n -> Hashtbl.replace seen n ()) names;
+        List.iter
+          (fun n ->
+            let r = Nomen.rank db n in
+            if Rank.order r = target_order then result := n :: !result)
+          names;
+        (* keep climbing only through names above or at the target rank *)
+        let next = List.filter (fun n -> Rank.order (Nomen.rank db n) >= target_order) names in
+        walk next
+  in
+  walk [ spec ];
+  List.sort_uniq compare !result
+
+(** Naming type specimens among a specimen set: targets of a
+    holotype/lectotype/neotype designation. *)
+let naming_types db (specs : OidSet.t) : int list =
+  OidSet.fold
+    (fun s acc ->
+      let kinds =
+        List.concat_map
+          (fun (r : Obj.t) ->
+            match Obj.get r "kind" with Value.VString k -> [ k ] | _ -> [])
+          (Database.incoming db ~rel_name:S.has_type s)
+      in
+      if List.exists (fun k -> List.mem k S.naming_type_kinds) kinds then s :: acc else acc)
+    specs []
+
+(** The name a multinomial combination is placed in: the derived name
+    of the nearest ancestor at the combination's anchor rank — Genus
+    for Species-rank names, Species for infraspecific names (thesis
+    2.1.2: trinomials such as varieties combine with their species). *)
+let combination_anchor_rank (rank : Rank.t) : Rank.t =
+  if Rank.order rank > Rank.order Rank.Species then Rank.Species else Rank.Genus
+
+let combination_parent db ~ctx assignments taxon ~(rank : Rank.t) : int option =
+  let anchor = combination_anchor_rank rank in
+  let rec up t =
+    match Classify.group_of db ~ctx t with
+    | None -> None
+    | Some parent -> (
+        match Hashtbl.find_opt assignments parent with
+        | Some name when Nomen.rank db name = anchor -> Some name
+        | _ -> up parent)
+  in
+  up taxon
+
+(** Shape a fallback epithet so it satisfies the ICBN conventions of
+    its rank: single unhyphenated word, rank-appropriate
+    capitalisation, mandatory suffix for supra-generic ranks. *)
+let well_formed_epithet ~rank (base : string) : string =
+  let base =
+    String.concat "" (String.split_on_char ' ' base)
+    |> String.split_on_char '-' |> String.concat ""
+  in
+  let base = if base = "" then "innominatum" else base in
+  let base =
+    if Rank.requires_capital rank then String.capitalize_ascii base
+    else String.uncapitalize_ascii base
+  in
+  match Rank.required_suffix rank with
+  | Some suffix
+    when not
+           (String.length base >= String.length suffix
+           && String.sub base (String.length base - String.length suffix) (String.length suffix)
+              = suffix) ->
+      base ^ suffix
+  | _ -> base
+
+let elect_type_specimen db (specs : OidSet.t) : int option =
+  (* the oldest collected specimen; ties (and missing dates) break by oid *)
+  let key s =
+    match Database.get_attr db s "collected" with
+    | Value.VDate d -> (d.Value.year, d.Value.month, d.Value.day, s)
+    | _ -> (max_int, 0, 0, s)
+  in
+  match List.sort (fun a b -> compare (key a) (key b)) (OidSet.elements specs) with
+  | [] -> None
+  | s :: _ -> Some s
+
+(** Derive names for every taxon of classification [ctx] reachable
+    from [root], in rank order (top-down).  Returns the assignments
+    and records them as [CalculatedName] links.  [year] stamps newly
+    published names; [author] (an Author oid) signs them. *)
+let derive db ~ctx ~root ?(year = 2000) ?author () : assignment list =
+  let order =
+    (* top-down: BFS over the classification *)
+    let q = Queue.create () in
+    let seen = Hashtbl.create 64 in
+    let acc = ref [] in
+    Queue.add root q;
+    Hashtbl.replace seen root ();
+    while not (Queue.is_empty q) do
+      let t = Queue.pop q in
+      if S.is_taxon db t then acc := t :: !acc;
+      List.iter
+        (fun c ->
+          if not (Hashtbl.mem seen c) then begin
+            Hashtbl.replace seen c ();
+            Queue.add c q
+          end)
+        (Classify.members db ~ctx t)
+    done;
+    List.rev !acc
+  in
+  let assignments : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let results = ref [] in
+  List.iter
+    (fun t ->
+      let rank = S.rank_of_exn db t in
+      let specs = Classify.specimens_of db ~ctx t in
+      let types = naming_types db specs in
+      let candidates = List.concat_map (candidates_at_rank db ~rank) types in
+      let outcome =
+        match Nomen.oldest db candidates with
+        | Some best when Rank.is_multinomial rank -> (
+            (* combination check against the derived anchor name *)
+            match combination_parent db ~ctx assignments t ~rank with
+            | Some genus_name -> (
+                match Nomen.placement db best with
+                | Some g when g = genus_name -> Existing best
+                | _ ->
+                    (* the combination <genus, epithet> has never been
+                       published: publish it now *)
+                    let basionym_author =
+                      match Nomen.authors db best with (a, _) :: _ -> Some a | [] -> None
+                    in
+                    let fresh =
+                      Nomen.create_name db ~epithet:(Nomen.epithet db best) ~rank ~year
+                        ?author ?basionym_author ~placed_in:genus_name ()
+                    in
+                    (* the new name inherits the basionym's type *)
+                    (match Nomen.types db best with
+                    | (target, _) :: _ ->
+                        ignore (Nomen.set_type db ~name:fresh ~target ~kind:"lectotype")
+                    | [] -> ());
+                    New_combination { name = fresh; basionym = best })
+            | None -> Existing best)
+        | Some best -> Existing best
+        | None -> (
+            (* no usable type: elect one and publish a new name *)
+            match elect_type_specimen db specs with
+            | Some s ->
+                let epithet =
+                  well_formed_epithet ~rank
+                    (match Classify.working_name db t with
+                    | Some w -> w
+                    | None -> Printf.sprintf "taxon%d" t)
+                in
+                let placed_in =
+                  if Rank.is_multinomial rank then
+                    combination_parent db ~ctx assignments t ~rank
+                  else None
+                in
+                let fresh = Nomen.create_name db ~epithet ~rank ~year ?author ?placed_in () in
+                ignore (Nomen.set_type db ~name:fresh ~target:s ~kind:"holotype");
+                New_name { name = fresh; elected_type = s }
+            | None ->
+                (* a taxon with no specimens below it at all: publish a
+                   bare name (historical, taxa-only classifications) *)
+                let epithet =
+                  well_formed_epithet ~rank
+                    (match Classify.working_name db t with
+                    | Some w -> w
+                    | None -> Printf.sprintf "taxon%d" t)
+                in
+                let fresh = Nomen.create_name db ~epithet ~rank ~year ?author () in
+                New_name { name = fresh; elected_type = 0 })
+      in
+      let name = name_of_outcome outcome in
+      Hashtbl.replace assignments t name;
+      (* record the calculated name, replacing an earlier derivation *)
+      List.iter
+        (fun (r : Obj.t) -> Database.unlink db r.Obj.oid)
+        (Database.outgoing db ~rel_name:S.calculated_name t);
+      ignore (Database.link db S.calculated_name ~origin:t ~destination:name);
+      results := { taxon = t; rank; outcome } :: !results)
+    order;
+  List.rev !results

@@ -1,0 +1,130 @@
+(** Synthetic flora generator.
+
+    Substitutes for the Royal Botanic Garden herbarium datasets used in
+    the thesis's taxonomic evaluation: a parameterised, deterministic
+    generator producing a realistic structure — families containing
+    genera containing species, each species circumscribing several
+    specimens, names typified by specimens, and optionally a second
+    overlapping classification obtained by perturbing the first (as a
+    later revision would). *)
+
+open Pmodel
+module S = Tax_schema
+
+type params = {
+  families : int;
+  genera_per_family : int;
+  species_per_genus : int;
+  specimens_per_species : int;
+  seed : int;
+}
+
+let default = { families = 2; genera_per_family = 3; species_per_genus = 5; specimens_per_species = 3; seed = 42 }
+
+type flora = {
+  ctx : int;
+  root_taxa : int list; (* family-level taxa *)
+  species_taxa : int list;
+  genus_taxa : int list;
+  specimens : int list;
+  species_names : int list;
+  author : int;
+}
+
+let syllables = [| "al"; "be"; "cor"; "dan"; "el"; "fo"; "gra"; "hel"; "ia"; "ka"; "lu"; "mor"; "nit"; "os"; "pra"; "qua"; "ros"; "sti"; "tu"; "ve" |]
+
+let word rng n_syll =
+  String.concat "" (List.init n_syll (fun _ -> syllables.(Random.State.int rng (Array.length syllables))))
+
+let capitalize s = String.capitalize_ascii s
+
+(** Generate a flora and one classification of it. *)
+let generate db ?(params = default) ?(name = "generated-classification") () : flora =
+  let rng = Random.State.make [| params.seed |] in
+  let author = Nomen.create_author db ~name:"Generated Author" ~abbreviation:"Gen." in
+  let ctx = Classify.create_classification db name in
+  let specimens = ref [] in
+  let species_taxa = ref [] in
+  let genus_taxa = ref [] in
+  let species_names = ref [] in
+  let root_taxa = ref [] in
+  for _f = 1 to params.families do
+    let fam_epithet = capitalize (word rng 2) ^ "aceae" in
+    let fam_name = Nomen.create_name db ~epithet:fam_epithet ~rank:Rank.Familia ~year:(1750 + Random.State.int rng 100) ~author () in
+    let fam_taxon = Classify.create_taxon db ~rank:Rank.Familia () in
+    ignore (Classify.ascribe_name db ~taxon:fam_taxon ~name:fam_name);
+    root_taxa := fam_taxon :: !root_taxa;
+    for _g = 1 to params.genera_per_family do
+      let gen_epithet = capitalize (word rng 2) in
+      let gen_year = 1753 + Random.State.int rng 150 in
+      let gen_name = Nomen.create_name db ~epithet:gen_epithet ~rank:Rank.Genus ~year:gen_year ~author () in
+      let gen_taxon = Classify.create_taxon db ~rank:Rank.Genus () in
+      ignore (Classify.ascribe_name db ~taxon:gen_taxon ~name:gen_name);
+      ignore (Classify.circumscribe db ~ctx ~group:fam_taxon ~item:gen_taxon ());
+      genus_taxa := gen_taxon :: !genus_taxa;
+      let first_species_name = ref None in
+      for _s = 1 to params.species_per_genus do
+        let sp_epithet = word rng 3 in
+        let sp_year = gen_year + Random.State.int rng 50 in
+        let sp_name =
+          Nomen.create_name db ~epithet:sp_epithet ~rank:Rank.Species ~year:sp_year ~author
+            ~placed_in:gen_name ()
+        in
+        species_names := sp_name :: !species_names;
+        if !first_species_name = None then first_species_name := Some sp_name;
+        let sp_taxon = Classify.create_taxon db ~rank:Rank.Species () in
+        ignore (Classify.ascribe_name db ~taxon:sp_taxon ~name:sp_name);
+        ignore (Classify.circumscribe db ~ctx ~group:gen_taxon ~item:sp_taxon ());
+        species_taxa := sp_taxon :: !species_taxa;
+        for k = 1 to params.specimens_per_species do
+          let sp =
+            Nomen.create_specimen db ~collector:(capitalize (word rng 2)) ~number:(Random.State.int rng 100000)
+              ~herbarium:"E"
+              ~collected:(Value.date ~month:(1 + Random.State.int rng 12) ~day:(1 + Random.State.int rng 28)
+                            (1800 + Random.State.int rng 200))
+              ()
+          in
+          specimens := sp :: !specimens;
+          ignore (Classify.circumscribe db ~ctx ~group:sp_taxon ~item:sp ());
+          (* the first specimen of each species is its holotype *)
+          if k = 1 then ignore (Nomen.set_type db ~name:sp_name ~target:sp ~kind:"holotype")
+        done
+      done;
+      (* the genus is typified by its first species name *)
+      (match !first_species_name with
+      | Some sn -> ignore (Nomen.set_type db ~name:gen_name ~target:sn ~kind:"holotype")
+      | None -> ());
+      (* and the family by its first genus name *)
+      if Nomen.types db fam_name = [] then
+        ignore (Nomen.set_type db ~name:fam_name ~target:gen_name ~kind:"holotype")
+    done
+  done;
+  {
+    ctx;
+    root_taxa = List.rev !root_taxa;
+    species_taxa = List.rev !species_taxa;
+    genus_taxa = List.rev !genus_taxa;
+    specimens = List.rev !specimens;
+    species_names = List.rev !species_names;
+    author;
+  }
+
+(** Produce a second, overlapping classification by copying the first
+    and moving a fraction of the species to sibling genera — the
+    "later revision" scenario. *)
+let perturb db (f : flora) ?(fraction = 0.3) ?(name = "revision") () : int =
+  let rng = Random.State.make [| f.ctx; 7 |] in
+  let ctx2 = Classify.start_revision db ~from_ctx:f.ctx name in
+  let genera = Array.of_list f.genus_taxa in
+  List.iter
+    (fun sp_taxon ->
+      if Random.State.float rng 1.0 < fraction && Array.length genera > 1 then begin
+        let target = genera.(Random.State.int rng (Array.length genera)) in
+        match Classify.group_of db ~ctx:ctx2 sp_taxon with
+        | Some g when g <> target ->
+            Classify.move db ~ctx:ctx2 ~item:sp_taxon ~group:target
+              ~reason:"revision: moved on morphological grounds" ()
+        | _ -> ()
+      end)
+    f.species_taxa;
+  ctx2

@@ -1,0 +1,67 @@
+(** Historical classifications (thesis 2.3, 7.1.2).
+
+    For old published classifications, specimen information is often
+    unavailable; the taxonomic database must still represent them.  A
+    historical classification is taxa-only: circumscription taxa carry
+    *ascribed* names (the names as published) and are nested following
+    the published arrangement; no specimens, hence no automatic name
+    derivation — but rank rules still apply and the classification can
+    be compared name-wise with others.
+
+    This module reconstructs such a classification from the
+    nomenclatural placement hierarchy: given a set of names, each name
+    becomes a taxon (ascribed), and a name placed in another yields a
+    circumscription link in the new context. *)
+
+open Pmodel
+module S = Tax_schema
+
+type t = {
+  ctx : int;
+  taxa : (int * int) list; (* name oid, taxon oid *)
+  roots : int list;
+}
+
+(** Build a historical classification context from [names], following
+    their [PlacedIn] hierarchy.  Names whose placement target is not in
+    [names] become roots. *)
+let from_placements db ~(names : int list) ?(classification_name = "historical") () : t =
+  let ctx = Classify.create_classification db classification_name in
+  let in_set = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace in_set n ()) names;
+  (* one taxon per name, at the name's rank *)
+  let taxa =
+    List.map
+      (fun n ->
+        let rank = Nomen.rank db n in
+        let t = Classify.create_taxon db ~rank ~notes:"historical" () in
+        ignore (Classify.ascribe_name db ~taxon:t ~name:n);
+        (n, t))
+      names
+  in
+  let taxon_of n = List.assoc n taxa in
+  let roots = ref [] in
+  List.iter
+    (fun (n, t) ->
+      match Nomen.placement db n with
+      | Some parent when Hashtbl.mem in_set parent ->
+          ignore
+            (Classify.circumscribe db ~ctx ~group:(taxon_of parent) ~item:t
+               ~reason:"published placement" ())
+      | _ -> roots := t :: !roots)
+    taxa;
+  { ctx; taxa; roots = List.rev !roots }
+
+(** Can this classification support automatic name derivation?  Only
+    if type specimens are recorded below it (thesis 2.3: without type
+    information the system can only check structural rules). *)
+let supports_derivation db (t : t) : bool =
+  List.exists
+    (fun (_, taxon) ->
+      not (Database.OidSet.is_empty (Classify.specimens_of db ~ctx:t.ctx taxon)))
+    t.taxa
+
+(** Name-based comparison against another classification (the only
+    comparison available without specimens). *)
+let compare_by_name db (t : t) ~other_ctx : (int * int) list =
+  Synonymy.find_by_name db ~ctx_a:t.ctx ~ctx_b:other_ctx

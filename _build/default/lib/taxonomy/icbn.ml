@@ -1,0 +1,173 @@
+(** ICBN rules as Prometheus rules (thesis 7.1.3.2, figs. 35–40).
+
+    Object rules constrain names; relationship rules constrain
+    typification, placement and classification structure.  All are
+    expressed over the generic rules layer, demonstrating that the
+    code of nomenclature is representable in the database rather than
+    in application code. *)
+
+open Pmodel
+module S = Tax_schema
+module R = Prules.Rule
+
+let get_str db oid attr =
+  match Database.get_attr db oid attr with Value.VString s -> Some s | _ -> None
+
+let rank_of db oid = Option.bind (get_str db oid "rank") Rank.of_string
+
+(* --- object rules (figs. 35–37) ------------------------------------------ *)
+
+(** Family (and subfamily/tribe/subtribe) names must bear the rank's
+    mandatory suffix, save the eight conserved exceptions. *)
+let name_suffix_rule =
+  R.invariant "icbn_name_suffix" ~class_name:S.name
+    ~message:"names above genus must carry their rank's mandatory suffix (ICBN)"
+    (fun db (o : Obj.t) ->
+      match rank_of db o.Obj.oid with
+      | Some r -> (
+          match Rank.required_suffix r with
+          | Some suffix -> (
+              match get_str db o.Obj.oid "epithet" with
+              | Some e ->
+                  List.mem e Rank.family_exceptions
+                  || (String.length e >= String.length suffix
+                     && String.sub e (String.length e - String.length suffix)
+                          (String.length suffix)
+                        = suffix)
+              | None -> true)
+          | None -> true)
+      | None -> true)
+
+(** Names above Species are capitalised; Species epithets and below
+    start lowercase (fig. 36: genus name rule). *)
+let name_capitalisation_rule =
+  R.invariant "icbn_capitalisation" ~class_name:S.name
+    ~message:"capitalisation must follow the name's rank (ICBN)"
+    (fun db (o : Obj.t) ->
+      match (rank_of db o.Obj.oid, get_str db o.Obj.oid "epithet") with
+      | Some r, Some e when String.length e > 0 ->
+          let c = e.[0] in
+          if Rank.requires_capital r then c = Char.uppercase_ascii c
+          else c = Char.lowercase_ascii c
+      | _ -> true)
+
+(** Genus names may contain a hyphen; other ranks must be single,
+    unhyphenated words (thesis 2.1.2). *)
+let single_word_rule =
+  R.invariant "icbn_single_word" ~class_name:S.name
+    ~message:"epithets are single words (hyphen allowed at Genus rank only)"
+    (fun db (o : Obj.t) ->
+      match (rank_of db o.Obj.oid, get_str db o.Obj.oid "epithet") with
+      | Some r, Some e ->
+          (not (String.contains e ' ')) && (r = Rank.Genus || not (String.contains e '-'))
+      | _ -> true)
+
+(** Every name should be typified (fig. 37) — checked at commit, as a
+    name is created before its type designation; violation is a
+    warning because historical names may lack types until
+    lectotypification. *)
+let type_existence_rule =
+  R.invariant "icbn_type_existence" ~class_name:S.name ~timing:R.Deferred ~on_violation:R.Warn
+    ~message:"a name should have a taxonomic type (lectotypify historical names)"
+    (fun db (o : Obj.t) -> Database.outgoing db ~rel_name:S.has_type o.Obj.oid <> [])
+
+(* --- relationship rules (figs. 38–40) ------------------------------------- *)
+
+(** A name has at most one holotype, one lectotype and one neotype; any
+    number of isotypes/syntypes (thesis 2.1.2). *)
+let unique_primary_type_rule =
+  R.relationship_rule "icbn_unique_primary_type" ~rel_name:S.has_type
+    ~message:"a name can have only one holotype, lectotype or neotype"
+    (fun db (r : Obj.t) ->
+      match Obj.get r "kind" with
+      | Value.VString kind when List.mem kind S.naming_type_kinds ->
+          let same_kind =
+            List.filter
+              (fun (other : Obj.t) ->
+                other.Obj.oid <> r.Obj.oid && Obj.get other "kind" = Value.VString kind)
+              (Database.outgoing db ~rel_name:S.has_type (Obj.origin r))
+          in
+          same_kind = []
+      | _ -> true)
+
+(** Placement: a name is placed in a name of strictly higher rank
+    (fig. 40: a Species epithet is placed in a Genus). *)
+let placement_rank_rule =
+  R.relationship_rule "icbn_placement_ranks" ~rel_name:S.placed_in
+    ~message:"a name must be placed in a name of strictly higher rank"
+    (fun db (r : Obj.t) ->
+      match (rank_of db (Obj.origin r), rank_of db (Obj.destination r)) with
+      | Some ro, Some rd -> Rank.strictly_above rd ro
+      | _ -> false)
+
+(** Classification structure: a taxon is circumscribed only by a taxon
+    of strictly higher rank (figs. 38–39: Species below Genus, Series
+    below Sectio, ...).  Specimens may be circumscribed by any rank. *)
+let circumscription_rank_rule =
+  R.relationship_rule "icbn_circumscription_ranks" ~rel_name:S.circumscribes
+    ~message:"groups must be nested in strictly descending rank order (ICBN)"
+    (fun db (r : Obj.t) ->
+      let dst = Obj.destination r in
+      if not (S.is_taxon db dst) then true
+      else
+        match (rank_of db (Obj.origin r), rank_of db dst) with
+        | Some ro, Some rd -> Rank.strictly_above ro rd
+        | _ -> false)
+
+(** Multinomial names (Species and below) must carry a placement so
+    the combination can be rendered — deferred so that a name can be
+    created and placed within one transaction. *)
+let multinomial_placement_rule =
+  R.invariant "icbn_multinomial_placement" ~class_name:S.name ~timing:R.Deferred
+    ~on_violation:R.Warn
+    ~message:"multinomial names should be placed in a genus-level name"
+    (fun db (o : Obj.t) ->
+      match rank_of db o.Obj.oid with
+      | Some r when Rank.is_multinomial r ->
+          Database.outgoing db ~rel_name:S.placed_in o.Obj.oid <> []
+      | _ -> true)
+
+(** Tautonyms are inadmissible in botany (unlike zoology): a species
+    epithet must differ from the genus name it is combined with —
+    "Linaria linaria" is invalid. *)
+let tautonym_rule =
+  R.relationship_rule "icbn_no_tautonym" ~rel_name:S.placed_in
+    ~message:"tautonyms (epithet repeating the genus name) are invalid in botany (ICBN)"
+    (fun db (r : Obj.t) ->
+      match (get_str db (Obj.origin r) "epithet", get_str db (Obj.destination r) "epithet") with
+      | Some e, Some g ->
+          String.lowercase_ascii e <> String.lowercase_ascii g
+          || rank_of db (Obj.origin r) <> Some Rank.Species
+      | _ -> true)
+
+(** A combination cannot have been published before the name it is
+    placed in (warn: historical data can carry transcription errors,
+    and taxonomists must be able to record them). *)
+let combination_year_rule =
+  R.relationship_rule "icbn_combination_year" ~rel_name:S.placed_in ~on_violation:R.Warn
+    ~message:"a combination should not predate the name it is placed in"
+    (fun db (r : Obj.t) ->
+      match
+        ( Database.get_attr db (Obj.origin r) "year",
+          Database.get_attr db (Obj.destination r) "year" )
+      with
+      | Value.VInt child, Value.VInt parent -> child >= parent
+      | _ -> true)
+
+(** The full ICBN rule set. *)
+let rules =
+  [
+    name_suffix_rule;
+    name_capitalisation_rule;
+    single_word_rule;
+    type_existence_rule;
+    unique_primary_type_rule;
+    placement_rank_rule;
+    circumscription_rank_rule;
+    multinomial_placement_rule;
+    tautonym_rule;
+    combination_year_rule;
+  ]
+
+(** Install the ICBN rules into an engine. *)
+let install engine = Prules.Engine.add_rules engine rules

@@ -1,0 +1,81 @@
+(** Synonym detection across classifications (thesis 2.1.3, 2.3).
+
+    Unlike name-based models, Prometheus *infers* synonymy from
+    circumscriptions: two taxa are synonyms when their specimen sets
+    overlap.  The overlap can be complete (full synonyms) or partial
+    (pro parte); synonyms sharing a naming type specimen are
+    homotypic, otherwise heterotypic. *)
+
+open Pmodel
+module S = Tax_schema
+module OidSet = Database.OidSet
+
+type extent_kind = Full | Pro_parte
+type type_kind = Homotypic | Heterotypic
+
+type synonym = {
+  taxon_a : int;
+  taxon_b : int;
+  extent : extent_kind;
+  typ : type_kind;
+  shared_specimens : int;
+}
+
+let pp_synonym ppf s =
+  Format.fprintf ppf "#%d ~ #%d (%s, %s, %d shared)" s.taxon_a s.taxon_b
+    (match s.extent with Full -> "full" | Pro_parte -> "pro parte")
+    (match s.typ with Homotypic -> "homotypic" | Heterotypic -> "heterotypic")
+    s.shared_specimens
+
+(** Naming type specimens within a specimen set. *)
+let types_in db (specs : OidSet.t) : OidSet.t =
+  OidSet.of_list (Derivation.naming_types db specs)
+
+let classify_pair db ~ctx_a ~ctx_b a b : synonym option =
+  let sa = Classify.specimens_of db ~ctx:ctx_a a in
+  let sb = Classify.specimens_of db ~ctx:ctx_b b in
+  let inter = OidSet.inter sa sb in
+  if OidSet.is_empty inter then None
+  else
+    let extent = if OidSet.equal sa sb then Full else Pro_parte in
+    let ta = types_in db sa and tb = types_in db sb in
+    let typ = if OidSet.is_empty (OidSet.inter ta tb) then Heterotypic else Homotypic in
+    Some { taxon_a = a; taxon_b = b; extent; typ; shared_specimens = OidSet.cardinal inter }
+
+(** All synonym pairs between two classifications: for each pair of
+    taxa with overlapping circumscriptions, the synonymy verdict. *)
+let find db ~ctx_a ~ctx_b : synonym list =
+  let ta = OidSet.elements (Classify.taxa_of_classification db ctx_a) in
+  let tb = OidSet.elements (Classify.taxa_of_classification db ctx_b) in
+  List.concat_map
+    (fun a -> List.filter_map (fun b -> classify_pair db ~ctx_a ~ctx_b a b) tb)
+    ta
+
+(** Name-based synonym detection, the (weaker) approach of other
+    models: taxa whose attached names share epithet and rank. *)
+let find_by_name db ~ctx_a ~ctx_b : (int * int) list =
+  let name_key db t =
+    let n =
+      match Classify.calculated_name db t with
+      | Some n -> Some n
+      | None -> Classify.ascribed_name_of db t
+    in
+    Option.map (fun n -> (Nomen.epithet db n, Rank.to_string (Nomen.rank db n))) n
+  in
+  let ta = OidSet.elements (Classify.taxa_of_classification db ctx_a) in
+  let tb = OidSet.elements (Classify.taxa_of_classification db ctx_b) in
+  List.concat_map
+    (fun a ->
+      match name_key db a with
+      | None -> []
+      | Some ka ->
+          List.filter_map
+            (fun b -> if name_key db b = Some ka then Some (a, b) else None)
+            tb)
+    ta
+
+(** A single-specimen overlap between groups in different
+    classifications may indicate a misplaced specimen (thesis 2.3):
+    report suspicious pro-parte synonyms. *)
+let suspicious_overlaps db ~ctx_a ~ctx_b : synonym list =
+  List.filter (fun s -> s.extent = Pro_parte && s.shared_specimens = 1) (find db ~ctx_a ~ctx_b)

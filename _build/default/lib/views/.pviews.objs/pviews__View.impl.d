@@ -1,0 +1,1 @@
+lib/views/view.ml: Bus Database Event Format Hashtbl List Meta Obj Pevent Pmodel Pool_lang Value

@@ -1,0 +1,194 @@
+(* Tests for the ODL schema definition language. *)
+
+open Pmodel
+module V = Value
+
+let tmp_counter = ref 0
+
+let tmp_path () =
+  incr tmp_counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "prom_odl_%d_%d.db" (Unix.getpid ()) !tmp_counter)
+
+let with_db f =
+  let path = tmp_path () in
+  let db = Database.open_ path in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Database.close db with _ -> ());
+      if Sys.file_exists path then Sys.remove path;
+      if Sys.file_exists (path ^ ".journal") then Sys.remove (path ^ ".journal"))
+    (fun () -> f db)
+
+let schema_src =
+  {|
+  -- a small firm, in ODL
+  abstract class LegalEntity {}
+
+  class Person {
+    attribute string name;
+    attribute int age = 18;
+    required attribute string surname;
+    attribute set<ref<Person>> friends;
+  }
+
+  class Company extends LegalEntity {
+    attribute string name;
+  }
+
+  relationship WorksFor (Person -> Company) {
+    association;
+    attribute int salary = 0;
+    card out 0..1;
+    card in 0..100;
+  }
+
+  relationship Owns (Company -> Company) {
+    aggregation;
+    exclusive;
+    not sharable;
+    lifetime dependent;
+    attribute string reason;
+    inherited attribute string reason;
+  }
+|}
+
+let test_odl_load () =
+  with_db (fun db ->
+      Podl.Odl.load db schema_src;
+      let schema = Database.schema db in
+      (* classes *)
+      Alcotest.(check bool) "Person defined" true (Meta.is_class schema "Person");
+      Alcotest.(check bool) "LegalEntity abstract" true
+        (Meta.class_exn schema "LegalEntity").Meta.abstract;
+      Alcotest.(check bool) "Company extends LegalEntity" true
+        (Meta.is_subclass schema ~sub:"Company" ~super:"LegalEntity");
+      (* attribute details *)
+      let age = Option.get (Meta.find_attr schema "Person" "age") in
+      Alcotest.(check bool) "default" true (age.Meta.default = V.VInt 18);
+      let surname = Option.get (Meta.find_attr schema "Person" "surname") in
+      Alcotest.(check bool) "required" true surname.Meta.required;
+      let friends = Option.get (Meta.find_attr schema "Person" "friends") in
+      Alcotest.(check bool) "set<ref>" true (friends.Meta.attr_ty = V.TSet (V.TRef "Person"));
+      (* relationship semantics *)
+      let wf = Meta.rel_exn schema "WorksFor" in
+      Alcotest.(check bool) "association" true (wf.Meta.kind = Meta.Association);
+      Alcotest.(check bool) "card out" true (wf.Meta.card_out = Meta.card ~cmax:1 ());
+      Alcotest.(check bool) "card in" true (wf.Meta.card_in = Meta.card ~cmax:100 ());
+      let owns = Meta.rel_exn schema "Owns" in
+      Alcotest.(check bool) "aggregation" true (owns.Meta.kind = Meta.Aggregation);
+      Alcotest.(check bool) "exclusive" true owns.Meta.exclusive;
+      Alcotest.(check bool) "not sharable" false owns.Meta.sharable;
+      Alcotest.(check bool) "lifetime" true owns.Meta.lifetime_dep;
+      Alcotest.(check (list string)) "inherited" [ "reason" ] owns.Meta.inherited_attrs)
+
+let test_odl_schema_is_usable () =
+  with_db (fun db ->
+      Podl.Odl.load db schema_src;
+      let p =
+        Database.create db "Person" [ ("name", V.VString "Ada"); ("surname", V.VString "L") ]
+      in
+      Alcotest.(check int) "default applied" 18 (V.as_int (Database.get_attr db p "age"));
+      (* required enforcement *)
+      (match Database.create db "Person" [ ("name", V.VString "x") ] with
+      | exception Database.Model_error _ -> ()
+      | _ -> Alcotest.fail "missing required attribute should fail");
+      let c = Database.create db "Company" [ ("name", V.VString "acme") ] in
+      ignore (Database.link db "WorksFor" ~origin:p ~destination:c);
+      (* card out 0..1 enforced *)
+      let c2 = Database.create db "Company" [ ("name", V.VString "other") ] in
+      match Database.link db "WorksFor" ~origin:p ~destination:c2 with
+      | exception Database.Model_error _ -> ()
+      | _ -> Alcotest.fail "second job should violate card out 0..1")
+
+let test_odl_errors () =
+  with_db (fun db ->
+      let bad src =
+        match Podl.Odl.load db src with
+        | exception Podl.Odl.Odl_error _ -> ()
+        | exception Meta.Schema_error _ -> ()
+        | _ -> Alcotest.failf "expected ODL error for %s" src
+      in
+      bad "class {}";
+      bad "class X { attribute mystery y; }";
+      bad "relationship R (A -> B) { association; }" (* unknown classes *);
+      bad "banana";
+      bad "class Y { attribute int n }" (* missing ';' *))
+
+let test_odl_string_literals_with_punctuation () =
+  with_db (fun db ->
+      (* ';', '{', '}' inside string defaults (and comments) must survive *)
+      Podl.Odl.load db
+        "-- comment with ; and { braces }\nclass Conf { attribute string sep = \"a;{b}\"; }";
+      let d = Option.get (Meta.find_attr (Database.schema db) "Conf" "sep") in
+      Alcotest.(check bool) "default preserved" true (d.Meta.default = V.VString "a;{b}"))
+
+let test_odl_persists () =
+  let path = tmp_path () in
+  let db = Database.open_ path in
+  Podl.Odl.load db "class Zed { attribute int z; }";
+  Database.close db;
+  let db = Database.open_ path in
+  Alcotest.(check bool) "ODL schema persisted" true (Meta.is_class (Database.schema db) "Zed");
+  Database.close db;
+  Sys.remove path
+
+let test_odl_print_roundtrip () =
+  with_db (fun db ->
+      Podl.Odl.load db schema_src;
+      let printed = Podl.Odl.print (Database.schema db) in
+      (* load the printed text into a fresh database: same schema *)
+      let path2 = tmp_path () in
+      let db2 = Database.open_ path2 in
+      Podl.Odl.load db2 printed;
+      let s1 = Database.schema db and s2 = Database.schema db2 in
+      List.iter
+        (fun (c : Meta.class_def) ->
+          if c.Meta.class_name <> "Object" && c.Meta.class_name.[0] <> '_'
+             && c.Meta.class_name <> "Context" then
+            match Meta.find_class s2 c.Meta.class_name with
+            | Some c2 ->
+                if c2 <> c then
+                  Alcotest.failf "class %s differs after roundtrip" c.Meta.class_name
+            | None -> Alcotest.failf "class %s lost in roundtrip" c.Meta.class_name)
+        (Meta.classes s1);
+      List.iter
+        (fun (r : Meta.rel_def) ->
+          match Meta.find_rel s2 r.Meta.rel_name with
+          | Some r2 ->
+              if r2 <> r then Alcotest.failf "rel %s differs after roundtrip" r.Meta.rel_name
+          | None -> Alcotest.failf "rel %s lost in roundtrip" r.Meta.rel_name)
+        (Meta.rels s1);
+      Database.close db2;
+      Sys.remove path2)
+
+let test_odl_print_taxonomy_schema () =
+  with_db (fun db ->
+      (* the full taxonomic schema survives an ODL print/parse cycle *)
+      Taxonomy.Tax_schema.install db;
+      let printed = Podl.Odl.print (Database.schema db) in
+      let path2 = tmp_path () in
+      let db2 = Database.open_ path2 in
+      Podl.Odl.load db2 printed;
+      Alcotest.(check bool) "Taxon survives" true (Meta.is_class (Database.schema db2) "Taxon");
+      let c = Meta.rel_exn (Database.schema db2) "Circumscribes" in
+      Alcotest.(check bool) "semantics survive" true
+        (c.Meta.exclusive && c.Meta.kind = Meta.Aggregation);
+      Database.close db2;
+      Sys.remove path2)
+
+let () =
+  Alcotest.run "odl"
+    [
+      ( "odl",
+        [
+          Alcotest.test_case "load full schema" `Quick test_odl_load;
+          Alcotest.test_case "schema is usable" `Quick test_odl_schema_is_usable;
+          Alcotest.test_case "errors" `Quick test_odl_errors;
+          Alcotest.test_case "string literals with punctuation" `Quick
+            test_odl_string_literals_with_punctuation;
+          Alcotest.test_case "persists" `Quick test_odl_persists;
+          Alcotest.test_case "print/parse roundtrip" `Quick test_odl_print_roundtrip;
+          Alcotest.test_case "taxonomy schema roundtrip" `Quick test_odl_print_taxonomy_schema;
+        ] );
+    ]

@@ -1,0 +1,490 @@
+(* Property-based tests over the core data structures and invariants:
+   value serialisation, value ordering, schema round-trips, graph
+   dualities, derivation determinism, synonymy symmetry, and POOL
+   algebraic laws. *)
+
+open Pmodel
+module V = Value
+module OidSet = Database.OidSet
+
+let tmp_counter = ref 0
+
+let tmp_path () =
+  incr tmp_counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "prom_prop_%d_%d.db" (Unix.getpid ()) !tmp_counter)
+
+let cleanup path =
+  if Sys.file_exists path then Sys.remove path;
+  if Sys.file_exists (path ^ ".journal") then Sys.remove (path ^ ".journal")
+
+let with_db f =
+  let path = tmp_path () in
+  let db = Database.open_ path in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Database.close db with _ -> ());
+      cleanup path)
+    (fun () -> f db)
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let value_gen : V.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  sized (fun size ->
+      fix
+        (fun self size ->
+          let scalar =
+            oneof
+              [
+                return V.VNull;
+                map (fun i -> V.VInt i) small_signed_int;
+                map (fun f -> V.VFloat f) (float_bound_inclusive 1000.);
+                map (fun s -> V.VString s) (string_size (int_bound 12));
+                map (fun b -> V.VBool b) bool;
+                map3 (fun y m d -> V.VDate (V.date ~month:(1 + m) ~day:(1 + d) y))
+                  (int_range 1700 2100) (int_bound 11) (int_bound 27);
+                map (fun o -> V.VRef (1 + o)) (int_bound 10000);
+              ]
+          in
+          if size <= 1 then scalar
+          else
+            frequency
+              [
+                (4, scalar);
+                (1, map (fun l -> V.VList l) (list_size (int_bound 4) (self (size / 2))));
+                (1, map V.vset (list_size (int_bound 4) (self (size / 2))));
+                (1, map V.vbag (list_size (int_bound 4) (self (size / 2))));
+              ])
+        (min size 12))
+
+let value_arb = QCheck.make ~print:V.to_string value_gen
+
+let ty_gen : V.ty QCheck.Gen.t =
+  let open QCheck.Gen in
+  sized
+    (fix (fun self size ->
+         let base =
+           oneofl [ V.TInt; V.TFloat; V.TString; V.TBool; V.TDate; V.TRef "Object"; V.TAny ]
+         in
+         if size <= 1 then base
+         else
+           frequency
+             [
+               (4, base);
+               (1, map (fun t -> V.TList t) (self (size / 2)));
+               (1, map (fun t -> V.TSet t) (self (size / 2)));
+               (1, map (fun t -> V.TBag t) (self (size / 2)));
+             ]))
+
+(* ------------------------------------------------------------------ *)
+(* Value properties                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let prop_value_roundtrip =
+  QCheck.Test.make ~name:"value encode/decode roundtrip" ~count:500 value_arb (fun v ->
+      let e = Pstore.Codec.Enc.create () in
+      V.encode e v;
+      let d = Pstore.Codec.Dec.of_string (Pstore.Codec.Enc.to_string e) in
+      V.equal_value v (V.decode d))
+
+let prop_ty_roundtrip =
+  QCheck.Test.make ~name:"type encode/decode roundtrip" ~count:300 (QCheck.make ty_gen)
+    (fun t ->
+      let e = Pstore.Codec.Enc.create () in
+      V.encode_ty e t;
+      let d = Pstore.Codec.Dec.of_string (Pstore.Codec.Enc.to_string e) in
+      V.decode_ty d = t)
+
+let prop_compare_reflexive =
+  QCheck.Test.make ~name:"compare_value reflexive" ~count:300 value_arb (fun v ->
+      V.compare_value v v = 0)
+
+let prop_compare_antisymmetric =
+  QCheck.Test.make ~name:"compare_value antisymmetric" ~count:300 (QCheck.pair value_arb value_arb)
+    (fun (a, b) ->
+      let ab = V.compare_value a b and ba = V.compare_value b a in
+      (ab = 0 && ba = 0) || (ab > 0 && ba < 0) || (ab < 0 && ba > 0))
+
+let prop_compare_transitive =
+  QCheck.Test.make ~name:"compare_value transitive (sampled)" ~count:300
+    (QCheck.triple value_arb value_arb value_arb) (fun (a, b, c) ->
+      let sorted = List.sort V.compare_value [ a; b; c ] in
+      match sorted with
+      | [ x; y; z ] -> V.compare_value x y <= 0 && V.compare_value y z <= 0 && V.compare_value x z <= 0
+      | _ -> false)
+
+let prop_vset_idempotent =
+  QCheck.Test.make ~name:"vset is sorted, unique, idempotent" ~count:300
+    (QCheck.list_of_size QCheck.Gen.(int_bound 8) value_arb) (fun l ->
+      match V.vset l with
+      | V.VSet items ->
+          let again = match V.vset items with V.VSet i -> i | _ -> [] in
+          let sorted = List.sort_uniq V.compare_value l in
+          List.length items = List.length sorted && again = items
+      | _ -> false)
+
+let prop_obj_roundtrip =
+  QCheck.Test.make ~name:"object encode/decode roundtrip" ~count:300
+    (QCheck.list_of_size
+       QCheck.Gen.(int_bound 6)
+       (QCheck.pair (QCheck.make QCheck.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 8))) value_arb))
+    (fun attrs ->
+      let o = Obj.make ~oid:42 ~class_name:"Probe" attrs in
+      let o' = Obj.decode ~oid:42 (Obj.encode o) in
+      o'.Obj.class_name = "Probe"
+      && List.for_all (fun (k, _) -> V.equal_value (Obj.get o k) (Obj.get o' k)) attrs)
+
+(* ------------------------------------------------------------------ *)
+(* Schema round-trip                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let prop_schema_roundtrip =
+  QCheck.Test.make ~name:"schema encode/decode roundtrip" ~count:50
+    QCheck.(pair (int_range 1 6) (int_range 0 4))
+    (fun (nclasses, nrels) ->
+      let s = Meta.empty () in
+      for i = 1 to nclasses do
+        let supers = if i > 1 && i mod 2 = 0 then [ Printf.sprintf "C%d" (i - 1) ] else [] in
+        ignore
+          (Meta.define_class s ~supers (Printf.sprintf "C%d" i)
+             [ Meta.attr "a" V.TInt; Meta.attr "b" (V.TSet (V.TRef "Object")) ])
+      done;
+      for i = 1 to min nrels nclasses do
+        ignore
+          (Meta.define_rel s (Printf.sprintf "R%d" i) ~origin:(Printf.sprintf "C%d" i)
+             ~destination:"C1" ~kind:Meta.Aggregation ~exclusive:(i mod 2 = 0)
+             ~attrs:[ Meta.attr "w" V.TInt ])
+      done;
+      let s2 = Meta.empty () in
+      Meta.decode_into s2 (Meta.encode s);
+      List.for_all
+        (fun (c : Meta.class_def) -> Meta.find_class s2 c.Meta.class_name = Some c)
+        (Meta.classes s)
+      && List.for_all (fun (r : Meta.rel_def) -> Meta.find_rel s2 r.Meta.rel_name = Some r)
+           (Meta.rels s))
+
+(* ------------------------------------------------------------------ *)
+(* Graph properties on random DAGs                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* build a random DAG over n nodes: edges only i -> j with i < j *)
+let build_dag db n (edges : (int * int) list) =
+  ignore (Database.define_class db "GNode" [ Meta.attr "i" V.TInt ]);
+  ignore (Database.define_rel db "GEdge" ~origin:"GNode" ~destination:"GNode");
+  let nodes = Array.init n (fun i -> Database.create db "GNode" [ ("i", V.VInt i) ]) in
+  List.iter
+    (fun (i, j) ->
+      if i <> j then
+        let i, j = if i < j then (i, j) else (j, i) in
+        if
+          not
+            (List.exists
+               (fun (r : Obj.t) -> Obj.destination r = nodes.(j))
+               (Database.outgoing db ~rel_name:"GEdge" nodes.(i)))
+        then ignore (Database.link db "GEdge" ~origin:nodes.(i) ~destination:nodes.(j)))
+    edges;
+  nodes
+
+let dag_gen =
+  QCheck.make
+    ~print:(fun (n, es) ->
+      Printf.sprintf "n=%d edges=[%s]" n
+        (String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) es)))
+    QCheck.Gen.(
+      int_range 2 10 >>= fun n ->
+      list_size (int_bound 20) (pair (int_bound (n - 1)) (int_bound (n - 1))) >>= fun es ->
+      return (n, es))
+
+let prop_closure_is_descendants_plus_root =
+  QCheck.Test.make ~name:"closure = descendants + root" ~count:60 dag_gen (fun (n, es) ->
+      with_db (fun db ->
+          let nodes = build_dag db n es in
+          Array.for_all
+            (fun v ->
+              let c = Pgraph.Traverse.closure db ~rel:"GEdge" v in
+              let d = Pgraph.Traverse.descendants db ~rel:"GEdge" v in
+              OidSet.equal c (OidSet.add v d))
+            nodes))
+
+let prop_ancestors_descendants_dual =
+  QCheck.Test.make ~name:"u in descendants(v) iff v in ancestors(u)" ~count:60 dag_gen
+    (fun (n, es) ->
+      with_db (fun db ->
+          let nodes = build_dag db n es in
+          Array.for_all
+            (fun v ->
+              OidSet.for_all
+                (fun u -> OidSet.mem v (Pgraph.Traverse.ancestors db ~rel:"GEdge" u))
+                (Pgraph.Traverse.descendants db ~rel:"GEdge" v))
+            nodes))
+
+let prop_dag_has_no_cycle =
+  QCheck.Test.make ~name:"generated DAGs are acyclic; adding a back edge creates a cycle"
+    ~count:60 dag_gen (fun (n, es) ->
+      with_db (fun db ->
+          let nodes = build_dag db n es in
+          let universe = Array.fold_left (fun s v -> OidSet.add v s) OidSet.empty nodes in
+          let acyclic = not (Pgraph.Traverse.has_cycle db ~rel:"GEdge" universe) in
+          (* force a cycle when at least one edge exists *)
+          let with_back_edge =
+            match
+              Array.to_list nodes
+              |> List.concat_map (fun v -> Database.outgoing db ~rel_name:"GEdge" v)
+            with
+            | [] -> true (* no edges: nothing to test *)
+            | r :: _ ->
+                ignore
+                  (Database.link db "GEdge" ~origin:(Obj.destination r) ~destination:(Obj.origin r));
+                Pgraph.Traverse.has_cycle db ~rel:"GEdge" universe
+          in
+          acyclic && with_back_edge))
+
+let prop_path_endpoints =
+  QCheck.Test.make ~name:"shortest_path endpoints and adjacency" ~count:60 dag_gen
+    (fun (n, es) ->
+      with_db (fun db ->
+          let nodes = build_dag db n es in
+          Array.for_all
+            (fun src ->
+              Array.for_all
+                (fun dst ->
+                  match Pgraph.Traverse.shortest_path db ~rel:"GEdge" src dst with
+                  | None -> not (Pgraph.Traverse.reachable db ~rel:"GEdge" src dst) || src = dst
+                  | Some p ->
+                      List.hd p = src
+                      && List.nth p (List.length p - 1) = dst
+                      && (* consecutive nodes are connected *)
+                      let rec adj = function
+                        | a :: (b :: _ as rest) ->
+                            List.exists
+                              (fun (r : Obj.t) -> Obj.destination r = b)
+                              (Database.outgoing db ~rel_name:"GEdge" a)
+                            && adj rest
+                        | _ -> true
+                      in
+                      adj p)
+                nodes)
+            nodes))
+
+(* ------------------------------------------------------------------ *)
+(* Taxonomy properties                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let prop_derivation_deterministic =
+  QCheck.Test.make ~name:"derivation is deterministic and total" ~count:10
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      with_db (fun db ->
+          Taxonomy.Tax_schema.install db;
+          let params =
+            { Taxonomy.Flora_gen.families = 1; genera_per_family = 2; species_per_genus = 3; specimens_per_species = 2; seed }
+          in
+          let flora = Taxonomy.Flora_gen.generate db ~params () in
+          let root = List.hd flora.Taxonomy.Flora_gen.root_taxa in
+          let ctx = flora.Taxonomy.Flora_gen.ctx in
+          let a1 = Taxonomy.Derivation.derive db ~ctx ~root () in
+          let names1 =
+            List.map
+              (fun a -> (a.Taxonomy.Derivation.taxon, Taxonomy.Derivation.name_of_outcome a.Taxonomy.Derivation.outcome))
+              a1
+          in
+          (* every taxon in the classification got a name *)
+          let n_taxa = 1 + 2 + 6 in
+          List.length a1 = n_taxa
+          && (* re-deriving assigns the same names for taxa that had
+                Existing outcomes (new combinations are reused the second
+                time: the names now exist) *)
+          List.for_all
+            (fun (t, n) ->
+              match Taxonomy.Classify.calculated_name db t with
+              | Some n' -> n' = n
+              | None -> false)
+            names1))
+
+let prop_synonymy_symmetric =
+  QCheck.Test.make ~name:"specimen-based synonymy is symmetric" ~count:8
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      with_db (fun db ->
+          Taxonomy.Tax_schema.install db;
+          let params =
+            { Taxonomy.Flora_gen.families = 1; genera_per_family = 2; species_per_genus = 3; specimens_per_species = 2; seed }
+          in
+          let flora = Taxonomy.Flora_gen.generate db ~params () in
+          let ctx2 = Taxonomy.Flora_gen.perturb db flora ~fraction:0.5 () in
+          let ctx1 = flora.Taxonomy.Flora_gen.ctx in
+          let ab = Taxonomy.Synonymy.find db ~ctx_a:ctx1 ~ctx_b:ctx2 in
+          let ba = Taxonomy.Synonymy.find db ~ctx_a:ctx2 ~ctx_b:ctx1 in
+          let key s = (s.Taxonomy.Synonymy.taxon_a, s.Taxonomy.Synonymy.taxon_b, s.Taxonomy.Synonymy.extent = Taxonomy.Synonymy.Full) in
+          let flip s = (s.Taxonomy.Synonymy.taxon_b, s.Taxonomy.Synonymy.taxon_a, s.Taxonomy.Synonymy.extent = Taxonomy.Synonymy.Full) in
+          List.sort compare (List.map key ab) = List.sort compare (List.map flip ba)))
+
+let prop_compare_copy_is_identity =
+  QCheck.Test.make ~name:"a fresh revision copy agrees 100% with its source" ~count:8
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      with_db (fun db ->
+          Taxonomy.Tax_schema.install db;
+          let params =
+            { Taxonomy.Flora_gen.families = 1; genera_per_family = 2; species_per_genus = 2; specimens_per_species = 2; seed }
+          in
+          let flora = Taxonomy.Flora_gen.generate db ~params () in
+          let ctx1 = flora.Taxonomy.Flora_gen.ctx in
+          let ctx2 = Taxonomy.Classify.start_revision db ~from_ctx:ctx1 "copy" in
+          let r =
+            Pgraph.Compare.compare_contexts db ~rel:Taxonomy.Tax_schema.circumscribes
+              ~ctx_a:ctx1 ~ctx_b:ctx2
+          in
+          r.Pgraph.Compare.agreement = 1.0
+          && r.Pgraph.Compare.moved = []
+          && OidSet.is_empty r.Pgraph.Compare.only_in_a
+          && OidSet.is_empty r.Pgraph.Compare.only_in_b))
+
+let prop_revision_copy_preserves_specimen_sets =
+  QCheck.Test.make ~name:"starting a revision preserves every circumscription" ~count:8
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      with_db (fun db ->
+          Taxonomy.Tax_schema.install db;
+          let params =
+            { Taxonomy.Flora_gen.families = 1; genera_per_family = 2; species_per_genus = 2; specimens_per_species = 2; seed }
+          in
+          let flora = Taxonomy.Flora_gen.generate db ~params () in
+          let ctx1 = flora.Taxonomy.Flora_gen.ctx in
+          let ctx2 = Taxonomy.Classify.start_revision db ~from_ctx:ctx1 "copy" in
+          List.for_all
+            (fun t ->
+              OidSet.equal
+                (Taxonomy.Classify.specimens_of db ~ctx:ctx1 t)
+                (Taxonomy.Classify.specimens_of db ~ctx:ctx2 t))
+            (flora.Taxonomy.Flora_gen.species_taxa @ flora.Taxonomy.Flora_gen.genus_taxa)))
+
+(* ------------------------------------------------------------------ *)
+(* POOL algebraic laws                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let with_numbers f =
+  with_db (fun db ->
+      ignore (Database.define_class db "Num" [ Meta.attr "v" V.TInt ]);
+      f db (fun vals -> List.iter (fun v -> ignore (Database.create db "Num" [ ("v", V.VInt v) ])) vals))
+
+let ints_arb = QCheck.(list_of_size Gen.(int_bound 12) (int_bound 20))
+
+let prop_pool_where_filters =
+  QCheck.Test.make ~name:"POOL where = List.filter" ~count:40 ints_arb (fun vals ->
+      with_numbers (fun db load ->
+          load vals;
+          let got =
+            Pool_lang.Pool.rows db "select n.v from Num n where n.v > 10 order by n.v"
+            |> List.map V.as_int
+          in
+          got = List.sort compare (List.filter (fun v -> v > 10) vals)))
+
+let prop_pool_distinct_set_semantics =
+  QCheck.Test.make ~name:"POOL distinct = sort_uniq" ~count:40 ints_arb (fun vals ->
+      with_numbers (fun db load ->
+          load vals;
+          let got =
+            Pool_lang.Pool.rows db "select distinct n.v from Num n order by n.v"
+            |> List.map V.as_int
+          in
+          got = List.sort_uniq compare vals))
+
+let prop_pool_set_algebra =
+  QCheck.Test.make ~name:"POOL union/inter/except match set algebra" ~count:40
+    (QCheck.pair ints_arb ints_arb) (fun (xs, ys) ->
+      with_numbers (fun db load ->
+          load [];
+          ignore load;
+          let lit l = "[" ^ String.concat ", " (List.map string_of_int l) ^ "]" in
+          let run op =
+            Pool_lang.Pool.query db (Printf.sprintf "%s %s %s" (lit xs) op (lit ys))
+            |> V.as_elements |> List.map V.as_int
+          in
+          let module IS = Set.Make (Int) in
+          let sx = IS.of_list xs and sy = IS.of_list ys in
+          run "union" = IS.elements (IS.union sx sy)
+          && run "inter" = IS.elements (IS.inter sx sy)
+          && run "except" = IS.elements (IS.diff sx sy)))
+
+let prop_pool_count_sum =
+  QCheck.Test.make ~name:"POOL count/sum/min/max agree with folds" ~count:40 ints_arb
+    (fun vals ->
+      with_numbers (fun db load ->
+          load vals;
+          let scalar q = Pool_lang.Pool.query db q in
+          V.as_int (scalar "count(select n from Num n)") = List.length vals
+          && V.as_int (scalar "sum(select n.v from Num n)") = List.fold_left ( + ) 0 vals
+          && (vals = []
+             || V.as_int (scalar "min(select n.v from Num n)")
+                  = List.fold_left min max_int vals
+                && V.as_int (scalar "max(select n.v from Num n)")
+                  = List.fold_left max min_int vals)))
+
+(* ------------------------------------------------------------------ *)
+(* Transaction properties                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A random interleaving of creates/updates/deletes inside aborted
+   transactions must leave the database exactly as before. *)
+let prop_abort_is_identity =
+  QCheck.Test.make ~name:"aborted transactions leave no trace" ~count:25
+    QCheck.(list_of_size Gen.(int_bound 15) (pair (int_bound 2) small_nat))
+    (fun ops ->
+      with_db (fun db ->
+          ignore (Database.define_class db "Thing" [ Meta.attr "v" V.TInt ]);
+          ignore (Database.define_rel db "Link" ~origin:"Thing" ~destination:"Thing");
+          (* committed baseline *)
+          let base = List.init 5 (fun i -> Database.create db "Thing" [ ("v", V.VInt i) ]) in
+          let l0 = Database.link db "Link" ~origin:(List.nth base 0) ~destination:(List.nth base 1) in
+          let snapshot () =
+            ( Database.count db "Thing",
+              List.map (fun o -> Database.get_attr db o "v") base,
+              Database.get db l0 <> None )
+          in
+          let before = snapshot () in
+          Database.begin_tx db;
+          List.iter
+            (fun (kind, x) ->
+              let target = List.nth base (x mod 5) in
+              match kind with
+              | 0 -> ignore (Database.create db "Thing" [ ("v", V.VInt x) ])
+              | 1 -> ( try Database.update db target "v" (V.VInt (x * 7)) with _ -> ())
+              | _ -> ( try Database.delete db target with _ -> ()))
+            ops;
+          Database.abort db;
+          snapshot () = before))
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "values",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_value_roundtrip; prop_ty_roundtrip; prop_compare_reflexive;
+            prop_compare_antisymmetric; prop_compare_transitive; prop_vset_idempotent;
+            prop_obj_roundtrip; prop_schema_roundtrip;
+          ] );
+      ( "graphs",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_closure_is_descendants_plus_root; prop_ancestors_descendants_dual;
+            prop_dag_has_no_cycle; prop_path_endpoints;
+          ] );
+      ( "taxonomy",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_derivation_deterministic; prop_synonymy_symmetric;
+            prop_revision_copy_preserves_specimen_sets; prop_compare_copy_is_identity;
+          ] );
+      ( "pool",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_pool_where_filters; prop_pool_distinct_set_semantics; prop_pool_set_algebra;
+            prop_pool_count_sum;
+          ] );
+      ("transactions", [ QCheck_alcotest.to_alcotest prop_abort_is_identity ]);
+    ]

@@ -1,0 +1,463 @@
+(* Tests for the rules engine, PCL, and the Prometheus core facade. *)
+
+open Pmodel
+module V = Value
+module R = Prules.Rule
+module E = Prules.Engine
+
+let tmp_counter = ref 0
+
+let tmp_path () =
+  incr tmp_counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "prom_rules_%d_%d.db" (Unix.getpid ()) !tmp_counter)
+
+let with_p f =
+  let path = tmp_path () in
+  let p = Prometheus.open_ path in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Prometheus.close p with _ -> ());
+      if Sys.file_exists path then Sys.remove path;
+      if Sys.file_exists (path ^ ".journal") then Sys.remove (path ^ ".journal"))
+    (fun () -> f p)
+
+let str s = V.VString s
+let vint i = V.VInt i
+
+let part_schema p =
+  ignore
+    (Prometheus.define_class p "Part"
+       [ Prometheus.attr "name" V.TString; Prometheus.attr "price" V.TInt ])
+
+(* --- immediate rules ---------------------------------------------------- *)
+
+let test_invariant_abort () =
+  with_p (fun p ->
+      part_schema p;
+      Prometheus.add_rule p
+        (R.invariant "price_range" ~class_name:"Part" (fun db o ->
+             ignore db;
+             match Obj.get o "price" with V.VInt x -> x >= 10 && x <= 10000 | _ -> true));
+      (* valid create passes *)
+      let ok = Prometheus.create p "Part" [ ("price", vint 50) ] in
+      Alcotest.(check bool) "valid part" true (Prometheus.get p ok <> None);
+      (* invalid create raises inside with_tx and rolls back *)
+      (match
+         Prometheus.with_tx p (fun () -> Prometheus.create p "Part" [ ("price", vint 5) ])
+       with
+      | exception Prometheus.Violation _ -> ()
+      | _ -> Alcotest.fail "expected violation");
+      Alcotest.(check int) "rolled back" 1 (Prometheus.count p "Part");
+      (* invalid update also vetoed *)
+      match Prometheus.with_tx p (fun () -> Prometheus.update p ok "price" (vint 99999)) with
+      | exception Prometheus.Violation _ ->
+          Alcotest.(check int) "update rolled back" 50
+            (V.as_int (Prometheus.get_attr p ok "price"))
+      | _ -> Alcotest.fail "expected violation on update")
+
+let test_warn_action () =
+  with_p (fun p ->
+      part_schema p;
+      Prometheus.add_rule p
+        (R.invariant "pricey" ~class_name:"Part" ~on_violation:R.Warn (fun _ o ->
+             match Obj.get o "price" with V.VInt x -> x < 100 | _ -> true));
+      ignore (Prometheus.create p "Part" [ ("price", vint 500) ]);
+      Alcotest.(check int) "warning recorded" 1 (List.length (Prometheus.rule_warnings p));
+      Alcotest.(check int) "object still created" 1 (Prometheus.count p "Part"))
+
+let test_repair_action () =
+  with_p (fun p ->
+      part_schema p;
+      (* repair: clamp negative prices to 10 *)
+      Prometheus.add_rule p
+        (R.invariant "non_negative" ~class_name:"Part"
+           ~on_violation:
+             (R.Repair
+                (fun db ev ->
+                  match ev with
+                  | Pevent.Event.Obj_created { oid; _ } | Pevent.Event.Obj_updated { oid; _ } ->
+                      Database.update db oid "price" (vint 10)
+                  | _ -> ()))
+           (fun _ o -> match Obj.get o "price" with V.VInt x -> x >= 0 | _ -> true));
+      let o = Prometheus.create p "Part" [ ("price", vint (-5)) ] in
+      Alcotest.(check int) "repaired" 10 (V.as_int (Prometheus.get_attr p o "price")))
+
+let test_interactive_action () =
+  with_p (fun p ->
+      part_schema p;
+      let asked = ref 0 in
+      let answer = ref true in
+      Prometheus.add_rule p
+        (R.invariant "confirm_expensive" ~class_name:"Part"
+           ~on_violation:(R.Interactive (fun _msg -> incr asked; !answer))
+           (fun _ o -> match Obj.get o "price" with V.VInt x -> x < 1000 | _ -> true));
+      ignore (Prometheus.create p "Part" [ ("price", vint 5000) ]);
+      Alcotest.(check int) "asked once, accepted" 1 !asked;
+      answer := false;
+      (match
+         Prometheus.with_tx p (fun () -> Prometheus.create p "Part" [ ("price", vint 9000) ])
+       with
+      | exception Prometheus.Violation _ -> ()
+      | _ -> Alcotest.fail "expected violation when user refuses");
+      Alcotest.(check int) "second part refused" 1 (Prometheus.count p "Part"))
+
+(* --- deferred rules ------------------------------------------------------- *)
+
+let test_deferred_rule_at_commit () =
+  with_p (fun p ->
+      part_schema p;
+      ignore (Prometheus.define_class p "Assembly" []);
+      ignore
+        (Prometheus.define_rel p "Contains" ~origin:"Assembly" ~destination:"Part"
+           ~kind:Prometheus.Aggregation);
+      (* deferred: an assembly must contain at least one part at commit *)
+      Prometheus.add_rule p
+        (R.postcondition "assembly_non_empty"
+           (Pevent.Event.On_create (Some "Assembly"))
+           (fun db ev ->
+             match ev with
+             | Pevent.Event.Obj_created { oid; _ } -> (
+                 match Database.get db oid with
+                 | None -> true
+                 | Some _ -> Database.outgoing db ~rel_name:"Contains" oid <> [])
+             | _ -> true));
+      (* creating assembly + part in one tx passes: condition evaluated at
+         commit, against the final state *)
+      Prometheus.with_tx p (fun () ->
+          let a = Prometheus.create p "Assembly" [] in
+          let part = Prometheus.create p "Part" [ ("price", vint 10) ] in
+          ignore (Prometheus.link p "Contains" ~origin:a ~destination:part));
+      Alcotest.(check int) "committed" 1 (Prometheus.count p "Assembly");
+      (* empty assembly vetoed at commit *)
+      match Prometheus.with_tx p (fun () -> Prometheus.create p "Assembly" []) with
+      | exception Prometheus.Violation _ ->
+          Alcotest.(check int) "vetoed at commit" 1 (Prometheus.count p "Assembly")
+      | _ -> Alcotest.fail "expected deferred violation")
+
+let test_min_cardinality_at_commit () =
+  with_p (fun p ->
+      ignore (Prometheus.define_class p "Order" []);
+      ignore (Prometheus.define_class p "Line" []);
+      ignore
+        (Prometheus.define_rel p "HasLine" ~origin:"Order" ~destination:"Line"
+           ~card_out:(Prometheus.card ~cmin:1 ()));
+      (match Prometheus.with_tx p (fun () -> Prometheus.create p "Order" []) with
+      | exception R.Violation _ -> ()
+      | _ -> Alcotest.fail "expected min-cardinality violation");
+      Prometheus.with_tx p (fun () ->
+          let o = Prometheus.create p "Order" [] in
+          let l = Prometheus.create p "Line" [] in
+          ignore (Prometheus.link p "HasLine" ~origin:o ~destination:l));
+      Alcotest.(check int) "valid order committed" 1 (Prometheus.count p "Order"))
+
+let test_rule_priority_order () =
+  with_p (fun p ->
+      part_schema p;
+      let trace = ref [] in
+      let mk name prio =
+        R.make ~timing:R.Deferred ~priority:prio name
+          (Pevent.Event.On_create (Some "Part"))
+          (fun _ _ ->
+            trace := name :: !trace;
+            true)
+      in
+      Prometheus.add_rules p [ mk "low_prio" 200; mk "high_prio" 1 ];
+      Prometheus.with_tx p (fun () -> ignore (Prometheus.create p "Part" []));
+      Alcotest.(check (list string)) "priority order" [ "high_prio"; "low_prio" ]
+        (List.rev !trace))
+
+let test_remove_rule () =
+  with_p (fun p ->
+      part_schema p;
+      Prometheus.add_rule p
+        (R.invariant "no_parts" ~class_name:"Part" (fun _ _ -> false));
+      (match Prometheus.with_tx p (fun () -> Prometheus.create p "Part" []) with
+      | exception Prometheus.Violation _ -> ()
+      | _ -> Alcotest.fail "rule should fire");
+      Prometheus.remove_rule p "no_parts";
+      ignore (Prometheus.create p "Part" []);
+      Alcotest.(check int) "rule removed" 1 (Prometheus.count p "Part"))
+
+let test_applicability_condition () =
+  with_p (fun p ->
+      part_schema p;
+      (* rule applies only to parts named "widget" *)
+      let r =
+        R.invariant "widget_price" ~class_name:"Part" (fun _ o ->
+            match Obj.get o "price" with V.VInt x -> x >= 100 | _ -> true)
+      in
+      let r =
+        {
+          r with
+          R.applicability =
+            Some
+              (fun db ev ->
+                match ev with
+                | Pevent.Event.Obj_created { oid; _ } | Pevent.Event.Obj_updated { oid; _ } -> (
+                    match Database.get db oid with
+                    | Some o -> Obj.get o "name" = str "widget"
+                    | None -> false)
+                | _ -> false);
+        }
+      in
+      Prometheus.add_rule p r;
+      (* non-widget: rule not applicable, cheap price fine *)
+      ignore (Prometheus.create p "Part" [ ("name", str "gadget"); ("price", vint 5) ]);
+      (* widget: rule applies *)
+      match
+        Prometheus.with_tx p (fun () ->
+            Prometheus.create p "Part" [ ("name", str "widget"); ("price", vint 5) ])
+      with
+      | exception Prometheus.Violation _ -> ()
+      | _ -> Alcotest.fail "expected violation for cheap widget")
+
+(* --- engine edge cases --------------------------------------------------- *)
+
+let test_repair_cascade_limit () =
+  with_p (fun p ->
+      part_schema p;
+      (* a pathological repair that re-violates forever must hit the
+         cascade limit instead of looping *)
+      Prometheus.add_rule p
+        (R.invariant "sisyphus" ~class_name:"Part"
+           ~on_violation:
+             (R.Repair
+                (fun db ev ->
+                  match ev with
+                  | Pevent.Event.Obj_created { oid; _ } | Pevent.Event.Obj_updated { oid; _ } ->
+                      (* "repair" to another violating value: retriggers *)
+                      Database.update db oid "price" (vint (-1))
+                  | _ -> ()))
+           (fun _ o -> match Obj.get o "price" with V.VInt x -> x >= 0 | _ -> true));
+      match
+        Prometheus.with_tx p (fun () -> Prometheus.create p "Part" [ ("price", vint (-5)) ])
+      with
+      | exception Prometheus.Violation _ -> () (* limit reached, surfaced as violation *)
+      | _ -> Alcotest.fail "expected cascade limit violation")
+
+let test_composite_event_rule () =
+  with_p (fun p ->
+      part_schema p;
+      ignore (Prometheus.define_class p "Audit" []);
+      (* fires only when a Part is created AND THEN deleted within one tx *)
+      let fired = ref 0 in
+      Prometheus.add_rule p
+        (R.make "churn_detector"
+           (Pevent.Event.Seq
+              [ Pevent.Event.On_create (Some "Part"); Pevent.Event.On_delete (Some "Part") ])
+           (fun _ _ ->
+             incr fired;
+             true));
+      Prometheus.with_tx p (fun () ->
+          let x = Prometheus.create p "Part" [] in
+          Prometheus.delete p x);
+      Alcotest.(check int) "fired on create-then-delete" 1 !fired;
+      (* split across transactions: must not fire *)
+      Prometheus.with_tx p (fun () -> ignore (Prometheus.create p "Part" []));
+      Prometheus.with_tx p (fun () ->
+          match Prometheus.extent_list p "Part" with
+          | x :: _ -> Prometheus.delete p x
+          | [] -> ());
+      Alcotest.(check int) "no fire across txs" 1 !fired)
+
+let test_deferred_rule_sees_final_state () =
+  with_p (fun p ->
+      part_schema p;
+      (* deferred rule on creation; the object is updated to a legal
+         value later in the same tx: no violation at commit *)
+      Prometheus.add_rule p
+        (R.make ~timing:R.Deferred "eventually_priced"
+           (Pevent.Event.On_create (Some "Part"))
+           (fun db ev ->
+             match ev with
+             | Pevent.Event.Obj_created { oid; _ } -> (
+                 match Database.get db oid with
+                 | None -> true (* deleted again before commit: fine *)
+                 | Some o -> ( match Obj.get o "price" with V.VInt x -> x > 0 | _ -> false))
+             | _ -> true));
+      Prometheus.with_tx p (fun () ->
+          let x = Prometheus.create p "Part" [ ("price", vint 0) ] in
+          Prometheus.update p x "price" (vint 10));
+      Alcotest.(check int) "committed" 1 (Prometheus.count p "Part");
+      (* created-then-deleted object does not trip the rule either *)
+      Prometheus.with_tx p (fun () ->
+          let x = Prometheus.create p "Part" [ ("price", vint 0) ] in
+          Prometheus.delete p x);
+      Alcotest.(check int) "still one" 1 (Prometheus.count p "Part"))
+
+let test_engine_disable_enable () =
+  with_p (fun p ->
+      part_schema p;
+      Prometheus.add_rule p (R.invariant "no_parts" ~class_name:"Part" (fun _ _ -> false));
+      Prules.Engine.set_enabled (Prometheus.engine p) false;
+      ignore (Prometheus.create p "Part" []);
+      Alcotest.(check int) "rule bypassed while disabled" 1 (Prometheus.count p "Part");
+      Prules.Engine.set_enabled (Prometheus.engine p) true;
+      match Prometheus.with_tx p (fun () -> Prometheus.create p "Part" []) with
+      | exception Prometheus.Violation _ -> ()
+      | _ -> Alcotest.fail "rule should fire again")
+
+let test_rule_on_rel_delete () =
+  with_p (fun p ->
+      part_schema p;
+      ignore (Prometheus.define_class p "Box" []);
+      ignore (Prometheus.define_rel p "Holds" ~origin:"Box" ~destination:"Part");
+      let removals = ref 0 in
+      Prometheus.add_rule p
+        (R.make "count_removals"
+           (Pevent.Event.On_rel_delete (Some "Holds"))
+           (fun _ _ ->
+             incr removals;
+             true));
+      let b = Prometheus.create p "Box" [] in
+      let x = Prometheus.create p "Part" [] in
+      let r = Prometheus.link p "Holds" ~origin:b ~destination:x in
+      Prometheus.unlink p r;
+      Alcotest.(check int) "unlink observed" 1 !removals;
+      (* deleting an endpoint also removes links and fires the event *)
+      let r2 = Prometheus.link p "Holds" ~origin:b ~destination:x in
+      ignore r2;
+      Prometheus.delete p x;
+      Alcotest.(check int) "cascade unlink observed" 2 !removals)
+
+(* --- PCL --------------------------------------------------------------------- *)
+
+let test_pcl_parse () =
+  let t = Pcl_lang.Pcl.parse_rule "context Family inv suffix: endswith(self.name, 'aceae')" in
+  Alcotest.(check string) "target" "Family" t.Pcl_lang.Pcl.target;
+  Alcotest.(check bool) "kind" true (t.Pcl_lang.Pcl.kind = Pcl_lang.Pcl.Inv);
+  Alcotest.(check bool) "not warn" false t.Pcl_lang.Pcl.warn;
+  let t2 =
+    Pcl_lang.Pcl.parse_rule
+      "context Name inv warn cap when self.rank = 'Genus' : startswith(self.epithet, 'X')"
+  in
+  Alcotest.(check bool) "warn flag" true t2.Pcl_lang.Pcl.warn;
+  Alcotest.(check bool) "has applicability" true (t2.Pcl_lang.Pcl.applicability <> None);
+  match Pcl_lang.Pcl.parse_rule "context Foo frob x: true" with
+  | exception Pcl_lang.Pcl.Pcl_error _ -> ()
+  | _ -> Alcotest.fail "expected PCL error for unknown kind"
+
+let test_pcl_invariant_enforced () =
+  with_p (fun p ->
+      ignore
+        (Prometheus.define_class p "Family" [ Prometheus.attr "name" V.TString ]);
+      ignore (Prometheus.pcl p "context Family inv suffix: endswith(self.name, 'aceae')");
+      ignore (Prometheus.create p "Family" [ ("name", str "Rosaceae") ]);
+      (match
+         Prometheus.with_tx p (fun () ->
+             Prometheus.create p "Family" [ ("name", str "Rosa") ])
+       with
+      | exception Prometheus.Violation _ -> ()
+      | _ -> Alcotest.fail "expected PCL violation");
+      Alcotest.(check int) "one family" 1 (Prometheus.count p "Family"))
+
+let test_pcl_linkinv () =
+  with_p (fun p ->
+      ignore (Prometheus.define_class p "N" [ Prometheus.attr "level" V.TInt ]);
+      ignore (Prometheus.define_rel p "Under" ~origin:"N" ~destination:"N");
+      ignore
+        (Prometheus.pcl p
+           "context Under linkinv ordered: self.origin.level < self.destination.level");
+      let a = Prometheus.create p "N" [ ("level", vint 1) ] in
+      let b = Prometheus.create p "N" [ ("level", vint 2) ] in
+      ignore (Prometheus.link p "Under" ~origin:a ~destination:b);
+      match
+        Prometheus.with_tx p (fun () ->
+            ignore (Prometheus.link p "Under" ~origin:b ~destination:a))
+      with
+      | exception Prometheus.Violation _ -> ()
+      | _ -> Alcotest.fail "expected linkinv violation")
+
+let test_pcl_when_applicability () =
+  with_p (fun p ->
+      ignore
+        (Prometheus.define_class p "Nm"
+           [ Prometheus.attr "rank" V.TString; Prometheus.attr "e" V.TString ]);
+      ignore
+        (Prometheus.pcl p
+           "context Nm inv cap when self.rank = 'Genus' : self.e = upper(self.e)");
+      (* non-genus: applicability false, no check *)
+      ignore (Prometheus.create p "Nm" [ ("rank", str "Species"); ("e", str "abc") ]);
+      (* genus violating *)
+      match
+        Prometheus.with_tx p (fun () ->
+            Prometheus.create p "Nm" [ ("rank", str "Genus"); ("e", str "abc") ])
+      with
+      | exception Prometheus.Violation _ -> ()
+      | _ -> Alcotest.fail "expected violation for genus")
+
+(* --- core facade ----------------------------------------------------------------- *)
+
+let test_whatif () =
+  with_p (fun p ->
+      part_schema p;
+      let before = Prometheus.count p "Part" in
+      let speculative =
+        Prometheus.whatif p (fun () ->
+            ignore (Prometheus.create p "Part" [ ("price", vint 1) ]);
+            ignore (Prometheus.create p "Part" [ ("price", vint 2) ]);
+            Prometheus.count p "Part")
+      in
+      Alcotest.(check int) "saw speculative state" (before + 2) speculative;
+      Alcotest.(check int) "rolled back" before (Prometheus.count p "Part"))
+
+let test_facade_check_query () =
+  with_p (fun p ->
+      part_schema p;
+      Alcotest.(check (list string)) "clean query" []
+        (Prometheus.check_query p "select x.name from Part x");
+      Alcotest.(check bool) "bad query flagged" true
+        (Prometheus.check_query p "select x.bogus from Widget x" <> []))
+
+let test_facade_query_roundtrip () =
+  with_p (fun p ->
+      part_schema p;
+      ignore (Prometheus.create p "Part" [ ("name", str "bolt"); ("price", vint 3) ]);
+      ignore (Prometheus.create p "Part" [ ("name", str "nut"); ("price", vint 2) ]);
+      let names =
+        Prometheus.rows p "select x.name from Part x order by x.price"
+        |> List.map V.as_string
+      in
+      Alcotest.(check (list string)) "query through facade" [ "nut"; "bolt" ] names)
+
+let () =
+  Alcotest.run "rules"
+    [
+      ( "immediate",
+        [
+          Alcotest.test_case "invariant abort" `Quick test_invariant_abort;
+          Alcotest.test_case "warn action" `Quick test_warn_action;
+          Alcotest.test_case "repair action" `Quick test_repair_action;
+          Alcotest.test_case "interactive action" `Quick test_interactive_action;
+        ] );
+      ( "deferred",
+        [
+          Alcotest.test_case "deferred at commit" `Quick test_deferred_rule_at_commit;
+          Alcotest.test_case "min cardinality" `Quick test_min_cardinality_at_commit;
+          Alcotest.test_case "priority order" `Quick test_rule_priority_order;
+          Alcotest.test_case "remove rule" `Quick test_remove_rule;
+          Alcotest.test_case "condition of applicability" `Quick test_applicability_condition;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "repair cascade limit" `Quick test_repair_cascade_limit;
+          Alcotest.test_case "composite event rule" `Quick test_composite_event_rule;
+          Alcotest.test_case "deferred sees final state" `Quick test_deferred_rule_sees_final_state;
+          Alcotest.test_case "disable/enable" `Quick test_engine_disable_enable;
+          Alcotest.test_case "rel delete rule" `Quick test_rule_on_rel_delete;
+        ] );
+      ( "pcl",
+        [
+          Alcotest.test_case "parse" `Quick test_pcl_parse;
+          Alcotest.test_case "invariant enforced" `Quick test_pcl_invariant_enforced;
+          Alcotest.test_case "linkinv" `Quick test_pcl_linkinv;
+          Alcotest.test_case "when applicability" `Quick test_pcl_when_applicability;
+        ] );
+      ( "facade",
+        [
+          Alcotest.test_case "what-if" `Quick test_whatif;
+          Alcotest.test_case "check_query" `Quick test_facade_check_query;
+          Alcotest.test_case "query roundtrip" `Quick test_facade_query_roundtrip;
+        ] );
+    ]

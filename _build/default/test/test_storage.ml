@@ -1,0 +1,554 @@
+(* Tests for the storage substrate: codec, pager/journal, heap, btree, store. *)
+
+open Pstore
+
+let tmp_counter = ref 0
+
+let tmp_path () =
+  incr tmp_counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "prometheus_test_%d_%d.db" (Unix.getpid ()) !tmp_counter)
+
+let with_store ?cache_pages f =
+  let path = tmp_path () in
+  let s = Store.open_ ?cache_pages path in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Store.close s with _ -> ());
+      if Sys.file_exists path then Sys.remove path;
+      if Sys.file_exists (path ^ ".journal") then Sys.remove (path ^ ".journal"))
+    (fun () -> f path s)
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_codec_roundtrip () =
+  let e = Codec.Enc.create () in
+  Codec.Enc.u8 e 200;
+  Codec.Enc.u16 e 60000;
+  Codec.Enc.u32 e 4000000000;
+  Codec.Enc.int e (-12345678901234);
+  Codec.Enc.bool e true;
+  Codec.Enc.float e 3.14159;
+  Codec.Enc.string e "hello prometheus";
+  Codec.Enc.string e "";
+  let d = Codec.Dec.of_string (Codec.Enc.to_string e) in
+  Alcotest.(check int) "u8" 200 (Codec.Dec.u8 d);
+  Alcotest.(check int) "u16" 60000 (Codec.Dec.u16 d);
+  Alcotest.(check int) "u32" 4000000000 (Codec.Dec.u32 d);
+  Alcotest.(check int) "int" (-12345678901234) (Codec.Dec.int d);
+  Alcotest.(check bool) "bool" true (Codec.Dec.bool d);
+  Alcotest.(check (float 1e-12)) "float" 3.14159 (Codec.Dec.float d);
+  Alcotest.(check string) "string" "hello prometheus" (Codec.Dec.string d);
+  Alcotest.(check string) "empty string" "" (Codec.Dec.string d);
+  Alcotest.(check bool) "eof" true (Codec.Dec.eof d)
+
+let test_codec_underrun () =
+  let d = Codec.Dec.of_string "ab" in
+  Alcotest.check_raises "underrun raises"
+    (Codec.Corrupt "decoder underrun: need 8 bytes, have 2") (fun () ->
+      ignore (Codec.Dec.i64 d))
+
+let test_crc32 () =
+  (* Known vector: CRC32("123456789") = 0xCBF43926 *)
+  let c = Codec.Crc32.digest "123456789" in
+  Alcotest.(check int32) "crc32 vector" 0xCBF43926l c
+
+(* ------------------------------------------------------------------ *)
+(* Pager                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_pager_basic () =
+  let path = tmp_path () in
+  let p = Pager.open_file path in
+  let no = Pager.allocate p in
+  Pager.with_write p no (fun b -> Bytes.blit_string "hello" 0 b 0 5);
+  let b = Pager.read p no in
+  Alcotest.(check string) "page content" "hello" (Bytes.sub_string b 0 5);
+  Pager.close p;
+  (* reopen and reread *)
+  let p = Pager.open_file path in
+  let b = Pager.read p no in
+  Alcotest.(check string) "persisted" "hello" (Bytes.sub_string b 0 5);
+  Pager.close p;
+  Sys.remove path
+
+let test_pager_abort_restores () =
+  let path = tmp_path () in
+  let p = Pager.open_file path in
+  let no = Pager.allocate p in
+  Pager.with_write p no (fun b -> Bytes.blit_string "before" 0 b 0 6);
+  Pager.begin_tx p;
+  Pager.with_write p no (fun b -> Bytes.blit_string "after!" 0 b 0 6);
+  Alcotest.(check string) "in-tx view" "after!" (Bytes.sub_string (Pager.read p no) 0 6);
+  Pager.abort p;
+  Alcotest.(check string) "rolled back" "before" (Bytes.sub_string (Pager.read p no) 0 6);
+  Pager.close p;
+  Sys.remove path
+
+let test_pager_commit_persists () =
+  let path = tmp_path () in
+  let p = Pager.open_file path in
+  let no = Pager.allocate p in
+  Pager.begin_tx p;
+  Pager.with_write p no (fun b -> Bytes.blit_string "commit" 0 b 0 6);
+  Pager.commit p;
+  Pager.close p;
+  let p = Pager.open_file path in
+  Alcotest.(check string) "committed" "commit" (Bytes.sub_string (Pager.read p no) 0 6);
+  Pager.close p;
+  Sys.remove path
+
+let test_pager_crash_recovery () =
+  (* Simulate a crash: flush dirty pages mid-transaction (journal holds
+     before-images), then abandon the pager without commit/abort. *)
+  let path = tmp_path () in
+  let p = Pager.open_file path in
+  let no = Pager.allocate p in
+  Pager.with_write p no (fun b -> Bytes.blit_string "stable" 0 b 0 6);
+  Pager.begin_tx p;
+  Pager.commit p;
+  (* now mutate inside a tx and "crash" *)
+  Pager.begin_tx p;
+  Pager.with_write p no (fun b -> Bytes.blit_string "dirty!" 0 b 0 6);
+  Pager.flush_all p;
+  (* crash: close fds directly, leaving the journal in place *)
+  Unix.close p.Pager.fd;
+  (match p.Pager.jfd with Some fd -> Unix.close fd | None -> ());
+  (* recovery happens on reopen *)
+  let p2 = Pager.open_file path in
+  Alcotest.(check string) "recovered" "stable" (Bytes.sub_string (Pager.read p2 no) 0 6);
+  Pager.close p2;
+  Sys.remove path
+
+let test_pager_eviction () =
+  let path = tmp_path () in
+  let p = Pager.open_file ~cache_pages:8 path in
+  let pages = List.init 64 (fun _ -> Pager.allocate p) in
+  List.iteri
+    (fun i no -> Pager.with_write p no (fun b -> Bytes.set_uint16_le b 0 i))
+    pages;
+  List.iteri
+    (fun i no ->
+      Alcotest.(check int) (Printf.sprintf "page %d" i) i (Bytes.get_uint16_le (Pager.read p no) 0))
+    pages;
+  Pager.close p;
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let make_heap path =
+  let pager = Pager.open_file path in
+  (* reserve page 0 as pseudo-header *)
+  if Pager.page_count pager <= 1 then ignore (Pager.allocate pager);
+  let pa = { Heap.alloc_page = (fun () -> Pager.allocate pager); free_page = (fun _ -> ()) } in
+  (pager, Heap.create pager pa)
+
+let test_heap_insert_get () =
+  let path = tmp_path () in
+  let pager, h = make_heap path in
+  let r1 = Heap.insert h "alpha" in
+  let r2 = Heap.insert h "beta" in
+  Alcotest.(check string) "r1" "alpha" (Heap.get h r1);
+  Alcotest.(check string) "r2" "beta" (Heap.get h r2);
+  Pager.close pager;
+  Sys.remove path
+
+let test_heap_update_shrink_grow () =
+  let path = tmp_path () in
+  let pager, h = make_heap path in
+  let r = Heap.insert h (String.make 100 'x') in
+  let r2 = Heap.update h r "small" in
+  Alcotest.(check bool) "in place" true (Heap.rid_equal r r2);
+  Alcotest.(check string) "shrunk" "small" (Heap.get h r2);
+  let r3 = Heap.update h r2 (String.make 200 'y') in
+  Alcotest.(check string) "grown" (String.make 200 'y') (Heap.get h r3);
+  Pager.close pager;
+  Sys.remove path
+
+let test_heap_delete_reuse () =
+  let path = tmp_path () in
+  let pager, h = make_heap path in
+  let rs = List.init 50 (fun i -> Heap.insert h (Printf.sprintf "record-%04d" i)) in
+  List.iteri (fun i r -> if i mod 2 = 0 then Heap.delete h r) rs;
+  List.iteri
+    (fun i r ->
+      if i mod 2 = 1 then
+        Alcotest.(check string) "survivor" (Printf.sprintf "record-%04d" i) (Heap.get h r))
+    rs;
+  (* deleted slots must raise *)
+  (match rs with
+  | r0 :: _ -> (
+      match Heap.get h r0 with
+      | exception Heap.Heap_error _ -> ()
+      | _ -> Alcotest.fail "expected dead slot error")
+  | [] -> ());
+  Pager.close pager;
+  Sys.remove path
+
+let test_heap_blob () =
+  let path = tmp_path () in
+  let pager, h = make_heap path in
+  let big = String.init 20_000 (fun i -> Char.chr (i mod 256)) in
+  let r = Heap.insert h big in
+  Alcotest.(check int) "blob len" 20_000 (String.length (Heap.get h r));
+  Alcotest.(check string) "blob content" big (Heap.get h r);
+  let bigger = String.init 50_000 (fun i -> Char.chr ((i * 7) mod 256)) in
+  let r2 = Heap.update h r bigger in
+  Alcotest.(check string) "blob update" bigger (Heap.get h r2);
+  Heap.delete h r2;
+  Pager.close pager;
+  Sys.remove path
+
+let test_heap_fragmentation_compaction () =
+  let path = tmp_path () in
+  let pager, h = make_heap path in
+  (* Fill a page with records, delete alternate ones, then insert a
+     record that only fits after compaction. *)
+  let rs = List.init 8 (fun _ -> Heap.insert h (String.make 400 'a')) in
+  List.iteri (fun i r -> if i mod 2 = 0 then Heap.delete h r) rs;
+  let r = Heap.insert h (String.make 700 'b') in
+  Alcotest.(check string) "compacted insert" (String.make 700 'b') (Heap.get h r);
+  Pager.close pager;
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Btree                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let make_btree path =
+  let pager = Pager.open_file path in
+  if Pager.page_count pager <= 1 then ignore (Pager.allocate pager);
+  let root = ref 0 in
+  let bt =
+    Btree.create pager ~root:0 ~set_root:(fun r -> root := r)
+      ~alloc_page:(fun () -> Pager.allocate pager)
+  in
+  (pager, bt)
+
+let test_btree_basic () =
+  let path = tmp_path () in
+  let pager, bt = make_btree path in
+  Btree.insert bt 42L { Heap.page = 7; slot = 3 };
+  (match Btree.find bt 42L with
+  | Some r ->
+      Alcotest.(check int) "page" 7 r.Heap.page;
+      Alcotest.(check int) "slot" 3 r.Heap.slot
+  | None -> Alcotest.fail "not found");
+  Alcotest.(check bool) "missing" false (Btree.mem bt 43L);
+  Pager.close pager;
+  Sys.remove path
+
+let test_btree_many_sequential () =
+  let path = tmp_path () in
+  let pager, bt = make_btree path in
+  let n = 5000 in
+  for i = 1 to n do
+    Btree.insert bt (Int64.of_int i) { Heap.page = i; slot = i mod 100 }
+  done;
+  Alcotest.(check int) "check count" n (Btree.check bt);
+  for i = 1 to n do
+    match Btree.find bt (Int64.of_int i) with
+    | Some r -> if r.Heap.page <> i then Alcotest.failf "wrong value for %d" i
+    | None -> Alcotest.failf "missing key %d" i
+  done;
+  (* iteration is in key order *)
+  let prev = ref Int64.min_int in
+  Btree.iter bt (fun k _ ->
+      if Int64.compare k !prev <= 0 then Alcotest.fail "iter not sorted";
+      prev := k);
+  Pager.close pager;
+  Sys.remove path
+
+let test_btree_random_delete () =
+  let path = tmp_path () in
+  let pager, bt = make_btree path in
+  let n = 3000 in
+  let keys = Array.init n (fun i -> Int64.of_int ((i * 2654435761) land 0xFFFFFF)) in
+  Array.iter (fun k -> Btree.insert bt k { Heap.page = 1; slot = 0 }) keys;
+  let module S = Set.Make (Int64) in
+  let live = ref (Array.fold_left (fun s k -> S.add k s) S.empty keys) in
+  Array.iteri
+    (fun i k ->
+      if i mod 3 = 0 then begin
+        ignore (Btree.delete bt k);
+        live := S.remove k !live
+      end)
+    keys;
+  Alcotest.(check int) "cardinal after delete" (S.cardinal !live) (Btree.cardinal bt);
+  S.iter (fun k -> if not (Btree.mem bt k) then Alcotest.fail "live key missing") !live;
+  ignore (Btree.check bt);
+  Pager.close pager;
+  Sys.remove path
+
+let test_btree_overwrite () =
+  let path = tmp_path () in
+  let pager, bt = make_btree path in
+  Btree.insert bt 1L { Heap.page = 1; slot = 1 };
+  Btree.insert bt 1L { Heap.page = 2; slot = 2 };
+  (match Btree.find bt 1L with
+  | Some r -> Alcotest.(check int) "overwritten" 2 r.Heap.page
+  | None -> Alcotest.fail "missing");
+  Alcotest.(check int) "no duplicate" 1 (Btree.cardinal bt);
+  Pager.close pager;
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_put_get () =
+  with_store (fun _ s ->
+      let o1 = Store.fresh_oid s in
+      let o2 = Store.fresh_oid s in
+      Store.put s ~oid:o1 "object one";
+      Store.put s ~oid:o2 "object two";
+      Alcotest.(check (option string)) "o1" (Some "object one") (Store.get s ~oid:o1);
+      Alcotest.(check (option string)) "o2" (Some "object two") (Store.get s ~oid:o2);
+      Alcotest.(check (option string)) "missing" None (Store.get s ~oid:9999);
+      Store.put s ~oid:o1 "object one v2";
+      Alcotest.(check (option string)) "updated" (Some "object one v2") (Store.get s ~oid:o1);
+      Alcotest.(check bool) "delete" true (Store.delete s ~oid:o1);
+      Alcotest.(check (option string)) "deleted" None (Store.get s ~oid:o1);
+      Alcotest.(check bool) "delete missing" false (Store.delete s ~oid:o1))
+
+let test_store_persistence () =
+  let path = tmp_path () in
+  let s = Store.open_ path in
+  let oids = List.init 100 (fun _ -> Store.fresh_oid s) in
+  List.iteri (fun i oid -> Store.put s ~oid (Printf.sprintf "payload %d" i)) oids;
+  Store.close s;
+  let s = Store.open_ path in
+  List.iteri
+    (fun i oid ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "oid %d" oid)
+        (Some (Printf.sprintf "payload %d" i))
+        (Store.get s ~oid))
+    oids;
+  (* fresh oids don't collide after reopen *)
+  let o = Store.fresh_oid s in
+  if List.mem o oids then Alcotest.fail "oid collision after reopen";
+  Store.close s;
+  Sys.remove path
+
+let test_store_tx_commit_abort () =
+  with_store (fun _ s ->
+      let o = Store.fresh_oid s in
+      Store.with_tx s (fun () -> Store.put s ~oid:o "committed");
+      Alcotest.(check (option string)) "committed" (Some "committed") (Store.get s ~oid:o);
+      Store.begin_tx s;
+      Store.put s ~oid:o "uncommitted";
+      let o2 = Store.fresh_oid s in
+      Store.put s ~oid:o2 "new in tx";
+      Store.abort s;
+      Alcotest.(check (option string)) "rolled back" (Some "committed") (Store.get s ~oid:o);
+      Alcotest.(check (option string)) "new object gone" None (Store.get s ~oid:o2);
+      ignore (Store.check s))
+
+let test_store_tx_exception_aborts () =
+  with_store (fun _ s ->
+      let o = Store.fresh_oid s in
+      Store.put s ~oid:o "v0";
+      (try Store.with_tx s (fun () ->
+               Store.put s ~oid:o "v1";
+               failwith "boom")
+       with Failure _ -> ());
+      Alcotest.(check (option string)) "aborted on exception" (Some "v0") (Store.get s ~oid:o))
+
+let test_store_nested_tx () =
+  with_store (fun _ s ->
+      let o = Store.fresh_oid s in
+      Store.with_tx s (fun () ->
+          Store.put s ~oid:o "outer";
+          Store.with_tx s (fun () -> Store.put s ~oid:o "inner"));
+      Alcotest.(check (option string)) "nested commit" (Some "inner") (Store.get s ~oid:o))
+
+let test_store_iter_count () =
+  with_store (fun _ s ->
+      let oids = List.init 25 (fun _ -> Store.fresh_oid s) in
+      List.iter (fun oid -> Store.put s ~oid (string_of_int oid)) oids;
+      Alcotest.(check int) "count" 25 (Store.count s);
+      let seen = ref [] in
+      Store.iter s (fun oid data ->
+          Alcotest.(check string) "iter payload" (string_of_int oid) data;
+          seen := oid :: !seen);
+      Alcotest.(check int) "iter count" 25 (List.length !seen))
+
+let test_store_large_objects () =
+  with_store (fun _ s ->
+      let o = Store.fresh_oid s in
+      let big = String.init 100_000 (fun i -> Char.chr (i mod 251)) in
+      Store.put s ~oid:o big;
+      Alcotest.(check (option string)) "big object" (Some big) (Store.get s ~oid:o);
+      (* shrink it back to a small one: blob pages go to the free list *)
+      Store.put s ~oid:o "tiny";
+      Alcotest.(check (option string)) "shrunk" (Some "tiny") (Store.get s ~oid:o);
+      let before = (Store.stats s).Store.pages in
+      let o2 = Store.fresh_oid s in
+      Store.put s ~oid:o2 (String.make 50_000 'z');
+      let after = (Store.stats s).Store.pages in
+      (* free blob pages must have been recycled: little or no growth *)
+      if after - before > 14 then
+        Alcotest.failf "free pages not recycled: grew by %d pages" (after - before))
+
+let test_store_many_objects_eviction () =
+  with_store ~cache_pages:32 (fun _ s ->
+      let n = 2000 in
+      let oids = Array.init n (fun _ -> Store.fresh_oid s) in
+      Array.iteri (fun i oid -> Store.put s ~oid (Printf.sprintf "obj%06d" i)) oids;
+      Array.iteri
+        (fun i oid ->
+          match Store.get s ~oid with
+          | Some v -> if v <> Printf.sprintf "obj%06d" i then Alcotest.fail "bad value"
+          | None -> Alcotest.fail "missing under eviction")
+        oids;
+      ignore (Store.check s))
+
+(* qcheck: random workload equivalence against a Hashtbl model *)
+let test_store_model_equivalence =
+  QCheck.Test.make ~name:"store behaves like a map (random ops)" ~count:30
+    QCheck.(list (pair (int_bound 50) (string_of_size Gen.(int_bound 2000))))
+    (fun ops ->
+      let path = tmp_path () in
+      let s = Store.open_ path in
+      let model : (int, string) Hashtbl.t = Hashtbl.create 16 in
+      let oid_of i = i + 1 in
+      List.iter
+        (fun (i, data) ->
+          let oid = oid_of i in
+          if String.length data mod 7 = 0 && Hashtbl.mem model oid then begin
+            ignore (Store.delete s ~oid);
+            Hashtbl.remove model oid
+          end
+          else begin
+            Store.put s ~oid data;
+            Hashtbl.replace model oid data
+          end)
+        ops;
+      let ok = ref true in
+      Hashtbl.iter
+        (fun oid data -> if Store.get s ~oid <> Some data then ok := false)
+        model;
+      if Store.count s <> Hashtbl.length model then ok := false;
+      Store.close s;
+      Sys.remove path;
+      if Sys.file_exists (path ^ ".journal") then Sys.remove (path ^ ".journal");
+      !ok)
+
+let test_store_vacuum () =
+  let path = tmp_path () in
+  let s = Store.open_ path in
+  (* create churn: lots of inserts and deletes leave dead pages behind *)
+  let keep = ref [] in
+  for i = 1 to 400 do
+    let oid = Store.fresh_oid s in
+    Store.put s ~oid (String.make (100 + (i mod 50)) 'x');
+    if i mod 4 = 0 then keep := (oid, String.make (100 + (i mod 50)) 'x') :: !keep
+    else ignore (Store.delete s ~oid)
+  done;
+  let before = (Store.stats s).Store.pages in
+  let s = Store.vacuum s in
+  let after = (Store.stats s).Store.pages in
+  if after > before then Alcotest.failf "vacuum grew the file: %d -> %d pages" before after;
+  List.iter
+    (fun (oid, data) ->
+      Alcotest.(check (option string)) "record survives vacuum" (Some data) (Store.get s ~oid))
+    !keep;
+  Alcotest.(check int) "count preserved" (List.length !keep) (Store.count s);
+  (* fresh oids still unique after vacuum *)
+  let o = Store.fresh_oid s in
+  if List.mem_assoc o !keep then Alcotest.fail "oid reuse after vacuum";
+  ignore (Store.check s);
+  Store.close s;
+  Sys.remove path
+
+let test_journal_partial_frame_ignored () =
+  (* a torn write leaves a partial frame at the journal tail: recovery
+     must apply the complete frames and ignore the tail *)
+  let path = tmp_path () in
+  let p = Pager.open_file path in
+  let no = Pager.allocate p in
+  Pager.with_write p no (fun b -> Bytes.blit_string "base" 0 b 0 4);
+  Pager.begin_tx p;
+  Pager.with_write p no (fun b -> Bytes.blit_string "temp" 0 b 0 4);
+  Pager.flush_all p;
+  (* crash, then corrupt the journal by appending a partial frame *)
+  Unix.close p.Pager.fd;
+  (match p.Pager.jfd with Some fd -> Unix.close fd | None -> ());
+  let jc = open_out_gen [ Open_append; Open_binary ] 0o644 (path ^ ".journal") in
+  output_string jc "JRNL-partial-garbage";
+  close_out jc;
+  let p2 = Pager.open_file path in
+  Alcotest.(check string) "recovered despite torn tail" "base"
+    (Bytes.sub_string (Pager.read p2 no) 0 4);
+  Pager.close p2;
+  Sys.remove path
+
+let test_journal_garbage_rejected () =
+  (* a journal of pure garbage must not corrupt recovery *)
+  let path = tmp_path () in
+  let p = Pager.open_file path in
+  let no = Pager.allocate p in
+  Pager.with_write p no (fun b -> Bytes.blit_string "keep" 0 b 0 4);
+  Pager.close p;
+  let jc = open_out_bin (path ^ ".journal") in
+  output_string jc (String.make 10000 'Z');
+  close_out jc;
+  let p2 = Pager.open_file path in
+  Alcotest.(check string) "data intact" "keep" (Bytes.sub_string (Pager.read p2 no) 0 4);
+  Alcotest.(check bool) "journal removed" false (Sys.file_exists (path ^ ".journal"));
+  Pager.close p2;
+  Sys.remove path
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "underrun" `Quick test_codec_underrun;
+          Alcotest.test_case "crc32 vector" `Quick test_crc32;
+        ] );
+      ( "pager",
+        [
+          Alcotest.test_case "basic read/write" `Quick test_pager_basic;
+          Alcotest.test_case "abort restores" `Quick test_pager_abort_restores;
+          Alcotest.test_case "commit persists" `Quick test_pager_commit_persists;
+          Alcotest.test_case "crash recovery" `Quick test_pager_crash_recovery;
+          Alcotest.test_case "eviction" `Quick test_pager_eviction;
+          Alcotest.test_case "torn journal frame ignored" `Quick test_journal_partial_frame_ignored;
+          Alcotest.test_case "garbage journal rejected" `Quick test_journal_garbage_rejected;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "insert/get" `Quick test_heap_insert_get;
+          Alcotest.test_case "update shrink/grow" `Quick test_heap_update_shrink_grow;
+          Alcotest.test_case "delete & reuse" `Quick test_heap_delete_reuse;
+          Alcotest.test_case "blob records" `Quick test_heap_blob;
+          Alcotest.test_case "fragmentation compaction" `Quick test_heap_fragmentation_compaction;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "basic" `Quick test_btree_basic;
+          Alcotest.test_case "many sequential" `Quick test_btree_many_sequential;
+          Alcotest.test_case "random delete" `Quick test_btree_random_delete;
+          Alcotest.test_case "overwrite" `Quick test_btree_overwrite;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "put/get/delete" `Quick test_store_put_get;
+          Alcotest.test_case "persistence across reopen" `Quick test_store_persistence;
+          Alcotest.test_case "tx commit/abort" `Quick test_store_tx_commit_abort;
+          Alcotest.test_case "tx exception aborts" `Quick test_store_tx_exception_aborts;
+          Alcotest.test_case "nested tx" `Quick test_store_nested_tx;
+          Alcotest.test_case "iter/count" `Quick test_store_iter_count;
+          Alcotest.test_case "large objects & page recycling" `Quick test_store_large_objects;
+          Alcotest.test_case "eviction workload" `Quick test_store_many_objects_eviction;
+          QCheck_alcotest.to_alcotest test_store_model_equivalence;
+          Alcotest.test_case "vacuum" `Quick test_store_vacuum;
+        ] );
+    ]

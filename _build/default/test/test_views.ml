@@ -1,0 +1,276 @@
+(* Tests for the views layer, the POOL static type checker, and the
+   HTTP server front-end. *)
+
+open Pmodel
+module V = Value
+module View = Pviews.View
+module TC = Pool_lang.Typecheck
+
+let tmp_counter = ref 0
+
+let tmp_path () =
+  incr tmp_counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "prom_views_%d_%d.db" (Unix.getpid ()) !tmp_counter)
+
+let cleanup path =
+  if Sys.file_exists path then Sys.remove path;
+  if Sys.file_exists (path ^ ".journal") then Sys.remove (path ^ ".journal")
+
+let with_db f =
+  let path = tmp_path () in
+  let db = Database.open_ path in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Database.close db with _ -> ());
+      cleanup path)
+    (fun () -> f db)
+
+let contains (s : string) (sub : string) : bool =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let setup db =
+  ignore (Database.define_class db "Star" [ Meta.attr "name" V.TString; Meta.attr "mag" V.TFloat ]);
+  ignore (Database.define_rel db "Orbits" ~origin:"Star" ~destination:"Star");
+  let mk n m = Database.create db "Star" [ ("name", V.VString n); ("mag", V.VFloat m) ] in
+  let sun = mk "sun" 4.8 in
+  let sirius = mk "sirius" 1.4 in
+  let vega = mk "vega" 0.6 in
+  (sun, sirius, vega)
+
+(* --- views --------------------------------------------------------------- *)
+
+let test_view_define_query () =
+  with_db (fun db ->
+      let _ = setup db in
+      let views = View.create db in
+      ignore
+        (View.define views ~name:"bright"
+           ~query:"select s.name from Star s where s.mag < 2.0 order by s.name" ());
+      let names = View.rows views "bright" |> List.map V.as_string in
+      Alcotest.(check (list string)) "view result" [ "sirius"; "vega" ] names;
+      Alcotest.(check int) "listed" 1 (List.length (View.list views));
+      View.drop views "bright";
+      Alcotest.(check int) "dropped" 0 (List.length (View.list views));
+      match View.query views "bright" with
+      | exception View.View_error _ -> ()
+      | _ -> Alcotest.fail "expected error for dropped view")
+
+let test_view_redefine () =
+  with_db (fun db ->
+      let _ = setup db in
+      let views = View.create db in
+      ignore (View.define views ~name:"v" ~query:"select s from Star s" ());
+      ignore (View.define views ~name:"v" ~query:"count(select s from Star s)" ());
+      Alcotest.(check int) "one view after redefine" 1 (List.length (View.list views));
+      Alcotest.(check int) "new definition used" 3 (V.as_int (View.query views "v")))
+
+let test_view_rejects_bad_query () =
+  with_db (fun db ->
+      let views = View.create db in
+      match View.define views ~name:"bad" ~query:"select from where" () with
+      | exception Pool_lang.Lexer.Syntax_error _ -> ()
+      | _ -> Alcotest.fail "expected syntax error at definition time")
+
+let test_view_materialised_cache () =
+  with_db (fun db ->
+      let sun, _, _ = setup db in
+      let views = View.create db in
+      ignore
+        (View.define views ~name:"dim" ~query:"count(select s from Star s where s.mag > 2.0)"
+           ~materialised:true ());
+      Alcotest.(check int) "first eval" 1 (V.as_int (View.query views "dim"));
+      Alcotest.(check bool) "cached" true (View.is_cached views "dim");
+      (* an update invalidates the cache, and the view recomputes *)
+      Database.update db sun "mag" (V.VFloat 1.0);
+      Alcotest.(check bool) "invalidated" false (View.is_cached views "dim");
+      Alcotest.(check int) "recomputed" 0 (V.as_int (View.query views "dim"));
+      Alcotest.(check bool) "invalidation counted" true (View.invalidations views >= 1))
+
+let test_view_persistence () =
+  let path = tmp_path () in
+  let db = Database.open_ path in
+  let _ = setup db in
+  let views = View.create db in
+  ignore (View.define views ~name:"all_stars" ~query:"count(select s from Star s)" ());
+  Database.close db;
+  let db = Database.open_ path in
+  let views = View.create db in
+  Alcotest.(check int) "view survived reopen" 3 (V.as_int (View.query views "all_stars"));
+  Database.close db;
+  cleanup path
+
+let test_view_through_facade () =
+  let path = tmp_path () in
+  let p = Prometheus.open_ path in
+  ignore (Prometheus.define_class p "Dog" [ Prometheus.attr "name" Prometheus.TString ]);
+  ignore (Prometheus.create p "Dog" [ ("name", Prometheus.vstr "rex") ]);
+  ignore (Prometheus.define_view p ~name:"dogs" ~query:"select d.name from Dog d" ());
+  Alcotest.(check int) "facade view" 1 (List.length (Prometheus.view_rows p "dogs"));
+  Prometheus.close p;
+  cleanup path
+
+(* --- typecheck -------------------------------------------------------------- *)
+
+let check_errs db q =
+  List.map (fun (e : TC.error) -> e.TC.message) (TC.check_string (Database.schema db) q)
+
+let test_typecheck_clean () =
+  with_db (fun db ->
+      let _ = setup db in
+      List.iter
+        (fun q -> Alcotest.(check (list string)) q [] (check_errs db q))
+        [
+          "select s.name from Star s where s.mag > 1.0";
+          "select o from Orbits o where o.origin.name = 'sun'";
+          "count(closure(first(select s from Star s), 'Orbits'))";
+          "select s from Star s, s.targets('Orbits') t where t in (select x from Star x)";
+        ])
+
+let test_typecheck_detects () =
+  with_db (fun db ->
+      let _ = setup db in
+      let has_err q frag =
+        let msgs = check_errs db q in
+        if not (List.exists (fun m -> contains m frag) msgs) then
+          Alcotest.failf "for %S expected error containing %S, got [%s]" q frag
+            (String.concat "; " msgs)
+      in
+      has_err "select s from Planet s" "unknown variable or class Planet";
+      has_err "select s.radius from Star s" "no attribute radius";
+      has_err "frobnicate(1)" "unknown function";
+      has_err "count(1, 2)" "expects 1";
+      has_err "closure(first(select s from Star s), 'NoSuchRel')" "unknown relationship class";
+      has_err "(Galaxy) (select s from Star s)" "unknown class Galaxy in downcast")
+
+let test_typecheck_accepts_roles () =
+  with_db (fun db ->
+      ignore (Database.define_class db "Spec" []);
+      ignore (Database.define_class db "Nm" []);
+      ignore
+        (Database.define_rel db "TypeOf" ~origin:"Nm" ~destination:"Spec"
+           ~attrs:[ Meta.attr "kind" V.TString ]
+           ~inherited_attrs:[ "kind" ]);
+      (* kind is not declared on Spec, but is acquirable as a role:
+         the checker must not flag it *)
+      Alcotest.(check (list string)) "role attr accepted" []
+        (check_errs db "select s.kind from Spec s"))
+
+let test_typecheck_rel_endpoints () =
+  with_db (fun db ->
+      let _ = setup db in
+      Alcotest.(check (list string)) "origin/destination navigable" []
+        (check_errs db "select o.origin, o.destination from Orbits o"))
+
+(* --- http server --------------------------------------------------------------- *)
+
+let str_find (s : string) (sub : string) : int option =
+  let n = String.length s and m = String.length sub in
+  let rec go i = if i + m > n then None else if String.sub s i m = sub then Some i else go (i + 1) in
+  go 0
+
+let http_get ~port path : string * string =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let out = Unix.out_channel_of_descr sock in
+  let inp = Unix.in_channel_of_descr sock in
+  output_string out (Printf.sprintf "GET %s HTTP/1.0\r\nHost: localhost\r\n\r\n" path);
+  flush out;
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       Buffer.add_channel buf inp 1
+     done
+   with End_of_file -> ());
+  Unix.close sock;
+  let response = Buffer.contents buf in
+  let status =
+    match String.index_opt response '\r' with
+    | Some i -> String.sub response 0 i
+    | None -> response
+  in
+  let body =
+    match str_find response "\r\n\r\n" with
+    | Some i -> String.sub response (i + 4) (String.length response - i - 4)
+    | None -> ""
+  in
+  (status, body)
+
+(* The server is exercised in a forked child process; the parent plays
+   HTTP client.  The server handles a fixed number of requests and
+   exits. *)
+let test_http_server () =
+  let path = tmp_path () in
+  (* prepare data before forking *)
+  let db = Database.open_ path in
+  let _ = setup db in
+  Database.close db;
+  let port = 17000 + (Unix.getpid () mod 1000) in
+  let n_requests = 6 in
+  match Unix.fork () with
+  | 0 ->
+      (* child: serve then exit *)
+      let code =
+        try
+          let db = Database.open_ path in
+          Pserver.Http_server.serve db ~port ~max_requests:n_requests ();
+          Database.close db;
+          0
+        with _ -> 1
+      in
+      Unix._exit code
+  | child ->
+      (* parent: wait for the socket to come up *)
+      let rec wait_up tries =
+        if tries = 0 then Alcotest.fail "server did not come up"
+        else
+          match http_get ~port "/" with
+          | s -> s
+          | exception Unix.Unix_error _ ->
+              Unix.sleepf 0.05;
+              wait_up (tries - 1)
+      in
+      let status, body = wait_up 100 in
+      Alcotest.(check bool) "root 200" true (contains status "200");
+      Alcotest.(check bool) "usage text" true (contains body "POOL");
+      let status, body = http_get ~port "/query?q=count(select%20s%20from%20Star%20s)" in
+      Alcotest.(check bool) "query 200" true (contains status "200");
+      Alcotest.(check string) "query result" "3" (String.trim body);
+      let status, body = http_get ~port "/query?q=select%20broken" in
+      Alcotest.(check bool) "syntax error is 400" true (contains status "400");
+      ignore body;
+      let status, body = http_get ~port "/schema" in
+      Alcotest.(check bool) "schema 200" true (contains status "200");
+      Alcotest.(check bool) "schema lists Star" true (contains body "class Star");
+      let status, _ = http_get ~port "/nope" in
+      Alcotest.(check bool) "404" true (contains status "404");
+      let status, body = http_get ~port "/stats" in
+      Alcotest.(check bool) "stats 200" true (contains status "200");
+      Alcotest.(check bool) "stats body" true (contains body "objects");
+      let _, wstatus = Unix.waitpid [] child in
+      Alcotest.(check bool) "server exited cleanly" true (wstatus = Unix.WEXITED 0);
+      cleanup path
+
+let () =
+  Alcotest.run "views"
+    [
+      ( "views",
+        [
+          Alcotest.test_case "define/query/drop" `Quick test_view_define_query;
+          Alcotest.test_case "redefine" `Quick test_view_redefine;
+          Alcotest.test_case "rejects bad query" `Quick test_view_rejects_bad_query;
+          Alcotest.test_case "materialised cache" `Quick test_view_materialised_cache;
+          Alcotest.test_case "persistence" `Quick test_view_persistence;
+          Alcotest.test_case "through facade" `Quick test_view_through_facade;
+        ] );
+      ( "typecheck",
+        [
+          Alcotest.test_case "clean queries" `Quick test_typecheck_clean;
+          Alcotest.test_case "detects errors" `Quick test_typecheck_detects;
+          Alcotest.test_case "accepts role attributes" `Quick test_typecheck_accepts_roles;
+          Alcotest.test_case "relationship endpoints" `Quick test_typecheck_rel_endpoints;
+        ] );
+      ("http", [ Alcotest.test_case "server round-trip" `Quick test_http_server ]);
+    ]
