@@ -3,7 +3,7 @@
    mapping from thesis experiment to harness section and for the
    recorded results.
 
-   Usage: main.exe [all|raw|queries|struct|fig44|fig45|fig46|tax|ablation|tables|schema|micro]
+   Usage: main.exe [all|raw|queries|struct|fig44|fig45|fig46|tax|ablation|tables|schema|micro|recovery]
 *)
 
 open Pmodel
@@ -548,6 +548,43 @@ let print_schema () =
   cleanup path
 
 (* ------------------------------------------------------------------ *)
+(* Recovery: reopen after a crash                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Journal replay cost, isolated at the pager level: populate N pages,
+   open a transaction that touches all of them (N before-image frames),
+   simulate a process crash, then time the reopen that replays the
+   journal.  See EXPERIMENTS.md "Crash-torture sweep". *)
+let bench_recovery () =
+  let module P = Pstore.Pager in
+  Printf.printf "\n== recovery: reopen after crash (journal replay) ==\n";
+  Printf.printf "%-8s %12s %12s\n" "frames" "journal KiB" "reopen ms";
+  List.iter
+    (fun n ->
+      let samples =
+        List.init 3 (fun _ ->
+            let path = tmp_path "recovery" in
+            let p = P.open_file path in
+            let pages = List.init n (fun _ -> P.allocate p) in
+            List.iter
+              (fun no -> P.with_write p no (fun b -> Bytes.fill b 0 P.page_size 'a'))
+              pages;
+            P.begin_tx p;
+            List.iter
+              (fun no -> P.with_write p no (fun b -> Bytes.fill b 0 P.page_size 'b'))
+              pages;
+            P.crash p;
+            let _, ms = time_once (fun () -> P.close (P.open_file path)) in
+            cleanup path;
+            ms)
+      in
+      let med = match List.sort compare samples with l -> List.nth l 1 in
+      Printf.printf "%-8d %12.1f %12.3f\n" n
+        (float_of_int (n * P.journal_frame_size) /. 1024.)
+        med)
+    [ 16; 128; 1024 ]
+
+(* ------------------------------------------------------------------ *)
 (* Main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -564,6 +601,7 @@ let () =
     | "tax" -> bench_tax ()
     | "ablation" -> bench_ablation ()
     | "tables" -> bench_tables ()
+    | "recovery" -> bench_recovery ()
     | "schema" -> print_schema ()
     | s ->
         Printf.eprintf "unknown section %s\n" s;
@@ -581,5 +619,6 @@ let () =
       bench_fig46 ();
       bench_tax ();
       bench_ablation ();
-      bench_micro ()
+      bench_micro ();
+      bench_recovery ()
   | s -> run s

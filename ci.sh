@@ -1,0 +1,12 @@
+#!/bin/sh
+# CI gate: build, full test suite (includes the smoke crash sweep),
+# then the long fixed-seed crash-torture sweep.  Equivalent to
+# `dune build @ci`.  Pass `smoke` to skip the long sweep.
+set -e
+cd "$(dirname "$0")"
+dune build
+dune runtest
+if [ "${1:-full}" != "smoke" ]; then
+  CRASH_TORTURE=long dune exec test/test_crash.exe -- -e
+fi
+echo "ci: OK"

@@ -140,9 +140,53 @@ let handle (db : Database.t) (path : string) (params : (string * string) list) :
           s.Pstore.Store.page_writes s.Pstore.Store.cache_hits s.Pstore.Store.cache_misses )
   | _ -> ("404 Not Found", "not found\n")
 
+(* Bounds on what a client may send before we stop listening to it: a
+   single-threaded server must not let one connection buffer without
+   limit or stall the accept loop. *)
+let max_request_line = 8192
+let max_header_bytes = 65536
+let client_timeout_s = 10.
+
+exception Line_too_long
+
+(* Read one LF-terminated line of at most [max] bytes (the caller trims
+   the CR).  [input_line] is unbounded — a hostile client could feed an
+   endless request line and exhaust memory. *)
+let read_line_bounded inp ~max =
+  let b = Buffer.create 128 in
+  let rec go () =
+    match input_char inp with
+    | '\n' -> Buffer.contents b
+    | c ->
+        if Buffer.length b >= max then raise Line_too_long;
+        Buffer.add_char b c;
+        go ()
+  in
+  go ()
+
+let drain_headers inp =
+  let total = ref 0 in
+  try
+    let rec go () =
+      let line = read_line_bounded inp ~max:max_request_line in
+      total := !total + String.length line;
+      if String.trim line <> "" && !total < max_header_bytes then go ()
+    in
+    go ()
+  with End_of_file | Line_too_long -> ()
+
 (** Serve [db] on [port] until [max_requests] requests have been
-    handled (None = forever). *)
+    handled (None = forever).
+
+    Robust against misbehaving clients: SIGPIPE is ignored (a client
+    closing mid-response must surface as [EPIPE], not kill the
+    process), per-connection errors are logged and the loop continues,
+    request lines and headers are size-bounded, and sockets carry
+    send/receive timeouts so a stalled client cannot wedge the
+    single-threaded accept loop. *)
 let serve ?(host = "127.0.0.1") ?max_requests (db : Database.t) ~port () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> () (* no SIGPIPE on this platform *));
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
@@ -153,16 +197,15 @@ let serve ?(host = "127.0.0.1") ?max_requests (db : Database.t) ~port () =
   while continue () do
     let client, _addr = Unix.accept sock in
     (try
+       (try
+          Unix.setsockopt_float client Unix.SO_RCVTIMEO client_timeout_s;
+          Unix.setsockopt_float client Unix.SO_SNDTIMEO client_timeout_s
+        with Unix.Unix_error _ -> ());
        let inp = Unix.in_channel_of_descr client in
        let out = Unix.out_channel_of_descr client in
-       (match input_line inp with
+       (match read_line_bounded inp ~max:max_request_line with
        | line -> (
-           (* drain headers *)
-           (try
-              while String.trim (input_line inp) <> "" do
-                ()
-              done
-            with End_of_file -> ());
+           drain_headers inp;
            match parse_request_line (String.trim line) with
            | Some ("GET", target) ->
                let path, params = split_target target in
@@ -170,10 +213,15 @@ let serve ?(host = "127.0.0.1") ?max_requests (db : Database.t) ~port () =
                respond out ~status ~body
            | Some _ -> respond out ~status:"405 Method Not Allowed" ~body:"GET only\n"
            | None -> respond out ~status:"400 Bad Request" ~body:"bad request\n")
-       | exception End_of_file -> ());
+       | exception End_of_file -> () (* client disconnected before sending *)
+       | exception Line_too_long ->
+           respond out ~status:"414 URI Too Long" ~body:"request line too long\n");
        flush out
-     with _ -> ());
-    (try Unix.close client with _ -> ());
+     with e ->
+       (* EPIPE/ECONNRESET/timeout from this client: log and move on;
+          one broken connection must never take the server down. *)
+       Printf.eprintf "prometheus: client error: %s\n%!" (Printexc.to_string e));
+    (try Unix.close client with Unix.Unix_error _ -> ());
     incr handled
   done;
   Unix.close sock

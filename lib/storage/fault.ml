@@ -1,0 +1,322 @@
+(** Fault-injecting, in-memory {!Vfs} implementation.
+
+    This is the torture half of the test-VFS discipline: a complete
+    in-memory filesystem that models what a real disk is allowed to do
+    to you, driven by a deterministic plan:
+
+    - {b crash} — a simulated power cut at the Nth mutating syscall.
+      The write in flight is torn at a pseudo-random byte offset, then
+      every file is frozen to a pseudo-random {e legal} crash image:
+      each 512-byte sector independently holds either its last-written
+      content or its content as of the last [fsync] (the page cache may
+      flush sectors in any order), and the file length itself is either
+      the current or the last-synced length.  All handles from before
+      the crash are dead; {!revive} re-enables the filesystem so
+      recovery can be driven over the frozen images.
+    - {b short transfers} — sparse deterministic short reads/writes,
+      exercising the pager's retry loops.
+    - {b I/O errors} — the Nth write fails with a chosen [Unix.error]
+      ([ENOSPC]/[EIO]); the Nth fsync fails with [EIO]; or fsync
+      silently no-ops (a lying disk), which withdraws all durability
+      guarantees at the next crash.
+
+    Only mutating operations ([pwrite], [fsync], [truncate],
+    [open_file], [rename], [remove]) advance the syscall counter: a
+    crash between two reads freezes the very same disk image as a crash
+    before the first, so sweeping crash points over mutating syscalls
+    alone covers every reachable post-crash state.
+
+    Per-fault counters are exposed so tests can prove each injection
+    branch actually fired. *)
+
+type counters = {
+  mutable syscalls : int;  (** mutating syscalls so far *)
+  mutable writes : int;
+  mutable fsyncs : int;
+  mutable torn_writes : int;
+  mutable short_writes : int;
+  mutable short_reads : int;
+  mutable failed_writes : int;
+  mutable failed_fsyncs : int;
+  mutable noop_fsyncs : int;
+  mutable crashes : int;
+}
+
+type image = { mutable data : Bytes.t; mutable len : int }
+
+type node = { mutable cur : image; mutable synced : image }
+
+type t = {
+  files : (string, node) Hashtbl.t;
+  c : counters;
+  seed : int;
+  mutable gen : int; (* bumped at crash: invalidates all open handles *)
+  mutable crash_at : int; (* crash when [c.syscalls] reaches this; 0 = off *)
+  mutable write_error_at : int; (* fail the Nth pwrite; 0 = off *)
+  mutable write_error : Unix.error;
+  mutable fsync_fail_at : int; (* fail the Nth fsync; 0 = off *)
+  mutable fsync_noop : bool;
+  mutable short_transfers : bool;
+  mutable reads : int; (* read counter (not a syscall) for short-read cadence *)
+}
+
+let create ?(seed = 0) () =
+  {
+    files = Hashtbl.create 16;
+    c =
+      {
+        syscalls = 0;
+        writes = 0;
+        fsyncs = 0;
+        torn_writes = 0;
+        short_writes = 0;
+        short_reads = 0;
+        failed_writes = 0;
+        failed_fsyncs = 0;
+        noop_fsyncs = 0;
+        crashes = 0;
+      };
+    seed;
+    gen = 0;
+    crash_at = 0;
+    write_error_at = 0;
+    write_error = Unix.ENOSPC;
+    fsync_fail_at = 0;
+    fsync_noop = false;
+    short_transfers = true;
+    reads = 0;
+  }
+
+let counters t = t.c
+let syscalls t = t.c.syscalls
+let set_crash_at t n = t.crash_at <- n
+let fail_write t ~nth err =
+  t.write_error_at <- nth;
+  t.write_error <- err
+let fail_fsync t ~nth = t.fsync_fail_at <- nth
+let set_fsync_noop t v = t.fsync_noop <- v
+let set_short_transfers t v = t.short_transfers <- v
+
+(** Disarm all injections (the crash itself has already frozen the
+    files); the next opens see the frozen images, as a process
+    restarting after a power cut would. *)
+let revive t =
+  t.crash_at <- 0;
+  t.write_error_at <- 0;
+  t.fsync_fail_at <- 0;
+  t.fsync_noop <- false
+
+(* --- images --------------------------------------------------------- *)
+
+let img_copy i = { data = Bytes.sub i.data 0 i.len; len = i.len }
+
+let img_reserve i n =
+  if Bytes.length i.data < n then begin
+    let d = Bytes.make (max n (2 * Bytes.length i.data)) '\000' in
+    Bytes.blit i.data 0 d 0 i.len;
+    i.data <- d
+  end
+
+let img_read i ~buf ~off ~len ~at =
+  if at >= i.len then 0
+  else begin
+    let n = min len (i.len - at) in
+    Bytes.blit i.data at buf off n;
+    n
+  end
+
+let img_write i ~buf ~off ~len ~at =
+  img_reserve i (at + len);
+  (* a sparse write past EOF zero-fills the gap, like a real file *)
+  if at > i.len then Bytes.fill i.data i.len (at - i.len) '\000';
+  Bytes.blit buf off i.data at len;
+  i.len <- max i.len (at + len)
+
+let img_truncate i n =
+  if n <= i.len then i.len <- n
+  else begin
+    img_reserve i n;
+    Bytes.fill i.data i.len (n - i.len) '\000';
+    i.len <- n
+  end
+
+(* --- crash ----------------------------------------------------------- *)
+
+let sector = 512
+
+(* Freeze [node] to a legal power-cut image: pick the surviving length
+   (current or last-synced), then overlay in-flight sectors over the
+   durable base.
+
+   The base is the last-synced content: sectors the current image never
+   touched keep it — a shrinking truncate whose length update is lost
+   does not zero the data blocks it logically cut off, and sectors
+   where [cur] and [synced] agree were never in flight at all.  Only
+   sectors [cur] actually reaches may independently surface their new
+   content (the page cache flushes them in any order); a region past
+   both lengths (an unsynced extension whose data never landed) reads
+   as zeros.  Anything more adversarial — e.g. zeroing sectors that
+   were durable and untouched — would fail states real hardware cannot
+   produce. *)
+let freeze_node rng node =
+  let cur = node.cur and syn = node.synced in
+  let len = if Random.State.bool rng then cur.len else syn.len in
+  let img = Bytes.make len '\000' in
+  Bytes.blit syn.data 0 img 0 (min len syn.len);
+  let pos = ref 0 in
+  while !pos < len do
+    let stop = min len (!pos + sector) in
+    if Random.State.bool rng && !pos < cur.len then
+      Bytes.blit cur.data !pos img !pos (min stop cur.len - !pos);
+    pos := stop
+  done;
+  node.cur <- { data = img; len };
+  node.synced <- img_copy node.cur
+
+let do_crash t =
+  t.c.crashes <- t.c.crashes + 1;
+  t.gen <- t.gen + 1;
+  let rng = Random.State.make [| t.seed; t.c.syscalls; 0x6372 |] in
+  let paths = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.files []) in
+  List.iter (fun p -> freeze_node rng (Hashtbl.find t.files p)) paths;
+  raise Vfs.Crash
+
+let check_alive t gen = if t.gen <> gen then raise Vfs.Crash
+
+(* Count a mutating syscall; crash here if the plan says so.  Returns
+   a per-crash rng when the caller (pwrite) must tear the in-flight
+   write first. *)
+let tick t =
+  t.c.syscalls <- t.c.syscalls + 1;
+  if t.crash_at > 0 && t.c.syscalls >= t.crash_at then do_crash t
+
+let tick_write t ~len =
+  t.c.syscalls <- t.c.syscalls + 1;
+  t.c.writes <- t.c.writes + 1;
+  if t.crash_at > 0 && t.c.syscalls >= t.crash_at then begin
+    (* tear the in-flight write: only a prefix reaches the file *)
+    let rng = Random.State.make [| t.seed; t.c.syscalls; 0x746f |] in
+    let k = if len <= 1 then 0 else Random.State.int rng len in
+    if k > 0 then t.c.torn_writes <- t.c.torn_writes + 1;
+    Some k
+  end
+  else begin
+    if t.write_error_at > 0 && t.c.writes = t.write_error_at then begin
+      t.c.failed_writes <- t.c.failed_writes + 1;
+      raise (Unix.Unix_error (t.write_error, "write", ""))
+    end;
+    None
+  end
+
+(* --- the vfs --------------------------------------------------------- *)
+
+let find_node t path = Hashtbl.find_opt t.files path
+
+let get_node t path =
+  match find_node t path with
+  | Some n -> n
+  | None ->
+      let n =
+        {
+          cur = { data = Bytes.create 0; len = 0 };
+          synced = { data = Bytes.create 0; len = 0 };
+        }
+      in
+      Hashtbl.replace t.files path n;
+      n
+
+let vfs t : Vfs.t =
+  let open_file ?(trunc = false) path =
+    check_alive t t.gen;
+    tick t;
+    (* creat: the node exists from here on *)
+    let node = get_node t path in
+    if trunc then img_truncate node.cur 0;
+    let gen = t.gen in
+    {
+      Vfs.pread =
+        (fun ~buf ~off ~len ~at ->
+          check_alive t gen;
+          t.reads <- t.reads + 1;
+          let len =
+            if t.short_transfers && len > 1 && t.reads mod 13 = 0 then begin
+              t.c.short_reads <- t.c.short_reads + 1;
+              (len + 1) / 2
+            end
+            else len
+          in
+          img_read node.cur ~buf ~off ~len ~at);
+      pwrite =
+        (fun ~buf ~off ~len ~at ->
+          check_alive t gen;
+          match tick_write t ~len with
+          | Some k ->
+              (* crash point: apply the torn prefix, then die *)
+              if k > 0 then img_write node.cur ~buf ~off ~len:k ~at;
+              do_crash t
+          | None ->
+              let len =
+                if t.short_transfers && len > 1 && t.c.writes mod 17 = 0 then begin
+                  t.c.short_writes <- t.c.short_writes + 1;
+                  (len + 1) / 2
+                end
+                else len
+              in
+              img_write node.cur ~buf ~off ~len ~at;
+              len);
+      fsync =
+        (fun () ->
+          check_alive t gen;
+          tick t;
+          t.c.fsyncs <- t.c.fsyncs + 1;
+          if t.fsync_fail_at > 0 && t.c.fsyncs = t.fsync_fail_at then begin
+            t.c.failed_fsyncs <- t.c.failed_fsyncs + 1;
+            raise (Unix.Unix_error (Unix.EIO, "fsync", path))
+          end;
+          if t.fsync_noop then t.c.noop_fsyncs <- t.c.noop_fsyncs + 1
+          else node.synced <- img_copy node.cur);
+      truncate =
+        (fun n ->
+          check_alive t gen;
+          tick t;
+          img_truncate node.cur n);
+      size =
+        (fun () ->
+          check_alive t gen;
+          node.cur.len);
+      close = (fun () -> ());
+    }
+  in
+  {
+    Vfs.open_file;
+    rename =
+      (fun src dst ->
+        check_alive t t.gen;
+        tick t;
+        (match find_node t src with
+        | None -> raise (Unix.Unix_error (Unix.ENOENT, "rename", src))
+        | Some n ->
+            Hashtbl.remove t.files src;
+            Hashtbl.replace t.files dst n));
+    remove =
+      (fun path ->
+        check_alive t t.gen;
+        tick t;
+        if not (Hashtbl.mem t.files path) then
+          raise (Unix.Unix_error (Unix.ENOENT, "unlink", path));
+        Hashtbl.remove t.files path);
+    exists =
+      (fun path ->
+        check_alive t t.gen;
+        Hashtbl.mem t.files path);
+  }
+
+(* --- debugging helpers ---------------------------------------------- *)
+
+let file_size t path = match find_node t path with Some n -> Some n.cur.len | None -> None
+
+let pp_counters ppf c =
+  Format.fprintf ppf
+    "syscalls=%d writes=%d fsyncs=%d torn=%d short_w=%d short_r=%d failed_w=%d failed_fsync=%d noop_fsync=%d crashes=%d"
+    c.syscalls c.writes c.fsyncs c.torn_writes c.short_writes c.short_reads c.failed_writes
+    c.failed_fsyncs c.noop_fsyncs c.crashes

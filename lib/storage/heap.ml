@@ -295,6 +295,34 @@ let update t (r : rid) (data : string) : rid =
     insert t data
   end
 
+(** Structural validation of one heap page, used by [Store.check]
+    after crash recovery.  Verifies the header bounds, the exact
+    free-end/slot-array accounting, and that every live slot's extent
+    lies inside the record area — so a torn page that survived
+    recovery is detected rather than silently served. *)
+let validate_page t page =
+  let b = Pager.read t.pager page in
+  if Bytes.get_uint8 b 0 <> kind_heap then
+    fail "validate: page %d is not a heap page (kind %d)" page (Bytes.get_uint8 b 0);
+  let nslots = get_nslots b in
+  let fs = get_free_start b and fe = get_free_end b in
+  if fs < header_size || fs > Pager.page_size then
+    fail "validate: page %d free_start %d out of bounds" page fs;
+  if fe <> Pager.page_size - (slot_size * nslots) then
+    fail "validate: page %d free_end %d inconsistent with %d slots" page fe nslots;
+  if fe < fs then fail "validate: page %d slot array overlaps records" page;
+  for i = 0 to nslots - 1 do
+    let off, len = get_slot b i in
+    if off <> dead_off then begin
+      let real = len land lnot len_blob_flag in
+      if len land len_blob_flag <> 0 && real <> blob_ptr_len then
+        fail "validate: page %d slot %d bad blob pointer length %d" page i real;
+      if off < header_size || off + real > fs then
+        fail "validate: page %d slot %d extent [%d,%d) escapes record area" page i off
+          (off + real)
+    end
+  done
+
 (** Iterate over all live records of heap page [page]. *)
 let iter_page t page (f : rid -> string -> unit) =
   let b = Pager.read t.pager page in

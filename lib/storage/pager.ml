@@ -15,13 +15,36 @@
       the journal back into the main file.
 
     Page 0 is reserved for the store header and is managed like any
-    other page (so header updates are also journaled and thus atomic). *)
+    other page (so header updates are also journaled and thus atomic).
+
+    All file I/O goes through a {!Vfs.t} (defaulting to {!Vfs.unix}),
+    so the crash-recovery protocol can be proven correct under the
+    fault-injecting VFS ({!Fault}) by sweeping a simulated power cut
+    across every syscall of a workload (see [test/test_crash.ml]). *)
 
 let page_size = 4096
 
 exception Pager_error of string
 
+(** Typed I/O failure: an operating-system error surfaced by the
+    underlying VFS, annotated with the operation and file it hit.
+    Callers never see raw [Unix.Unix_error] from the pager. *)
+exception Io_error of { op : string; path : string; error : Unix.error }
+
 let fail fmt = Format.kasprintf (fun s -> raise (Pager_error s)) fmt
+
+(* Run one VFS operation: retry on EINTR, wrap any other OS error into
+   {!Io_error}.  A simulated power cut ({!Vfs.Crash}) is deliberately
+   not caught anywhere in the pager: the "machine" is gone and the
+   torture harness above us owns what happens next. *)
+let io ~op ~path f =
+  let rec go () =
+    match f () with
+    | v -> v
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (error, _, _) -> raise (Io_error { op; path; error })
+  in
+  go ()
 
 type page = {
   no : int;
@@ -31,9 +54,11 @@ type page = {
 }
 
 type t = {
-  fd : Unix.file_descr;
+  vfs : Vfs.t;
+  fd : Vfs.file;
   path : string;
   journal_path : string;
+  created : bool; (* the file was empty when opened (after recovery) *)
   mutable page_count : int;
   cache : (int, page) Hashtbl.t;
   mutable cache_cap : int;
@@ -41,7 +66,9 @@ type t = {
   (* transaction state *)
   mutable in_tx : bool;
   mutable journaled : (int, unit) Hashtbl.t; (* pages whose before-image is in the journal *)
-  mutable jfd : Unix.file_descr option;
+  mutable jfd : Vfs.file option;
+  mutable journal_len : int; (* bytes of valid frames; appends land here, so a torn
+                                append (ENOSPC mid-frame) is overwritten on retry *)
   mutable journal_synced : bool;
   mutable tx_new_pages : (int, unit) Hashtbl.t; (* pages allocated in this tx *)
   (* statistics *)
@@ -51,22 +78,31 @@ type t = {
   mutable misses : int;
 }
 
-let really_pread fd buf off file_off =
-  ignore (Unix.lseek fd file_off Unix.SEEK_SET);
+(* Read exactly [len] bytes at [file_off], zero-filling past EOF.
+   Short transfers and EINTR are retried. *)
+let really_pread ~path (fd : Vfs.file) buf ~off ~len ~file_off =
   let rec go pos remaining =
     if remaining > 0 then begin
-      let n = Unix.read fd buf (off + pos) remaining in
+      let n =
+        io ~op:"pread" ~path (fun () ->
+            fd.Vfs.pread ~buf ~off:(off + pos) ~len:remaining ~at:(file_off + pos))
+      in
       if n = 0 then Bytes.fill buf (off + pos) remaining '\000'
       else go (pos + n) (remaining - n)
     end
   in
-  go 0 page_size
+  go 0 len
 
-let really_write fd buf =
+(* Write all of [buf] at [file_off], retrying short transfers and EINTR. *)
+let really_write ~path (fd : Vfs.file) buf ~file_off =
   let len = Bytes.length buf in
   let rec go pos =
     if pos < len then begin
-      let n = Unix.write fd buf pos (len - pos) in
+      let n =
+        io ~op:"pwrite" ~path (fun () ->
+            fd.Vfs.pwrite ~buf ~off:pos ~len:(len - pos) ~at:(file_off + pos))
+      in
+      if n <= 0 then raise (Io_error { op = "pwrite"; path; error = Unix.EIO });
       go (pos + n)
     end
   in
@@ -86,9 +122,11 @@ let journal_append t page_no (data : Bytes.t) =
     | Some fd -> fd
     | None ->
         let fd =
-          Unix.openfile t.journal_path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+          io ~op:"open" ~path:t.journal_path (fun () ->
+              t.vfs.Vfs.open_file ~trunc:true t.journal_path)
         in
         t.jfd <- Some fd;
+        t.journal_len <- 0;
         fd
   in
   let e = Codec.Enc.create ~size:journal_frame_size () in
@@ -96,36 +134,45 @@ let journal_append t page_no (data : Bytes.t) =
   Codec.Enc.i64 e (Int64.of_int page_no);
   Codec.Enc.u32 e (Int32.to_int (Codec.Crc32.digest_bytes data) land 0xffffffff);
   Codec.Enc.raw e (Bytes.to_string data);
-  ignore (Unix.lseek jfd 0 Unix.SEEK_END);
-  really_write jfd (Bytes.of_string (Codec.Enc.to_string e));
+  really_write ~path:t.journal_path jfd
+    (Bytes.of_string (Codec.Enc.to_string e))
+    ~file_off:t.journal_len;
+  t.journal_len <- t.journal_len + journal_frame_size;
   t.journal_synced <- false
 
 let journal_truncate t =
   (match t.jfd with
   | Some fd ->
-      Unix.ftruncate fd 0;
-      Unix.fsync fd
+      io ~op:"truncate" ~path:t.journal_path (fun () -> fd.Vfs.truncate 0);
+      io ~op:"fsync" ~path:t.journal_path (fun () -> fd.Vfs.fsync ())
   | None -> ());
+  t.journal_len <- 0;
   Hashtbl.reset t.journaled;
   Hashtbl.reset t.tx_new_pages;
   t.journal_synced <- true
 
 let journal_sync t =
   if not t.journal_synced then begin
-    (match t.jfd with Some fd -> Unix.fsync fd | None -> ());
+    (match t.jfd with
+    | Some fd -> io ~op:"fsync" ~path:t.journal_path (fun () -> fd.Vfs.fsync ())
+    | None -> ());
     t.journal_synced <- true
   end
 
 (* Read all valid frames from the journal file at [path]; returns the
-   frames in order.  Stops at the first corrupt/truncated frame. *)
-let journal_read_frames path =
-  if not (Sys.file_exists path) then []
+   frames in order.  Stops at the first corrupt/truncated frame: a torn
+   tail (magic mismatch, bad CRC, or a short final frame) marks the end
+   of the trustworthy prefix. *)
+let journal_read_frames ~(vfs : Vfs.t) path =
+  if not (vfs.Vfs.exists path) then []
   else begin
-    let ic = open_in_bin path in
-    let len = in_channel_length ic in
+    let fd = io ~op:"open" ~path (fun () -> vfs.Vfs.open_file path) in
     let frames = ref [] in
     (try
-       let buf = really_input_string ic len in
+       let len = io ~op:"size" ~path (fun () -> fd.Vfs.size ()) in
+       let bytes = Bytes.create len in
+       really_pread ~path fd bytes ~off:0 ~len ~file_off:0;
+       let buf = Bytes.unsafe_to_string bytes in
        let d = Codec.Dec.of_string buf in
        let continue = ref true in
        while !continue && Codec.Dec.remaining d >= journal_frame_size do
@@ -137,12 +184,13 @@ let journal_read_frames path =
          d.Codec.Dec.pos <- start + page_size;
          if
            magic = journal_frame_magic
+           && page_no >= 0
            && Int32.to_int (Codec.Crc32.digest data) land 0xffffffff = crc
          then frames := (page_no, data) :: !frames
          else continue := false
        done
-     with _ -> ());
-    close_in ic;
+     with Codec.Corrupt _ -> ());
+    io ~op:"close" ~path (fun () -> fd.Vfs.close ());
     List.rev !frames
   end
 
@@ -154,8 +202,7 @@ let write_page_to_disk t (p : page) =
   (* A dirty page must never hit the disk before its before-image is
      durable in the journal. *)
   if t.in_tx && Hashtbl.mem t.journaled p.no then journal_sync t;
-  ignore (Unix.lseek t.fd (p.no * page_size) Unix.SEEK_SET);
-  really_write t.fd p.data;
+  really_write ~path:t.path t.fd p.data ~file_off:(p.no * page_size);
   t.writes <- t.writes + 1;
   p.dirty <- false
 
@@ -185,7 +232,7 @@ let load_page t no =
       t.misses <- t.misses + 1;
       let data = Bytes.create page_size in
       if no < t.page_count then begin
-        really_pread t.fd data 0 (no * page_size);
+        really_pread ~path:t.path t.fd data ~off:0 ~len:page_size ~file_off:(no * page_size);
         t.reads <- t.reads + 1
       end
       else Bytes.fill data 0 page_size '\000';
@@ -199,31 +246,43 @@ let load_page t no =
 (* Public API                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let recover_from_journal path journal_path =
-  let frames = journal_read_frames journal_path in
+(* Undo-journal replay.  The *first* before-image of a page wins: it is
+   the page's pre-transaction state, and any later duplicate (which a
+   crashed, re-run recovery or a buggy writer could leave behind) must
+   not override it.  Recovery is idempotent and re-runnable: the journal
+   is only removed after the restored pages are durable, so a crash at
+   any point during recovery simply means recovery runs again from the
+   same journal on the next open. *)
+let recover_from_journal ~(vfs : Vfs.t) path journal_path =
+  let frames = journal_read_frames ~vfs journal_path in
   if frames <> [] then begin
-    let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+    let fd = io ~op:"open" ~path (fun () -> vfs.Vfs.open_file path) in
+    let applied = Hashtbl.create 64 in
     List.iter
       (fun (page_no, data) ->
-        ignore (Unix.lseek fd (page_no * page_size) Unix.SEEK_SET);
-        really_write fd (Bytes.of_string data))
+        if not (Hashtbl.mem applied page_no) then begin
+          Hashtbl.replace applied page_no ();
+          really_write ~path fd (Bytes.of_string data) ~file_off:(page_no * page_size)
+        end)
       frames;
-    Unix.fsync fd;
-    Unix.close fd
+    io ~op:"fsync" ~path (fun () -> fd.Vfs.fsync ());
+    io ~op:"close" ~path (fun () -> fd.Vfs.close ())
   end;
-  if Sys.file_exists journal_path then Sys.remove journal_path
+  if vfs.Vfs.exists journal_path then
+    io ~op:"remove" ~path:journal_path (fun () -> vfs.Vfs.remove journal_path)
 
-let open_file ?(cache_pages = 2048) path =
+let open_file ?(cache_pages = 2048) ?(vfs = Vfs.unix) path =
   let journal_path = path ^ ".journal" in
-  let existed = Sys.file_exists path in
-  if existed then recover_from_journal path journal_path;
-  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
-  let size = (Unix.fstat fd).Unix.st_size in
+  if vfs.Vfs.exists path then recover_from_journal ~vfs path journal_path;
+  let fd = io ~op:"open" ~path (fun () -> vfs.Vfs.open_file path) in
+  let size = io ~op:"size" ~path (fun () -> fd.Vfs.size ()) in
   let page_count = (size + page_size - 1) / page_size in
   {
+    vfs;
     fd;
     path;
     journal_path;
+    created = size = 0;
     page_count = max page_count 1;
     cache = Hashtbl.create 1024;
     cache_cap = cache_pages;
@@ -231,6 +290,7 @@ let open_file ?(cache_pages = 2048) path =
     in_tx = false;
     journaled = Hashtbl.create 64;
     jfd = None;
+    journal_len = 0;
     journal_synced = true;
     tx_new_pages = Hashtbl.create 16;
     reads = 0;
@@ -240,6 +300,12 @@ let open_file ?(cache_pages = 2048) path =
   }
 
 let page_count t = t.page_count
+
+(** True if the file was empty when this pager opened it (i.e. the
+    store is brand new, not merely missing its header magic). *)
+let created t = t.created
+
+let path t = t.path
 
 (** Read access to a page.  The returned bytes must not be mutated; use
     {!with_write} for mutation. *)
@@ -275,7 +341,7 @@ let allocate t : int =
 
 let flush_all t =
   Hashtbl.iter (fun _ p -> if p.dirty then write_page_to_disk t p) t.cache;
-  Unix.fsync t.fd
+  io ~op:"fsync" ~path:t.path (fun () -> t.fd.Vfs.fsync ())
 
 let begin_tx t =
   if t.in_tx then fail "nested transactions are not supported at the pager level";
@@ -298,25 +364,36 @@ let abort t =
   (* Drop all cached state, then restore before-images from the journal. *)
   (match t.jfd with
   | Some fd ->
-      Unix.fsync fd;
-      Unix.close fd;
+      io ~op:"fsync" ~path:t.journal_path (fun () -> fd.Vfs.fsync ());
+      io ~op:"close" ~path:t.journal_path (fun () -> fd.Vfs.close ());
       t.jfd <- None
   | None -> ());
   Hashtbl.reset t.cache;
-  recover_from_journal t.path t.journal_path;
+  recover_from_journal ~vfs:t.vfs t.path t.journal_path;
   Hashtbl.reset t.journaled;
   Hashtbl.reset t.tx_new_pages;
   t.journal_synced <- true;
-  let size = (Unix.fstat t.fd).Unix.st_size in
+  let size = io ~op:"size" ~path:t.path (fun () -> t.fd.Vfs.size ()) in
   t.page_count <- max ((size + page_size - 1) / page_size) 1;
   t.in_tx <- false
 
 let close t =
   if t.in_tx then abort t;
   flush_all t;
-  (match t.jfd with Some fd -> Unix.close fd | None -> ());
+  (match t.jfd with
+  | Some fd -> io ~op:"close" ~path:t.journal_path (fun () -> fd.Vfs.close ())
+  | None -> ());
   t.jfd <- None;
-  Unix.close t.fd
+  io ~op:"close" ~path:t.path (fun () -> t.fd.Vfs.close ())
+
+(** Test/bench hook: abandon the pager the way a crashed process would —
+    close the underlying files without flushing dirty pages, committing,
+    or truncating the journal.  Whatever is on disk stays on disk; a
+    subsequent {!open_file} runs crash recovery. *)
+let crash t =
+  (match t.jfd with Some fd -> (try fd.Vfs.close () with _ -> ()) | None -> ());
+  t.jfd <- None;
+  (try t.fd.Vfs.close () with _ -> ())
 
 type stats = { s_reads : int; s_writes : int; s_hits : int; s_misses : int; s_pages : int }
 

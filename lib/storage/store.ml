@@ -10,6 +10,14 @@
     - freed pages are recycled through a free-page list rooted in the
       header page.
 
+    Durability contract (see DESIGN.md "Durability & recovery
+    guarantees"): mutations made inside a transaction are atomic and,
+    once [commit] returns, durable across crashes; mutations made
+    outside any transaction are not crash-safe until the next
+    successful commit or close.  The store's own metadata (header,
+    including [next_oid]) is only ever written under the pager journal,
+    so a power cut can never tear it.
+
     Header page (page 0) layout:
     {v
       off 0  : 8-byte magic "PROMDB01"
@@ -29,6 +37,7 @@ let kind_free = 5
 
 type t = {
   pager : Pager.t;
+  vfs : Vfs.t;
   mutable heap : Heap.t;
   mutable dir : Btree.t;
   mutable next_oid : int;
@@ -88,26 +97,43 @@ let build_components pager =
   in
   (heap, dir)
 
-let open_ ?cache_pages path =
-  let pager = Pager.open_file ?cache_pages path in
+let header_all_zero hdr =
+  let rec go i = i >= Bytes.length hdr || (Bytes.get hdr i = '\000' && go (i + 1)) in
+  go 0
+
+let open_ ?cache_pages ?(vfs = Vfs.unix) path =
+  let pager = Pager.open_file ?cache_pages ~vfs path in
   let hdr = Pager.read pager 0 in
-  let fresh = Bytes.sub_string hdr 0 8 <> magic in
-  if fresh then
+  (* A brand-new store is an empty file, or one whose header page
+     recovery rolled back to zeros (a crash during initialisation).  A
+     non-empty file with a damaged header is *corruption* and must fail
+     loudly, never be silently re-initialised over. *)
+  let fresh = Pager.created pager || header_all_zero hdr in
+  if fresh then begin
+    (* Initialise under the journal so a crash mid-initialisation rolls
+       the header back to zeros instead of leaving a torn half-header.
+       Component construction must happen inside the same transaction:
+       [Btree.create] eagerly allocates its root page and points the
+       header at it, and that header write must be journaled — flushed
+       unjournaled by a later [begin_tx], a crash between the two
+       writes would leave a header referencing a page that never made
+       it to disk. *)
+    Pager.begin_tx pager;
     Pager.with_write pager 0 (fun b ->
         Bytes.fill b 0 Pager.page_size '\000';
         Bytes.blit_string magic 0 b 0 8;
         Bytes.set_int32_le b 8 (Int32.of_int version);
         Bytes.set_int64_le b 12 1L;
         Bytes.set_int32_le b 20 0l;
-        Bytes.set_int32_le b 24 0l)
+        Bytes.set_int32_le b 24 0l);
+    ignore (build_components pager);
+    Pager.commit pager
+  end
+  else if Bytes.sub_string hdr 0 8 <> magic then fail "%s: corrupt store header (bad magic)" path
   else if Int32.to_int (Bytes.get_int32_le hdr 8) <> version then
     fail "%s: unsupported store version" path;
   let heap, dir = build_components pager in
-  { pager; heap; dir; next_oid = hdr_read_next_oid pager; tx_depth = 0; path }
-
-let close t =
-  hdr_write_next_oid t.pager t.next_oid;
-  Pager.close t.pager
+  { pager; vfs; heap; dir; next_oid = hdr_read_next_oid pager; tx_depth = 0; path }
 
 let path t = t.path
 
@@ -117,39 +143,62 @@ let in_tx t = t.tx_depth > 0
 
 let begin_tx t =
   if t.tx_depth = 0 then begin
-    (* Persist the current next_oid *before* the transaction starts, so
-       that the header before-image captured inside the transaction (and
-       hence the state restored by abort) reflects oids already handed
-       out, avoiding oid reuse after rollback. *)
-    hdr_write_next_oid t.pager t.next_oid;
-    Pager.begin_tx t.pager
+    Pager.begin_tx t.pager;
+    (* Persist the oid high-water mark under the journal (first touch
+       of the header appends its before-image).  [abort] below keeps
+       the in-memory mark, so rolled-back transactions still never
+       reuse an oid that was handed out. *)
+    hdr_write_next_oid t.pager t.next_oid
   end;
   t.tx_depth <- t.tx_depth + 1
 
 let commit t =
   if t.tx_depth <= 0 then fail "commit outside transaction";
-  t.tx_depth <- t.tx_depth - 1;
-  if t.tx_depth = 0 then begin
+  (* Decrement only after the pager commit succeeds: if it raises
+     (ENOSPC, failed fsync, ...) the transaction is still open and the
+     caller can — must — [abort] it. *)
+  if t.tx_depth = 1 then begin
     hdr_write_next_oid t.pager t.next_oid;
     Pager.commit t.pager
-  end
+  end;
+  t.tx_depth <- t.tx_depth - 1
 
 let abort t =
   if t.tx_depth <= 0 then fail "abort outside transaction";
   t.tx_depth <- 0;
   Pager.abort t.pager;
-  (* In-memory state may be stale after rollback: rebuild. *)
+  (* In-memory state may be stale after rollback: rebuild.  Keep the
+     in-memory oid high-water mark: rollback restores the header's
+     pre-transaction value, but oids handed out since must stay
+     retired. *)
   let heap, dir = build_components t.pager in
   t.heap <- heap;
   t.dir <- dir;
-  t.next_oid <- hdr_read_next_oid t.pager
+  t.next_oid <- max t.next_oid (hdr_read_next_oid t.pager)
+
+let close t =
+  if t.tx_depth > 0 then abort t;
+  (* Persist the oid high-water mark under the journal: an unjournaled
+     header write here could be torn by a crash and take the whole
+     store with it. *)
+  if hdr_read_next_oid t.pager <> t.next_oid then begin
+    Pager.begin_tx t.pager;
+    hdr_write_next_oid t.pager t.next_oid;
+    Pager.commit t.pager
+  end;
+  Pager.close t.pager
 
 let with_tx t f =
   begin_tx t;
-  match f () with
-  | v ->
-      commit t;
-      v
+  match
+    let v = f () in
+    (* commit must be inside the handler too: a commit that fails
+       (ENOSPC, failed fsync) leaves the transaction open, and it must
+       be rolled back before the error escapes. *)
+    commit t;
+    v
+  with
+  | v -> v
   | exception e ->
       if t.tx_depth > 0 then abort t;
       raise e
@@ -205,32 +254,75 @@ let stats t =
     cache_misses = s.Pager.s_misses;
   }
 
-(** Consistency check used by tests: the directory B-tree is structurally
-    valid and every directory entry resolves to a live heap record. *)
+(** Consistency check used by tests and the crash-torture harness:
+
+    - the directory B-tree is structurally valid;
+    - every directory entry resolves to a live heap record (blob chains
+      are followed and length-checked by [Heap.get]);
+    - every heap page holding a referenced record is structurally sound
+      ({!Heap.validate_page}: header bounds, slot-array accounting,
+      slot extents);
+    - the free-page list stays inside the file, is cycle-free, and
+      every page on it is marked free.
+
+    Pages reachable from none of these (e.g. pages allocated by an
+    uncommitted transaction that crashed) may hold arbitrary bytes;
+    that is not corruption, merely leaked space that vacuum reclaims. *)
 let check t =
   let n = Btree.check t.dir in
-  Btree.iter t.dir (fun _ rid -> ignore (Heap.get t.heap rid));
+  let heap_pages = Hashtbl.create 64 in
+  Btree.iter t.dir (fun _ rid ->
+      if not (Hashtbl.mem heap_pages rid.Heap.page) then begin
+        Heap.validate_page t.heap rid.Heap.page;
+        Hashtbl.replace heap_pages rid.Heap.page ()
+      end;
+      ignore (Heap.get t.heap rid));
+  let seen = Hashtbl.create 64 in
+  let rec walk no =
+    if no <> 0 then begin
+      if no < 0 || no >= Pager.page_count t.pager then
+        fail "free list escapes the file (page %d)" no;
+      if Hashtbl.mem seen no then fail "free list cycle at page %d" no;
+      Hashtbl.replace seen no ();
+      let b = Pager.read t.pager no in
+      if Bytes.get_uint8 b 0 <> kind_free then
+        fail "free list page %d is not marked free (kind %d)" no (Bytes.get_uint8 b 0);
+      walk (Int32.to_int (Bytes.get_int32_le b 1))
+    end
+  in
+  walk (hdr_read_free_head t.pager);
   n
 
 (** Vacuum: rewrite the store into a fresh compact file, dropping dead
     pages (fragmentation from deletes, lazily-deleted B-tree space,
     abandoned pages after aborts) and renaming it over the original.
     The store must not be inside a transaction.  Returns the new store
-    handle — the old one is consumed. *)
+    handle — the old one is consumed.
+
+    Crash-safe: a crash anywhere before the rename leaves the original
+    file (and any journal it needs) untouched; the rename itself is
+    atomic; and any stale journal for the original path is removed
+    {e before} the rename, so a journal that predates the vacuum can
+    never be replayed over the freshly written file. *)
 let vacuum t : t =
   if in_tx t then fail "vacuum inside a transaction";
+  let vfs = t.vfs in
   let tmp = t.path ^ ".vacuum" in
-  if Sys.file_exists tmp then Sys.remove tmp;
-  if Sys.file_exists (tmp ^ ".journal") then Sys.remove (tmp ^ ".journal");
-  let fresh = open_ tmp in
-  (* preserve oids exactly *)
+  if vfs.Vfs.exists tmp then vfs.Vfs.remove tmp;
+  if vfs.Vfs.exists (tmp ^ ".journal") then vfs.Vfs.remove (tmp ^ ".journal");
+  let fresh = open_ ~vfs tmp in
+  (* The rebuild runs outside a transaction on purpose: journaling it
+     would double the I/O, and a crash mid-rebuild only loses the tmp
+     file, which the next vacuum removes. *)
   iter t (fun oid data -> put fresh ~oid data);
   fresh.next_oid <- t.next_oid;
-  hdr_write_next_oid fresh.pager fresh.next_oid;
-  Pager.flush_all fresh.pager;
   let path = t.path in
   close t;
-  close fresh;
-  Sys.rename tmp path;
-  if Sys.file_exists (tmp ^ ".journal") then Sys.remove (tmp ^ ".journal");
-  open_ path
+  close fresh (* flushes, persists next_oid under the journal, fsyncs *);
+  (* Commit point.  First drop any journal left over for [path]: after
+     the rename it would hold before-images of the *old* file and
+     replaying it over the new one would corrupt it. *)
+  if vfs.Vfs.exists (path ^ ".journal") then vfs.Vfs.remove (path ^ ".journal");
+  vfs.Vfs.rename tmp path;
+  if vfs.Vfs.exists (tmp ^ ".journal") then vfs.Vfs.remove (tmp ^ ".journal");
+  open_ ~vfs path

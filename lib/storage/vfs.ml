@@ -1,0 +1,73 @@
+(** Virtual file system: the seam between the pager and the disk.
+
+    Every file operation the storage substrate performs goes through a
+    {!t}, so tests can substitute an in-memory, fault-injecting
+    implementation (see {!Fault}) and prove crash recovery correct with
+    exhaustive syscall-level fault sweeps — the test-VFS discipline of
+    production storage engines.
+
+    The operations deliberately mirror raw syscalls: [pread]/[pwrite]
+    are single-shot and may transfer fewer bytes than asked (short
+    transfers are the caller's problem, exactly as with the syscalls
+    they model), and durability must be requested explicitly with
+    [fsync].  Path-level operations ([rename]/[remove]/[exists]) cover
+    what vacuum and journal recovery need. *)
+
+(** Raised by fault-injecting implementations at a simulated power
+    cut.  Deliberately not a [Unix_error]: the pager must let it escape
+    untouched, so a torture harness can distinguish "the simulated
+    machine died" from an I/O error the pager is expected to handle. *)
+exception Crash
+
+(** An open file.  All offsets are absolute; there is no seek state. *)
+type file = {
+  pread : buf:Bytes.t -> off:int -> len:int -> at:int -> int;
+      (** Read up to [len] bytes at file offset [at] into [buf] at
+          [off]; returns the transfer count, 0 at end of file. *)
+  pwrite : buf:Bytes.t -> off:int -> len:int -> at:int -> int;
+      (** Write up to [len] bytes from [buf] at [off] to file offset
+          [at]; returns the transfer count. *)
+  fsync : unit -> unit;
+  truncate : int -> unit;
+  size : unit -> int;
+  close : unit -> unit;
+}
+
+type t = {
+  open_file : ?trunc:bool -> string -> file;
+      (** Open (creating if missing) a file for read/write.
+          [~trunc:true] empties it first. *)
+  rename : string -> string -> unit;
+  remove : string -> unit;
+  exists : string -> bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The real thing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let unix : t =
+  let open_file ?(trunc = false) path =
+    let flags = [ Unix.O_RDWR; Unix.O_CREAT ] @ if trunc then [ Unix.O_TRUNC ] else [] in
+    let fd = Unix.openfile path flags 0o644 in
+    {
+      pread =
+        (fun ~buf ~off ~len ~at ->
+          ignore (Unix.lseek fd at Unix.SEEK_SET);
+          Unix.read fd buf off len);
+      pwrite =
+        (fun ~buf ~off ~len ~at ->
+          ignore (Unix.lseek fd at Unix.SEEK_SET);
+          Unix.write fd buf off len);
+      fsync = (fun () -> Unix.fsync fd);
+      truncate = (fun n -> Unix.ftruncate fd n);
+      size = (fun () -> (Unix.fstat fd).Unix.st_size);
+      close = (fun () -> Unix.close fd);
+    }
+  in
+  {
+    open_file;
+    rename = Sys.rename;
+    remove = Sys.remove;
+    exists = Sys.file_exists;
+  }

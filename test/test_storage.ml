@@ -113,9 +113,8 @@ let test_pager_crash_recovery () =
   Pager.begin_tx p;
   Pager.with_write p no (fun b -> Bytes.blit_string "dirty!" 0 b 0 6);
   Pager.flush_all p;
-  (* crash: close fds directly, leaving the journal in place *)
-  Unix.close p.Pager.fd;
-  (match p.Pager.jfd with Some fd -> Unix.close fd | None -> ());
+  (* crash: abandon the pager, leaving the journal in place *)
+  Pager.crash p;
   (* recovery happens on reopen *)
   let p2 = Pager.open_file path in
   Alcotest.(check string) "recovered" "stable" (Bytes.sub_string (Pager.read p2 no) 0 6);
@@ -477,8 +476,7 @@ let test_journal_partial_frame_ignored () =
   Pager.with_write p no (fun b -> Bytes.blit_string "temp" 0 b 0 4);
   Pager.flush_all p;
   (* crash, then corrupt the journal by appending a partial frame *)
-  Unix.close p.Pager.fd;
-  (match p.Pager.jfd with Some fd -> Unix.close fd | None -> ());
+  Pager.crash p;
   let jc = open_out_gen [ Open_append; Open_binary ] 0o644 (path ^ ".journal") in
   output_string jc "JRNL-partial-garbage";
   close_out jc;
