@@ -67,9 +67,10 @@ let stats_cmd =
   let run file =
     with_db file (fun db ->
         let s = Pstore.Store.stats (Database.store db) in
-        Printf.printf "objects      %d\npages        %d\npage reads   %d\npage writes  %d\n"
+        Printf.printf
+          "objects       %d\npages         %d\npage reads    %d\npage writes   %d\nevictions     %d\njournal bytes %d\n"
           s.Pstore.Store.objects s.Pstore.Store.pages s.Pstore.Store.page_reads
-          s.Pstore.Store.page_writes)
+          s.Pstore.Store.page_writes s.Pstore.Store.evictions s.Pstore.Store.journal_bytes)
   in
   Cmd.v (Cmd.info "stats" ~doc:"Print storage statistics.") Term.(const run $ db_arg)
 

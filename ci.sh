@@ -1,11 +1,26 @@
 #!/bin/sh
 # CI gate: build, full test suite (includes the smoke crash sweep),
+# bench smoke (micro + storage hot paths, which emits BENCH_PR2.json),
 # then the long fixed-seed crash-torture sweep.  Equivalent to
-# `dune build @ci`.  Pass `smoke` to skip the long sweep.
+# `dune build @ci` plus the bench smoke.  Pass `smoke` to skip the
+# long sweep.
 set -e
 cd "$(dirname "$0")"
 dune build
 dune runtest
+
+# bench smoke: the harness must run end to end, and the storage section
+# must emit a well-formed BENCH_PR2.json trajectory record
+dune exec bench/main.exe -- micro >/dev/null
+rm -f BENCH_PR2.json
+dune exec bench/main.exe -- storage >/dev/null
+[ -s BENCH_PR2.json ] || { echo "ci: BENCH_PR2.json missing or empty" >&2; exit 1; }
+head -c 1 BENCH_PR2.json | grep -q '{' || { echo "ci: BENCH_PR2.json is not a JSON object" >&2; exit 1; }
+tail -c 2 BENCH_PR2.json | grep -q '}' || { echo "ci: BENCH_PR2.json is not a JSON object" >&2; exit 1; }
+for key in commit_tx_per_s churn_pages_per_s journal_mib_per_s best_commit_speedup environments acceptance; do
+  grep -q "\"$key\"" BENCH_PR2.json || { echo "ci: BENCH_PR2.json missing key $key" >&2; exit 1; }
+done
+
 if [ "${1:-full}" != "smoke" ]; then
   CRASH_TORTURE=long dune exec test/test_crash.exe -- -e
 fi

@@ -135,9 +135,11 @@ let handle (db : Database.t) (path : string) (params : (string * string) list) :
   | "/stats" ->
       let s = Pstore.Store.stats (Database.store db) in
       ( "200 OK",
-        Printf.sprintf "objects %d\npages %d\npage_reads %d\npage_writes %d\ncache_hits %d\ncache_misses %d\n"
+        Printf.sprintf
+          "objects %d\npages %d\npage_reads %d\npage_writes %d\ncache_hits %d\ncache_misses %d\nevictions %d\njournal_bytes %d\n"
           s.Pstore.Store.objects s.Pstore.Store.pages s.Pstore.Store.page_reads
-          s.Pstore.Store.page_writes s.Pstore.Store.cache_hits s.Pstore.Store.cache_misses )
+          s.Pstore.Store.page_writes s.Pstore.Store.cache_hits s.Pstore.Store.cache_misses
+          s.Pstore.Store.evictions s.Pstore.Store.journal_bytes )
   | _ -> ("404 Not Found", "not found\n")
 
 (* Bounds on what a client may send before we stop listening to it: a

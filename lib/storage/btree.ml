@@ -228,9 +228,18 @@ let delete t (key : int64) : bool =
 
 (* --- iteration --------------------------------------------------------- *)
 
+(* Copy only the used prefix of a node page — header plus occupied entry
+   array — instead of all 4 KiB.  Iteration and checking snapshot every
+   node they visit (the callback may re-enter the pager and evict the
+   page), so this trims their allocation to the node's actual fill. *)
+let snapshot page_b =
+  let n = nkeys page_b in
+  let used = if is_leaf page_b then l_off n else i_child_off n + 4 in
+  Bytes.sub page_b 0 (min (max used 8) Pager.page_size)
+
 let iter t (f : int64 -> Heap.rid -> unit) : unit =
   let rec go page =
-    let b = Bytes.copy (Pager.read t.pager page) in
+    let b = snapshot (Pager.read t.pager page) in
     if is_leaf b then
       for i = 0 to nkeys b - 1 do
         f (l_key b i) (l_get b i)
@@ -256,7 +265,7 @@ let cardinal t = fold t (fun n _ _ -> n + 1) 0
 let check t =
   let count = ref 0 in
   let rec go page lo hi =
-    let b = Bytes.copy (Pager.read t.pager page) in
+    let b = snapshot (Pager.read t.pager page) in
     if Bytes.get_uint8 b 0 <> kind_btree then fail "check: page %d is not a btree node" page;
     if is_leaf b then
       for i = 0 to nkeys b - 1 do

@@ -5,7 +5,11 @@
     to you, driven by a deterministic plan:
 
     - {b crash} — a simulated power cut at the Nth mutating syscall.
-      The write in flight is torn at a pseudo-random byte offset, then
+      The write in flight is torn at a pseudo-random byte offset (for
+      an extent write — the pager's coalesced writeback — the extent is
+      instead modelled as independent per-sector writes, so an
+      arbitrary {e subset} of its sectors survives, not merely a
+      prefix), then
       every file is frozen to a pseudo-random {e legal} crash image:
       each 512-byte sector independently holds either its last-written
       content or its content as of the last [fsync] (the page cache may
@@ -32,6 +36,7 @@
 type counters = {
   mutable syscalls : int;  (** mutating syscalls so far *)
   mutable writes : int;
+  mutable extent_writes : int;  (** of [writes], how many were extent writes *)
   mutable fsyncs : int;
   mutable torn_writes : int;
   mutable short_writes : int;
@@ -67,6 +72,7 @@ let create ?(seed = 0) () =
       {
         syscalls = 0;
         writes = 0;
+        extent_writes = 0;
         fsyncs = 0;
         torn_writes = 0;
         short_writes = 0;
@@ -264,6 +270,43 @@ let vfs t : Vfs.t =
               in
               img_write node.cur ~buf ~off ~len ~at;
               len);
+      pwrite_extent =
+        (fun ~buf ~off ~len ~at ->
+          (* Modelled as per-sector writes: a multi-page extent gives
+             the disk freedom to land its sectors in any order, so at a
+             power cut an arbitrary subset of the extent's sectors
+             survives — strictly more adversarial than [pwrite]'s
+             prefix tear. *)
+          check_alive t gen;
+          t.c.extent_writes <- t.c.extent_writes + 1;
+          match tick_write t ~len with
+          | Some _ ->
+              let rng = Random.State.make [| t.seed; t.c.syscalls; 0x6578 |] in
+              let landed = ref 0 and sectors = ref 0 in
+              let pos = ref 0 in
+              while !pos < len do
+                let chunk = min sector (len - !pos) in
+                incr sectors;
+                if Random.State.bool rng then begin
+                  img_write node.cur ~buf ~off:(off + !pos) ~len:chunk ~at:(at + !pos);
+                  incr landed
+                end;
+                pos := !pos + chunk
+              done;
+              if !landed > 0 && !landed < !sectors then
+                t.c.torn_writes <- t.c.torn_writes + 1;
+              do_crash t
+          | None ->
+              let len =
+                if t.short_transfers && len > sector && t.c.writes mod 17 = 0 then begin
+                  t.c.short_writes <- t.c.short_writes + 1;
+                  (* cut at a sector boundary, like a mid-extent stall *)
+                  max sector (len / 2 / sector * sector)
+                end
+                else len
+              in
+              img_write node.cur ~buf ~off ~len ~at;
+              len);
       fsync =
         (fun () ->
           check_alive t gen;
@@ -317,6 +360,6 @@ let file_size t path = match find_node t path with Some n -> Some n.cur.len | No
 
 let pp_counters ppf c =
   Format.fprintf ppf
-    "syscalls=%d writes=%d fsyncs=%d torn=%d short_w=%d short_r=%d failed_w=%d failed_fsync=%d noop_fsync=%d crashes=%d"
-    c.syscalls c.writes c.fsyncs c.torn_writes c.short_writes c.short_reads c.failed_writes
-    c.failed_fsyncs c.noop_fsyncs c.crashes
+    "syscalls=%d writes=%d extent_w=%d fsyncs=%d torn=%d short_w=%d short_r=%d failed_w=%d failed_fsync=%d noop_fsync=%d crashes=%d"
+    c.syscalls c.writes c.extent_writes c.fsyncs c.torn_writes c.short_writes c.short_reads
+    c.failed_writes c.failed_fsyncs c.noop_fsyncs c.crashes

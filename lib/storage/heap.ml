@@ -248,9 +248,10 @@ let get t (r : rid) : string =
   let off, len = get_slot b r.slot in
   if off = dead_off then fail "rid %a: dead slot" pp_rid r;
   if len land len_blob_flag <> 0 then begin
-    let d = Codec.Dec.of_string (Bytes.sub_string b off blob_ptr_len) in
-    let first = Codec.Dec.u32 d in
-    let total = Codec.Dec.u32 d in
+    (* decode the 8-byte blob pointer in place; this is the record-fetch
+       hot path, so avoid the Dec cursor's intermediate sub_string *)
+    let first = Int32.to_int (Bytes.get_int32_le b off) land 0xffffffff in
+    let total = Int32.to_int (Bytes.get_int32_le b (off + 4)) land 0xffffffff in
     read_blob t first total
   end
   else Bytes.sub_string b off len
@@ -261,8 +262,7 @@ let delete t (r : rid) : unit =
       let off, len = get_slot b r.slot in
       if off = dead_off then fail "delete %a: dead slot" pp_rid r;
       if len land len_blob_flag <> 0 then begin
-        let d = Codec.Dec.of_string (Bytes.sub_string b off blob_ptr_len) in
-        let first = Codec.Dec.u32 d in
+        let first = Int32.to_int (Bytes.get_int32_le b off) land 0xffffffff in
         free_blob t first
       end;
       set_slot b r.slot ~off:dead_off ~len:0;

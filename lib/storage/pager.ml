@@ -17,6 +17,18 @@
     Page 0 is reserved for the store header and is managed like any
     other page (so header updates are also journaled and thus atomic).
 
+    Hot paths are tuned (see DESIGN.md "Commit path & page cache"):
+    writeback sorts dirty pages and merges contiguous runs into single
+    extent writes; before-image frames are encoded in place into a
+    reusable group buffer and land with one write + one fsync per sync
+    point; eviction picks victims from an O(log n) LRU map instead of
+    sorting the whole cache; and a dirty counter lets [begin_tx] skip
+    its checkpoint flush/fsync when the cache is already clean (the
+    common case right after a commit).  Each optimisation can be
+    switched back to the pre-overhaul behaviour through {!config} —
+    [legacy_config] reproduces the old hot paths for ablation
+    benchmarks ([bench/main.exe storage]).
+
     All file I/O goes through a {!Vfs.t} (defaulting to {!Vfs.unix}),
     so the crash-recovery protocol can be proven correct under the
     fault-injecting VFS ({!Fault}) by sweeping a simulated power cut
@@ -53,29 +65,76 @@ type page = {
   mutable lru : int; (* last-touch tick, for eviction *)
 }
 
+(** Hot-path switches.  The default is all optimisations on; each
+    [false] re-enables the corresponding pre-overhaul code path so
+    benchmarks can measure every optimisation against the pager it
+    replaced. *)
+type config = {
+  coalesce : bool;
+      (** sort dirty pages, merge contiguous runs into extent writes
+          (off: one write per page, cache-hash order) *)
+  group_journal : bool;
+      (** encode before-image frames in place into a reusable buffer,
+          one journal write per sync point (off: three 4 KiB copies
+          and one write per frame) *)
+  lazy_checkpoint : bool;
+      (** track dirtiness so a clean cache skips the [begin_tx]
+          checkpoint flush/fsync and an empty journal skips the
+          commit-time truncate/fsync (off: unconditional) *)
+  logn_evict : bool;
+      (** pick eviction victims from an O(log n) LRU map (off: sort
+          the whole cache by last touch on every eviction) *)
+}
+
+let default_config =
+  { coalesce = true; group_journal = true; lazy_checkpoint = true; logn_evict = true }
+
+(** The pre-overhaul pager, kept wired for ablation benchmarks. *)
+let legacy_config =
+  { coalesce = false; group_journal = false; lazy_checkpoint = false; logn_evict = false }
+
+(* LRU index: last-touch tick -> page.  Ticks are strictly increasing,
+   so every cached page (except pinned page 0) owns exactly one key and
+   eviction victims are the smallest bindings. *)
+module Lru = Map.Make (Int)
+
 type t = {
   vfs : Vfs.t;
   fd : Vfs.file;
   path : string;
   journal_path : string;
   created : bool; (* the file was empty when opened (after recovery) *)
+  cfg : config;
   mutable page_count : int;
   cache : (int, page) Hashtbl.t;
   mutable cache_cap : int;
   mutable tick : int;
+  mutable lru_map : page Lru.t; (* maintained only when [cfg.logn_evict] *)
+  mutable dirty_list : page list;
+      (* pages that turned dirty since the last flush; entries whose
+         page was cleaned in the meantime (eviction writeback) are
+         stale and skipped *)
+  mutable dirty_count : int;
+  mutable unsynced_writes : bool; (* data-file writes since its last fsync *)
+  mutable wbuf : Bytes.t; (* reusable extent-write scratch *)
   (* transaction state *)
   mutable in_tx : bool;
   mutable journaled : (int, unit) Hashtbl.t; (* pages whose before-image is in the journal *)
   mutable jfd : Vfs.file option;
-  mutable journal_len : int; (* bytes of valid frames; appends land here, so a torn
-                                append (ENOSPC mid-frame) is overwritten on retry *)
+  mutable journal_len : int; (* bytes of valid frames on disk; buffered and
+                                retried appends land here, so a torn append
+                                (ENOSPC mid-frame) is overwritten on retry *)
   mutable journal_synced : bool;
+  mutable jbuf : Bytes.t; (* group-journal frame buffer *)
+  mutable jbuf_len : int;
   mutable tx_new_pages : (int, unit) Hashtbl.t; (* pages allocated in this tx *)
   (* statistics *)
   mutable reads : int;
   mutable writes : int;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
+  mutable journal_bytes : int;
 }
 
 (* Read exactly [len] bytes at [file_off], zero-filling past EOF.
@@ -93,16 +152,30 @@ let really_pread ~path (fd : Vfs.file) buf ~off ~len ~file_off =
   in
   go 0 len
 
-(* Write all of [buf] at [file_off], retrying short transfers and EINTR. *)
-let really_write ~path (fd : Vfs.file) buf ~file_off =
-  let len = Bytes.length buf in
+(* Write [len] bytes of [buf] from [off] at [file_off], retrying short
+   transfers and EINTR. *)
+let really_write ~path (fd : Vfs.file) buf ~off ~len ~file_off =
   let rec go pos =
     if pos < len then begin
       let n =
         io ~op:"pwrite" ~path (fun () ->
-            fd.Vfs.pwrite ~buf ~off:pos ~len:(len - pos) ~at:(file_off + pos))
+            fd.Vfs.pwrite ~buf ~off:(off + pos) ~len:(len - pos) ~at:(file_off + pos))
       in
       if n <= 0 then raise (Io_error { op = "pwrite"; path; error = Unix.EIO });
+      go (pos + n)
+    end
+  in
+  go 0
+
+(* Same, through the extent entry point (coalesced multi-page runs). *)
+let really_write_extent ~path (fd : Vfs.file) buf ~off ~len ~file_off =
+  let rec go pos =
+    if pos < len then begin
+      let n =
+        io ~op:"pwrite_extent" ~path (fun () ->
+            fd.Vfs.pwrite_extent ~buf ~off:(off + pos) ~len:(len - pos) ~at:(file_off + pos))
+      in
+      if n <= 0 then raise (Io_error { op = "pwrite_extent"; path; error = Unix.EIO });
       go (pos + n)
     end
   in
@@ -116,43 +189,98 @@ let really_write ~path (fd : Vfs.file) buf ~file_off =
 let journal_frame_magic = 0x4A524E4C (* "JRNL" *)
 let journal_frame_size = 4 + 8 + 4 + page_size
 
-let journal_append t page_no (data : Bytes.t) =
-  let jfd =
-    match t.jfd with
-    | Some fd -> fd
-    | None ->
-        let fd =
-          io ~op:"open" ~path:t.journal_path (fun () ->
-              t.vfs.Vfs.open_file ~trunc:true t.journal_path)
-        in
-        t.jfd <- Some fd;
-        t.journal_len <- 0;
-        fd
-  in
+(** Group-journal buffer capacity, in frames.  A transaction touching
+    more pages than this flushes the buffer (plain write, no fsync) at
+    each boundary, bounding memory at ~128 KiB. *)
+let journal_buffer_frames = 32
+
+let journal_open t =
+  match t.jfd with
+  | Some fd -> fd
+  | None ->
+      let fd =
+        io ~op:"open" ~path:t.journal_path (fun () ->
+            t.vfs.Vfs.open_file ~trunc:true t.journal_path)
+      in
+      t.jfd <- Some fd;
+      t.journal_len <- 0;
+      fd
+
+(* Write the buffered frames at the journal's valid end.  On failure
+   (ENOSPC, ...) nothing is consumed: [journal_len] and the buffer are
+   unchanged, so a retry overwrites the torn tail rather than
+   appending after it. *)
+let journal_flush t =
+  if t.jbuf_len > 0 then begin
+    let jfd = journal_open t in
+    really_write ~path:t.journal_path jfd t.jbuf ~off:0 ~len:t.jbuf_len
+      ~file_off:t.journal_len;
+    t.journal_len <- t.journal_len + t.jbuf_len;
+    t.journal_bytes <- t.journal_bytes + t.jbuf_len;
+    t.jbuf_len <- 0
+  end
+
+(* The pre-overhaul append: a fresh encoder per frame — three full-page
+   copies (Buffer, to_string, of_string), a boxed-Int32 CRC, and one
+   write. *)
+let journal_append_legacy t jfd page_no (data : Bytes.t) =
   let e = Codec.Enc.create ~size:journal_frame_size () in
   Codec.Enc.u32 e journal_frame_magic;
   Codec.Enc.i64 e (Int64.of_int page_no);
-  Codec.Enc.u32 e (Int32.to_int (Codec.Crc32.digest_bytes data) land 0xffffffff);
+  Codec.Enc.u32 e (Int32.to_int (Codec.Crc32.digest_bytes_boxed data) land 0xffffffff);
   Codec.Enc.raw e (Bytes.to_string data);
   really_write ~path:t.journal_path jfd
     (Bytes.of_string (Codec.Enc.to_string e))
-    ~file_off:t.journal_len;
+    ~off:0 ~len:journal_frame_size ~file_off:t.journal_len;
   t.journal_len <- t.journal_len + journal_frame_size;
+  t.journal_bytes <- t.journal_bytes + journal_frame_size
+
+let journal_append t page_no (data : Bytes.t) =
+  let jfd = journal_open t in
+  if not t.cfg.group_journal then journal_append_legacy t jfd page_no data
+  else begin
+    let cap = journal_buffer_frames * journal_frame_size in
+    if Bytes.length t.jbuf < cap then begin
+      let b = Bytes.create cap in
+      Bytes.blit t.jbuf 0 b 0 t.jbuf_len;
+      t.jbuf <- b
+    end;
+    if t.jbuf_len + journal_frame_size > cap then journal_flush t;
+    (* encode the frame in place: header stores + one page blit, no
+       intermediate copies *)
+    let off = t.jbuf_len in
+    Codec.Put.u32 t.jbuf off journal_frame_magic;
+    Codec.Put.i64 t.jbuf (off + 4) (Int64.of_int page_no);
+    Codec.Put.u32 t.jbuf (off + 12)
+      (Int32.to_int (Codec.Crc32.digest_bytes data) land 0xffffffff);
+    Bytes.blit data 0 t.jbuf (off + 16) page_size;
+    t.jbuf_len <- off + journal_frame_size
+  end;
   t.journal_synced <- false
 
 let journal_truncate t =
+  (* Frames still buffered belong to the transaction being finished:
+     their pages never reached the data file (the steal barrier syncs
+     the whole buffer first), so they are simply dropped. *)
+  t.jbuf_len <- 0;
   (match t.jfd with
   | Some fd ->
-      io ~op:"truncate" ~path:t.journal_path (fun () -> fd.Vfs.truncate 0);
-      io ~op:"fsync" ~path:t.journal_path (fun () -> fd.Vfs.fsync ())
+      (* A journal that is already empty on disk has nothing to cut; a
+         commit that journaled nothing then skips both syscalls. *)
+      if t.journal_len > 0 || not t.cfg.lazy_checkpoint then begin
+        io ~op:"truncate" ~path:t.journal_path (fun () -> fd.Vfs.truncate 0);
+        io ~op:"fsync" ~path:t.journal_path (fun () -> fd.Vfs.fsync ())
+      end
   | None -> ());
   t.journal_len <- 0;
   Hashtbl.reset t.journaled;
   Hashtbl.reset t.tx_new_pages;
   t.journal_synced <- true
 
+(* Sync point: land the buffered frames with one write, then one fsync. *)
 let journal_sync t =
   if not t.journal_synced then begin
+    journal_flush t;
     (match t.jfd with
     | Some fd -> io ~op:"fsync" ~path:t.journal_path (fun () -> fd.Vfs.fsync ())
     | None -> ());
@@ -198,34 +326,129 @@ let journal_read_frames ~(vfs : Vfs.t) path =
 (* Cache management                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let write_page_to_disk t (p : page) =
-  (* A dirty page must never hit the disk before its before-image is
-     durable in the journal. *)
-  if t.in_tx && Hashtbl.mem t.journaled p.no then journal_sync t;
-  really_write ~path:t.path t.fd p.data ~file_off:(p.no * page_size);
-  t.writes <- t.writes + 1;
-  p.dirty <- false
+let touch t (p : page) =
+  t.tick <- t.tick + 1;
+  if t.cfg.logn_evict && p.no <> 0 then begin
+    if p.lru > 0 then t.lru_map <- Lru.remove p.lru t.lru_map;
+    t.lru_map <- Lru.add t.tick p t.lru_map
+  end;
+  p.lru <- t.tick
+
+let mark_dirty t (p : page) =
+  if not p.dirty then begin
+    p.dirty <- true;
+    t.dirty_count <- t.dirty_count + 1;
+    t.dirty_list <- p :: t.dirty_list
+  end
+
+let mark_clean t (p : page) =
+  if p.dirty then begin
+    p.dirty <- false;
+    t.dirty_count <- t.dirty_count - 1
+  end
+
+(** Longest run of contiguous page numbers an extent write may merge
+    (bounds the scratch buffer at 256 KiB). *)
+let max_extent_pages = 64
+
+(** Merge a sorted list of page numbers into [(start, len)] runs of
+    contiguous pages, each at most {!max_extent_pages} long.  Exposed
+    for unit tests. *)
+let coalesce_runs (nos : int list) : (int * int) list =
+  let rec go start len rest acc =
+    match rest with
+    | no :: tl when no = start + len && len < max_extent_pages ->
+        go start (len + 1) tl acc
+    | no :: tl -> go no 1 tl ((start, len) :: acc)
+    | [] -> List.rev ((start, len) :: acc)
+  in
+  match nos with [] -> [] | no :: tl -> go no 1 tl []
+
+(* Write a batch of dirty pages back to the data file, enforcing the
+   steal barrier: if any page in the batch has a journaled
+   before-image, the journal is flushed and fsynced before the first
+   data write.  With [cfg.coalesce] the batch is sorted by page number
+   and contiguous runs land as single extent writes; otherwise one
+   write per page, in the order given (the pre-overhaul path). *)
+let write_batch t (pages : page list) =
+  if pages <> [] then begin
+    if t.in_tx && List.exists (fun p -> Hashtbl.mem t.journaled p.no) pages then
+      journal_sync t;
+    t.unsynced_writes <- true;
+    if not t.cfg.coalesce then
+      List.iter
+        (fun p ->
+          really_write ~path:t.path t.fd p.data ~off:0 ~len:page_size
+            ~file_off:(p.no * page_size);
+          t.writes <- t.writes + 1;
+          mark_clean t p)
+        pages
+    else begin
+      let arr = Array.of_list pages in
+      Array.sort (fun a b -> compare a.no b.no) arr;
+      let runs = coalesce_runs (Array.to_list (Array.map (fun p -> p.no) arr)) in
+      let idx = ref 0 in
+      List.iter
+        (fun (start, len) ->
+          if len = 1 then
+            really_write ~path:t.path t.fd arr.(!idx).data ~off:0 ~len:page_size
+              ~file_off:(start * page_size)
+          else begin
+            let bytes = len * page_size in
+            if Bytes.length t.wbuf < bytes then t.wbuf <- Bytes.create (max_extent_pages * page_size);
+            for k = 0 to len - 1 do
+              Bytes.blit arr.(!idx + k).data 0 t.wbuf (k * page_size) page_size
+            done;
+            really_write_extent ~path:t.path t.fd t.wbuf ~off:0 ~len:bytes
+              ~file_off:(start * page_size)
+          end;
+          for k = 0 to len - 1 do
+            mark_clean t arr.(!idx + k)
+          done;
+          t.writes <- t.writes + len;
+          idx := !idx + len)
+        runs
+    end
+  end
 
 let evict_if_needed t =
-  if Hashtbl.length t.cache > t.cache_cap then begin
-    (* Evict the ~25% least recently used pages. *)
-    let pages = Hashtbl.fold (fun _ p acc -> p :: acc) t.cache [] in
-    let sorted = List.sort (fun a b -> compare a.lru b.lru) pages in
-    let n_evict = max 1 (List.length sorted / 4) in
-    List.iteri
-      (fun i p ->
-        if i < n_evict && p.no <> 0 then begin
-          if p.dirty then write_page_to_disk t p;
-          Hashtbl.remove t.cache p.no
-        end)
-      sorted
+  let n = Hashtbl.length t.cache in
+  if n > t.cache_cap then begin
+    (* Evict the ~25% least recently used pages (page 0 is pinned). *)
+    let n_evict = max 1 (n / 4) in
+    let victims =
+      if t.cfg.logn_evict then begin
+        (* pop the smallest ticks from the LRU map *)
+        let rec take k seq acc =
+          if k = 0 then acc
+          else
+            match seq () with
+            | Seq.Nil -> acc
+            | Seq.Cons ((_, p), rest) -> take (k - 1) rest (p :: acc)
+        in
+        List.rev (take n_evict (Lru.to_seq t.lru_map) [])
+      end
+      else begin
+        (* pre-overhaul path: sort the whole cache by last touch *)
+        let pages = Hashtbl.fold (fun _ p acc -> p :: acc) t.cache [] in
+        let sorted = List.sort (fun a b -> compare a.lru b.lru) pages in
+        List.filteri (fun i _ -> i < n_evict) sorted
+        |> List.filter (fun p -> p.no <> 0)
+      end
+    in
+    write_batch t (List.filter (fun p -> p.dirty) victims);
+    List.iter
+      (fun p ->
+        Hashtbl.remove t.cache p.no;
+        if t.cfg.logn_evict then t.lru_map <- Lru.remove p.lru t.lru_map;
+        t.evictions <- t.evictions + 1)
+      victims
   end
 
 let load_page t no =
   match Hashtbl.find_opt t.cache no with
   | Some p ->
-      t.tick <- t.tick + 1;
-      p.lru <- t.tick;
+      touch t p;
       t.hits <- t.hits + 1;
       p
   | None ->
@@ -236,9 +459,9 @@ let load_page t no =
         t.reads <- t.reads + 1
       end
       else Bytes.fill data 0 page_size '\000';
-      t.tick <- t.tick + 1;
-      let p = { no; data; dirty = false; lru = t.tick } in
+      let p = { no; data; dirty = false; lru = 0 } in
       Hashtbl.replace t.cache no p;
+      touch t p;
       evict_if_needed t;
       p
 
@@ -262,7 +485,8 @@ let recover_from_journal ~(vfs : Vfs.t) path journal_path =
       (fun (page_no, data) ->
         if not (Hashtbl.mem applied page_no) then begin
           Hashtbl.replace applied page_no ();
-          really_write ~path fd (Bytes.of_string data) ~file_off:(page_no * page_size)
+          really_write ~path fd (Bytes.of_string data) ~off:0 ~len:page_size
+            ~file_off:(page_no * page_size)
         end)
       frames;
     io ~op:"fsync" ~path (fun () -> fd.Vfs.fsync ());
@@ -271,7 +495,7 @@ let recover_from_journal ~(vfs : Vfs.t) path journal_path =
   if vfs.Vfs.exists journal_path then
     io ~op:"remove" ~path:journal_path (fun () -> vfs.Vfs.remove journal_path)
 
-let open_file ?(cache_pages = 2048) ?(vfs = Vfs.unix) path =
+let open_file ?(cache_pages = 2048) ?(config = default_config) ?(vfs = Vfs.unix) path =
   let journal_path = path ^ ".journal" in
   if vfs.Vfs.exists path then recover_from_journal ~vfs path journal_path;
   let fd = io ~op:"open" ~path (fun () -> vfs.Vfs.open_file path) in
@@ -283,20 +507,30 @@ let open_file ?(cache_pages = 2048) ?(vfs = Vfs.unix) path =
     path;
     journal_path;
     created = size = 0;
+    cfg = config;
     page_count = max page_count 1;
     cache = Hashtbl.create 1024;
     cache_cap = cache_pages;
     tick = 0;
+    lru_map = Lru.empty;
+    dirty_list = [];
+    dirty_count = 0;
+    unsynced_writes = false;
+    wbuf = Bytes.create 0;
     in_tx = false;
     journaled = Hashtbl.create 64;
     jfd = None;
     journal_len = 0;
     journal_synced = true;
+    jbuf = Bytes.create 0;
+    jbuf_len = 0;
     tx_new_pages = Hashtbl.create 16;
     reads = 0;
     writes = 0;
     hits = 0;
     misses = 0;
+    evictions = 0;
+    journal_bytes = 0;
   }
 
 let page_count t = t.page_count
@@ -306,6 +540,9 @@ let page_count t = t.page_count
 let created t = t.created
 
 let path t = t.path
+
+(** Test hook: is page [no] currently held in the cache? *)
+let cached t no = Hashtbl.mem t.cache no
 
 (** Read access to a page.  The returned bytes must not be mutated; use
     {!with_write} for mutation. *)
@@ -323,7 +560,7 @@ let with_write t no (f : Bytes.t -> 'a) : 'a =
     journal_append t no p.data;
     Hashtbl.replace t.journaled no ()
   end;
-  p.dirty <- true;
+  mark_dirty t p;
   f p.data
 
 (** Allocate a fresh page at the end of the file; returns its number.
@@ -332,23 +569,35 @@ let allocate t : int =
   let no = t.page_count in
   t.page_count <- t.page_count + 1;
   let data = Bytes.make page_size '\000' in
-  t.tick <- t.tick + 1;
-  let p = { no; data; dirty = true; lru = t.tick } in
+  let p = { no; data; dirty = false; lru = 0 } in
   Hashtbl.replace t.cache no p;
+  touch t p;
+  mark_dirty t p;
   if t.in_tx then Hashtbl.replace t.tx_new_pages no ();
   evict_if_needed t;
   no
 
 let flush_all t =
-  Hashtbl.iter (fun _ p -> if p.dirty then write_page_to_disk t p) t.cache;
-  io ~op:"fsync" ~path:t.path (fun () -> t.fd.Vfs.fsync ())
+  if t.dirty_count > 0 then begin
+    let ds = List.filter (fun p -> p.dirty) t.dirty_list in
+    t.dirty_list <- [];
+    write_batch t ds
+  end
+  else t.dirty_list <- [];
+  if t.unsynced_writes || not t.cfg.lazy_checkpoint then begin
+    io ~op:"fsync" ~path:t.path (fun () -> t.fd.Vfs.fsync ());
+    t.unsynced_writes <- false
+  end
 
 let begin_tx t =
   if t.in_tx then fail "nested transactions are not supported at the pager level";
   (* Checkpoint: pre-transaction state must be durable on disk, because
      abort discards the cache and reconstructs state from the file plus
-     the journal's before-images. *)
-  flush_all t;
+     the journal's before-images.  A clean, synced cache — the common
+     case right after a commit — already satisfies this and skips the
+     flush and its fsync entirely. *)
+  if (not t.cfg.lazy_checkpoint) || t.dirty_count > 0 || t.unsynced_writes then
+    flush_all t;
   t.in_tx <- true;
   Hashtbl.reset t.journaled;
   Hashtbl.reset t.tx_new_pages
@@ -361,6 +610,11 @@ let commit t =
 
 let abort t =
   if not t.in_tx then fail "abort outside transaction";
+  (* Buffered frames are not needed for the rollback: the steal barrier
+     syncs the whole buffer before any journaled page reaches the data
+     file, so a page whose before-image never left the buffer still has
+     its pre-transaction content on disk. *)
+  t.jbuf_len <- 0;
   (* Drop all cached state, then restore before-images from the journal. *)
   (match t.jfd with
   | Some fd ->
@@ -369,9 +623,13 @@ let abort t =
       t.jfd <- None
   | None -> ());
   Hashtbl.reset t.cache;
+  t.lru_map <- Lru.empty;
+  t.dirty_list <- [];
+  t.dirty_count <- 0;
   recover_from_journal ~vfs:t.vfs t.path t.journal_path;
   Hashtbl.reset t.journaled;
   Hashtbl.reset t.tx_new_pages;
+  t.journal_len <- 0;
   t.journal_synced <- true;
   let size = io ~op:"size" ~path:t.path (fun () -> t.fd.Vfs.size ()) in
   t.page_count <- max ((size + page_size - 1) / page_size) 1;
@@ -395,7 +653,23 @@ let crash t =
   t.jfd <- None;
   (try t.fd.Vfs.close () with _ -> ())
 
-type stats = { s_reads : int; s_writes : int; s_hits : int; s_misses : int; s_pages : int }
+type stats = {
+  s_reads : int;
+  s_writes : int;
+  s_hits : int;
+  s_misses : int;
+  s_pages : int;
+  s_evictions : int;
+  s_journal_bytes : int;
+}
 
 let stats t =
-  { s_reads = t.reads; s_writes = t.writes; s_hits = t.hits; s_misses = t.misses; s_pages = t.page_count }
+  {
+    s_reads = t.reads;
+    s_writes = t.writes;
+    s_hits = t.hits;
+    s_misses = t.misses;
+    s_pages = t.page_count;
+    s_evictions = t.evictions;
+    s_journal_bytes = t.journal_bytes;
+  }

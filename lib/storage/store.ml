@@ -101,8 +101,8 @@ let header_all_zero hdr =
   let rec go i = i >= Bytes.length hdr || (Bytes.get hdr i = '\000' && go (i + 1)) in
   go 0
 
-let open_ ?cache_pages ?(vfs = Vfs.unix) path =
-  let pager = Pager.open_file ?cache_pages ~vfs path in
+let open_ ?cache_pages ?config ?(vfs = Vfs.unix) path =
+  let pager = Pager.open_file ?cache_pages ?config ~vfs path in
   let hdr = Pager.read pager 0 in
   (* A brand-new store is an empty file, or one whose header page
      recovery rolled back to zeros (a crash during initialisation).  A
@@ -241,7 +241,16 @@ let iter t (f : int -> string -> unit) =
 
 let count t = Btree.cardinal t.dir
 
-type stats = { pages : int; objects : int; page_reads : int; page_writes : int; cache_hits : int; cache_misses : int }
+type stats = {
+  pages : int;
+  objects : int;
+  page_reads : int;
+  page_writes : int;
+  cache_hits : int;
+  cache_misses : int;
+  evictions : int;
+  journal_bytes : int;
+}
 
 let stats t =
   let s = Pager.stats t.pager in
@@ -252,6 +261,8 @@ let stats t =
     page_writes = s.Pager.s_writes;
     cache_hits = s.Pager.s_hits;
     cache_misses = s.Pager.s_misses;
+    evictions = s.Pager.s_evictions;
+    journal_bytes = s.Pager.s_journal_bytes;
   }
 
 (** Consistency check used by tests and the crash-torture harness:

@@ -27,6 +27,15 @@ type file = {
   pwrite : buf:Bytes.t -> off:int -> len:int -> at:int -> int;
       (** Write up to [len] bytes from [buf] at [off] to file offset
           [at]; returns the transfer count. *)
+  pwrite_extent : buf:Bytes.t -> off:int -> len:int -> at:int -> int;
+      (** Like [pwrite], but announces that the caller submits the
+          whole range as one contiguous extent (the pager's coalesced
+          writeback of adjacent dirty pages).  Same short-transfer
+          contract.  The real implementation is a single write;
+          fault-injecting implementations must model the extra freedom
+          a large write gives the disk — at a power cut an arbitrary
+          per-sector subset of the extent may have reached the platter,
+          not merely a prefix. *)
   fsync : unit -> unit;
   truncate : int -> unit;
   size : unit -> int;
@@ -50,15 +59,17 @@ let unix : t =
   let open_file ?(trunc = false) path =
     let flags = [ Unix.O_RDWR; Unix.O_CREAT ] @ if trunc then [ Unix.O_TRUNC ] else [] in
     let fd = Unix.openfile path flags 0o644 in
+    let pwrite ~buf ~off ~len ~at =
+      ignore (Unix.lseek fd at Unix.SEEK_SET);
+      Unix.write fd buf off len
+    in
     {
       pread =
         (fun ~buf ~off ~len ~at ->
           ignore (Unix.lseek fd at Unix.SEEK_SET);
           Unix.read fd buf off len);
-      pwrite =
-        (fun ~buf ~off ~len ~at ->
-          ignore (Unix.lseek fd at Unix.SEEK_SET);
-          Unix.write fd buf off len);
+      pwrite;
+      pwrite_extent = pwrite;
       fsync = (fun () -> Unix.fsync fd);
       truncate = (fun n -> Unix.ftruncate fd n);
       size = (fun () -> (Unix.fstat fd).Unix.st_size);

@@ -185,7 +185,7 @@ let crash_sweep ~steps ~chaos_every () =
     | `Crashed _ -> Alcotest.fail "calibration run crashed with no injection"
   in
   Alcotest.(check bool) "workload does real I/O" true (total > 50);
-  let torn = ref 0 and short_w = ref 0 and short_r = ref 0 in
+  let torn = ref 0 and short_w = ref 0 and short_r = ref 0 and ext = ref 0 in
   for i = 1 to total do
     let fs = F.create ~seed () in
     let vfs = F.vfs fs in
@@ -209,12 +209,14 @@ let crash_sweep ~steps ~chaos_every () =
     let c = F.counters fs in
     torn := !torn + c.F.torn_writes;
     short_w := !short_w + c.F.short_writes;
-    short_r := !short_r + c.F.short_reads
+    short_r := !short_r + c.F.short_reads;
+    ext := !ext + c.F.extent_writes
   done;
   (* prove the nasty branches actually fired across the sweep *)
   Alcotest.(check bool) "torn writes exercised" true (!torn > 0);
   Alcotest.(check bool) "short writes exercised" true (!short_w > 0);
-  Alcotest.(check bool) "short reads exercised" true (!short_r > 0)
+  Alcotest.(check bool) "short reads exercised" true (!short_r > 0);
+  Alcotest.(check bool) "coalesced extent writes exercised" true (!ext > 0)
 
 let test_sweep () =
   if long_mode then crash_sweep ~steps:40 ~chaos_every:5 ()
@@ -343,6 +345,69 @@ let test_crash_during_abort () =
   let completed_at = attempt 1 in
   Alcotest.(check bool) "abort sweep saw at least one crash" true
     (completed_at > 1)
+
+(* Crash during a coalesced multi-page flush: adjacent dirty pages land
+   as ONE extent write, and the fault VFS models the extra freedom a
+   large write gives the disk — at a power cut an arbitrary per-sector
+   subset of the extent may have reached the platter.  Sweep the cut
+   across every syscall of the commit; after recovery every page must
+   be entirely old or entirely new, and the outcome must be atomic
+   across the whole batch (all old or all new, never a mix). *)
+let test_crash_during_coalesced_flush () =
+  let npages = 8 in
+  let baseline k = Char.chr (Char.code 'A' + k) in
+  let updated k = Char.chr (Char.code 'a' + k) in
+  let page_is p no c =
+    let b = P.read p no in
+    let ok = ref true in
+    for i = 0 to P.page_size - 1 do
+      if Bytes.get b i <> c then ok := false
+    done;
+    !ok
+  in
+  let ext = ref 0 and crashes = ref 0 in
+  let rec attempt i =
+    let fs = F.create ~seed:29 () in
+    F.set_short_transfers fs false;
+    let vfs = F.vfs fs in
+    let p = P.open_file ~vfs "c.db" in
+    let pages = List.init npages (fun _ -> P.allocate p) in
+    List.iteri
+      (fun k no -> P.with_write p no (fun b -> Bytes.fill b 0 P.page_size (baseline k)))
+      pages;
+    P.begin_tx p;
+    P.commit p;
+    (* durable baseline *)
+    P.begin_tx p;
+    List.iteri
+      (fun k no -> P.with_write p no (fun b -> Bytes.fill b 0 P.page_size (updated k)))
+      pages;
+    F.set_crash_at fs (F.syscalls fs + i);
+    match P.commit p with
+    | () ->
+        F.revive fs;
+        ext := !ext + (F.counters fs).F.extent_writes;
+        List.iteri
+          (fun k no ->
+            Alcotest.(check bool) (Printf.sprintf "page %d new" no) true (page_is p no (updated k)))
+          pages;
+        P.close p
+    | exception V.Crash ->
+        F.revive fs;
+        incr crashes;
+        ext := !ext + (F.counters fs).F.extent_writes;
+        let p2 = P.open_file ~vfs "c.db" in
+        let indexed = List.mapi (fun k no -> (k, no)) pages in
+        let all_old = List.for_all (fun (k, no) -> page_is p2 no (baseline k)) indexed in
+        let all_new = List.for_all (fun (k, no) -> page_is p2 no (updated k)) indexed in
+        if not (all_old || all_new) then
+          Alcotest.failf "crash@%d: recovered state is a mix of old and new pages" i;
+        P.close p2;
+        attempt (i + 1)
+  in
+  attempt 1;
+  Alcotest.(check bool) "coalesced flush crashed at least once" true (!crashes > 0);
+  Alcotest.(check bool) "extent writes exercised under fault injection" true (!ext > 0)
 
 (* Crash in the middle of a commit, then crash repeatedly during the
    recoveries that follow: the final state must still be one of the two
@@ -498,6 +563,8 @@ let () =
           Alcotest.test_case "duplicate before-images: first wins" `Quick
             test_duplicate_before_images;
           Alcotest.test_case "crash during abort" `Quick test_crash_during_abort;
+          Alcotest.test_case "crash during coalesced flush" `Quick
+            test_crash_during_coalesced_flush;
           Alcotest.test_case "crash during recovery (idempotent)" `Quick
             test_crash_during_recovery;
         ] );

@@ -135,6 +135,113 @@ let test_pager_eviction () =
   Pager.close p;
   Sys.remove path
 
+let test_coalesce_runs () =
+  let check name expected nos =
+    Alcotest.(check (list (pair int int))) name expected (Pager.coalesce_runs nos)
+  in
+  check "empty" [] [];
+  check "single" [ (7, 1) ] [ 7 ];
+  check "contiguous" [ (3, 4) ] [ 3; 4; 5; 6 ];
+  check "two runs" [ (1, 2); (9, 3) ] [ 1; 2; 9; 10; 11 ];
+  check "all singletons" [ (1, 1); (3, 1); (5, 1) ] [ 1; 3; 5 ];
+  (* runs are capped at max_extent_pages *)
+  let n = Pager.max_extent_pages in
+  let long = List.init (n + 5) (fun i -> 100 + i) in
+  check "capped" [ (100, n); (100 + n, 5) ] long
+
+let test_pager_lru_order_in_tx () =
+  (* LRU eviction must pick the least recently *touched* pages, and an
+     eviction inside a transaction must steal dirty journaled pages
+     correctly (journal synced first), leaving abort able to roll the
+     whole transaction back. *)
+  let path = tmp_path () in
+  let p = Pager.open_file ~cache_pages:8 path in
+  let pages = List.init 8 (fun _ -> Pager.allocate p) in
+  List.iteri
+    (fun i no -> Pager.with_write p no (fun b -> Bytes.set_uint16_le b 0 (100 + i)))
+    pages;
+  Pager.begin_tx p;
+  Pager.commit p;
+  (* durable baseline *)
+  Pager.begin_tx p;
+  List.iteri
+    (fun i no -> Pager.with_write p no (fun b -> Bytes.set_uint16_le b 0 (200 + i)))
+    pages;
+  (* refresh pages 3 and 4: pages 1 and 2 become the two oldest *)
+  ignore (Pager.read p (List.nth pages 2));
+  ignore (Pager.read p (List.nth pages 3));
+  (* allocating a 9th page overflows the 8-page cache: evict 9/4 = 2 *)
+  let extra = Pager.allocate p in
+  Alcotest.(check bool) "page 1 evicted" false (Pager.cached p 1);
+  Alcotest.(check bool) "page 2 evicted" false (Pager.cached p 2);
+  List.iter
+    (fun no -> Alcotest.(check bool) (Printf.sprintf "page %d cached" no) true (Pager.cached p no))
+    [ 3; 4; 5; 6; 7; 8; extra ];
+  let st = Pager.stats p in
+  Alcotest.(check int) "eviction count" 2 st.Pager.s_evictions;
+  (* the evicted pages were dirty and journaled: reading them back must
+     show the in-tx value (stolen to disk), and abort must undo it *)
+  Alcotest.(check int) "stolen page readable" 200 (Bytes.get_uint16_le (Pager.read p 1) 0);
+  Pager.abort p;
+  List.iteri
+    (fun i no ->
+      Alcotest.(check int)
+        (Printf.sprintf "page %d rolled back" no)
+        (100 + i)
+        (Bytes.get_uint16_le (Pager.read p no) 0))
+    pages;
+  Pager.close p;
+  Sys.remove path
+
+let test_journal_buffer_boundary () =
+  (* Exercise the group-journal buffer at its flush boundary: a
+     transaction journaling exactly [journal_buffer_frames] pages fills
+     the buffer without flushing; one more forces a mid-transaction
+     flush.  Both must roll back cleanly, through abort and through
+     crash recovery. *)
+  let nframes = Pager.journal_buffer_frames in
+  let npages = nframes + 1 in
+  let path = tmp_path () in
+  let p = Pager.open_file ~cache_pages:(4 * npages) path in
+  let pages = List.init npages (fun _ -> Pager.allocate p) in
+  List.iteri (fun i no -> Pager.with_write p no (fun b -> Bytes.set_uint16_le b 0 i)) pages;
+  Pager.begin_tx p;
+  Pager.commit p;
+  (* case 1: exactly at the buffer edge, frames never flushed — abort
+     must still restore (the pages never reached disk either) *)
+  Pager.begin_tx p;
+  List.iteri
+    (fun i no ->
+      if i < nframes then Pager.with_write p no (fun b -> Bytes.set_uint16_le b 0 (1000 + i)))
+    pages;
+  Pager.abort p;
+  List.iteri
+    (fun i no ->
+      Alcotest.(check int) (Printf.sprintf "abort page %d" no) i
+        (Bytes.get_uint16_le (Pager.read p no) 0))
+    pages;
+  (* case 2: one frame past the edge (forces a mid-tx buffer flush),
+     then flush dirty pages and crash — recovery must restore all *)
+  Pager.begin_tx p;
+  List.iteri
+    (fun i no -> Pager.with_write p no (fun b -> Bytes.set_uint16_le b 0 (2000 + i)))
+    pages;
+  Pager.flush_all p;
+  let st = Pager.stats p in
+  Alcotest.(check int) "journal bytes (whole frames)" 0
+    (st.Pager.s_journal_bytes mod Pager.journal_frame_size);
+  Alcotest.(check bool) "all frames flushed" true
+    (st.Pager.s_journal_bytes >= npages * Pager.journal_frame_size);
+  Pager.crash p;
+  let p2 = Pager.open_file path in
+  List.iteri
+    (fun i no ->
+      Alcotest.(check int) (Printf.sprintf "recovered page %d" no) i
+        (Bytes.get_uint16_le (Pager.read p2 no) 0))
+    pages;
+  Pager.close p2;
+  Sys.remove path
+
 (* ------------------------------------------------------------------ *)
 (* Heap                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -518,6 +625,9 @@ let () =
           Alcotest.test_case "commit persists" `Quick test_pager_commit_persists;
           Alcotest.test_case "crash recovery" `Quick test_pager_crash_recovery;
           Alcotest.test_case "eviction" `Quick test_pager_eviction;
+          Alcotest.test_case "coalesce runs" `Quick test_coalesce_runs;
+          Alcotest.test_case "LRU order under tx" `Quick test_pager_lru_order_in_tx;
+          Alcotest.test_case "journal buffer boundary" `Quick test_journal_buffer_boundary;
           Alcotest.test_case "torn journal frame ignored" `Quick test_journal_partial_frame_ignored;
           Alcotest.test_case "garbage journal rejected" `Quick test_journal_garbage_rejected;
         ] );
