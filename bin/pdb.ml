@@ -70,7 +70,13 @@ let stats_cmd =
         Printf.printf
           "objects       %d\npages         %d\npage reads    %d\npage writes   %d\nevictions     %d\njournal bytes %d\n"
           s.Pstore.Store.objects s.Pstore.Store.pages s.Pstore.Store.page_reads
-          s.Pstore.Store.page_writes s.Pstore.Store.evictions s.Pstore.Store.journal_bytes)
+          s.Pstore.Store.page_writes s.Pstore.Store.evictions s.Pstore.Store.journal_bytes;
+        let q = Pool_lang.Pool.stats db in
+        Printf.printf
+          "index probes  %d\nrange scans   %d\nhash joins    %d\nextent scans  %d\nplan hits     %d\nplan misses   %d\nadj rebuilds  %d\n"
+          q.Pool_lang.Eval.index_probes q.Pool_lang.Eval.range_scans q.Pool_lang.Eval.hash_joins
+          q.Pool_lang.Eval.extent_scans q.Pool_lang.Eval.plan_cache_hits
+          q.Pool_lang.Eval.plan_cache_misses q.Pool_lang.Eval.adjacency_rebuilds)
   in
   Cmd.v (Cmd.info "stats" ~doc:"Print storage statistics.") Term.(const run $ db_arg)
 

@@ -1,9 +1,9 @@
 #!/bin/sh
 # CI gate: build, full test suite (includes the smoke crash sweep),
-# bench smoke (micro + storage hot paths, which emits BENCH_PR2.json),
-# then the long fixed-seed crash-torture sweep.  Equivalent to
-# `dune build @ci` plus the bench smoke.  Pass `smoke` to skip the
-# long sweep.
+# bench smoke (micro + storage hot paths + query engine, which emit
+# BENCH_PR2.json and BENCH_PR3.json), then the long fixed-seed
+# crash-torture sweep.  Equivalent to `dune build @ci` plus the bench
+# smoke.  Pass `smoke` to skip the long sweep.
 set -e
 cd "$(dirname "$0")"
 dune build
@@ -19,6 +19,18 @@ head -c 1 BENCH_PR2.json | grep -q '{' || { echo "ci: BENCH_PR2.json is not a JS
 tail -c 2 BENCH_PR2.json | grep -q '}' || { echo "ci: BENCH_PR2.json is not a JSON object" >&2; exit 1; }
 for key in commit_tx_per_s churn_pages_per_s journal_mib_per_s best_commit_speedup environments acceptance; do
   grep -q "\"$key\"" BENCH_PR2.json || { echo "ci: BENCH_PR2.json missing key $key" >&2; exit 1; }
+done
+
+# the query section must emit a well-formed BENCH_PR3.json trajectory
+# record comparing the compiled-plan engine against the legacy
+# interpreter
+rm -f BENCH_PR3.json
+dune exec bench/main.exe -- query >/dev/null
+[ -s BENCH_PR3.json ] || { echo "ci: BENCH_PR3.json missing or empty" >&2; exit 1; }
+head -c 1 BENCH_PR3.json | grep -q '{' || { echo "ci: BENCH_PR3.json is not a JSON object" >&2; exit 1; }
+tail -c 2 BENCH_PR3.json | grep -q '}' || { echo "ci: BENCH_PR3.json is not a JSON object" >&2; exit 1; }
+for key in deep_descent pool_descent join_heavy range_predicate like_prefix workloads workloads_at_2x acceptance; do
+  grep -q "\"$key\"" BENCH_PR3.json || { echo "ci: BENCH_PR3.json missing key $key" >&2; exit 1; }
 done
 
 if [ "${1:-full}" != "smoke" ]; then

@@ -51,6 +51,14 @@ type spec =
   | Seq of spec list (* fires when all sub-specs matched, in order *)
   | Both of spec * spec (* fires when both matched, any order *)
 
+(** Any change to the relationship graph: link, retarget/attr update,
+    unlink.  The spec derived caches over the adjacency structure (the
+    index layer's CSR snapshots, materialised views) subscribe with —
+    combined with {!On_abort}, whose mirror rebuild can resurrect edges
+    no per-edge event described. *)
+let rel_change : spec =
+  Any_of [ On_rel_create None; On_rel_update (None, None); On_rel_delete None ]
+
 type subclass_pred = sub:string -> super:string -> bool
 
 let class_matches (is_subclass : subclass_pred) (sel : string option) (cls : string) =

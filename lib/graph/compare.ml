@@ -23,21 +23,28 @@ type report = {
   agreement : float; (* fraction of shared leaves with matching parents, 0..1 *)
 }
 
-let leaves_of db ~rel ctx : OidSet.t =
+(* Leaf tests are set-based, so they can run off the CSR snapshot;
+   [parent_in] stays on the legacy path because it observes list
+   *order* (first parent), which the snapshot does not preserve. *)
+let is_leaf db ?csr ~rel ctx n : bool =
+  if Traverse.use_csr csr then not (Csr.has_out (Csr.get (Csr.handle db) ~context:ctx ~rel ()) n)
+  else Traverse.children db ~context:ctx ~rel n = []
+
+let leaves_of db ?csr ~rel ctx : OidSet.t =
   let nodes = Traverse.nodes_of_context db ~rel ctx in
-  OidSet.filter (fun n -> Traverse.children db ~context:ctx ~rel n = []) nodes
+  OidSet.filter (fun n -> is_leaf db ?csr ~rel ctx n) nodes
 
 let parent_in db ~rel ctx leaf : int option =
   match Traverse.parents db ~context:ctx ~rel leaf with p :: _ -> Some p | [] -> None
 
 (** Leaf set below [node] (the node itself when it is a leaf). *)
-let leafset db ~rel ctx node : OidSet.t =
-  let clo = Traverse.closure db ~context:ctx ~rel node in
-  OidSet.filter (fun n -> Traverse.children db ~context:ctx ~rel n = []) clo
+let leafset db ?csr ~rel ctx node : OidSet.t =
+  let clo = Traverse.closure db ~context:ctx ?csr ~rel node in
+  OidSet.filter (fun n -> is_leaf db ?csr ~rel ctx n) clo
 
-let compare_contexts db ~rel ~ctx_a ~ctx_b : report =
-  let la = leaves_of db ~rel ctx_a in
-  let lb = leaves_of db ~rel ctx_b in
+let compare_contexts db ?csr ~rel ~ctx_a ~ctx_b () : report =
+  let la = leaves_of db ?csr ~rel ctx_a in
+  let lb = leaves_of db ?csr ~rel ctx_b in
   let shared = OidSet.inter la lb in
   let only_in_a = OidSet.diff la lb in
   let only_in_b = OidSet.diff lb la in
@@ -52,7 +59,7 @@ let compare_contexts db ~rel ~ctx_a ~ctx_b : report =
                to stay objective. *)
             if
               pa = pb
-              || OidSet.equal (leafset db ~rel ctx_a pa) (leafset db ~rel ctx_b pb)
+              || OidSet.equal (leafset db ?csr ~rel ctx_a pa) (leafset db ?csr ~rel ctx_b pb)
             then (moved, same + 1)
             else ((leaf, pa, pb) :: moved, same)
         | _ -> (moved, same))
@@ -61,17 +68,17 @@ let compare_contexts db ~rel ~ctx_a ~ctx_b : report =
   (* group-level agreement: pairs of internal nodes with equal leaf sets *)
   let internal ctx =
     OidSet.filter
-      (fun n -> Traverse.children db ~context:ctx ~rel n <> [])
+      (fun n -> not (is_leaf db ?csr ~rel ctx n))
       (Traverse.nodes_of_context db ~rel ctx)
   in
   let ia = internal ctx_a and ib = internal ctx_b in
   let agreeing_groups =
     OidSet.fold
       (fun ga acc ->
-        let sa = leafset db ~rel ctx_a ga in
+        let sa = leafset db ?csr ~rel ctx_a ga in
         OidSet.fold
           (fun gb acc ->
-            if (not (OidSet.is_empty sa)) && OidSet.equal sa (leafset db ~rel ctx_b gb) then
+            if (not (OidSet.is_empty sa)) && OidSet.equal sa (leafset db ?csr ~rel ctx_b gb) then
               (ga, gb) :: acc
             else acc)
           ib acc)

@@ -1,0 +1,244 @@
+(** CSR adjacency snapshots for graph traversal.
+
+    Every traversal hop in the legacy path re-queries
+    [Database.outgoing]/[incoming]: a hash lookup, an [OidSet] fold, an
+    object fetch and a subclass check *per edge per hop*, allocating a
+    fresh [Obj.t list] each time.  For the recursive exploration at the
+    heart of taxonomic workloads (thesis 5.1.1.3) that cost dominates.
+
+    This module snapshots the adjacency of one [(context, relationship
+    class)] pair into compressed-sparse-row form — flat int arrays of
+    offsets, neighbour slots and edge oids, both directions — built
+    lazily on first traversal and reused until invalidated.  The
+    subclass and context filtering happens once at build time; a
+    traversal hop is then an array slice walk with no allocation.
+
+    Invalidation goes through the existing event bus: any relationship
+    create/update/delete, and transaction abort (whose mirror rebuild
+    can change the graph wholesale), drop all snapshots for the
+    database.  Snapshots never observe uncommitted staleness because
+    the object layer emits the event in the same call that mutates the
+    mirror, before any query can run.
+
+    The optimised evaluator enables snapshots per query via
+    [Eval.config]; the module-level {!enabled} switch is the coarse
+    ablation lever used by benchmarks. *)
+
+open Pmodel
+open Pevent
+module OidSet = Database.OidSet
+
+type snapshot = {
+  node_count : int;
+  node_of : int array; (* slot -> oid, ascending *)
+  slot_of : (int, int) Hashtbl.t; (* oid -> slot *)
+  (* outgoing edges, CSR: edges of slot s are indices out_off.(s) ..
+     out_off.(s+1) - 1 of out_tgt (destination slot) and out_edge
+     (relationship-instance oid) *)
+  out_off : int array;
+  out_tgt : int array;
+  out_edge : int array;
+  (* incoming edges, symmetric *)
+  in_off : int array;
+  in_src : int array;
+  in_edge : int array;
+}
+
+type t = {
+  db : Database.t;
+  snaps : (string * int option, snapshot) Hashtbl.t; (* (rel, context) *)
+  mutable rebuilds : int; (* snapshots built (adjacency_rebuilds stat) *)
+  mutable sub : Bus.sub_id;
+}
+
+(** Coarse ablation switch consulted when a traversal is not given an
+    explicit [~csr] argument (benchmarks flip it; the evaluator passes
+    its config instead). *)
+let enabled = ref true
+
+(* ---------------------------------------------------------------------- *)
+(* Snapshot construction                                                   *)
+(* ---------------------------------------------------------------------- *)
+
+let build db ?context ~rel () : snapshot =
+  let schema = Database.schema db in
+  (* collect the matching edges once; subclass/context checks happen
+     here and never again *)
+  let edges = ref [] and edge_count = ref 0 in
+  Database.iter_objects db (fun o ->
+      if
+        Database.is_rel_instance db o
+        && Meta.is_subclass schema ~sub:o.Obj.class_name ~super:rel
+        && (match context with None -> true | Some c -> Obj.context o = Some c)
+      then begin
+        edges := (Obj.origin o, Obj.destination o, o.Obj.oid) :: !edges;
+        incr edge_count
+      end);
+  let edges = !edges and m = !edge_count in
+  let node_set =
+    List.fold_left (fun s (a, b, _) -> OidSet.add a (OidSet.add b s)) OidSet.empty edges
+  in
+  let n = OidSet.cardinal node_set in
+  let node_of = Array.make (max n 1) 0 in
+  let slot_of = Hashtbl.create (2 * n + 1) in
+  let i = ref 0 in
+  OidSet.iter
+    (fun oid ->
+      node_of.(!i) <- oid;
+      Hashtbl.replace slot_of oid !i;
+      incr i)
+    node_set;
+  (* counting sort into CSR, both directions *)
+  let out_off = Array.make (n + 1) 0 and in_off = Array.make (n + 1) 0 in
+  List.iter
+    (fun (a, b, _) ->
+      let sa = Hashtbl.find slot_of a and sb = Hashtbl.find slot_of b in
+      out_off.(sa + 1) <- out_off.(sa + 1) + 1;
+      in_off.(sb + 1) <- in_off.(sb + 1) + 1)
+    edges;
+  for s = 1 to n do
+    out_off.(s) <- out_off.(s) + out_off.(s - 1);
+    in_off.(s) <- in_off.(s) + in_off.(s - 1)
+  done;
+  let out_cur = Array.sub out_off 0 n and in_cur = Array.sub in_off 0 n in
+  let out_tgt = Array.make m 0 and out_edge = Array.make m 0 in
+  let in_src = Array.make m 0 and in_edge = Array.make m 0 in
+  List.iter
+    (fun (a, b, e) ->
+      let sa = Hashtbl.find slot_of a and sb = Hashtbl.find slot_of b in
+      let jo = out_cur.(sa) in
+      out_cur.(sa) <- jo + 1;
+      out_tgt.(jo) <- sb;
+      out_edge.(jo) <- e;
+      let ji = in_cur.(sb) in
+      in_cur.(sb) <- ji + 1;
+      in_src.(ji) <- sa;
+      in_edge.(ji) <- e)
+    edges;
+  { node_count = n; node_of; slot_of; out_off; out_tgt; out_edge; in_off; in_src; in_edge }
+
+(* ---------------------------------------------------------------------- *)
+(* Per-database managers                                                   *)
+(* ---------------------------------------------------------------------- *)
+
+let create db : t =
+  let t = { db; snaps = Hashtbl.create 8; rebuilds = 0; sub = 0 } in
+  t.sub <-
+    Bus.subscribe (Database.bus db) ~name:"csr-invalidate"
+      (Event.Any_of [ Event.rel_change; Event.On_abort ])
+      (fun _ -> Hashtbl.reset t.snaps);
+  t
+
+(* Managers are found by physical identity of the database (a mutable
+   record; structural hashing is meaningless on it).  The list is
+   capped: evicting an old manager merely drops its snapshots and bus
+   subscription — correctness never depends on a manager surviving. *)
+let registry : (Database.t * t) list ref = ref []
+let max_registry = 8
+
+let handle db : t =
+  match List.find_opt (fun (d, _) -> d == db) !registry with
+  | Some (_, m) -> m
+  | None ->
+      let m = create db in
+      let all = (db, m) :: !registry in
+      let keep, evicted =
+        if List.length all <= max_registry then (all, [])
+        else
+          ( List.filteri (fun i _ -> i < max_registry) all,
+            List.filteri (fun i _ -> i >= max_registry) all )
+      in
+      List.iter (fun (d, old) -> Bus.unsubscribe (Database.bus d) old.sub) evicted;
+      registry := keep;
+      m
+
+(** The snapshot for [(context, rel)], building it on first use. *)
+let get (t : t) ?context ~rel () : snapshot =
+  let key = (rel, context) in
+  match Hashtbl.find_opt t.snaps key with
+  | Some s -> s
+  | None ->
+      let s = build t.db ?context ~rel () in
+      t.rebuilds <- t.rebuilds + 1;
+      Hashtbl.replace t.snaps key s;
+      s
+
+(** Snapshots built so far for [db] (0 if none were ever requested) —
+    the [adjacency_rebuilds] statistic. *)
+let rebuild_count db : int =
+  match List.find_opt (fun (d, _) -> d == db) !registry with
+  | Some (_, m) -> m.rebuilds
+  | None -> 0
+
+(* ---------------------------------------------------------------------- *)
+(* Traversals over a snapshot                                              *)
+(* ---------------------------------------------------------------------- *)
+
+(** BFS from [root] along [`Out] (descendants) or [`In] (ancestors)
+    edges, collecting nodes at depth within [min_depth, max_depth] —
+    the same contract as the legacy {!Traverse.descendants}. *)
+let bfs (s : snapshot) ~dir ?(min_depth = 1) ?max_depth root : OidSet.t =
+  match Hashtbl.find_opt s.slot_of root with
+  | None ->
+      (* the root touches no matching edge: it is its own closure *)
+      if min_depth = 0 then OidSet.singleton root else OidSet.empty
+  | Some slot0 ->
+      let off, nbr =
+        match dir with `Out -> (s.out_off, s.out_tgt) | `In -> (s.in_off, s.in_src)
+      in
+      let visited = Bytes.make s.node_count '\000' in
+      let queue = Array.make s.node_count 0 in
+      let depth = Array.make s.node_count 0 in
+      let head = ref 0 and tail = ref 0 in
+      let push slot d =
+        Bytes.unsafe_set visited slot '\001';
+        queue.(!tail) <- slot;
+        depth.(!tail) <- d;
+        incr tail
+      in
+      push slot0 0;
+      let acc = ref OidSet.empty in
+      while !head < !tail do
+        let slot = queue.(!head) in
+        let d = depth.(!head) in
+        incr head;
+        if d >= min_depth then acc := OidSet.add s.node_of.(slot) !acc;
+        let descend = match max_depth with None -> true | Some m -> d < m in
+        if descend then
+          for j = off.(slot) to off.(slot + 1) - 1 do
+            let t = nbr.(j) in
+            if Bytes.unsafe_get visited t = '\000' then push t (d + 1)
+          done
+      done;
+      if min_depth > 0 then OidSet.remove root !acc else !acc
+
+let descendants s ?min_depth ?max_depth root = bfs s ~dir:`Out ?min_depth ?max_depth root
+let ancestors s ?min_depth ?max_depth root = bfs s ~dir:`In ?min_depth ?max_depth root
+
+(** Has [slot]-indexed node [oid] any matching outgoing (resp.
+    incoming) edge?  Used by roots/leaves. *)
+let has_out (s : snapshot) oid =
+  match Hashtbl.find_opt s.slot_of oid with
+  | None -> false
+  | Some slot -> s.out_off.(slot + 1) > s.out_off.(slot)
+
+let has_in (s : snapshot) oid =
+  match Hashtbl.find_opt s.slot_of oid with
+  | None -> false
+  | Some slot -> s.in_off.(slot + 1) > s.in_off.(slot)
+
+(** Edge oids of the subgraph reachable from [root]: the closure is
+    out-closed, so these are exactly the outgoing edges of its nodes.
+    Returned ascending by edge oid. *)
+let closure_edges (s : snapshot) (nodes : OidSet.t) : int list =
+  let acc = ref [] in
+  OidSet.iter
+    (fun oid ->
+      match Hashtbl.find_opt s.slot_of oid with
+      | None -> ()
+      | Some slot ->
+          for j = s.out_off.(slot) to s.out_off.(slot + 1) - 1 do
+            acc := s.out_edge.(j) :: !acc
+          done)
+    nodes;
+  List.sort_uniq compare !acc

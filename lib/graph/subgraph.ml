@@ -19,19 +19,26 @@ let edge_count g = List.length g.edges
 
 (** Extract the subgraph reachable from [root] through [rel] edges
     (restricted to [context] if given).  Includes the root. *)
-let extract db ?context ~rel root : t =
-  let nodes = Traverse.closure db ?context ~rel root in
-  let edges =
-    OidSet.fold
-      (fun n acc ->
-        List.fold_left
-          (fun acc (r : Obj.t) ->
-            if OidSet.mem (Obj.destination r) nodes then r.Obj.oid :: acc else acc)
-          acc
-          (Database.outgoing db ?context ~rel_name:rel n))
-      nodes []
-  in
-  { nodes; edges }
+let extract db ?context ?csr ~rel root : t =
+  if Traverse.use_csr csr then begin
+    let s = Csr.get (Csr.handle db) ?context ~rel () in
+    let nodes = Csr.descendants s ~min_depth:0 root in
+    { nodes; edges = Csr.closure_edges s nodes }
+  end
+  else begin
+    let nodes = Traverse.closure db ?context ~csr:false ~rel root in
+    let edges =
+      OidSet.fold
+        (fun n acc ->
+          List.fold_left
+            (fun acc (r : Obj.t) ->
+              if OidSet.mem (Obj.destination r) nodes then r.Obj.oid :: acc else acc)
+            acc
+            (Database.outgoing db ?context ~rel_name:rel n))
+        nodes []
+    in
+    { nodes; edges }
+  end
 
 (** The full graph of a classification context. *)
 let of_context db ~rel ctx : t =

@@ -15,6 +15,11 @@
 open Pmodel
 module OidSet = Database.OidSet
 
+(** Whether to take the CSR-snapshot fast path: an explicit [?csr]
+    argument wins, otherwise the module-level {!Csr.enabled} switch
+    (the ablation lever) decides. *)
+let use_csr = function Some b -> b | None -> !Csr.enabled
+
 (** Destinations of outgoing edges of [oid]. *)
 let children db ?context ~rel oid : int list =
   List.map Obj.destination (Database.outgoing db ?context ~rel_name:rel oid)
@@ -27,56 +32,64 @@ let parents db ?context ~rel oid : int list =
     through outgoing [rel] edges at depth [>= min_depth] and
     [<= max_depth] (defaults: 1 and unbounded — i.e. proper
     descendants).  Safe on cyclic graphs. *)
-let descendants db ?context ?(min_depth = 1) ?max_depth ~rel root : OidSet.t =
-  let result = ref OidSet.empty in
-  let visited = Hashtbl.create 64 in
-  let q = Queue.create () in
-  Queue.add (root, 0) q;
-  Hashtbl.replace visited root ();
-  while not (Queue.is_empty q) do
-    let node, d = Queue.pop q in
-    if d >= min_depth then result := OidSet.add node !result;
-    let descend = match max_depth with None -> true | Some m -> d < m in
-    if descend then
-      List.iter
-        (fun c ->
-          if not (Hashtbl.mem visited c) then begin
-            Hashtbl.replace visited c ();
-            Queue.add (c, d + 1) q
-          end)
-        (children db ?context ~rel node)
-  done;
-  (* the root itself is included only if min_depth = 0 *)
-  if min_depth > 0 then OidSet.remove root !result else !result
+let descendants db ?context ?csr ?(min_depth = 1) ?max_depth ~rel root : OidSet.t =
+  if use_csr csr then
+    Csr.descendants (Csr.get (Csr.handle db) ?context ~rel ()) ~min_depth ?max_depth root
+  else begin
+    let result = ref OidSet.empty in
+    let visited = Hashtbl.create 64 in
+    let q = Queue.create () in
+    Queue.add (root, 0) q;
+    Hashtbl.replace visited root ();
+    while not (Queue.is_empty q) do
+      let node, d = Queue.pop q in
+      if d >= min_depth then result := OidSet.add node !result;
+      let descend = match max_depth with None -> true | Some m -> d < m in
+      if descend then
+        List.iter
+          (fun c ->
+            if not (Hashtbl.mem visited c) then begin
+              Hashtbl.replace visited c ();
+              Queue.add (c, d + 1) q
+            end)
+          (children db ?context ~rel node)
+    done;
+    (* the root itself is included only if min_depth = 0 *)
+    if min_depth > 0 then OidSet.remove root !result else !result
+  end
 
 (** Ancestors, symmetric to {!descendants}. *)
-let ancestors db ?context ?(min_depth = 1) ?max_depth ~rel node : OidSet.t =
-  let result = ref OidSet.empty in
-  let visited = Hashtbl.create 64 in
-  let q = Queue.create () in
-  Queue.add (node, 0) q;
-  Hashtbl.replace visited node ();
-  while not (Queue.is_empty q) do
-    let n, d = Queue.pop q in
-    if d >= min_depth then result := OidSet.add n !result;
-    let ascend = match max_depth with None -> true | Some m -> d < m in
-    if ascend then
-      List.iter
-        (fun p ->
-          if not (Hashtbl.mem visited p) then begin
-            Hashtbl.replace visited p ();
-            Queue.add (p, d + 1) q
-          end)
-        (parents db ?context ~rel n)
-  done;
-  if min_depth > 0 then OidSet.remove node !result else !result
+let ancestors db ?context ?csr ?(min_depth = 1) ?max_depth ~rel node : OidSet.t =
+  if use_csr csr then
+    Csr.ancestors (Csr.get (Csr.handle db) ?context ~rel ()) ~min_depth ?max_depth node
+  else begin
+    let result = ref OidSet.empty in
+    let visited = Hashtbl.create 64 in
+    let q = Queue.create () in
+    Queue.add (node, 0) q;
+    Hashtbl.replace visited node ();
+    while not (Queue.is_empty q) do
+      let n, d = Queue.pop q in
+      if d >= min_depth then result := OidSet.add n !result;
+      let ascend = match max_depth with None -> true | Some m -> d < m in
+      if ascend then
+        List.iter
+          (fun p ->
+            if not (Hashtbl.mem visited p) then begin
+              Hashtbl.replace visited p ();
+              Queue.add (p, d + 1) q
+            end)
+          (parents db ?context ~rel n)
+    done;
+    if min_depth > 0 then OidSet.remove node !result else !result
+  end
 
 (** Transitive closure: descendants including the root. *)
-let closure db ?context ~rel root : OidSet.t =
-  descendants db ?context ~min_depth:0 ~rel root
+let closure db ?context ?csr ~rel root : OidSet.t =
+  descendants db ?context ?csr ~min_depth:0 ~rel root
 
-let reachable db ?context ~rel src dst : bool =
-  OidSet.mem dst (descendants db ?context ~rel src)
+let reachable db ?context ?csr ~rel src dst : bool =
+  OidSet.mem dst (descendants db ?context ?csr ~rel src)
 
 (** Shortest path (as a node list, src first) through outgoing [rel]
     edges, or [None]. *)
@@ -106,12 +119,20 @@ let shortest_path db ?context ~rel src dst : int list option =
   end
 
 (** Nodes of [universe] with no incoming [rel] edge (in [context]). *)
-let roots db ?context ~rel (universe : OidSet.t) : int list =
-  OidSet.elements (OidSet.filter (fun o -> parents db ?context ~rel o = []) universe)
+let roots db ?context ?csr ~rel (universe : OidSet.t) : int list =
+  if use_csr csr then begin
+    let s = Csr.get (Csr.handle db) ?context ~rel () in
+    OidSet.elements (OidSet.filter (fun o -> not (Csr.has_in s o)) universe)
+  end
+  else OidSet.elements (OidSet.filter (fun o -> parents db ?context ~rel o = []) universe)
 
 (** Nodes of [universe] with no outgoing [rel] edge (in [context]). *)
-let leaves db ?context ~rel (universe : OidSet.t) : int list =
-  OidSet.elements (OidSet.filter (fun o -> children db ?context ~rel o = []) universe)
+let leaves db ?context ?csr ~rel (universe : OidSet.t) : int list =
+  if use_csr csr then begin
+    let s = Csr.get (Csr.handle db) ?context ~rel () in
+    OidSet.elements (OidSet.filter (fun o -> not (Csr.has_out s o)) universe)
+  end
+  else OidSet.elements (OidSet.filter (fun o -> children db ?context ~rel o = []) universe)
 
 (** All nodes participating in [rel] edges of [context]. *)
 let nodes_of_context db ~rel ctx : OidSet.t =

@@ -20,6 +20,20 @@ let fail fmt = Format.kasprintf (fun s -> raise (Model_error s)) fmt
 
 module OidSet = Set.Make (Int)
 
+(** Secondary indexes are ordered maps over attribute values (under the
+    same total order {!Value.compare_value} that the query operators
+    [=], [<], [<=] use), so equality probes, range scans and
+    LIKE-prefix scans all push down to the index layer.  The previous
+    hash-table representation keyed on structural equality, which
+    disagreed with [=] on mixed numerics ([VInt 1] vs [VFloat 1.]); the
+    ordered map makes index answers exactly the rows an extent scan
+    with the same predicate would keep. *)
+module ValueMap = Map.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare_value
+end)
+
 let schema_oid = 1 (* reserved oid holding the serialised schema *)
 let synonym_class = "__synonym"
 
@@ -32,8 +46,11 @@ type t = {
   extents : (string, OidSet.t ref) Hashtbl.t; (* exact class -> oids *)
   out_rels : (int, OidSet.t ref) Hashtbl.t; (* origin oid -> rel oids *)
   in_rels : (int, OidSet.t ref) Hashtbl.t; (* destination oid -> rel oids *)
-  (* secondary attribute indexes: (class, attr) -> value -> oids *)
-  indexes : (string * string, (Value.t, OidSet.t ref) Hashtbl.t) Hashtbl.t;
+  (* secondary attribute indexes: (class, attr) -> ordered value map -> oids *)
+  indexes : (string * string, OidSet.t ValueMap.t ref) Hashtbl.t;
+  (* bumped on create_index/drop_index so cached query plans can detect
+     that their access-path choices went stale *)
+  mutable index_epoch : int;
   (* instance synonyms: union-find parent map (rebuilt on open) *)
   syn_parent : (int, int) Hashtbl.t;
   (* oids touched in the current transaction, for deferred checks *)
@@ -82,26 +99,42 @@ let touch t oid = if t.tx_depth > 0 then Hashtbl.replace t.touched oid ()
 let index_covers t ~index_class ~obj_class =
   Meta.is_subclass t.schema ~sub:obj_class ~super:index_class
 
+let map_add table key oid =
+  table :=
+    ValueMap.update key
+      (function Some s -> Some (OidSet.add oid s) | None -> Some (OidSet.singleton oid))
+      !table
+
+let map_remove table key oid =
+  table :=
+    ValueMap.update key
+      (function
+        | Some s ->
+            let s = OidSet.remove oid s in
+            if OidSet.is_empty s then None else Some s
+        | None -> None)
+      !table
+
 let index_add t (o : Obj.t) =
   Hashtbl.iter
     (fun (cls, attr) table ->
       if index_covers t ~index_class:cls ~obj_class:o.Obj.class_name then
-        add_to table (Obj.get o attr) o.Obj.oid)
+        map_add table (Obj.get o attr) o.Obj.oid)
     t.indexes
 
 let index_remove t (o : Obj.t) =
   Hashtbl.iter
     (fun (cls, attr) table ->
       if index_covers t ~index_class:cls ~obj_class:o.Obj.class_name then
-        remove_from table (Obj.get o attr) o.Obj.oid)
+        map_remove table (Obj.get o attr) o.Obj.oid)
     t.indexes
 
 let index_update t (o : Obj.t) attr ~old_v ~new_v =
   Hashtbl.iter
     (fun (cls, a) table ->
       if a = attr && index_covers t ~index_class:cls ~obj_class:o.Obj.class_name then begin
-        remove_from table old_v o.Obj.oid;
-        add_to table new_v o.Obj.oid
+        map_remove table old_v o.Obj.oid;
+        map_add table new_v o.Obj.oid
       end)
     t.indexes
 
@@ -140,7 +173,7 @@ let rebuild_mirror t =
   Hashtbl.reset t.out_rels;
   Hashtbl.reset t.in_rels;
   Hashtbl.reset t.syn_parent;
-  Hashtbl.iter (fun _ table -> Hashtbl.reset table) t.indexes;
+  Hashtbl.iter (fun _ table -> table := ValueMap.empty) t.indexes;
   Store.iter t.store (fun oid data ->
       if oid <> schema_oid then mirror_insert t (Obj.decode ~oid data))
 
@@ -176,6 +209,7 @@ let open_ ?cache_pages path : t =
       out_rels = Hashtbl.create 1024;
       in_rels = Hashtbl.create 1024;
       indexes = Hashtbl.create 8;
+      index_epoch = 0;
       syn_parent = Hashtbl.create 64;
       touched = Hashtbl.create 64;
       tx_depth = 0;
@@ -680,20 +714,97 @@ let synonym_set t a : OidSet.t =
 let create_index t class_name attr =
   let key = (class_name, attr) in
   if not (Hashtbl.mem t.indexes key) then begin
-    let table = Hashtbl.create 256 in
+    let table = ref ValueMap.empty in
     Hashtbl.replace t.indexes key table;
+    t.index_epoch <- t.index_epoch + 1;
     iter_objects t (fun o ->
         if index_covers t ~index_class:class_name ~obj_class:o.Obj.class_name then
-          add_to table (Obj.get o attr) o.Obj.oid)
+          map_add table (Obj.get o attr) o.Obj.oid)
   end
 
-let drop_index t class_name attr = Hashtbl.remove t.indexes (class_name, attr)
+let drop_index t class_name attr =
+  if Hashtbl.mem t.indexes (class_name, attr) then begin
+    Hashtbl.remove t.indexes (class_name, attr);
+    t.index_epoch <- t.index_epoch + 1
+  end
+
 let has_index t class_name attr = Hashtbl.mem t.indexes (class_name, attr)
+
+(** Monotone counter bumped by {!create_index}/{!drop_index}; cached
+    query plans carry the epoch they were compiled under and replan
+    when it moves. *)
+let index_epoch t = t.index_epoch
 
 let index_lookup t class_name attr (v : Value.t) : OidSet.t option =
   match Hashtbl.find_opt t.indexes (class_name, attr) with
-  | Some table -> Some (set_of table v)
+  | Some table -> Some (Option.value ~default:OidSet.empty (ValueMap.find_opt v !table))
   | None -> None
+
+(** Ordered range scan over an index.  Bounds are [(value, inclusive)];
+    a missing bound is unbounded on that side.  Returns [None] when no
+    index exists on [(class_name, attr)].  The order is
+    {!Value.compare_value} — the same total order the [<]/[<=] query
+    operators use, so the result is exactly the candidate superset an
+    extent scan with the same comparison predicates would keep. *)
+let index_range t class_name attr ?lo ?hi () : OidSet.t option =
+  match Hashtbl.find_opt t.indexes (class_name, attr) with
+  | None -> None
+  | Some table ->
+      let above_lo k =
+        match lo with
+        | None -> true
+        | Some (v, incl) ->
+            let c = Value.compare_value v k in
+            if incl then c <= 0 else c < 0
+      and below_hi k =
+        match hi with
+        | None -> true
+        | Some (v, incl) ->
+            let c = Value.compare_value k v in
+            if incl then c <= 0 else c < 0
+      in
+      let seq =
+        match lo with
+        | Some (v, _) -> ValueMap.to_seq_from v !table
+        | None -> ValueMap.to_seq !table
+      in
+      let acc = ref OidSet.empty in
+      let rec go s =
+        match s () with
+        | Seq.Nil -> ()
+        | Seq.Cons ((k, oids), rest) ->
+            (* keys ascend: the first key past [hi] ends the scan *)
+            if below_hi k then begin
+              if above_lo k then acc := OidSet.union !acc oids;
+              go rest
+            end
+      in
+      go seq;
+      Some !acc
+
+(** All oids whose indexed string value starts with [prefix] (the
+    LIKE-'abc%' pushdown).  Strings sharing a prefix are contiguous
+    under {!Value.compare_value}, so this is one bounded map walk.
+    [None] when no index exists. *)
+let index_string_prefix t class_name attr prefix : OidSet.t option =
+  match Hashtbl.find_opt t.indexes (class_name, attr) with
+  | None -> None
+  | Some table ->
+      let plen = String.length prefix in
+      let acc = ref OidSet.empty in
+      let rec go s =
+        match s () with
+        | Seq.Nil -> ()
+        | Seq.Cons ((k, oids), rest) -> (
+            match k with
+            | Value.VString str
+              when String.length str >= plen && String.sub str 0 plen = prefix ->
+                acc := OidSet.union !acc oids;
+                go rest
+            | _ -> () (* past the contiguous prefix block *))
+      in
+      go (ValueMap.to_seq_from (Value.VString prefix) !table);
+      Some !acc
 
 (* ---------------------------------------------------------------------- *)
 (* Deferred validation: minimum cardinalities                              *)

@@ -6,10 +6,14 @@
     relationship navigation to one classification (thesis 4.6.2,
     5.1.1.3); an explicit [null] context argument escapes the scope.
 
-    Query optimisation (thesis 6.1.5): when the WHERE clause contains
-    an equality between an attribute of the first range variable and a
-    constant, and a secondary index exists on that (class, attribute),
-    the extent scan is replaced by an index probe. *)
+    Query optimisation (thesis 6.1.5): under {!default_config} each
+    select is compiled to a physical {!Plan.t} — index probes, ordered
+    range / LIKE-prefix scans, hash joins for multi-range queries —
+    and graph builtins walk {!Pgraph.Csr} adjacency snapshots.  Access
+    paths only ever narrow the candidate set (in the same ascending
+    oid order the extent scan uses) and the full WHERE clause is still
+    evaluated per row, so results are bit-identical to the legacy
+    interpreter, which {!legacy_config} keeps wired for ablation. *)
 
 open Pmodel
 module OidSet = Database.OidSet
@@ -18,16 +22,142 @@ exception Eval_error of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
 
-type state = {
-  db : Database.t;
-  mutable ctx : int option; (* current classification context *)
-  mutable index_probes : int; (* statistics, for tests and ablation *)
-  mutable extent_scans : int;
+(** Execution configuration, mirroring the [Pager.config] ablation
+    pattern of the storage layer. *)
+type config = {
+  planner : bool; (* compile access paths + hash joins *)
+  use_csr : bool; (* CSR adjacency snapshots for graph builtins *)
+  plan_cache : bool; (* reuse compiled plans across queries *)
 }
 
-let make_state db = { db; ctx = None; index_probes = 0; extent_scans = 0 }
+let default_config = { planner = true; use_csr = true; plan_cache = true }
+
+(** Today's interpreter: nested extent loops, single first-range
+    equality probe, per-hop adjacency queries. *)
+let legacy_config = { planner = false; use_csr = false; plan_cache = false }
+
+(** Cumulative per-database counters, reported by [pdb stats] and the
+    server's [/stats]. *)
+type totals = {
+  mutable t_index_probes : int;
+  mutable t_range_scans : int;
+  mutable t_hash_joins : int;
+  mutable t_extent_scans : int;
+  mutable t_cache_hits : int;
+  mutable t_cache_misses : int;
+}
+
+(* Plan-cache entries carry the index epoch they were compiled under;
+   a moved epoch means an index was created or dropped and the plan
+   must be rebuilt (counted as a miss). *)
+type per_db = { totals : totals; cache : (string, int * Plan.t) Hashtbl.t }
+
+(* Keyed by physical identity of the database, capped — same registry
+   shape as the CSR snapshot managers. *)
+let registry : (Database.t * per_db) list ref = ref []
+let max_registry = 8
+
+let per_db db : per_db =
+  match List.find_opt (fun (d, _) -> d == db) !registry with
+  | Some (_, p) -> p
+  | None ->
+      let p =
+        {
+          totals =
+            {
+              t_index_probes = 0;
+              t_range_scans = 0;
+              t_hash_joins = 0;
+              t_extent_scans = 0;
+              t_cache_hits = 0;
+              t_cache_misses = 0;
+            };
+          cache = Hashtbl.create 64;
+        }
+      in
+      registry := (db, p) :: List.filteri (fun i _ -> i < max_registry - 1) !registry;
+      p
+
+type db_stats = {
+  index_probes : int;
+  range_scans : int;
+  hash_joins : int;
+  extent_scans : int;
+  plan_cache_hits : int;
+  plan_cache_misses : int;
+  adjacency_rebuilds : int;
+}
+
+(** Cumulative query-engine statistics for [db]. *)
+let db_stats db : db_stats =
+  let t = (per_db db).totals in
+  {
+    index_probes = t.t_index_probes;
+    range_scans = t.t_range_scans;
+    hash_joins = t.t_hash_joins;
+    extent_scans = t.t_extent_scans;
+    plan_cache_hits = t.t_cache_hits;
+    plan_cache_misses = t.t_cache_misses;
+    adjacency_rebuilds = Pgraph.Csr.rebuild_count db;
+  }
+
+type state = {
+  db : Database.t;
+  config : config;
+  totals : totals;
+  cache : (string, int * Plan.t) Hashtbl.t;
+  mutable plan_memo : (Ast.select * Plan.t) list;
+      (* per-query physical-identity memo: a correlated subselect is
+         planned once, not once per outer row *)
+  mutable ctx : int option; (* current classification context *)
+  mutable index_probes : int; (* per-query statistics, for explain/tests *)
+  mutable extent_scans : int;
+  mutable range_scans : int;
+  mutable hash_joins : int;
+}
+
+let make_state ?(config = default_config) db =
+  let p = per_db db in
+  {
+    db;
+    config;
+    totals = p.totals;
+    cache = p.cache;
+    plan_memo = [];
+    ctx = None;
+    index_probes = 0;
+    extent_scans = 0;
+    range_scans = 0;
+    hash_joins = 0;
+  }
 
 type env = (string * Value.t) list
+
+(* Per-binding execution mode, prepared once per select execution.
+   Access-path candidates are invariant in the outer bindings, so they
+   are hoisted; [Expr] sources are evaluated per outer row exactly as
+   the legacy interpreter does. *)
+type exec =
+  | Candidates of Value.t list (* hoisted, ascending oid order *)
+  | Hash_probe of (Value.t, int list ref) Hashtbl.t * Ast.expr * Value.t list
+      (* build table, probe-key expression, full candidate list (the
+         fallback when the probe key fails to evaluate — the nested
+         loop then reproduces legacy error behaviour exactly) *)
+  | Per_row of Ast.expr
+
+(* Hash keys must agree with [Value.equal_value], which equates VInt
+   with VFloat, -0. with 0., and any two NaNs.  Normalising to a
+   canonical representative makes structural hashing/equality coincide
+   with value equality. *)
+let rec norm_key (v : Value.t) : Value.t =
+  match v with
+  | Value.VInt i -> Value.VFloat (float_of_int i)
+  | Value.VFloat f ->
+      if f <> f then Value.VFloat Float.nan else if f = 0. then Value.VFloat 0. else v
+  | Value.VList l -> Value.VList (List.map norm_key l)
+  | Value.VSet l -> Value.VSet (List.map norm_key l)
+  | Value.VBag l -> Value.VBag (List.map norm_key l)
+  | v -> v
 
 (* --- helpers -------------------------------------------------------- *)
 
@@ -40,8 +170,15 @@ let collection_or_singleton = function
   | (Value.VList _ | Value.VSet _ | Value.VBag _ | Value.VNull) as v -> elements v
   | v -> [ v ]
 
-let refs_of_oidset s = Value.vset (List.map (fun o -> Value.VRef o) (OidSet.elements s))
-let refs_of_objs objs = Value.VList (List.map (fun (o : Obj.t) -> Value.VRef o.Obj.oid) objs)
+(* A descending fold builds the ascending element list directly — the
+   oids are already sorted and unique, so the [VSet] invariant holds
+   without the sort/dedup pass (and the intermediate list) of
+   [Value.vset (List.map ... (OidSet.elements s))]. *)
+let refs_of_oidset s =
+  Value.VSet (Seq.fold_left (fun acc o -> Value.VRef o :: acc) [] (OidSet.to_rev_seq s))
+
+let refs_of_objs objs =
+  Value.VList (List.rev (List.rev_map (fun (o : Obj.t) -> Value.VRef o.Obj.oid) objs))
 
 (* SQL LIKE matching: '%' = any sequence, '_' = any single char. *)
 let like_match (s : string) (pat : string) : bool =
@@ -74,10 +211,43 @@ let ends_with ~suffix s =
   let ls = String.length s and lx = String.length suffix in
   ls >= lx && String.sub s (ls - lx) lx = suffix
 
+(* allocation-free two-index scan (no [String.sub] per position) *)
 let contains_sub s sub =
   let ls = String.length s and lx = String.length sub in
-  let rec go i = i + lx <= ls && (String.sub s i lx = sub || go (i + 1)) in
-  lx = 0 || go 0
+  if lx = 0 then true
+  else begin
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i + lx <= ls do
+      let j = ref 0 in
+      while !j < lx && String.unsafe_get s (!i + !j) = String.unsafe_get sub !j do
+        incr j
+      done;
+      if !j = lx then found := true else incr i
+    done;
+    !found
+  end
+
+(** LIKE with fast paths: patterns whose wildcards sit only at the ends
+    ([abc], [abc%], [%abc], [%abc%]) are answered by direct string
+    scans; everything else falls back to the {!like_match} DP.  Both
+    agree exactly — the property suite checks them against each
+    other. *)
+let like_eval (s : string) (pat : string) : bool =
+  let m = String.length pat in
+  let is_wild c = c = '%' || c = '_' in
+  let inner_wild =
+    let rec go i = i < m && ((i > 0 && i < m - 1 && is_wild pat.[i]) || go (i + 1)) in
+    go 0
+  in
+  if inner_wild || (m > 0 && (pat.[0] = '_' || pat.[m - 1] = '_')) then like_match s pat
+  else
+    match (m > 0 && pat.[0] = '%', m > 0 && pat.[m - 1] = '%') with
+    | false, false -> s = pat
+    | false, true -> starts_with ~prefix:(String.sub pat 0 (m - 1)) s
+    | true, false -> ends_with ~suffix:(String.sub pat 1 (m - 1)) s
+    | true, true ->
+        if m = 1 then true else contains_sub s (String.sub pat 1 (m - 2))
 
 (* --- evaluation ------------------------------------------------------ *)
 
@@ -145,7 +315,7 @@ and eval_binop _st op (a : Value.t) (b : Value.t) : Value.t =
   | ">" -> Value.VBool (Value.compare_value a b > 0)
   | ">=" -> Value.VBool (Value.compare_value a b >= 0)
   | "in" -> Value.VBool (List.exists (Value.equal_value a) (elements b))
-  | "like" -> Value.VBool (like_match (Value.as_string a) (Value.as_string b))
+  | "like" -> Value.VBool (like_eval (Value.as_string a) (Value.as_string b))
   | "union" -> Value.vset (elements a @ elements b)
   | "inter" ->
       let eb = elements b in
@@ -279,21 +449,24 @@ and eval_call st env f (arg_exprs : Ast.expr list) : Value.t =
       let ctx = ctx_arg st (Lazy.force args) 4 in
       let max_depth = match arg 3 with Value.VNull -> None | v -> Some (Value.as_int v) in
       refs_of_oidset
-        (Pgraph.Traverse.descendants st.db ?context:ctx ~min_depth:(int_arg 2) ?max_depth
-           ~rel:(str_arg 1) (oid_arg 0))
+        (Pgraph.Traverse.descendants st.db ?context:ctx ~csr:st.config.use_csr
+           ~min_depth:(int_arg 2) ?max_depth ~rel:(str_arg 1) (oid_arg 0))
   | "closure" ->
       refs_of_oidset
-        (Pgraph.Traverse.closure st.db ?context:(ctx_arg st (Lazy.force args) 2) ~rel:(str_arg 1) (oid_arg 0))
+        (Pgraph.Traverse.closure st.db ?context:(ctx_arg st (Lazy.force args) 2)
+           ~csr:st.config.use_csr ~rel:(str_arg 1) (oid_arg 0))
   | "descendants" ->
       refs_of_oidset
-        (Pgraph.Traverse.descendants st.db ?context:(ctx_arg st (Lazy.force args) 2) ~rel:(str_arg 1) (oid_arg 0))
+        (Pgraph.Traverse.descendants st.db ?context:(ctx_arg st (Lazy.force args) 2)
+           ~csr:st.config.use_csr ~rel:(str_arg 1) (oid_arg 0))
   | "ancestors" ->
       refs_of_oidset
-        (Pgraph.Traverse.ancestors st.db ?context:(ctx_arg st (Lazy.force args) 2) ~rel:(str_arg 1) (oid_arg 0))
+        (Pgraph.Traverse.ancestors st.db ?context:(ctx_arg st (Lazy.force args) 2)
+           ~csr:st.config.use_csr ~rel:(str_arg 1) (oid_arg 0))
   | "reachable" ->
       Value.VBool
-        (Pgraph.Traverse.reachable st.db ?context:(ctx_arg st (Lazy.force args) 3) ~rel:(str_arg 2) (oid_arg 0)
-           (oid_arg 1))
+        (Pgraph.Traverse.reachable st.db ?context:(ctx_arg st (Lazy.force args) 3)
+           ~csr:st.config.use_csr ~rel:(str_arg 2) (oid_arg 0) (oid_arg 1))
   | "path" -> (
       match
         Pgraph.Traverse.shortest_path st.db ?context:(ctx_arg st (Lazy.force args) 3) ~rel:(str_arg 2)
@@ -303,7 +476,8 @@ and eval_call st env f (arg_exprs : Ast.expr list) : Value.t =
       | None -> Value.VNull)
   | "graph" ->
       let g =
-        Pgraph.Subgraph.extract st.db ?context:(ctx_arg st (Lazy.force args) 2) ~rel:(str_arg 1) (oid_arg 0)
+        Pgraph.Subgraph.extract st.db ?context:(ctx_arg st (Lazy.force args) 2)
+          ~csr:st.config.use_csr ~rel:(str_arg 1) (oid_arg 0)
       in
       Value.VList
         [ refs_of_oidset g.Pgraph.Subgraph.nodes;
@@ -366,6 +540,104 @@ and index_probe st (s : Ast.select) : OidSet.t option =
         (conjuncts w)
   | _ -> None
 
+(** Resolve a plan and its per-query caches: the per-state
+    physical-identity memo avoids re-stringifying a correlated
+    subselect per outer row; the per-db cache (keyed on normalised
+    query text plus the names bound by the caller, the context clause
+    being part of the text) reuses plans across queries until the
+    index epoch moves. *)
+and plan_for st (env : env) (s : Ast.select) : Plan.t =
+  match List.find_opt (fun (s', _) -> s' == s) st.plan_memo with
+  | Some (_, p) -> p
+  | None ->
+      let bound = List.map fst env in
+      let p =
+        if st.config.plan_cache then begin
+          let key =
+            Ast.to_string (Ast.Select s) ^ "|" ^ String.concat "," (List.sort_uniq compare bound)
+          in
+          let epoch = Database.index_epoch st.db in
+          match Hashtbl.find_opt st.cache key with
+          | Some (e, p) when e = epoch ->
+              st.totals.t_cache_hits <- st.totals.t_cache_hits + 1;
+              p
+          | _ ->
+              st.totals.t_cache_misses <- st.totals.t_cache_misses + 1;
+              if Hashtbl.length st.cache > 512 then Hashtbl.reset st.cache;
+              let p = Plan.compile st.db ~bound s in
+              Hashtbl.replace st.cache key (epoch, p);
+              p
+        end
+        else Plan.compile st.db ~bound s
+      in
+      st.plan_memo <- (s, p) :: st.plan_memo;
+      p
+
+(* Candidate oids for an access path, with statistics.  An index that
+   disappeared since planning (the epoch check makes this rare, but a
+   cacheless config can still race a drop) falls back to the extent —
+   a superset, so correctness is unaffected. *)
+and oidset_of_access st (a : Plan.access) : OidSet.t =
+  let bump_probe () =
+    st.index_probes <- st.index_probes + 1;
+    st.totals.t_index_probes <- st.totals.t_index_probes + 1
+  and bump_range () =
+    st.range_scans <- st.range_scans + 1;
+    st.totals.t_range_scans <- st.totals.t_range_scans + 1
+  and bump_extent () =
+    st.extent_scans <- st.extent_scans + 1;
+    st.totals.t_extent_scans <- st.totals.t_extent_scans + 1
+  in
+  let fallback cls =
+    bump_extent ();
+    Database.extent st.db cls
+  in
+  match a with
+  | Plan.Extent cls -> fallback cls
+  | Plan.Probe { cls; attr; value } -> (
+      match Database.index_lookup st.db cls attr value with
+      | Some s ->
+          bump_probe ();
+          s
+      | None -> fallback cls)
+  | Plan.Range { cls; attr; lo; hi } -> (
+      match Database.index_range st.db cls attr ?lo ?hi () with
+      | Some s ->
+          bump_range ();
+          s
+      | None -> fallback cls)
+  | Plan.Prefix { cls; attr; prefix } -> (
+      match Database.index_string_prefix st.db cls attr prefix with
+      | Some s ->
+          bump_range ();
+          s
+      | None -> fallback cls)
+  | Plan.Src _ -> assert false (* handled by the caller *)
+
+and prepare st (b : Plan.binding) : string * exec =
+  match b.Plan.access with
+  | Plan.Src e -> (b.Plan.var, Per_row e)
+  | access -> (
+      let oids = oidset_of_access st access in
+      let cands = List.rev (OidSet.fold (fun o acc -> Value.VRef o :: acc) oids []) in
+      match b.Plan.hash_key with
+      | Some (attr, probe_expr) ->
+          (* buckets are built in ascending oid order, preserving the
+             candidate order of the nested loop they replace *)
+          let tbl = Hashtbl.create 256 in
+          OidSet.iter
+            (fun oid ->
+              let k = norm_key (eval_obj_attr st oid attr) in
+              match Hashtbl.find_opt tbl k with
+              | Some r -> r := oid :: !r
+              | None -> Hashtbl.add tbl k (ref [ oid ]))
+            oids;
+          Hashtbl.iter (fun _ r -> r := List.rev !r) tbl;
+          st.hash_joins <- st.hash_joins + 1;
+          st.totals.t_hash_joins <- st.totals.t_hash_joins + 1;
+          (b.Plan.var, Hash_probe (tbl, probe_expr, cands))
+      | None -> (b.Plan.var, Candidates cands))
+
 and eval_select st (env : env) (s : Ast.select) : Value.t =
   let saved_ctx = st.ctx in
   (match s.Ast.context with
@@ -379,37 +651,69 @@ and eval_select st (env : env) (s : Ast.select) : Value.t =
     ~finally:(fun () -> st.ctx <- saved_ctx)
     (fun () ->
       let rows = ref [] in
-      let probe = index_probe st s in
-      let rec bind env ranges =
-        match ranges with
-        | [] ->
-            let keep =
-              match s.Ast.where with Some w -> Value.as_bool (eval st env w) | None -> true
-            in
-            if keep then begin
-              let row =
-                match s.Ast.projections with
-                | None -> (
-                    match s.Ast.ranges with
-                    | [ (_, v) ] -> List.assoc v env
-                    | rs -> Value.VList (List.map (fun (_, v) -> List.assoc v env) rs))
-                | Some [ (e, _) ] -> eval st env e
-                | Some ps -> Value.VList (List.map (fun (e, _) -> eval st env e) ps)
-              in
-              let sort_key = List.map (fun (e, asc) -> (eval st env e, asc)) s.Ast.order_by in
-              rows := (row, sort_key) :: !rows
-            end
-        | (src, var) :: rest ->
-            let candidates =
-              match (probe, ranges == s.Ast.ranges) with
-              | Some oids, true ->
-                  (* index probe replaces the first extent scan *)
-                  List.map (fun o -> Value.VRef o) (OidSet.elements oids)
-              | _ -> elements (eval st env src)
-            in
-            List.iter (fun v -> bind ((var, v) :: env) rest) candidates
+      let finish env =
+        let keep =
+          match s.Ast.where with Some w -> Value.as_bool (eval st env w) | None -> true
+        in
+        if keep then begin
+          let row =
+            match s.Ast.projections with
+            | None -> (
+                match s.Ast.ranges with
+                | [ (_, v) ] -> List.assoc v env
+                | rs -> Value.VList (List.map (fun (_, v) -> List.assoc v env) rs))
+            | Some [ (e, _) ] -> eval st env e
+            | Some ps -> Value.VList (List.map (fun (e, _) -> eval st env e) ps)
+          in
+          let sort_key = List.map (fun (e, asc) -> (eval st env e, asc)) s.Ast.order_by in
+          rows := (row, sort_key) :: !rows
+        end
       in
-      bind env s.Ast.ranges;
+      (if st.config.planner then begin
+         let plan = plan_for st env s in
+         let execs = List.map (prepare st) plan.Plan.bindings in
+         let rec bind env = function
+           | [] -> finish env
+           | (var, Candidates vs) :: rest ->
+               List.iter (fun v -> bind ((var, v) :: env) rest) vs
+           | (var, Per_row e) :: rest ->
+               List.iter (fun v -> bind ((var, v) :: env) rest) (elements (eval st env e))
+           | (var, Hash_probe (tbl, probe_expr, cands)) :: rest ->
+               if cands <> [] then begin
+                 match
+                   try Some (norm_key (eval st env probe_expr)) with Eval_error _ -> None
+                 with
+                 | Some k -> (
+                     match Hashtbl.find_opt tbl k with
+                     | None -> ()
+                     | Some oids ->
+                         List.iter (fun o -> bind ((var, Value.VRef o) :: env) rest) !oids)
+                 | None ->
+                     (* probe key failed to evaluate: replay the nested
+                        loop so the WHERE clause raises (or not) exactly
+                        as the legacy interpreter would *)
+                     List.iter (fun v -> bind ((var, v) :: env) rest) cands
+               end
+         in
+         bind env execs
+       end
+       else begin
+         let probe = index_probe st s in
+         let rec bind env ranges =
+           match ranges with
+           | [] -> finish env
+           | (src, var) :: rest ->
+               let candidates =
+                 match (probe, ranges == s.Ast.ranges) with
+                 | Some oids, true ->
+                     (* index probe replaces the first extent scan *)
+                     List.map (fun o -> Value.VRef o) (OidSet.elements oids)
+                 | _ -> elements (eval st env src)
+               in
+               List.iter (fun v -> bind ((var, v) :: env) rest) candidates
+         in
+         bind env s.Ast.ranges
+       end);
       let rows = List.rev !rows in
       let rows =
         if s.Ast.order_by = [] then rows

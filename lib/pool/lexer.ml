@@ -55,8 +55,8 @@ let pp_token ppf = function
 let keywords =
   [
     "select"; "distinct"; "from"; "where"; "order"; "by"; "asc"; "desc"; "and"; "or"; "not";
-    "in"; "like"; "context"; "as"; "true"; "false"; "null"; "mod"; "union"; "inter"; "except";
-    "exists";
+    "in"; "like"; "between"; "context"; "as"; "true"; "false"; "null"; "mod"; "union"; "inter";
+    "except"; "exists";
   ]
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'

@@ -74,6 +74,14 @@ and parse_cmp st =
   | KW "like" ->
       advance st;
       Ast.Binop ("like", lhs, parse_setop st)
+  | KW "between" ->
+      (* [e between lo and hi] desugars to [e >= lo and e <= hi]; the
+         bounds bind tighter than the logical [and] that separates them *)
+      advance st;
+      let lo = parse_setop st in
+      expect st (KW "and") "and";
+      let hi = parse_setop st in
+      Ast.Binop ("and", Ast.Binop (">=", lhs, lo), Ast.Binop ("<=", lhs, hi))
   | KW "in" when peek2 st <> KW "context" ->
       advance st;
       Ast.Binop ("in", lhs, parse_setop st)

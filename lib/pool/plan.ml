@@ -1,0 +1,268 @@
+(** POOL physical plans (thesis 6.1.5, extended).
+
+    [compile] turns a [select] into a physical plan: one {!binding} per
+    range variable, each with an access path and an optional hash-join
+    key.  The evaluator executes the plan but always re-evaluates the
+    *full* WHERE clause per candidate row, so an access path only needs
+    to produce a {e superset} of the qualifying objects — in ascending
+    oid order, which is also the order the legacy extent scan uses.
+    That invariant is what makes optimized results bit-identical to the
+    legacy interpreter: pushdown can never change which rows survive or
+    how they are ordered, only how many candidates are inspected.
+
+    Access paths recognised from top-level WHERE conjuncts over an
+    unshadowed class-extent range [Var cls]:
+
+    - [var.attr = lit]              -> {!constructor:Probe} (equality index)
+    - [var.attr </<=/>/>= lit]      -> {!constructor:Range} (ordered index walk;
+                                       conjuncts on the same attr combine)
+    - [var.attr like 'abc%...']     -> {!constructor:Prefix} (contiguous string
+                                       block of the ordered index)
+    - [var.attr between a and b] parses as two range conjuncts
+
+    Hash joins: a non-first range whose WHERE has a top-level conjunct
+    [var.attr = e], where [e] depends on earlier range variables but
+    not on [var] or later ones, is executed by building a hash table
+    over the range's candidates keyed on [attr] (once), then probing
+    with [e] per outer row — replacing the nested extent rescans.
+
+    Plans contain no oids or values read from the data, only schema
+    facts (which indexes exist), so a cached plan stays valid until
+    {!Pmodel.Database.index_epoch} moves. *)
+
+open Pmodel
+module SSet = Set.Make (String)
+
+type access =
+  | Extent of string (* class extent scan, ascending oid *)
+  | Probe of { cls : string; attr : string; value : Value.t }
+  | Range of {
+      cls : string;
+      attr : string;
+      lo : (Value.t * bool) option; (* value, inclusive *)
+      hi : (Value.t * bool) option;
+    }
+  | Prefix of { cls : string; attr : string; prefix : string }
+  | Src of Ast.expr (* arbitrary source expression, evaluated per outer row *)
+
+type binding = {
+  var : string;
+  access : access;
+  hash_key : (string * Ast.expr) option;
+      (* (build attr of this range, probe expression over outer bindings) *)
+}
+
+type t = { bindings : binding list }
+
+(* --- free variables (with range-variable shadowing) -------------------- *)
+
+let rec free_vars (e : Ast.expr) : SSet.t =
+  match e with
+  | Ast.Lit _ -> SSet.empty
+  | Ast.Var x -> SSet.singleton x
+  | Ast.Path (e, _) | Ast.Unop (_, e) | Ast.Downcast (_, e) -> free_vars e
+  | Ast.Binop (_, a, b) -> SSet.union (free_vars a) (free_vars b)
+  | Ast.Call (_, args) ->
+      List.fold_left (fun acc a -> SSet.union acc (free_vars a)) SSet.empty args
+  | Ast.Select s ->
+      (* range sources see the outer scope plus earlier range variables;
+         every other clause sees all range variables *)
+      let free, bound =
+        List.fold_left
+          (fun (free, bound) (src, v) ->
+            (SSet.union free (SSet.diff (free_vars src) bound), SSet.add v bound))
+          (SSet.empty, SSet.empty) s.Ast.ranges
+      in
+      let under e = SSet.diff (free_vars e) bound in
+      let opt acc = function Some e -> SSet.union acc (under e) | None -> acc in
+      let free = opt (opt free s.Ast.where) s.Ast.context in
+      let free =
+        match s.Ast.projections with
+        | None -> free
+        | Some ps -> List.fold_left (fun acc (e, _) -> SSet.union acc (under e)) free ps
+      in
+      List.fold_left (fun acc (e, _) -> SSet.union acc (under e)) free s.Ast.order_by
+
+(* --- conjunct analysis -------------------------------------------------- *)
+
+let rec conjuncts (e : Ast.expr) : Ast.expr list =
+  match e with Ast.Binop ("and", a, b) -> conjuncts a @ conjuncts b | e -> [ e ]
+
+(* literal prefix of a LIKE pattern, up to the first wildcard *)
+let like_prefix (pat : string) : string =
+  let n = String.length pat in
+  let rec go i = if i < n && pat.[i] <> '%' && pat.[i] <> '_' then go (i + 1) else i in
+  String.sub pat 0 (go 0)
+
+(* tightest combination of two optional bounds *)
+let tighter ~is_lo a b =
+  match (a, b) with
+  | None, b -> b
+  | a, None -> a
+  | Some ((va, ia) as ba), Some ((vb, ib) as bb) ->
+      let c = Value.compare_value va vb in
+      let take_a = if is_lo then c > 0 || (c = 0 && not ia) else c < 0 || (c = 0 && not ia) in
+      Some (if take_a then ba else if c = 0 then (va, ia && ib) else bb)
+
+(** Equality/range/prefix facts about [var.attr] found in one conjunct. *)
+type fact =
+  | Eq of string * Value.t
+  | Lo of string * (Value.t * bool)
+  | Hi of string * (Value.t * bool)
+  | Like of string * string (* attr, literal prefix *)
+
+let fact_of var (c : Ast.expr) : fact option =
+  let inv = function "<" -> ">" | "<=" -> ">=" | ">" -> "<" | ">=" -> "<=" | op -> op in
+  let norm =
+    (* rewrite [lit OP var.attr] to [var.attr OP' lit] *)
+    match c with
+    | Ast.Binop (op, Ast.Lit v, Ast.Path (Ast.Var x, attr)) ->
+        Some (inv op, x, attr, v)
+    | Ast.Binop (op, Ast.Path (Ast.Var x, attr), Ast.Lit v) -> Some (op, x, attr, v)
+    | _ -> None
+  in
+  match norm with
+  | Some (op, x, attr, v) when x = var -> (
+      match op with
+      | "=" -> Some (Eq (attr, v))
+      | "<" -> Some (Hi (attr, (v, false)))
+      | "<=" -> Some (Hi (attr, (v, true)))
+      | ">" -> Some (Lo (attr, (v, false)))
+      | ">=" -> Some (Lo (attr, (v, true)))
+      | "like" -> (
+          match v with
+          | Value.VString pat ->
+              let p = like_prefix pat in
+              if p = "" then None else Some (Like (attr, p))
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* --- compilation -------------------------------------------------------- *)
+
+(** Pick the access path for range [(cls, var)] from the WHERE
+    conjuncts.  Preference: equality probe, then LIKE prefix, then
+    range — all conditional on an index existing. *)
+let access_for db cls var (cs : Ast.expr list) : access =
+  let facts = List.filter_map (fact_of var) cs in
+  let indexed attr = Database.has_index db cls attr in
+  let probe = List.find_map (function Eq (a, v) when indexed a -> Some (a, v) | _ -> None) facts in
+  match probe with
+  | Some (attr, value) -> Probe { cls; attr; value }
+  | None -> (
+      let prefix =
+        List.find_map (function Like (a, p) when indexed a -> Some (a, p) | _ -> None) facts
+      in
+      match prefix with
+      | Some (attr, prefix) -> Prefix { cls; attr; prefix }
+      | None -> (
+          (* combine all range facts per attribute; take the first
+             indexed attribute that has at least one bound *)
+          let attrs =
+            List.filter_map (function Lo (a, _) | Hi (a, _) -> Some a | _ -> None) facts
+          in
+          let ranged =
+            List.find_map
+              (fun attr ->
+                if not (indexed attr) then None
+                else
+                  let lo =
+                    List.fold_left
+                      (fun acc -> function
+                        | Lo (a, b) when a = attr -> tighter ~is_lo:true acc (Some b)
+                        | _ -> acc)
+                      None facts
+                  and hi =
+                    List.fold_left
+                      (fun acc -> function
+                        | Hi (a, b) when a = attr -> tighter ~is_lo:false acc (Some b)
+                        | _ -> acc)
+                      None facts
+                  in
+                  if lo = None && hi = None then None else Some (attr, lo, hi))
+              (List.sort_uniq compare attrs)
+          in
+          match ranged with
+          | Some (attr, lo, hi) -> Range { cls; attr; lo; hi }
+          | None -> Extent cls))
+
+(** A hash-join key for range [var] (not the first range): a top-level
+    conjunct [var.attr = e] (either side) where [e] mentions at least
+    one earlier range variable and none of [var] or the later range
+    variables — so the table over this range's candidates can be built
+    once and probed with [e] per outer row. *)
+let hash_key_for var ~outer_vars ~later_vars (cs : Ast.expr list) : (string * Ast.expr) option =
+  let candidate attr e =
+    let fv = free_vars e in
+    if
+      (not (SSet.mem var fv))
+      && (not (SSet.exists (fun v -> SSet.mem v fv) later_vars))
+      && SSet.exists (fun v -> SSet.mem v fv) outer_vars
+    then Some (attr, e)
+    else None
+  in
+  List.find_map
+    (function
+      | Ast.Binop ("=", Ast.Path (Ast.Var x, attr), e) when x = var -> candidate attr e
+      | Ast.Binop ("=", e, Ast.Path (Ast.Var x, attr)) when x = var -> candidate attr e
+      | _ -> None)
+    cs
+
+(** Compile [s] against the schema facts of [db].  [bound] is the set
+    of variables already bound by the caller (query [env] plus outer
+    range variables for correlated subselects): a range source [Var x]
+    with [x] bound is a plain expression, not an extent. *)
+let compile db ~bound (s : Ast.select) : t =
+  let schema = Database.schema db in
+  let cs = match s.Ast.where with Some w -> conjuncts w | None -> [] in
+  let rec build outer_vars idx = function
+    | [] -> []
+    | (src, var) :: rest ->
+        let later_vars = SSet.of_list (List.map snd rest) in
+        let extent_cls =
+          match src with
+          | Ast.Var cls
+            when (not (SSet.mem cls outer_vars))
+                 && (not (List.mem cls bound))
+                 && (Meta.is_class schema cls || Meta.is_rel schema cls) ->
+              Some cls
+          | _ -> None
+        in
+        (* a later range re-binding the same variable name makes the
+           WHERE conjuncts refer to *that* binding — no pushdown then *)
+        let shadowed = List.exists (fun (_, v) -> v = var) rest in
+        let access =
+          match extent_cls with
+          | Some cls -> if shadowed then Extent cls else access_for db cls var cs
+          | None -> Src src
+        in
+        let hash_key =
+          if idx = 0 || extent_cls = None || shadowed then None
+          else
+            hash_key_for var
+              ~outer_vars:(SSet.union outer_vars (SSet.of_list bound))
+              ~later_vars cs
+        in
+        { var; access; hash_key } :: build (SSet.add var outer_vars) (idx + 1) rest
+  in
+  { bindings = build SSet.empty 0 s.Ast.ranges }
+
+(* --- description (EXPLAIN-style, used by tests and the CLI) ------------- *)
+
+let describe_access = function
+  | Extent cls -> Printf.sprintf "extent(%s)" cls
+  | Probe { cls; attr; _ } -> Printf.sprintf "probe(%s.%s)" cls attr
+  | Range { cls; attr; lo; hi } ->
+      Printf.sprintf "range(%s.%s%s%s)" cls attr
+        (match lo with Some _ -> " lo" | None -> "")
+        (match hi with Some _ -> " hi" | None -> "")
+  | Prefix { cls; attr; prefix } -> Printf.sprintf "prefix(%s.%s,%S)" cls attr prefix
+  | Src _ -> "expr"
+
+let describe (t : t) : string =
+  String.concat "; "
+    (List.map
+       (fun b ->
+         Printf.sprintf "%s<-%s%s" b.var (describe_access b.access)
+           (match b.hash_key with Some (attr, _) -> Printf.sprintf " hash(%s)" attr | None -> ""))
+       t.bindings)

@@ -12,35 +12,52 @@ type plan = { ast : Ast.expr; used_index : bool }
 
 let parse = Parser.parse
 
+(** Execution configuration: {!Eval.default_config} runs the
+    plan-then-run engine (index pushdown, hash joins, CSR traversal),
+    {!Eval.legacy_config} the original tree-walking interpreter. *)
+let default_config = Eval.default_config
+
+let legacy_config = Eval.legacy_config
+
 (** Run a POOL query string; returns the result value (a [VList] of
     rows for select queries). *)
-let query ?(env = []) (db : Database.t) (src : string) : Value.t =
+let query ?(env = []) ?config (db : Database.t) (src : string) : Value.t =
   let ast = Parser.parse src in
-  let st = Eval.make_state db in
+  let st = Eval.make_state ?config db in
   Eval.eval st env ast
 
 (** Run a query and return the rows of a select as a list. *)
-let rows ?env db src : Value.t list =
-  match query ?env db src with
+let rows ?env ?config db src : Value.t list =
+  match query ?env ?config db src with
   | Value.VList l | Value.VSet l | Value.VBag l -> l
   | v -> [ v ]
 
 (** Run a query expected to produce a single scalar (e.g.
     [count(select ...)]). *)
-let scalar ?env db src : Value.t =
-  match query ?env db src with Value.VList [ v ] -> v | v -> v
+let scalar ?env ?config db src : Value.t =
+  match query ?env ?config db src with Value.VList [ v ] -> v | v -> v
 
 (** Run a query and report whether an index probe was used — exposed
     for the index-ablation benchmark. *)
-let query_explain ?(env = []) db src : Value.t * [ `Index_probe | `Extent_scan ] =
+let query_explain ?(env = []) ?config db src : Value.t * [ `Index_probe | `Extent_scan ] =
   let ast = Parser.parse src in
-  let st = Eval.make_state db in
+  let st = Eval.make_state ?config db in
   let v = Eval.eval st env ast in
   ((v : Value.t), if st.Eval.index_probes > 0 then `Index_probe else `Extent_scan)
 
+(** Compile a query and render its physical plan (EXPLAIN). *)
+let explain ?(env = []) db src : string =
+  match Parser.parse src with
+  | Ast.Select s -> Plan.describe (Plan.compile db ~bound:(List.map fst env) s)
+  | _ -> "expr"
+
 (** Evaluate a boolean POOL expression — used by rule conditions. *)
-let check ?(env = []) db src : bool =
-  match query ~env db src with
+let check ?(env = []) ?config db src : bool =
+  match query ~env ?config db src with
   | Value.VBool b -> b
   | Value.VList l -> l <> []
   | v -> not (Value.is_null v)
+
+(** Cumulative query-engine statistics for [db] (probes, range scans,
+    hash joins, plan-cache hits/misses, CSR rebuilds). *)
+let stats = Eval.db_stats

@@ -134,12 +134,16 @@ let handle (db : Database.t) (path : string) (params : (string * string) list) :
              (Database.contexts db)) )
   | "/stats" ->
       let s = Pstore.Store.stats (Database.store db) in
+      let q = Pool_lang.Pool.stats db in
       ( "200 OK",
         Printf.sprintf
-          "objects %d\npages %d\npage_reads %d\npage_writes %d\ncache_hits %d\ncache_misses %d\nevictions %d\njournal_bytes %d\n"
+          "objects %d\npages %d\npage_reads %d\npage_writes %d\ncache_hits %d\ncache_misses %d\nevictions %d\njournal_bytes %d\nindex_probes %d\nrange_scans %d\nhash_joins %d\nextent_scans %d\nplan_cache_hits %d\nplan_cache_misses %d\nadjacency_rebuilds %d\n"
           s.Pstore.Store.objects s.Pstore.Store.pages s.Pstore.Store.page_reads
           s.Pstore.Store.page_writes s.Pstore.Store.cache_hits s.Pstore.Store.cache_misses
-          s.Pstore.Store.evictions s.Pstore.Store.journal_bytes )
+          s.Pstore.Store.evictions s.Pstore.Store.journal_bytes q.Pool_lang.Eval.index_probes
+          q.Pool_lang.Eval.range_scans q.Pool_lang.Eval.hash_joins q.Pool_lang.Eval.extent_scans
+          q.Pool_lang.Eval.plan_cache_hits q.Pool_lang.Eval.plan_cache_misses
+          q.Pool_lang.Eval.adjacency_rebuilds )
   | _ -> ("404 Not Found", "not found\n")
 
 (* Bounds on what a client may send before we stop listening to it: a

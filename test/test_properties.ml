@@ -336,7 +336,7 @@ let prop_compare_copy_is_identity =
           let ctx2 = Taxonomy.Classify.start_revision db ~from_ctx:ctx1 "copy" in
           let r =
             Pgraph.Compare.compare_contexts db ~rel:Taxonomy.Tax_schema.circumscribes
-              ~ctx_a:ctx1 ~ctx_b:ctx2
+              ~ctx_a:ctx1 ~ctx_b:ctx2 ()
           in
           r.Pgraph.Compare.agreement = 1.0
           && r.Pgraph.Compare.moved = []

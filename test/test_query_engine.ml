@@ -1,0 +1,405 @@
+(* Tests for the plan-then-run query engine (PR 3): index range/prefix
+   pushdown, hash joins, the plan cache, CSR adjacency snapshots and
+   their event-bus invalidation.  The central claim under test is
+   bit-identical results: the optimized engine must return exactly what
+   the legacy interpreter returns, on every query, after every kind of
+   graph mutation. *)
+
+open Pmodel
+module V = Value
+module P = Pool_lang.Pool
+module Traverse = Pgraph.Traverse
+module OidSet = Database.OidSet
+
+let tmp_counter = ref 0
+
+let tmp_path () =
+  incr tmp_counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "prom_qe_%d_%d.db" (Unix.getpid ()) !tmp_counter)
+
+let with_db f =
+  let path = tmp_path () in
+  let db = Database.open_ path in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Database.close db with _ -> ());
+      if Sys.file_exists path then Sys.remove path;
+      if Sys.file_exists (path ^ ".journal") then Sys.remove (path ^ ".journal"))
+    (fun () -> f db)
+
+let str s = V.VString s
+let vint i = V.VInt i
+
+let value_testable =
+  Alcotest.testable Value.pp (fun a b -> Value.compare_value a b = 0)
+
+(* Firm schema, as in test_pool. *)
+let setup db =
+  ignore
+    (Database.define_class db "Person" [ Meta.attr "name" V.TString; Meta.attr "age" V.TInt ]);
+  ignore (Database.define_class db "Company" [ Meta.attr "name" V.TString ]);
+  ignore
+    (Database.define_rel db "WorksFor" ~origin:"Person" ~destination:"Company"
+       ~attrs:[ Meta.attr "salary" V.TInt ]);
+  ignore
+    (Database.define_rel db "Manages" ~origin:"Person" ~destination:"Person"
+       ~kind:Meta.Aggregation);
+  let mk_p name age = Database.create db "Person" [ ("name", str name); ("age", vint age) ] in
+  let mk_c name = Database.create db "Company" [ ("name", str name) ] in
+  let alice = mk_p "alice" 30 in
+  let bob = mk_p "bob" 40 in
+  let carol = mk_p "carol" 50 in
+  let dave = mk_p "dave" 25 in
+  let acme = mk_c "acme" in
+  let globex = mk_c "globex" in
+  ignore (Database.link db "WorksFor" ~origin:alice ~destination:acme ~attrs:[ ("salary", vint 50) ]);
+  ignore (Database.link db "WorksFor" ~origin:bob ~destination:acme ~attrs:[ ("salary", vint 60) ]);
+  ignore (Database.link db "WorksFor" ~origin:carol ~destination:globex ~attrs:[ ("salary", vint 70) ]);
+  ignore (Database.link db "Manages" ~origin:carol ~destination:bob);
+  ignore (Database.link db "Manages" ~origin:bob ~destination:alice);
+  ignore (Database.link db "Manages" ~origin:bob ~destination:dave);
+  (alice, bob, carol, dave, acme, globex)
+
+(* Both engines on the same query: results must be identical values. *)
+let check_both db ?env q =
+  let optimized = P.query ?env db q in
+  let legacy = P.query ?env ~config:P.legacy_config db q in
+  Alcotest.check value_testable (Printf.sprintf "optimized = legacy on %s" q) legacy optimized;
+  optimized
+
+(* --- index range / prefix pushdown ------------------------------------ *)
+
+let test_range_pushdown () =
+  with_db @@ fun db ->
+  let _ = setup db in
+  Database.create_index db "Person" "age";
+  let r = check_both db "select p.name from Person p where p.age > 25 and p.age <= 40" in
+  Alcotest.check value_testable "range rows"
+    (V.VList [ str "alice"; str "bob" ]) r;
+  (* the range scan actually ran, and probed no equality index *)
+  let v, kind = P.query_explain db "select p from Person p where p.age >= 40" in
+  ignore v;
+  Alcotest.(check bool) "no equality probe for range" true (kind = `Extent_scan);
+  let s = P.stats db in
+  Alcotest.(check bool) "range_scans counted" true (s.Pool_lang.Eval.range_scans > 0)
+
+let test_between () =
+  with_db @@ fun db ->
+  let _ = setup db in
+  Database.create_index db "Person" "age";
+  let r = check_both db "select p.name from Person p where p.age between 25 and 30 order by p.name" in
+  Alcotest.check value_testable "between rows" (V.VList [ str "alice"; str "dave" ]) r
+
+let test_prefix_pushdown () =
+  with_db @@ fun db ->
+  let _ = setup db in
+  Database.create_index db "Person" "name";
+  let r = check_both db "select p.name from Person p where p.name like 'a%'" in
+  Alcotest.check value_testable "prefix rows" (V.VList [ str "alice" ]) r;
+  (* pattern with a literal prefix and a suffix wildcard still narrows *)
+  let r = check_both db "select p.name from Person p where p.name like 'c%l'" in
+  Alcotest.check value_testable "prefix+suffix rows" (V.VList [ str "carol" ]) r
+
+let test_index_range_unit () =
+  with_db @@ fun db ->
+  let _ = setup db in
+  Database.create_index db "Person" "age";
+  let card ?lo ?hi () =
+    match Database.index_range db "Person" "age" ?lo ?hi () with
+    | Some s -> OidSet.cardinal s
+    | None -> -1
+  in
+  Alcotest.(check int) "age > 25" 3 (card ~lo:(vint 25, false) ());
+  Alcotest.(check int) "age >= 25" 4 (card ~lo:(vint 25, true) ());
+  Alcotest.(check int) "age <= 30" 2 (card ~hi:(vint 30, true) ());
+  Alcotest.(check int) "25 < age < 50" 2 (card ~lo:(vint 25, false) ~hi:(vint 50, false) ());
+  Alcotest.(check int) "unbounded" 4 (card ());
+  Alcotest.(check int) "no index" (-1)
+    (match Database.index_range db "Person" "name" () with
+    | Some s -> OidSet.cardinal s
+    | None -> -1);
+  Database.create_index db "Person" "name";
+  match Database.index_string_prefix db "Person" "name" "" with
+  | Some s -> Alcotest.(check int) "empty prefix = all" 4 (OidSet.cardinal s)
+  | None -> Alcotest.fail "prefix index missing"
+
+(* --- hash joins -------------------------------------------------------- *)
+
+let test_hash_join () =
+  with_db @@ fun db ->
+  let _ = setup db in
+  let before = (P.stats db).Pool_lang.Eval.hash_joins in
+  let q =
+    "select p.name, q.name from Person p, Person q where p.age = q.age and p.name != q.name"
+  in
+  let r = check_both db q in
+  Alcotest.check value_testable "self-join on age is empty" (V.VList []) r;
+  Alcotest.(check bool) "hash join used" true
+    ((P.stats db).Pool_lang.Eval.hash_joins > before);
+  (* join with matches: people working for the same company *)
+  let q =
+    "select distinct p.name from Person p, Person q, Company c where c in \
+     p.targets('WorksFor') and c in q.targets('WorksFor') and p.name != q.name order by p.name"
+  in
+  let r = check_both db q in
+  Alcotest.check value_testable "colleagues" (V.VList [ str "alice"; str "bob" ]) r
+
+let test_hash_join_mixed_numerics () =
+  (* VInt and VFloat compare equal when numerically equal; the hash
+     join must bucket them together, exactly as [=] does. *)
+  with_db @@ fun db ->
+  ignore (Database.define_class db "A" [ Meta.attr "x" V.TFloat ]);
+  ignore (Database.define_class db "B" [ Meta.attr "y" V.TInt ]);
+  ignore (Database.create db "A" [ ("x", V.VFloat 1.0) ]);
+  ignore (Database.create db "A" [ ("x", V.VFloat 2.5) ]);
+  ignore (Database.create db "B" [ ("y", vint 1) ]);
+  ignore (Database.create db "B" [ ("y", vint 2) ]);
+  let q = "select a.x, b.y from A a, B b where a.x = b.y" in
+  let r = check_both db q in
+  Alcotest.check value_testable "int/float join"
+    (V.VList [ V.VList [ V.VFloat 1.0; vint 1 ] ]) r
+
+(* --- plan cache -------------------------------------------------------- *)
+
+let test_plan_cache () =
+  with_db @@ fun db ->
+  let _ = setup db in
+  let q = "select p from Person p where p.age > 30" in
+  let hits0 = (P.stats db).Pool_lang.Eval.plan_cache_hits in
+  ignore (P.query db q);
+  ignore (P.query db q);
+  ignore (P.query db q);
+  let hits1 = (P.stats db).Pool_lang.Eval.plan_cache_hits in
+  Alcotest.(check bool) "repeat queries hit the plan cache" true (hits1 >= hits0 + 2);
+  (* creating an index moves the epoch: the cached plan is stale and
+     the replan must now use the index *)
+  Database.create_index db "Person" "age";
+  let misses0 = (P.stats db).Pool_lang.Eval.plan_cache_misses in
+  ignore (P.query db q);
+  let s = P.stats db in
+  Alcotest.(check bool) "epoch bump forces replan" true
+    (s.Pool_lang.Eval.plan_cache_misses > misses0);
+  Alcotest.(check bool) "replanned query uses the range index" true
+    (s.Pool_lang.Eval.range_scans > 0)
+
+(* --- CSR snapshots: equivalence and invalidation ----------------------- *)
+
+(* Compare every traversal entry point between CSR and legacy for all
+   nodes of interest. *)
+let check_traversals db ?context ~rel nodes =
+  List.iter
+    (fun n ->
+      let d_csr = Traverse.descendants db ?context ~csr:true ~rel n in
+      let d_leg = Traverse.descendants db ?context ~csr:false ~rel n in
+      Alcotest.(check bool)
+        (Printf.sprintf "descendants(%d) csr = legacy" n)
+        true (OidSet.equal d_csr d_leg);
+      let a_csr = Traverse.ancestors db ?context ~csr:true ~rel n in
+      let a_leg = Traverse.ancestors db ?context ~csr:false ~rel n in
+      Alcotest.(check bool)
+        (Printf.sprintf "ancestors(%d) csr = legacy" n)
+        true (OidSet.equal a_csr a_leg);
+      let c_csr = Traverse.closure db ?context ~csr:true ~rel n in
+      let c_leg = Traverse.closure db ?context ~csr:false ~rel n in
+      Alcotest.(check bool)
+        (Printf.sprintf "closure(%d) csr = legacy" n)
+        true (OidSet.equal c_csr c_leg);
+      let g_csr = Pgraph.Subgraph.extract db ?context ~csr:true ~rel n in
+      let g_leg = Pgraph.Subgraph.extract db ?context ~csr:false ~rel n in
+      Alcotest.(check bool)
+        (Printf.sprintf "subgraph(%d) csr = legacy" n)
+        true
+        (OidSet.equal g_csr.Pgraph.Subgraph.nodes g_leg.Pgraph.Subgraph.nodes
+        && List.sort compare g_csr.Pgraph.Subgraph.edges
+           = List.sort compare g_leg.Pgraph.Subgraph.edges))
+    nodes;
+  let universe =
+    List.fold_left (fun acc n -> OidSet.add n acc) OidSet.empty nodes
+  in
+  Alcotest.(check (list int)) "roots csr = legacy"
+    (Traverse.roots db ?context ~csr:false ~rel universe)
+    (Traverse.roots db ?context ~csr:true ~rel universe);
+  Alcotest.(check (list int)) "leaves csr = legacy"
+    (Traverse.leaves db ?context ~csr:false ~rel universe)
+    (Traverse.leaves db ?context ~csr:true ~rel universe)
+
+let test_csr_invalidation () =
+  with_db @@ fun db ->
+  let alice, bob, carol, dave, _, _ = setup db in
+  let people = [ alice; bob; carol; dave ] in
+  let rel = "Manages" in
+  check_traversals db ~rel people;
+  (* add: a new edge must appear in the next CSR traversal *)
+  let e = Database.link db rel ~origin:dave ~destination:carol in
+  check_traversals db ~rel people;
+  let d = Traverse.descendants db ~csr:true ~rel dave in
+  Alcotest.(check bool) "cycle traverses fully" true
+    (OidSet.mem carol d && OidSet.mem bob d && OidSet.mem alice d);
+  (* retarget: carol -> bob becomes carol -> dave *)
+  Database.retarget db e ~destination:bob ();
+  check_traversals db ~rel people;
+  (* delete *)
+  Database.unlink db e;
+  check_traversals db ~rel people;
+  (* synonym merge does not touch adjacency, but must not corrupt it *)
+  Database.declare_synonym db alice dave;
+  check_traversals db ~rel people;
+  (* mutations inside an aborted transaction must leave no trace in the
+     snapshots (the mirror is rebuilt wholesale on abort) *)
+  Database.begin_tx db;
+  let e2 = Database.link db rel ~origin:alice ~destination:carol in
+  (* traverse mid-transaction so a snapshot is built from dirty state *)
+  Alcotest.(check bool) "dirty edge visible mid-tx" true
+    (OidSet.mem carol (Traverse.descendants db ~csr:true ~rel alice));
+  ignore e2;
+  Database.abort db;
+  check_traversals db ~rel people;
+  Alcotest.(check bool) "aborted edge gone" false
+    (OidSet.mem carol (Traverse.descendants db ~csr:true ~rel alice))
+
+let test_csr_contexts () =
+  with_db @@ fun db ->
+  let alice, bob, carol, dave, _, _ = setup db in
+  let ctx1 = Database.create_context db "c1" in
+  let ctx2 = Database.create_context db "c2" in
+  ignore (Database.link db "Manages" ~context:ctx1 ~origin:alice ~destination:bob);
+  ignore (Database.link db "Manages" ~context:ctx1 ~origin:bob ~destination:carol);
+  ignore (Database.link db "Manages" ~context:ctx2 ~origin:alice ~destination:dave);
+  let people = [ alice; bob; carol; dave ] in
+  check_traversals db ~context:ctx1 ~rel:"Manages" people;
+  check_traversals db ~context:ctx2 ~rel:"Manages" people;
+  check_traversals db ~rel:"Manages" people;
+  (* context-scoped results differ from each other as expected *)
+  Alcotest.(check bool) "ctx1 sees carol" true
+    (OidSet.mem carol (Traverse.descendants db ~context:ctx1 ~csr:true ~rel:"Manages" alice));
+  Alcotest.(check bool) "ctx2 does not" false
+    (OidSet.mem carol (Traverse.descendants db ~context:ctx2 ~csr:true ~rel:"Manages" alice))
+
+let test_adjacency_rebuild_counter () =
+  with_db @@ fun db ->
+  let alice, _, _, _, _, _ = setup db in
+  let r0 = (P.stats db).Pool_lang.Eval.adjacency_rebuilds in
+  ignore (Traverse.descendants db ~csr:true ~rel:"Manages" alice);
+  ignore (Traverse.descendants db ~csr:true ~rel:"Manages" alice);
+  let r1 = (P.stats db).Pool_lang.Eval.adjacency_rebuilds in
+  Alcotest.(check bool) "one build for two traversals" true (r1 = r0 + 1);
+  ignore (Database.link db "Manages" ~origin:alice ~destination:alice);
+  ignore (Traverse.descendants db ~csr:true ~rel:"Manages" alice);
+  let r2 = (P.stats db).Pool_lang.Eval.adjacency_rebuilds in
+  Alcotest.(check bool) "mutation forces a rebuild" true (r2 = r1 + 1)
+
+(* --- string helpers ---------------------------------------------------- *)
+
+let test_contains_sub () =
+  let c = Pool_lang.Eval.contains_sub in
+  Alcotest.(check bool) "empty sub" true (c "abc" "");
+  Alcotest.(check bool) "empty both" true (c "" "");
+  Alcotest.(check bool) "sub longer" false (c "ab" "abc");
+  Alcotest.(check bool) "middle" true (c "abcdef" "cde");
+  Alcotest.(check bool) "start" true (c "abcdef" "ab");
+  Alcotest.(check bool) "end" true (c "abcdef" "ef");
+  Alcotest.(check bool) "missing" false (c "abcdef" "ce");
+  Alcotest.(check bool) "overlap" true (c "aaab" "aab");
+  Alcotest.(check bool) "full" true (c "abc" "abc")
+
+let test_like_eval_equiv =
+  QCheck.Test.make ~name:"like_eval agrees with like_match" ~count:500
+    QCheck.(
+      pair
+        (string_gen_of_size (Gen.int_bound 12) (Gen.oneofl [ 'a'; 'b'; '%'; '_' ]))
+        (string_gen_of_size (Gen.int_bound 8) (Gen.oneofl [ 'a'; 'b'; '%'; '_' ])))
+    (fun (s, pat) ->
+      (* '%'/'_' in the subject are literals there, wildcards in pat *)
+      Pool_lang.Eval.like_eval s pat = Pool_lang.Eval.like_match s pat)
+
+(* --- randomized plan-vs-legacy equivalence ----------------------------- *)
+
+let query_gen =
+  let open QCheck.Gen in
+  let name_lit = oneofl [ "'alice'"; "'bob'"; "'a%'"; "'%o%'"; "'x'" ] in
+  let age_lit = map string_of_int (int_range 0 60) in
+  let pred =
+    oneof
+      [
+        map (fun v -> Printf.sprintf "p.age > %s" v) age_lit;
+        map (fun v -> Printf.sprintf "p.age <= %s" v) age_lit;
+        map (fun v -> Printf.sprintf "p.age = %s" v) age_lit;
+        map2 (fun a b -> Printf.sprintf "p.age between %s and %s" a b) age_lit age_lit;
+        map (fun v -> Printf.sprintf "p.name = %s" v) name_lit;
+        map (fun v -> Printf.sprintf "p.name like %s" v) name_lit;
+        return "p.age = q.age";
+        return "p.name != q.name";
+        return "q.age < p.age";
+      ]
+  in
+  let preds = list_size (int_range 1 3) pred in
+  let order = oneofl [ ""; " order by p.name"; " order by p.age desc, p.name" ] in
+  let distinct = oneofl [ ""; "distinct " ] in
+  map3
+    (fun ps ob d ->
+      Printf.sprintf "select %sp.name, q.age from Person p, Person q where %s%s" d
+        (String.concat " and " ps) ob)
+    preds order distinct
+
+let test_plan_vs_legacy =
+  QCheck.Test.make ~name:"planned results = legacy results" ~count:60
+    (QCheck.make ~print:(fun q -> q) query_gen)
+    (fun q ->
+      with_db @@ fun db ->
+      let _ = setup db in
+      Database.create_index db "Person" "age";
+      Database.create_index db "Person" "name";
+      let optimized = P.query db q in
+      let legacy = P.query ~config:P.legacy_config db q in
+      if Value.compare_value optimized legacy <> 0 then
+        QCheck.Test.fail_reportf "query %s diverged:@.opt: %a@.leg: %a" q Value.pp optimized
+          Value.pp legacy;
+      true)
+
+(* --- POOL-level graph builtins under both engines ---------------------- *)
+
+let test_pool_graph_builtins () =
+  with_db @@ fun db ->
+  let _, _, carol, _, _, _ = setup db in
+  let env = [ ("boss", V.VRef carol) ] in
+  ignore (check_both db ~env "descendants(boss, 'Manages')");
+  ignore (check_both db ~env "ancestors(boss, 'Manages')");
+  ignore (check_both db ~env "closure(boss, 'Manages')");
+  ignore
+    (check_both db ~env
+       "select p from Person p where p in descendants(boss, 'Manages') order by p.name")
+
+let () =
+  Alcotest.run "query_engine"
+    [
+      ( "pushdown",
+        [
+          Alcotest.test_case "range" `Quick test_range_pushdown;
+          Alcotest.test_case "between" `Quick test_between;
+          Alcotest.test_case "like prefix" `Quick test_prefix_pushdown;
+          Alcotest.test_case "index_range unit" `Quick test_index_range_unit;
+        ] );
+      ( "joins",
+        [
+          Alcotest.test_case "hash join" `Quick test_hash_join;
+          Alcotest.test_case "mixed numerics" `Quick test_hash_join_mixed_numerics;
+        ] );
+      ("plan cache", [ Alcotest.test_case "hits and epochs" `Quick test_plan_cache ]);
+      ( "csr",
+        [
+          Alcotest.test_case "invalidation" `Quick test_csr_invalidation;
+          Alcotest.test_case "contexts" `Quick test_csr_contexts;
+          Alcotest.test_case "rebuild counter" `Quick test_adjacency_rebuild_counter;
+        ] );
+      ( "strings",
+        [
+          Alcotest.test_case "contains_sub" `Quick test_contains_sub;
+          QCheck_alcotest.to_alcotest test_like_eval_equiv;
+        ] );
+      ( "equivalence",
+        [
+          QCheck_alcotest.to_alcotest test_plan_vs_legacy;
+          Alcotest.test_case "graph builtins" `Quick test_pool_graph_builtins;
+        ] );
+    ]

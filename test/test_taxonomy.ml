@@ -613,7 +613,7 @@ let test_compare_classifications () =
       List.iter (fun (g, i) -> ignore (Classify.circumscribe db ~ctx:ctx2 ~group:g ~item:i ()))
         [ (b1, s1); (b1, s2); (b2, s3); (b2, s4) ];
       let r =
-        Pgraph.Compare.compare_contexts db ~rel:S.circumscribes ~ctx_a:ctx1 ~ctx_b:ctx2
+        Pgraph.Compare.compare_contexts db ~rel:S.circumscribes ~ctx_a:ctx1 ~ctx_b:ctx2 ()
       in
       Alcotest.(check int) "only in b" 1 (Database.OidSet.cardinal r.Pgraph.Compare.only_in_b);
       Alcotest.(check int) "only in a" 0 (Database.OidSet.cardinal r.Pgraph.Compare.only_in_a);
