@@ -48,7 +48,6 @@ type t = {
   db : Database.t;
   snaps : (string * int option, snapshot) Hashtbl.t; (* (rel, context) *)
   mutable rebuilds : int; (* snapshots built (adjacency_rebuilds stat) *)
-  mutable sub : Bus.sub_id;
 }
 
 (** Coarse ablation switch consulted when a traversal is not given an
@@ -122,34 +121,29 @@ let build db ?context ~rel () : snapshot =
 (* ---------------------------------------------------------------------- *)
 
 let create db : t =
-  let t = { db; snaps = Hashtbl.create 8; rebuilds = 0; sub = 0 } in
-  t.sub <-
+  let t = { db; snaps = Hashtbl.create 8; rebuilds = 0 } in
+  let _ : Bus.sub_id =
     Bus.subscribe (Database.bus db) ~name:"csr-invalidate"
       (Event.Any_of [ Event.rel_change; Event.On_abort ])
-      (fun _ -> Hashtbl.reset t.snaps);
+      (fun _ -> Hashtbl.reset t.snaps)
+  in
   t
 
-(* Managers are found by physical identity of the database (a mutable
-   record; structural hashing is meaningless on it).  The list is
-   capped: evicting an old manager merely drops its snapshots and bus
-   subscription — correctness never depends on a manager surviving. *)
-let registry : (Database.t * t) list ref = ref []
-let max_registry = 8
+(* The manager lives on the database record itself (Database.ext), so
+   it — snapshots, bus subscription and the rebuild counter — shares
+   the database's lifetime exactly: no registry cap to silently reset a
+   live database's statistics, no strong reference keeping a closed
+   database (and its store) alive. *)
+type Database.ext += Csr_manager of t
+
+let ext_key = "graph.csr"
 
 let handle db : t =
-  match List.find_opt (fun (d, _) -> d == db) !registry with
-  | Some (_, m) -> m
-  | None ->
+  match Database.ext_find db ext_key with
+  | Some (Csr_manager m) -> m
+  | _ ->
       let m = create db in
-      let all = (db, m) :: !registry in
-      let keep, evicted =
-        if List.length all <= max_registry then (all, [])
-        else
-          ( List.filteri (fun i _ -> i < max_registry) all,
-            List.filteri (fun i _ -> i >= max_registry) all )
-      in
-      List.iter (fun (d, old) -> Bus.unsubscribe (Database.bus d) old.sub) evicted;
-      registry := keep;
+      Database.ext_set db ext_key (Csr_manager m);
       m
 
 (** The snapshot for [(context, rel)], building it on first use. *)
@@ -166,9 +160,7 @@ let get (t : t) ?context ~rel () : snapshot =
 (** Snapshots built so far for [db] (0 if none were ever requested) —
     the [adjacency_rebuilds] statistic. *)
 let rebuild_count db : int =
-  match List.find_opt (fun (d, _) -> d == db) !registry with
-  | Some (_, m) -> m.rebuilds
-  | None -> 0
+  match Database.ext_find db ext_key with Some (Csr_manager m) -> m.rebuilds | _ -> 0
 
 (* ---------------------------------------------------------------------- *)
 (* Traversals over a snapshot                                              *)

@@ -37,6 +37,16 @@ end)
 let schema_oid = 1 (* reserved oid holding the serialised schema *)
 let synonym_class = "__synonym"
 
+(** Layer-private state attached to the database record itself (the
+    query layer's plan cache and counters, the graph layer's CSR
+    snapshot managers).  Extensible so upper layers can store their own
+    types without this module depending on them; each layer declares a
+    constructor and files it under its own key via {!ext_set}.  Living
+    on the record, the state shares the database's lifetime exactly —
+    no global registry to cap, to leak strong references to closed
+    databases, or to reset statistics behind an open database's back. *)
+type ext = ..
+
 type t = {
   store : Store.t;
   schema : Meta.t;
@@ -48,9 +58,12 @@ type t = {
   in_rels : (int, OidSet.t ref) Hashtbl.t; (* destination oid -> rel oids *)
   (* secondary attribute indexes: (class, attr) -> ordered value map -> oids *)
   indexes : (string * string, OidSet.t ValueMap.t ref) Hashtbl.t;
-  (* bumped on create_index/drop_index so cached query plans can detect
-     that their access-path choices went stale *)
+  (* bumped on create_index/drop_index and on class/relationship
+     definition so cached query plans can detect that their access-path
+     and extent-vs-expression choices went stale *)
   mutable index_epoch : int;
+  (* layer-private state, keyed by layer (see {!type:ext}) *)
+  ext : (string, ext) Hashtbl.t;
   (* instance synonyms: union-find parent map (rebuilt on open) *)
   syn_parent : (int, int) Hashtbl.t;
   (* oids touched in the current transaction, for deferred checks *)
@@ -79,6 +92,8 @@ let remove_from tbl key oid =
 let schema t = t.schema
 let bus t = t.bus
 let store t = t.store
+let ext_find t key : ext option = Hashtbl.find_opt t.ext key
+let ext_set t key (v : ext) = Hashtbl.replace t.ext key v
 let is_subclass t = fun ~sub ~super -> Meta.is_subclass t.schema ~sub ~super
 
 let get t oid : Obj.t option = Hashtbl.find_opt t.objects oid
@@ -210,6 +225,7 @@ let open_ ?cache_pages path : t =
       in_rels = Hashtbl.create 1024;
       indexes = Hashtbl.create 8;
       index_epoch = 0;
+      ext = Hashtbl.create 4;
       syn_parent = Hashtbl.create 64;
       touched = Hashtbl.create 64;
       tx_depth = 0;
@@ -226,8 +242,12 @@ let close t = Store.close t.store
 (* Schema definition (persisted)                                           *)
 (* ---------------------------------------------------------------------- *)
 
+(* Schema definition bumps [index_epoch]: compiled plans bake in which
+   names denote class extents (Plan.compile's extent-vs-expression
+   choice), so a plan cached before a class existed must replan. *)
 let define_class t ?supers ?abstract name attrs =
   let c = Meta.define_class t.schema ?supers ?abstract name attrs in
+  t.index_epoch <- t.index_epoch + 1;
   persist_schema t;
   c
 
@@ -237,6 +257,7 @@ let define_rel t ?supers ?kind ?card_out ?card_in ?exclusive ?sharable ?lifetime
     Meta.define_rel t.schema ?supers ?kind ?card_out ?card_in ?exclusive ?sharable ?lifetime_dep
       ?constant ?inherited_attrs ?attrs name ~origin ~destination
   in
+  t.index_epoch <- t.index_epoch + 1;
   persist_schema t;
   r
 
@@ -730,9 +751,10 @@ let drop_index t class_name attr =
 
 let has_index t class_name attr = Hashtbl.mem t.indexes (class_name, attr)
 
-(** Monotone counter bumped by {!create_index}/{!drop_index}; cached
-    query plans carry the epoch they were compiled under and replan
-    when it moves. *)
+(** Monotone counter bumped by {!create_index}/{!drop_index} and by
+    {!define_class}/{!define_rel}; cached query plans carry the epoch
+    they were compiled under and replan when it moves — plans bake in
+    both access-path choices and which names denote class extents. *)
 let index_epoch t = t.index_epoch
 
 let index_lookup t class_name attr (v : Value.t) : OidSet.t option =
@@ -785,10 +807,24 @@ let index_range t class_name attr ?lo ?hi () : OidSet.t option =
 (** All oids whose indexed string value starts with [prefix] (the
     LIKE-'abc%' pushdown).  Strings sharing a prefix are contiguous
     under {!Value.compare_value}, so this is one bounded map walk.
-    [None] when no index exists. *)
+    [None] when no index exists — or when the index holds any
+    non-string key: evaluating [like] on such a row raises in the
+    interpreter ([Value.as_string]), and a prefix scan that silently
+    skipped the row would turn that error into a success.  Declining
+    the pushdown keeps the optimized path bit-identical to the legacy
+    one, error semantics included.  Strings are one contiguous block of
+    the value order, so "only string keys" is just "both extreme keys
+    are strings" — two O(log n) probes, no full scan. *)
 let index_string_prefix t class_name attr prefix : OidSet.t option =
   match Hashtbl.find_opt t.indexes (class_name, attr) with
   | None -> None
+  | Some table
+    when (not (ValueMap.is_empty !table))
+         && not
+              (match (ValueMap.min_binding !table, ValueMap.max_binding !table) with
+              | (Value.VString _, _), (Value.VString _, _) -> true
+              | _ -> false) ->
+      None
   | Some table ->
       let plen = String.length prefix in
       let acc = ref OidSet.empty in

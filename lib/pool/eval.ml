@@ -48,19 +48,24 @@ type totals = {
 }
 
 (* Plan-cache entries carry the index epoch they were compiled under;
-   a moved epoch means an index was created or dropped and the plan
-   must be rebuilt (counted as a miss). *)
+   a moved epoch means an index was created or dropped, or a class or
+   relationship was defined, and the plan must be rebuilt (counted as
+   a miss). *)
 type per_db = { totals : totals; cache : (string, int * Plan.t) Hashtbl.t }
 
-(* Keyed by physical identity of the database, capped — same registry
-   shape as the CSR snapshot managers. *)
-let registry : (Database.t * per_db) list ref = ref []
-let max_registry = 8
+(* Per-database state lives on the database record itself
+   (Database.ext), so cumulative statistics and the plan cache share
+   the database's lifetime exactly: no registry cap to evict a live
+   database's counters, no strong reference keeping a closed database
+   alive. *)
+type Database.ext += Pool_state of per_db
+
+let ext_key = "pool.eval"
 
 let per_db db : per_db =
-  match List.find_opt (fun (d, _) -> d == db) !registry with
-  | Some (_, p) -> p
-  | None ->
+  match Database.ext_find db ext_key with
+  | Some (Pool_state p) -> p
+  | _ ->
       let p =
         {
           totals =
@@ -75,7 +80,7 @@ let per_db db : per_db =
           cache = Hashtbl.create 64;
         }
       in
-      registry := (db, p) :: List.filteri (fun i _ -> i < max_registry - 1) !registry;
+      Database.ext_set db ext_key (Pool_state p);
       p
 
 type db_stats = {

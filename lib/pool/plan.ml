@@ -27,8 +27,9 @@
     with [e] per outer row — replacing the nested extent rescans.
 
     Plans contain no oids or values read from the data, only schema
-    facts (which indexes exist), so a cached plan stays valid until
-    {!Pmodel.Database.index_epoch} moves. *)
+    facts (which indexes exist, which names denote class extents), so a
+    cached plan stays valid until {!Pmodel.Database.index_epoch} moves
+    — bumped by index DDL and by class/relationship definition. *)
 
 open Pmodel
 module SSet = Set.Make (String)
@@ -112,12 +113,22 @@ type fact =
   | Like of string * string (* attr, literal prefix *)
 
 let fact_of var (c : Ast.expr) : fact option =
-  let inv = function "<" -> ">" | "<=" -> ">=" | ">" -> "<" | ">=" -> "<=" | op -> op in
+  (* operators whose argument order can be inverted; [like] is NOT one:
+     [lit like var.attr] matches the literal against the *stored
+     pattern*, which no prefix scan over stored values can serve *)
+  let inv = function
+    | "=" -> Some "="
+    | "<" -> Some ">"
+    | "<=" -> Some ">="
+    | ">" -> Some "<"
+    | ">=" -> Some "<="
+    | _ -> None
+  in
   let norm =
     (* rewrite [lit OP var.attr] to [var.attr OP' lit] *)
     match c with
-    | Ast.Binop (op, Ast.Lit v, Ast.Path (Ast.Var x, attr)) ->
-        Some (inv op, x, attr, v)
+    | Ast.Binop (op, Ast.Lit v, Ast.Path (Ast.Var x, attr)) -> (
+        match inv op with Some op' -> Some (op', x, attr, v) | None -> None)
     | Ast.Binop (op, Ast.Path (Ast.Var x, attr), Ast.Lit v) -> Some (op, x, attr, v)
     | _ -> None
   in

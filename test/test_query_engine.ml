@@ -124,6 +124,55 @@ let test_index_range_unit () =
   | Some s -> Alcotest.(check int) "empty prefix = all" 4 (OidSet.cardinal s)
   | None -> Alcotest.fail "prefix index missing"
 
+let test_reversed_like () =
+  (* [lit like x.attr] matches the literal against the *stored
+     pattern*: it must never be normalised into a prefix scan over the
+     stored values (a '%llo' pattern sorts outside the 'hello' prefix
+     block, so the scan would drop rows the interpreter keeps). *)
+  with_db @@ fun db ->
+  ignore (Database.define_class db "Rule" [ Meta.attr "pat" V.TString ]);
+  ignore (Database.create db "Rule" [ ("pat", str "%llo") ]);
+  ignore (Database.create db "Rule" [ ("pat", str "he%") ]);
+  ignore (Database.create db "Rule" [ ("pat", str "xyz") ]);
+  Database.create_index db "Rule" "pat";
+  let r = check_both db "select r.pat from Rule r where 'hello' like r.pat order by r.pat" in
+  Alcotest.check value_testable "reversed like keeps pattern rows"
+    (V.VList [ str "%llo"; str "he%" ]) r;
+  (* reversed comparison operators, by contrast, do invert and push down *)
+  let r = check_both db "select r.pat from Rule r where 'he%' <= r.pat order by r.pat" in
+  Alcotest.check value_testable "reversed range" (V.VList [ str "he%"; str "xyz" ]) r
+
+let test_prefix_null_error_semantics () =
+  (* A row whose indexed attribute is unset indexes under VNull; LIKE
+     on it raises in the interpreter.  The prefix pushdown must decline
+     (falling back to the extent scan) so the optimized engine raises
+     exactly where the legacy one does, instead of skipping the row and
+     succeeding. *)
+  with_db @@ fun db ->
+  ignore (Database.define_class db "Doc" [ Meta.attr "title" V.TString ]);
+  ignore (Database.create db "Doc" [ ("title", str "abc") ]);
+  ignore (Database.create db "Doc" [ ("title", str "abd") ]);
+  let untitled = Database.create db "Doc" [] in
+  Database.create_index db "Doc" "title";
+  Alcotest.(check bool) "pushdown declined on non-string keys" true
+    (Database.index_string_prefix db "Doc" "title" "ab" = None);
+  let q = "select d.title from Doc d where d.title like 'ab%'" in
+  let outcome config =
+    match P.query ?config db q with v -> Ok v | exception e -> Error (Printexc.to_string e)
+  in
+  let legacy = outcome (Some P.legacy_config) and optimized = outcome None in
+  (match legacy with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "legacy unexpectedly succeeded on a null title");
+  Alcotest.(check bool) "optimized raises exactly as legacy" true (legacy = optimized);
+  (* once every key is a string again the pushdown resumes, still
+     agreeing with legacy *)
+  Database.delete db untitled;
+  Alcotest.(check bool) "pushdown resumes on all-string keys" true
+    (Database.index_string_prefix db "Doc" "title" "ab" <> None);
+  let r = check_both db q in
+  Alcotest.check value_testable "prefix rows" (V.VList [ str "abc"; str "abd" ]) r
+
 (* --- hash joins -------------------------------------------------------- *)
 
 let test_hash_join () =
@@ -182,6 +231,72 @@ let test_plan_cache () =
     (s.Pool_lang.Eval.plan_cache_misses > misses0);
   Alcotest.(check bool) "replanned query uses the range index" true
     (s.Pool_lang.Eval.range_scans > 0)
+
+let test_plan_cache_schema_epoch () =
+  (* Plans bake in which names denote class extents.  A query planned
+     (and cached) while [Later] was undefined treats the range source
+     as a per-row expression; defining the class must invalidate the
+     cached plan, not leave the optimized engine erroring where the
+     interpreter succeeds. *)
+  with_db @@ fun db ->
+  let q = "select x.name from Later x order by x.name" in
+  (match P.query db q with
+  | exception _ -> ()
+  | _ -> Alcotest.fail "query on an undefined class should fail");
+  ignore (Database.define_class db "Later" [ Meta.attr "name" V.TString ]);
+  ignore (Database.create db "Later" [ ("name", str "n1") ]);
+  let r = check_both db q in
+  Alcotest.check value_testable "defined class now scans as an extent" (V.VList [ str "n1" ]) r
+
+let test_state_survives_many_dbs () =
+  (* Per-db engine state lives on the database record: using many
+     databases at once must not evict another database's plan cache or
+     reset its cumulative statistics (the old capped registry did). *)
+  let paths = List.init 10 (fun _ -> tmp_path ()) in
+  let dbs = List.map Database.open_ paths in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun db -> try Database.close db with _ -> ()) dbs;
+      List.iter
+        (fun p ->
+          if Sys.file_exists p then Sys.remove p;
+          if Sys.file_exists (p ^ ".journal") then Sys.remove (p ^ ".journal"))
+        paths)
+    (fun () ->
+      List.iter
+        (fun db ->
+          ignore (Database.define_class db "N" [ Meta.attr "name" V.TString ]);
+          ignore (Database.define_rel db "E" ~origin:"N" ~destination:"N"))
+        dbs;
+      let first = List.hd dbs in
+      let a = Database.create first "N" [ ("name", str "a") ] in
+      let b = Database.create first "N" [ ("name", str "b") ] in
+      ignore (Database.link first "E" ~origin:a ~destination:b);
+      ignore (Traverse.descendants first ~csr:true ~rel:"E" a);
+      let q = "select n.name from N n order by n.name" in
+      ignore (P.query first q);
+      ignore (P.query first q);
+      let s0 = P.stats first in
+      Alcotest.(check bool) "cache hit recorded" true (s0.Pool_lang.Eval.plan_cache_hits > 0);
+      Alcotest.(check int) "one csr build" 1 s0.Pool_lang.Eval.adjacency_rebuilds;
+      (* touch the engine on every other database *)
+      List.iter
+        (fun db ->
+          let x = Database.create db "N" [ ("name", str "x") ] in
+          let y = Database.create db "N" [ ("name", str "y") ] in
+          ignore (Database.link db "E" ~origin:x ~destination:y);
+          ignore (Traverse.descendants db ~csr:true ~rel:"E" x);
+          ignore (P.query db q))
+        (List.tl dbs);
+      let s1 = P.stats first in
+      Alcotest.(check int) "rebuild count survives 9 other databases"
+        s0.Pool_lang.Eval.adjacency_rebuilds s1.Pool_lang.Eval.adjacency_rebuilds;
+      Alcotest.(check int) "plan-cache hits not reset" s0.Pool_lang.Eval.plan_cache_hits
+        s1.Pool_lang.Eval.plan_cache_hits;
+      ignore (P.query first q);
+      let s2 = P.stats first in
+      Alcotest.(check bool) "still hitting the same cache" true
+        (s2.Pool_lang.Eval.plan_cache_hits > s1.Pool_lang.Eval.plan_cache_hits))
 
 (* --- CSR snapshots: equivalence and invalidation ----------------------- *)
 
@@ -328,6 +443,7 @@ let query_gen =
         map2 (fun a b -> Printf.sprintf "p.age between %s and %s" a b) age_lit age_lit;
         map (fun v -> Printf.sprintf "p.name = %s" v) name_lit;
         map (fun v -> Printf.sprintf "p.name like %s" v) name_lit;
+        map (fun v -> Printf.sprintf "%s like p.name" v) name_lit;
         return "p.age = q.age";
         return "p.name != q.name";
         return "q.age < p.age";
@@ -379,13 +495,21 @@ let () =
           Alcotest.test_case "between" `Quick test_between;
           Alcotest.test_case "like prefix" `Quick test_prefix_pushdown;
           Alcotest.test_case "index_range unit" `Quick test_index_range_unit;
+          Alcotest.test_case "reversed like" `Quick test_reversed_like;
+          Alcotest.test_case "prefix null error semantics" `Quick
+            test_prefix_null_error_semantics;
         ] );
       ( "joins",
         [
           Alcotest.test_case "hash join" `Quick test_hash_join;
           Alcotest.test_case "mixed numerics" `Quick test_hash_join_mixed_numerics;
         ] );
-      ("plan cache", [ Alcotest.test_case "hits and epochs" `Quick test_plan_cache ]);
+      ( "plan cache",
+        [
+          Alcotest.test_case "hits and epochs" `Quick test_plan_cache;
+          Alcotest.test_case "schema epoch" `Quick test_plan_cache_schema_epoch;
+          Alcotest.test_case "state survives many dbs" `Quick test_state_survives_many_dbs;
+        ] );
       ( "csr",
         [
           Alcotest.test_case "invalidation" `Quick test_csr_invalidation;
