@@ -6,6 +6,8 @@
      pdb schema FILE            print classes and relationship classes
      pdb contexts FILE          list classifications
      pdb stats FILE             storage statistics
+     pdb metrics FILE           Prometheus text exposition of all metrics
+     pdb trace FILE QUERY       run a query with span tracing, print the tree
      pdb serve FILE [-p PORT]   HTTP interface (thesis 6.1.7)
      pdb demo FILE              populate FILE with a demo flora
 *)
@@ -80,6 +82,28 @@ let stats_cmd =
   in
   Cmd.v (Cmd.info "stats" ~doc:"Print storage statistics.") Term.(const run $ db_arg)
 
+let metrics_cmd =
+  let run file = with_db file (fun db -> print_string (Pserver.Http_server.metrics_text db)) in
+  Cmd.v
+    (Cmd.info "metrics" ~doc:"Print all metrics in Prometheus text exposition format.")
+    Term.(const run $ db_arg)
+
+let trace_cmd =
+  let q = Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc:"POOL query.") in
+  let run file query =
+    with_db file (fun db ->
+        Pobs.Trace.enabled := true;
+        Pobs.Trace.set_capacity 4096;
+        let v = Pool_lang.Pool.query db query in
+        Pobs.Trace.enabled := false;
+        let rows = match v with Value.VList l | Value.VSet l | Value.VBag l -> l | v -> [ v ] in
+        Printf.printf "(%d rows)\n\n" (List.length rows);
+        print_string (Pobs.Trace.to_text ()))
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run a POOL query with span tracing and print the span tree.")
+    Term.(const run $ db_arg $ q)
+
 (* --- server --------------------------------------------------------------- *)
 
 let serve_cmd =
@@ -132,4 +156,4 @@ let demo_cmd =
 
 let () =
   let info = Cmd.info "pdb" ~version:"1.0" ~doc:"Prometheus taxonomic database tool" in
-  exit (Cmd.eval (Cmd.group info [ query_cmd; check_cmd; schema_cmd; contexts_cmd; stats_cmd; serve_cmd; demo_cmd; load_schema_cmd; dump_schema_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ query_cmd; check_cmd; schema_cmd; contexts_cmd; stats_cmd; metrics_cmd; trace_cmd; serve_cmd; demo_cmd; load_schema_cmd; dump_schema_cmd ]))

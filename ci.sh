@@ -1,37 +1,74 @@
 #!/bin/sh
 # CI gate: build, full test suite (includes the smoke crash sweep),
-# bench smoke (micro + storage hot paths + query engine, which emit
-# BENCH_PR2.json and BENCH_PR3.json), then the long fixed-seed
+# bench smoke (micro + storage hot paths + query engine + observability
+# overhead, which emit BENCH_PR2.json, BENCH_PR3.json and
+# BENCH_PR4.json into a temp dir — the committed trajectory records in
+# the repo tree are never touched), then the long fixed-seed
 # crash-torture sweep.  Equivalent to `dune build @ci` plus the bench
 # smoke.  Pass `smoke` to skip the long sweep.
 set -e
 cd "$(dirname "$0")"
+
+fail() {
+  echo "ci: $*" >&2
+  exit 1
+}
+
+# check_bench_json FILE KEY... — the trajectory record must exist, be
+# a JSON object, contain every KEY, and must not record a failed
+# acceptance gate ("pass": false anywhere in the file).
+check_bench_json() {
+  file="$1"
+  shift
+  [ -s "$file" ] || fail "$(basename "$file") missing or empty"
+  head -c 1 "$file" | grep -q '{' || fail "$(basename "$file") is not a JSON object"
+  tail -c 2 "$file" | grep -q '}' || fail "$(basename "$file") is not a JSON object"
+  for key in "$@"; do
+    grep -q "\"$key\"" "$file" || fail "$(basename "$file") missing key $key"
+  done
+  if grep -Eq '"pass"[[:space:]]*:[[:space:]]*false' "$file"; then
+    fail "$(basename "$file") records a failed acceptance gate"
+  fi
+}
+
 dune build
 dune runtest
 
-# bench smoke: the harness must run end to end, and the storage section
-# must emit a well-formed BENCH_PR2.json trajectory record
-dune exec bench/main.exe -- micro >/dev/null
-rm -f BENCH_PR2.json
-dune exec bench/main.exe -- storage >/dev/null
-[ -s BENCH_PR2.json ] || { echo "ci: BENCH_PR2.json missing or empty" >&2; exit 1; }
-head -c 1 BENCH_PR2.json | grep -q '{' || { echo "ci: BENCH_PR2.json is not a JSON object" >&2; exit 1; }
-tail -c 2 BENCH_PR2.json | grep -q '}' || { echo "ci: BENCH_PR2.json is not a JSON object" >&2; exit 1; }
-for key in commit_tx_per_s churn_pages_per_s journal_mib_per_s best_commit_speedup environments acceptance; do
-  grep -q "\"$key\"" BENCH_PR2.json || { echo "ci: BENCH_PR2.json missing key $key" >&2; exit 1; }
-done
+# bench smoke: each section must run end to end and emit a well-formed
+# trajectory record with its acceptance gate passing
+BENCH_OUT="$(mktemp -d)"
+trap 'rm -rf "$BENCH_OUT"' EXIT INT TERM
 
-# the query section must emit a well-formed BENCH_PR3.json trajectory
-# record comparing the compiled-plan engine against the legacy
-# interpreter
-rm -f BENCH_PR3.json
-dune exec bench/main.exe -- query >/dev/null
-[ -s BENCH_PR3.json ] || { echo "ci: BENCH_PR3.json missing or empty" >&2; exit 1; }
-head -c 1 BENCH_PR3.json | grep -q '{' || { echo "ci: BENCH_PR3.json is not a JSON object" >&2; exit 1; }
-tail -c 2 BENCH_PR3.json | grep -q '}' || { echo "ci: BENCH_PR3.json is not a JSON object" >&2; exit 1; }
-for key in deep_descent pool_descent join_heavy range_predicate like_prefix workloads workloads_at_2x acceptance; do
-  grep -q "\"$key\"" BENCH_PR3.json || { echo "ci: BENCH_PR3.json missing key $key" >&2; exit 1; }
-done
+# snapshot the committed trajectory records so we can prove the bench
+# smoke never clobbers them (it must write only into $BENCH_OUT)
+records_digest() {
+  cat BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json 2>/dev/null | cksum
+}
+digest_before="$(records_digest)"
+
+dune exec bench/main.exe -- micro >/dev/null
+
+# storage hot paths (PR2): legacy vs optimized pager
+dune exec bench/main.exe -- storage --out "$BENCH_OUT" >/dev/null
+check_bench_json "$BENCH_OUT/BENCH_PR2.json" \
+  commit_tx_per_s churn_pages_per_s journal_mib_per_s best_commit_speedup \
+  environments acceptance
+
+# query engine (PR3): compiled plans vs the legacy interpreter
+dune exec bench/main.exe -- query --out "$BENCH_OUT" >/dev/null
+check_bench_json "$BENCH_OUT/BENCH_PR3.json" \
+  deep_descent pool_descent join_heavy range_predicate like_prefix \
+  workloads workloads_at_2x acceptance
+
+# observability overhead (PR4): metrics on vs off on the gated workloads
+dune exec bench/main.exe -- obs --out "$BENCH_OUT" >/dev/null
+check_bench_json "$BENCH_OUT/BENCH_PR4.json" \
+  pr2_commit_tx pr3_deep_descent pr3_join_heavy pr3_range_predicate \
+  workloads max_overhead_pct acceptance
+
+# the bench smoke must leave the committed trajectory records untouched
+[ "$(records_digest)" = "$digest_before" ] \
+  || fail "bench smoke clobbered committed trajectory records"
 
 if [ "${1:-full}" != "smoke" ]; then
   CRASH_TORTURE=long dune exec test/test_crash.exe -- -e

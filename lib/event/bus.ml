@@ -42,7 +42,15 @@ let unsubscribe t id =
 
 let subscriber_count t = List.length t.subs
 
+let m_emitted =
+  Pobs.Metrics.counter "pdb_events_emitted_total" ~help:"Primitive events emitted on the bus"
+
+let m_deliveries =
+  Pobs.Metrics.counter "pdb_event_deliveries_total"
+    ~help:"Handler invocations (matched subscriptions)"
+
 let emit t (ev : Event.primitive) : unit =
+  Pobs.Metrics.inc m_emitted;
   (* Transaction boundaries reset composite trackers. *)
   (match ev with
   | Event.Tx_commit | Event.Tx_abort | Event.Tx_begin ->
@@ -56,5 +64,8 @@ let emit t (ev : Event.primitive) : unit =
       let snapshot = List.rev t.subs in
       List.iter
         (fun s ->
-          if s.active && Event.Tracker.feed s.tracker t.is_subclass ev then s.handler ev)
+          if s.active && Event.Tracker.feed s.tracker t.is_subclass ev then begin
+            Pobs.Metrics.inc m_deliveries;
+            s.handler ev
+          end)
         snapshot)

@@ -146,14 +146,20 @@ let handle db : t =
       Database.ext_set db ext_key (Csr_manager m);
       m
 
+let m_rebuilds =
+  Pobs.Metrics.counter "pdb_csr_rebuilds_total" ~help:"CSR adjacency snapshots built"
+
+let m_build_ns = Pobs.Metrics.histogram "pdb_csr_build_ns" ~help:"CSR snapshot build time"
+
 (** The snapshot for [(context, rel)], building it on first use. *)
 let get (t : t) ?context ~rel () : snapshot =
   let key = (rel, context) in
   match Hashtbl.find_opt t.snaps key with
   | Some s -> s
   | None ->
-      let s = build t.db ?context ~rel () in
+      let s = Pobs.Metrics.time m_build_ns (fun () -> build t.db ?context ~rel ()) in
       t.rebuilds <- t.rebuilds + 1;
+      Pobs.Metrics.inc m_rebuilds;
       Hashtbl.replace t.snaps key s;
       s
 

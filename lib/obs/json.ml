@@ -1,0 +1,94 @@
+(** Minimal JSON values and the one shared string escaper.
+
+    Every textual surface the observability layer (and the HTTP
+    server) emits goes through this module instead of ad-hoc string
+    concatenation, so an attribute value containing quotes, newlines
+    or backslashes can never produce malformed output:
+
+    - [`Json] escaping is full RFC 8259 string escaping, used by the
+      server's [/stats] document, the slow-query log and span dumps;
+    - [`Prom_label] escaping is the Prometheus text-exposition label
+      escape set (backslash, double quote, line feed), used by
+      {!Metrics.expose}.
+
+    Serialisation note: JSON has no NaN/Infinity, so non-finite floats
+    render as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Append [s] to [b] with the given escaping style (no surrounding
+    quotes — the caller owns the delimiters). *)
+let escape_to (b : Buffer.t) (style : [ `Json | `Prom_label ]) (s : string) : unit =
+  String.iter
+    (fun c ->
+      match (c, style) with
+      | '\\', _ -> Buffer.add_string b "\\\\"
+      | '"', _ -> Buffer.add_string b "\\\""
+      | '\n', _ -> Buffer.add_string b "\\n"
+      (* Prometheus defines only the three escapes above; everything
+         else passes through verbatim. *)
+      | c, `Prom_label -> Buffer.add_char b c
+      | '\t', `Json -> Buffer.add_string b "\\t"
+      | '\r', `Json -> Buffer.add_string b "\\r"
+      | '\b', `Json -> Buffer.add_string b "\\b"
+      | '\012', `Json -> Buffer.add_string b "\\f"
+      | c, `Json when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c, `Json -> Buffer.add_char b c)
+    s
+
+let escape (style : [ `Json | `Prom_label ]) (s : string) : string =
+  let b = Buffer.create (String.length s + 8) in
+  escape_to b style s;
+  Buffer.contents b
+
+(* Compact float syntax that always parses back as JSON: integers
+   without the exponent noise, non-finite as null (handled by the
+   caller), everything else shortest-round-trip-ish. *)
+let float_repr (f : float) : string =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let rec to_buffer (b : Buffer.t) (v : t) : unit =
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (if x then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string b (float_repr f)
+      else Buffer.add_string b "null"
+  | Str s ->
+      Buffer.add_char b '"';
+      escape_to b `Json s;
+      Buffer.add_char b '"'
+  | List l ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          to_buffer b x)
+        l;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          escape_to b `Json k;
+          Buffer.add_string b "\":";
+          to_buffer b x)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string (v : t) : string =
+  let b = Buffer.create 256 in
+  to_buffer b v;
+  Buffer.contents b

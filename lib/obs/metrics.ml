@@ -1,0 +1,305 @@
+(** Zero-dependency metrics registry: monotonic counters, gauges and
+    fixed-bucket latency histograms, with Prometheus text exposition
+    and a JSON mirror (tentpole of PR 4, see DESIGN.md
+    "Observability").
+
+    Design constraints, in order:
+
+    - {b Near-zero cost when off.}  Every mutation is guarded by the
+      process-wide {!enabled} flag: one ref read and a branch.  Timing
+      helpers skip the clock reads entirely when disabled.
+    - {b Cheap when on.}  A counter increment is a float add on a
+      dedicated record; a histogram observation is a short linear scan
+      over ~13 bucket bounds plus three stores.  No allocation on any
+      hot path.
+    - {b Idempotent registration.}  Handles are registered at module
+      initialisation time all over the codebase; registering the same
+      (name, labels) twice returns the first handle, so tests and
+      layers can re-acquire handles by name.
+
+    The registry is process-wide by design ({!default}): it aggregates
+    across every open database, matching what a scrape of the process
+    should see.  Per-database figures stay in [Pager.stats] /
+    [Pool.stats].  Fresh registries ({!create}) exist for tests. *)
+
+type counter = { mutable c_value : float }
+type gauge = { mutable g_value : float }
+
+type histogram = {
+  h_bounds : float array; (* ascending upper bucket bounds; +Inf is implicit *)
+  h_counts : int array; (* one per bound plus the +Inf overflow, non-cumulative *)
+  mutable h_sum : float;
+  mutable h_total : int;
+}
+
+type sample = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type metric = {
+  m_name : string;
+  m_help : string;
+  m_labels : (string * string) list; (* sorted by label name *)
+  m_sample : sample;
+}
+
+type t = {
+  mutable order : string list; (* family names, newest first *)
+  families : (string, metric list ref) Hashtbl.t; (* name -> members, newest first *)
+  index : (string * (string * string) list, metric) Hashtbl.t;
+}
+
+let create () : t =
+  { order = []; families = Hashtbl.create 64; index = Hashtbl.create 64 }
+
+(** The process-wide registry every layer registers into. *)
+let default : t = create ()
+
+(** Master switch.  [false] turns every counter increment, gauge set
+    and histogram observation into a guarded no-op — the
+    metrics-off side of the overhead ablation ([bench/main.exe obs]). *)
+let enabled = ref true
+
+(** Default latency buckets, in nanoseconds: exponential ×4 from
+    250 ns to 4 s — wide enough for a cache-hit page read and a
+    spinning-disk fsync in the same histogram. *)
+let default_ns_buckets =
+  [|
+    250.; 1_000.; 4_000.; 16_000.; 64_000.; 250_000.; 1_000_000.; 4_000_000.;
+    16_000_000.; 64_000_000.; 250_000_000.; 1_000_000_000.; 4_000_000_000.;
+  |]
+
+let valid_name s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       s
+
+let register (reg : t) ~name ~help ~labels (make : unit -> sample) : metric =
+  if not (valid_name name) then invalid_arg ("Metrics: invalid metric name " ^ name);
+  List.iter
+    (fun (k, _) ->
+      if not (valid_name k) || String.contains k ':' then
+        invalid_arg ("Metrics: invalid label name " ^ k))
+    labels;
+  let labels = List.sort compare labels in
+  match Hashtbl.find_opt reg.index (name, labels) with
+  | Some m -> m
+  | None ->
+      let m = { m_name = name; m_help = help; m_labels = labels; m_sample = make () } in
+      (match Hashtbl.find_opt reg.families name with
+      | Some members ->
+          (* one family, one kind: a name cannot mix counter and gauge *)
+          (match ((List.hd !members).m_sample, m.m_sample) with
+          | Counter _, Counter _ | Gauge _, Gauge _ | Histogram _, Histogram _ -> ()
+          | _ -> invalid_arg ("Metrics: kind mismatch for family " ^ name));
+          members := m :: !members
+      | None ->
+          Hashtbl.replace reg.families name (ref [ m ]);
+          reg.order <- name :: reg.order);
+      Hashtbl.replace reg.index (name, labels) m;
+      m
+
+let counter ?(registry = default) ?(labels = []) ~help name : counter =
+  match (register registry ~name ~help ~labels (fun () -> Counter { c_value = 0. })).m_sample with
+  | Counter c -> c
+  | _ -> invalid_arg ("Metrics: " ^ name ^ " is not a counter")
+
+let gauge ?(registry = default) ?(labels = []) ~help name : gauge =
+  match (register registry ~name ~help ~labels (fun () -> Gauge { g_value = 0. })).m_sample with
+  | Gauge g -> g
+  | _ -> invalid_arg ("Metrics: " ^ name ^ " is not a gauge")
+
+let histogram ?(registry = default) ?(labels = []) ?(buckets = default_ns_buckets) ~help name
+    : histogram =
+  let make () =
+    let n = Array.length buckets in
+    for i = 1 to n - 1 do
+      if buckets.(i) <= buckets.(i - 1) then
+        invalid_arg ("Metrics: bucket bounds must ascend in " ^ name)
+    done;
+    Histogram
+      { h_bounds = Array.copy buckets; h_counts = Array.make (n + 1) 0; h_sum = 0.; h_total = 0 }
+  in
+  match (register registry ~name ~help ~labels make).m_sample with
+  | Histogram h -> h
+  | _ -> invalid_arg ("Metrics: " ^ name ^ " is not a histogram")
+
+(* --- mutation (all guarded by [enabled]) ------------------------------- *)
+
+let add (c : counter) (x : float) : unit =
+  if !enabled then begin
+    if x < 0. then invalid_arg "Metrics.add: counters are monotonic";
+    c.c_value <- c.c_value +. x
+  end
+
+let inc (c : counter) : unit = if !enabled then c.c_value <- c.c_value +. 1.
+let addi (c : counter) (n : int) : unit = add c (float_of_int n)
+let set (g : gauge) (v : float) : unit = if !enabled then g.g_value <- v
+let seti (g : gauge) (n : int) : unit = set g (float_of_int n)
+
+let observe (h : histogram) (x : float) : unit =
+  if !enabled then begin
+    let n = Array.length h.h_bounds in
+    let i = ref 0 in
+    while !i < n && x > h.h_bounds.(!i) do
+      incr i
+    done;
+    h.h_counts.(!i) <- h.h_counts.(!i) + 1;
+    h.h_sum <- h.h_sum +. x;
+    h.h_total <- h.h_total + 1
+  end
+
+let observe_ns (h : histogram) (ns : int) : unit = observe h (float_of_int ns)
+
+(** Run [f], observing its wall-clock duration in nanoseconds.  When
+    metrics are disabled this is a single branch — no clock reads. *)
+let time (h : histogram) (f : unit -> 'a) : 'a =
+  if not !enabled then f ()
+  else begin
+    let t0 = Monotonic.now_ns () in
+    Fun.protect ~finally:(fun () -> observe_ns h (Monotonic.now_ns () - t0)) f
+  end
+
+(* --- readers (tests, CLI) ---------------------------------------------- *)
+
+let counter_value (c : counter) : float = c.c_value
+let gauge_value (g : gauge) : float = g.g_value
+let hist_total (h : histogram) : int = h.h_total
+let hist_sum (h : histogram) : float = h.h_sum
+let hist_counts (h : histogram) : int array = Array.copy h.h_counts
+let hist_bounds (h : histogram) : float array = Array.copy h.h_bounds
+
+(* --- exposition --------------------------------------------------------- *)
+
+let families_in_order (reg : t) : (string * metric list) list =
+  List.rev_map
+    (fun name -> (name, List.rev !(Hashtbl.find reg.families name)))
+    reg.order
+
+let value_repr (v : float) : string =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else Json.float_repr v
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+(* `{a="x",b="y"}` (or "" when empty), with [extra] appended last. *)
+let labels_repr ?extra (labels : (string * string) list) : string =
+  let all = labels @ (match extra with None -> [] | Some kv -> [ kv ]) in
+  if all = [] then ""
+  else begin
+    let b = Buffer.create 64 in
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b k;
+        Buffer.add_string b "=\"";
+        Json.escape_to b `Prom_label v;
+        Buffer.add_char b '"')
+      all;
+    Buffer.add_char b '}';
+    Buffer.contents b
+  end
+
+(* HELP text escaping: the exposition format escapes backslash and
+   line feed in help lines (no quotes involved). *)
+let help_repr (s : string) : string =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(** Render the registry in the Prometheus text exposition format
+    (version 0.0.4): one [# HELP] / [# TYPE] header per family, then
+    one sample line per counter/gauge, and for histograms the
+    cumulative [_bucket{le=...}] series plus [_sum] and [_count]. *)
+let expose ?(registry = default) () : string =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (name, members) ->
+      let head = List.hd members in
+      if head.m_help <> "" then
+        Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name (help_repr head.m_help));
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name (kind_name head.m_sample));
+      List.iter
+        (fun m ->
+          match m.m_sample with
+          | Counter c ->
+              Buffer.add_string b
+                (Printf.sprintf "%s%s %s\n" name (labels_repr m.m_labels) (value_repr c.c_value))
+          | Gauge g ->
+              Buffer.add_string b
+                (Printf.sprintf "%s%s %s\n" name (labels_repr m.m_labels) (value_repr g.g_value))
+          | Histogram h ->
+              let cum = ref 0 in
+              Array.iteri
+                (fun i cnt ->
+                  cum := !cum + cnt;
+                  let le =
+                    if i < Array.length h.h_bounds then value_repr h.h_bounds.(i) else "+Inf"
+                  in
+                  Buffer.add_string b
+                    (Printf.sprintf "%s_bucket%s %d\n" name
+                       (labels_repr ~extra:("le", le) m.m_labels)
+                       !cum))
+                h.h_counts;
+              Buffer.add_string b
+                (Printf.sprintf "%s_sum%s %s\n" name (labels_repr m.m_labels)
+                   (value_repr h.h_sum));
+              Buffer.add_string b
+                (Printf.sprintf "%s_count%s %d\n" name (labels_repr m.m_labels) h.h_total))
+        members)
+    (families_in_order registry);
+  Buffer.contents b
+
+(** The same registry contents as a JSON value — the machine-readable
+    half of the server's [/stats] document. *)
+let expose_json ?(registry = default) () : Json.t =
+  let sample_json (m : metric) : Json.t =
+    let labels = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) m.m_labels) in
+    match m.m_sample with
+    | Counter c -> Json.Obj [ ("labels", labels); ("value", Json.Float c.c_value) ]
+    | Gauge g -> Json.Obj [ ("labels", labels); ("value", Json.Float g.g_value) ]
+    | Histogram h ->
+        let cum = ref 0 in
+        let buckets =
+          Array.to_list
+            (Array.mapi
+               (fun i cnt ->
+                 cum := !cum + cnt;
+                 let le =
+                   if i < Array.length h.h_bounds then value_repr h.h_bounds.(i) else "+Inf"
+                 in
+                 (le, Json.Int !cum))
+               h.h_counts)
+        in
+        Json.Obj
+          [
+            ("labels", labels);
+            ("buckets", Json.Obj buckets);
+            ("sum", Json.Float h.h_sum);
+            ("count", Json.Int h.h_total);
+          ]
+  in
+  Json.Obj
+    (List.map
+       (fun (name, members) ->
+         let head = List.hd members in
+         ( name,
+           Json.Obj
+             [
+               ("type", Json.Str (kind_name head.m_sample));
+               ("help", Json.Str head.m_help);
+               ("values", Json.List (List.map sample_json members));
+             ] ))
+       (families_in_order registry))

@@ -1,0 +1,26 @@
+(** A cheap, never-going-backwards nanosecond clock.
+
+    The stdlib offers no monotonic clock without C stubs, so this is
+    [Unix.gettimeofday] (a vDSO call, ~25 ns) converted to integer
+    nanoseconds and clamped to be non-decreasing: a wall-clock step
+    backwards (NTP slew, manual reset) freezes the reading instead of
+    producing negative durations.  Resolution is therefore the
+    microsecond [gettimeofday] provides — coarse against a real
+    [CLOCK_MONOTONIC], but plenty for the syscall- and query-level
+    latencies the observability layer measures (see DESIGN.md
+    "Observability").
+
+    The conversion goes through integer microseconds so the result is
+    exact: multiplying seconds-as-float directly by 1e9 would exceed
+    the 53-bit mantissa and quantise readings by ~256 ns. *)
+
+let last = ref 0
+
+(** Current time in integer nanoseconds, non-decreasing within the
+    process.  Only differences are meaningful; the epoch is the Unix
+    epoch today but callers must not rely on that. *)
+let now_ns () : int =
+  let us = int_of_float (Unix.gettimeofday () *. 1e6) in
+  let t = us * 1000 in
+  if t > !last then last := t;
+  !last

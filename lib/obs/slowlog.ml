@@ -1,0 +1,45 @@
+(** Slow-query log: a small ring of the most recent queries whose
+    execution crossed {!threshold_ns} (default 10 ms).  Feeds the
+    [slow_queries] array in the server's [/stats] document and the
+    [pdb_slow_queries_total] counter. *)
+
+type entry = { query : string; kind : string; dur_ns : int; at_ns : int }
+
+let threshold_ns = ref 10_000_000
+let cap = 64
+let ring : entry option array = Array.make cap None
+let write_pos = ref 0
+
+let total =
+  Metrics.counter "pdb_slow_queries_total"
+    ~help:"Queries slower than the slow-query threshold"
+
+let clear () =
+  Array.fill ring 0 cap None;
+  write_pos := 0
+
+(** Record [query] if it was slow enough; cheap no-op otherwise. *)
+let note ~(kind : string) ~(dur_ns : int) (query : string) : unit =
+  if !Metrics.enabled && dur_ns >= !threshold_ns then begin
+    Metrics.inc total;
+    ring.(!write_pos mod cap) <- Some { query; kind; dur_ns; at_ns = Monotonic.now_ns () };
+    incr write_pos
+  end
+
+(** Logged entries, oldest first. *)
+let entries () : entry list =
+  let n = min cap !write_pos in
+  let first = !write_pos - n in
+  List.filter_map (fun i -> ring.((first + i) mod cap)) (List.init n (fun i -> i))
+
+let to_json () : Json.t =
+  Json.List
+    (List.map
+       (fun e ->
+         Json.Obj
+           [
+             ("query", Json.Str e.query);
+             ("kind", Json.Str e.kind);
+             ("dur_ns", Json.Int e.dur_ns);
+           ])
+       (entries ()))

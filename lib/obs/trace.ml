@@ -1,0 +1,165 @@
+(** Span-based tracer: a bounded ring buffer of finished spans.
+
+    Disabled by default; when {!enabled} is off, {!with_span} is a
+    single ref read and a tail call of the wrapped function — no
+    allocation, no clock reads.  When on, each completed region is
+    recorded as [{id; name; start_ns; dur_ns; parent; attrs}] in a
+    fixed-capacity ring.  Span ids are unique and strictly increasing
+    for the life of the process, so a parent link stays meaningful
+    even after the parent span itself has been overwritten by ring
+    wraparound: [parent = 0] means root, and a missing parent id just
+    renders at depth zero in {!to_text}.
+
+    Spans are recorded at {e completion} (children before parents),
+    which is why rendering sorts by id — ids are allocated at span
+    {e start}, restoring the natural outer-before-inner order. *)
+
+type span = {
+  id : int; (* unique, > 0, allocated at span start *)
+  name : string;
+  start_ns : int;
+  dur_ns : int;
+  parent : int; (* 0 = root *)
+  attrs : (string * string) list;
+}
+
+(** Tracing switch, independent of [Metrics.enabled]. *)
+let enabled = ref false
+
+let dummy = { id = 0; name = ""; start_ns = 0; dur_ns = 0; parent = 0; attrs = [] }
+
+let capacity = ref 512
+let ring : span array ref = ref (Array.make !capacity dummy)
+let write_pos = ref 0 (* total spans ever recorded *)
+let next_id = ref 0
+
+(* Spans started but not yet finished, innermost first. *)
+type open_span = { o_id : int; o_name : string; o_start : int; mutable o_attrs : (string * string) list }
+
+let open_stack : open_span list ref = ref []
+
+(** Resize the ring and drop all recorded spans (open spans survive). *)
+let set_capacity (n : int) : unit =
+  if n < 1 then invalid_arg "Trace.set_capacity";
+  capacity := n;
+  ring := Array.make n dummy;
+  write_pos := 0
+
+let clear () : unit =
+  ring := Array.make !capacity dummy;
+  write_pos := 0;
+  open_stack := []
+
+let record (s : span) : unit =
+  !ring.(!write_pos mod !capacity) <- s;
+  incr write_pos
+
+(** Attach an attribute to the innermost open span (no-op when
+    tracing is off or no span is open). *)
+let add_attr (k : string) (v : string) : unit =
+  if !enabled then
+    match !open_stack with
+    | [] -> ()
+    | o :: _ -> o.o_attrs <- (k, v) :: o.o_attrs
+
+(** Run [f] inside a span named [name].  The span is recorded even if
+    [f] raises (the exception is re-raised). *)
+let with_span ?(attrs = []) (name : string) (f : unit -> 'a) : 'a =
+  if not !enabled then f ()
+  else begin
+    incr next_id;
+    let id = !next_id in
+    let parent = match !open_stack with [] -> 0 | o :: _ -> o.o_id in
+    let o = { o_id = id; o_name = name; o_start = Monotonic.now_ns (); o_attrs = List.rev attrs } in
+    open_stack := o :: !open_stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (match !open_stack with
+        | top :: rest when top.o_id = id -> open_stack := rest
+        | stack -> open_stack := List.filter (fun x -> x.o_id <> id) stack);
+        record
+          {
+            id;
+            name = o.o_name;
+            start_ns = o.o_start;
+            dur_ns = Monotonic.now_ns () - o.o_start;
+            parent;
+            attrs = List.rev o.o_attrs;
+          })
+      f
+  end
+
+(** Recorded spans, oldest first. *)
+let spans () : span list =
+  let cap = !capacity and total = !write_pos in
+  let n = min cap total in
+  let first = total - n in
+  List.init n (fun i -> !ring.((first + i) mod cap))
+
+(** How many spans have been evicted by ring wraparound. *)
+let dropped () : int = max 0 (!write_pos - !capacity)
+
+(** Total spans ever recorded (including dropped ones). *)
+let recorded () : int = !write_pos
+
+(* --- text rendering (pdb trace) ---------------------------------------- *)
+
+let span_attrs_repr (attrs : (string * string) list) : string =
+  if attrs = [] then ""
+  else begin
+    let b = Buffer.create 64 in
+    Buffer.add_string b "  {";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ", ";
+        Buffer.add_string b k;
+        Buffer.add_string b "=\"";
+        Json.escape_to b `Json v;
+        Buffer.add_char b '"')
+      attrs;
+    Buffer.add_char b '}';
+    Buffer.contents b
+  end
+
+let dur_repr (ns : int) : string =
+  if ns >= 1_000_000_000 then Printf.sprintf "%.3fs" (float_of_int ns /. 1e9)
+  else if ns >= 1_000_000 then Printf.sprintf "%.3fms" (float_of_int ns /. 1e6)
+  else if ns >= 1_000 then Printf.sprintf "%.1fus" (float_of_int ns /. 1e3)
+  else Printf.sprintf "%dns" ns
+
+(** Render the buffer as an indented tree.  Sorting by id restores
+    start order; depth is computed from parents still present in the
+    buffer (evicted parents render their children at the root). *)
+let to_text () : string =
+  let all = List.sort (fun a b -> compare a.id b.id) (spans ()) in
+  let depth = Hashtbl.create 64 in
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun s ->
+      let d =
+        match Hashtbl.find_opt depth s.parent with
+        | Some pd -> pd + 1
+        | None -> 0
+      in
+      Hashtbl.replace depth s.id d;
+      Buffer.add_string b
+        (Printf.sprintf "%s%s  %s%s\n" (String.make (2 * d) ' ') s.name (dur_repr s.dur_ns)
+           (span_attrs_repr s.attrs)))
+    all;
+  (match dropped () with
+  | 0 -> ()
+  | n -> Buffer.add_string b (Printf.sprintf "(%d earlier spans dropped by ring wraparound)\n" n));
+  Buffer.contents b
+
+let span_json (s : span) : Json.t =
+  Json.Obj
+    [
+      ("id", Json.Int s.id);
+      ("name", Json.Str s.name);
+      ("start_ns", Json.Int s.start_ns);
+      ("dur_ns", Json.Int s.dur_ns);
+      ("parent", Json.Int s.parent);
+      ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.attrs));
+    ]
+
+let to_json () : Json.t = Json.List (List.map span_json (spans ()))

@@ -22,6 +22,25 @@ exception Eval_error of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
 
+(* Process-wide mirrors of the per-database [totals], for /metrics
+   (DESIGN.md "Observability"). *)
+let m_index_probes =
+  Pobs.Metrics.counter "pdb_query_index_probes_total" ~help:"Index equality probes"
+
+let m_range_scans =
+  Pobs.Metrics.counter "pdb_query_range_scans_total" ~help:"Ordered index range/prefix scans"
+
+let m_hash_joins = Pobs.Metrics.counter "pdb_query_hash_joins_total" ~help:"Hash joins built"
+
+let m_extent_scans =
+  Pobs.Metrics.counter "pdb_query_extent_scans_total" ~help:"Full extent scans"
+
+let m_cache_hits =
+  Pobs.Metrics.counter "pdb_plan_cache_hits_total" ~help:"Compiled-plan cache hits"
+
+let m_cache_misses =
+  Pobs.Metrics.counter "pdb_plan_cache_misses_total" ~help:"Compiled-plan cache misses"
+
 (** Execution configuration, mirroring the [Pager.config] ablation
     pattern of the storage layer. *)
 type config = {
@@ -266,6 +285,7 @@ let rec eval (st : state) (env : env) (e : Ast.expr) : Value.t =
           let schema = Database.schema st.db in
           if Meta.is_class schema x || Meta.is_rel schema x then begin
             st.extent_scans <- st.extent_scans + 1;
+            Pobs.Metrics.inc m_extent_scans;
             refs_of_oidset (Database.extent st.db x)
           end
           else fail "unbound variable or unknown class: %s" x)
@@ -539,6 +559,7 @@ and index_probe st (s : Ast.select) : OidSet.t option =
               match Database.index_lookup st.db cls attr value with
               | Some oids ->
                   st.index_probes <- st.index_probes + 1;
+                  Pobs.Metrics.inc m_index_probes;
                   Some oids
               | None -> None)
           | None -> None)
@@ -565,15 +586,19 @@ and plan_for st (env : env) (s : Ast.select) : Plan.t =
           match Hashtbl.find_opt st.cache key with
           | Some (e, p) when e = epoch ->
               st.totals.t_cache_hits <- st.totals.t_cache_hits + 1;
+              Pobs.Metrics.inc m_cache_hits;
               p
           | _ ->
               st.totals.t_cache_misses <- st.totals.t_cache_misses + 1;
+              Pobs.Metrics.inc m_cache_misses;
               if Hashtbl.length st.cache > 512 then Hashtbl.reset st.cache;
-              let p = Plan.compile st.db ~bound s in
+              let p =
+                Pobs.Trace.with_span "pool.plan" (fun () -> Plan.compile st.db ~bound s)
+              in
               Hashtbl.replace st.cache key (epoch, p);
               p
         end
-        else Plan.compile st.db ~bound s
+        else Pobs.Trace.with_span "pool.plan" (fun () -> Plan.compile st.db ~bound s)
       in
       st.plan_memo <- (s, p) :: st.plan_memo;
       p
@@ -585,13 +610,16 @@ and plan_for st (env : env) (s : Ast.select) : Plan.t =
 and oidset_of_access st (a : Plan.access) : OidSet.t =
   let bump_probe () =
     st.index_probes <- st.index_probes + 1;
-    st.totals.t_index_probes <- st.totals.t_index_probes + 1
+    st.totals.t_index_probes <- st.totals.t_index_probes + 1;
+    Pobs.Metrics.inc m_index_probes
   and bump_range () =
     st.range_scans <- st.range_scans + 1;
-    st.totals.t_range_scans <- st.totals.t_range_scans + 1
+    st.totals.t_range_scans <- st.totals.t_range_scans + 1;
+    Pobs.Metrics.inc m_range_scans
   and bump_extent () =
     st.extent_scans <- st.extent_scans + 1;
-    st.totals.t_extent_scans <- st.totals.t_extent_scans + 1
+    st.totals.t_extent_scans <- st.totals.t_extent_scans + 1;
+    Pobs.Metrics.inc m_extent_scans
   in
   let fallback cls =
     bump_extent ();
@@ -640,6 +668,7 @@ and prepare st (b : Plan.binding) : string * exec =
           Hashtbl.iter (fun _ r -> r := List.rev !r) tbl;
           st.hash_joins <- st.hash_joins + 1;
           st.totals.t_hash_joins <- st.totals.t_hash_joins + 1;
+          Pobs.Metrics.inc m_hash_joins;
           (b.Plan.var, Hash_probe (tbl, probe_expr, cands))
       | None -> (b.Plan.var, Candidates cands))
 

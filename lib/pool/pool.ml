@@ -19,12 +19,68 @@ let default_config = Eval.default_config
 
 let legacy_config = Eval.legacy_config
 
+let m_queries = Pobs.Metrics.counter "pdb_queries_total" ~help:"POOL queries run"
+
+let m_query_errors =
+  Pobs.Metrics.counter "pdb_query_errors_total" ~help:"POOL queries that raised"
+
+let m_parse_ns = Pobs.Metrics.histogram "pdb_query_parse_ns" ~help:"POOL parse time"
+
+(* One histogram per dominant access path, registered up front so all
+   kinds appear in /metrics from the first scrape. *)
+let exec_kinds = [ "hash_join"; "index_probe"; "range_scan"; "extent_scan"; "expr" ]
+
+let m_exec_ns =
+  List.map
+    (fun k ->
+      ( k,
+        Pobs.Metrics.histogram "pdb_query_exec_ns" ~labels:[ ("kind", k) ]
+          ~help:"POOL execution time by dominant access path" ))
+    exec_kinds
+
+(* The dominant access path actually taken, from the per-query state
+   counters — no plan plumbing needed, and it is accurate for the
+   legacy interpreter too. *)
+let kind_of_state (st : Eval.state) : string =
+  if st.Eval.hash_joins > 0 then "hash_join"
+  else if st.Eval.index_probes > 0 then "index_probe"
+  else if st.Eval.range_scans > 0 then "range_scan"
+  else if st.Eval.extent_scans > 0 then "extent_scan"
+  else "expr"
+
 (** Run a POOL query string; returns the result value (a [VList] of
     rows for select queries). *)
 let query ?(env = []) ?config (db : Database.t) (src : string) : Value.t =
-  let ast = Parser.parse src in
-  let st = Eval.make_state ?config db in
-  Eval.eval st env ast
+  if not !Pobs.Metrics.enabled then begin
+    (* metrics off: the untimed PR3 hot path, one branch of overhead *)
+    let ast = Pobs.Trace.with_span "pool.parse" (fun () -> Parser.parse src) in
+    let st = Eval.make_state ?config db in
+    Pobs.Trace.with_span "pool.exec" (fun () -> Eval.eval st env ast)
+  end
+  else
+    Pobs.Trace.with_span "pool.query" ~attrs:[ ("query", src) ] (fun () ->
+        Pobs.Metrics.inc m_queries;
+        match
+          let ast =
+            Pobs.Trace.with_span "pool.parse" (fun () ->
+                Pobs.Metrics.time m_parse_ns (fun () -> Parser.parse src))
+          in
+          let st = Eval.make_state ?config db in
+          let t0 = Pobs.Monotonic.now_ns () in
+          let v = Pobs.Trace.with_span "pool.exec" (fun () -> Eval.eval st env ast) in
+          let dur_ns = Pobs.Monotonic.now_ns () - t0 in
+          let kind = kind_of_state st in
+          (match List.assoc_opt kind m_exec_ns with
+          | Some h -> Pobs.Metrics.observe_ns h dur_ns
+          | None -> ());
+          Pobs.Trace.add_attr "kind" kind;
+          Pobs.Slowlog.note ~kind ~dur_ns src;
+          v
+        with
+        | v -> v
+        | exception e ->
+            Pobs.Metrics.inc m_query_errors;
+            raise e)
 
 (** Run a query and return the rows of a select as a list. *)
 let rows ?env ?config db src : Value.t list =

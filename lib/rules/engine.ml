@@ -17,6 +17,22 @@ let src = Logs.Src.create "prometheus.rules" ~doc:"Prometheus rule engine"
 
 module Log = (val Logs.src_log src)
 
+let m_firings =
+  Pobs.Metrics.counter "pdb_rule_firings_total" ~help:"Rule evaluations (applicable rules)"
+
+let m_violations =
+  Pobs.Metrics.counter "pdb_rule_violations_total" ~help:"Rule conditions that failed"
+
+let m_aborts =
+  Pobs.Metrics.counter "pdb_rule_aborts_total" ~help:"Violations that aborted a transaction"
+
+let m_repairs = Pobs.Metrics.counter "pdb_rule_repairs_total" ~help:"Repair actions run"
+
+(* OCaml only links an archive member that is referenced; the server
+   calls this before exposition so the rule-engine families above are
+   always present in /metrics, rules loaded or not. *)
+let ensure_metrics () = ()
+
 type queued = { rule : Rule.t; ev : Event.primitive }
 
 type t = {
@@ -36,29 +52,35 @@ let clear_warnings t = t.warnings <- []
 let set_enabled t b = t.enabled <- b
 
 let handle_violation t (rule : Rule.t) ev =
+  Pobs.Metrics.inc m_violations;
   let message =
     Format.asprintf "%s (event: %a)" rule.Rule.message Event.pp_primitive ev
   in
+  let abort ~message =
+    Pobs.Metrics.inc m_aborts;
+    raise (Rule.violation ~rule:rule.Rule.name ~message)
+  in
   match rule.Rule.on_violation with
-  | Rule.Abort -> raise (Rule.violation ~rule:rule.Rule.name ~message)
+  | Rule.Abort -> abort ~message
   | Rule.Warn ->
       Log.warn (fun m -> m "rule %s violated: %s" rule.Rule.name message);
       t.warnings <- (rule.Rule.name, message) :: t.warnings
   | Rule.Repair f ->
       if t.cascade_depth >= t.max_cascade then
-        raise
-          (Rule.violation ~rule:rule.Rule.name
-             ~message:(message ^ " (repair cascade limit reached)"));
+        abort ~message:(message ^ " (repair cascade limit reached)");
+      Pobs.Metrics.inc m_repairs;
       t.cascade_depth <- t.cascade_depth + 1;
       Fun.protect ~finally:(fun () -> t.cascade_depth <- t.cascade_depth - 1) (fun () -> f t.db ev)
-  | Rule.Interactive ask -> if not (ask message) then raise (Rule.violation ~rule:rule.Rule.name ~message)
+  | Rule.Interactive ask -> if not (ask message) then abort ~message
 
 let applies (rule : Rule.t) db ev =
   match rule.Rule.applicability with None -> true | Some p -> p db ev
 
 let evaluate t (rule : Rule.t) ev =
-  if applies rule t.db ev then
+  if applies rule t.db ev then begin
+    Pobs.Metrics.inc m_firings;
     if not (rule.Rule.condition t.db ev) then handle_violation t rule ev
+  end
 
 let run_deferred t =
   (* drain in priority order, stable within a priority *)

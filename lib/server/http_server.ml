@@ -8,7 +8,8 @@
     - [GET /check?q=...] — static-check a POOL query;
     - [GET /schema]      — the schema, classes and relationship classes;
     - [GET /contexts]    — the classifications in the database;
-    - [GET /stats]       — storage statistics.
+    - [GET /stats]       — storage/query/observability statistics, JSON;
+    - [GET /metrics]     — Prometheus text exposition (format 0.0.4).
 
     Single-threaded by design: the object layer is not re-entrant and
     taxonomic interfaces are single-user editors (the thesis's
@@ -56,11 +57,11 @@ let split_target target =
       in
       (path, params)
 
-let respond out ~status ~body =
+let respond ?(content_type = "text/plain; charset=utf-8") out ~status ~body =
   let headers =
     Printf.sprintf
-      "HTTP/1.0 %s\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
-      status (String.length body)
+      "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      status content_type (String.length body)
   in
   output_string out headers;
   output_string out body
@@ -93,7 +94,84 @@ let usage =
    GET /check?q=<pool query>   static-check a POOL query\n\
    GET /schema                 list classes and relationship classes\n\
    GET /contexts               list classifications\n\
-   GET /stats                  storage statistics\n"
+   GET /stats                  storage/query/observability statistics (JSON)\n\
+   GET /metrics                Prometheus text exposition\n"
+
+(* --- observability surfaces ------------------------------------------- *)
+
+let m_requests =
+  Pobs.Metrics.counter "pdb_http_requests_total" ~help:"HTTP requests handled"
+
+let m_request_ns = Pobs.Metrics.histogram "pdb_http_request_ns" ~help:"HTTP request latency"
+
+let g_objects = Pobs.Metrics.gauge "pdb_store_objects" ~help:"Objects in the database"
+let g_pages = Pobs.Metrics.gauge "pdb_store_pages" ~help:"Pages in the database file"
+
+(* Gauges are snapshots of store state, refreshed at scrape time. *)
+let refresh_gauges db =
+  let s = Pstore.Store.stats (Database.store db) in
+  Pobs.Metrics.seti g_objects s.Pstore.Store.objects;
+  Pobs.Metrics.seti g_pages s.Pstore.Store.pages
+
+(** The /metrics body: the whole process-wide registry in Prometheus
+    text exposition format.  [ensure_metrics] forces the rule-engine
+    module to link so its families are present even before any rule is
+    loaded. *)
+let metrics_text db : string =
+  Prules.Engine.ensure_metrics ();
+  refresh_gauges db;
+  Pobs.Metrics.expose ()
+
+let metrics_content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+(** The /stats body: a JSON superset of the old plaintext document —
+    per-database storage and query counters, observability switches,
+    the slow-query log, and a JSON mirror of the metric registry.  All
+    serialisation goes through {!Pobs.Json}, so no attribute value can
+    produce malformed output. *)
+let stats_json (db : Database.t) : string =
+  Prules.Engine.ensure_metrics ();
+  refresh_gauges db;
+  let s = Pstore.Store.stats (Database.store db) in
+  let q = Pool_lang.Pool.stats db in
+  let open Pobs.Json in
+  to_string
+    (Obj
+       [
+         ( "storage",
+           Obj
+             [
+               ("objects", Int s.Pstore.Store.objects);
+               ("pages", Int s.Pstore.Store.pages);
+               ("page_reads", Int s.Pstore.Store.page_reads);
+               ("page_writes", Int s.Pstore.Store.page_writes);
+               ("cache_hits", Int s.Pstore.Store.cache_hits);
+               ("cache_misses", Int s.Pstore.Store.cache_misses);
+               ("evictions", Int s.Pstore.Store.evictions);
+               ("journal_bytes", Int s.Pstore.Store.journal_bytes);
+             ] );
+         ( "query",
+           Obj
+             [
+               ("index_probes", Int q.Pool_lang.Eval.index_probes);
+               ("range_scans", Int q.Pool_lang.Eval.range_scans);
+               ("hash_joins", Int q.Pool_lang.Eval.hash_joins);
+               ("extent_scans", Int q.Pool_lang.Eval.extent_scans);
+               ("plan_cache_hits", Int q.Pool_lang.Eval.plan_cache_hits);
+               ("plan_cache_misses", Int q.Pool_lang.Eval.plan_cache_misses);
+               ("adjacency_rebuilds", Int q.Pool_lang.Eval.adjacency_rebuilds);
+             ] );
+         ( "observability",
+           Obj
+             [
+               ("metrics_enabled", Bool !Pobs.Metrics.enabled);
+               ("trace_enabled", Bool !Pobs.Trace.enabled);
+               ("trace_spans_recorded", Int (Pobs.Trace.recorded ()));
+               ("slow_query_threshold_ns", Int !Pobs.Slowlog.threshold_ns);
+             ] );
+         ("slow_queries", Pobs.Slowlog.to_json ());
+         ("metrics", Pobs.Metrics.expose_json ());
+       ])
 
 let handle (db : Database.t) (path : string) (params : (string * string) list) :
     string * string =
@@ -132,19 +210,15 @@ let handle (db : Database.t) (path : string) (params : (string * string) list) :
           (List.map
              (fun (oid, name) -> Printf.sprintf "#%d %s\n" oid name)
              (Database.contexts db)) )
-  | "/stats" ->
-      let s = Pstore.Store.stats (Database.store db) in
-      let q = Pool_lang.Pool.stats db in
-      ( "200 OK",
-        Printf.sprintf
-          "objects %d\npages %d\npage_reads %d\npage_writes %d\ncache_hits %d\ncache_misses %d\nevictions %d\njournal_bytes %d\nindex_probes %d\nrange_scans %d\nhash_joins %d\nextent_scans %d\nplan_cache_hits %d\nplan_cache_misses %d\nadjacency_rebuilds %d\n"
-          s.Pstore.Store.objects s.Pstore.Store.pages s.Pstore.Store.page_reads
-          s.Pstore.Store.page_writes s.Pstore.Store.cache_hits s.Pstore.Store.cache_misses
-          s.Pstore.Store.evictions s.Pstore.Store.journal_bytes q.Pool_lang.Eval.index_probes
-          q.Pool_lang.Eval.range_scans q.Pool_lang.Eval.hash_joins q.Pool_lang.Eval.extent_scans
-          q.Pool_lang.Eval.plan_cache_hits q.Pool_lang.Eval.plan_cache_misses
-          q.Pool_lang.Eval.adjacency_rebuilds )
+  | "/stats" -> ("200 OK", stats_json db ^ "\n")
+  | "/metrics" -> ("200 OK", metrics_text db)
   | _ -> ("404 Not Found", "not found\n")
+
+(* Content type per endpoint; everything else is plain text. *)
+let content_type_of_path = function
+  | "/stats" -> "application/json; charset=utf-8"
+  | "/metrics" -> metrics_content_type
+  | _ -> "text/plain; charset=utf-8"
 
 (* Bounds on what a client may send before we stop listening to it: a
    single-threaded server must not let one connection buffer without
@@ -215,8 +289,11 @@ let serve ?(host = "127.0.0.1") ?max_requests (db : Database.t) ~port () =
            match parse_request_line (String.trim line) with
            | Some ("GET", target) ->
                let path, params = split_target target in
-               let status, body = handle db path params in
-               respond out ~status ~body
+               Pobs.Metrics.inc m_requests;
+               let status, body =
+                 Pobs.Metrics.time m_request_ns (fun () -> handle db path params)
+               in
+               respond out ~status ~content_type:(content_type_of_path path) ~body
            | Some _ -> respond out ~status:"405 Method Not Allowed" ~body:"GET only\n"
            | None -> respond out ~status:"400 Bad Request" ~body:"bad request\n")
        | exception End_of_file -> () (* client disconnected before sending *)

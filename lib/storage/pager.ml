@@ -58,6 +58,49 @@ let io ~op ~path f =
   in
   go ()
 
+(* Process-wide observability handles (DESIGN.md "Observability").
+   They mirror the per-pager [stats] fields aggregated across every
+   open database; the per-pager fields stay authoritative for
+   single-database accounting. *)
+let m_pread_ns =
+  Pobs.Metrics.histogram "pdb_pager_pread_ns" ~help:"Data/journal file pread latency"
+
+let m_pwrite_ns =
+  Pobs.Metrics.histogram "pdb_pager_pwrite_ns" ~help:"Data/journal file pwrite latency"
+
+let m_fsync_ns = Pobs.Metrics.histogram "pdb_pager_fsync_ns" ~help:"fsync latency"
+
+let m_page_reads =
+  Pobs.Metrics.counter "pdb_pager_page_reads_total" ~help:"Pages read from disk"
+
+let m_page_writes =
+  Pobs.Metrics.counter "pdb_pager_page_writes_total" ~help:"Pages written back to disk"
+
+let m_cache_hits = Pobs.Metrics.counter "pdb_pager_cache_hits_total" ~help:"Page-cache hits"
+
+let m_cache_misses =
+  Pobs.Metrics.counter "pdb_pager_cache_misses_total" ~help:"Page-cache misses"
+
+let m_evictions = Pobs.Metrics.counter "pdb_pager_evictions_total" ~help:"Pages evicted"
+
+let m_journal_bytes =
+  Pobs.Metrics.counter "pdb_pager_journal_bytes_total" ~help:"Bytes appended to undo journals"
+
+let m_coalesced_runs =
+  Pobs.Metrics.counter "pdb_pager_coalesced_runs_total"
+    ~help:"Contiguous dirty-page runs written as single extents"
+
+let m_extent_pages =
+  Pobs.Metrics.counter "pdb_pager_extent_pages_total"
+    ~help:"Pages written through coalesced extent writes"
+
+let m_commits = Pobs.Metrics.counter "pdb_pager_commits_total" ~help:"Pager-level commits"
+let m_aborts = Pobs.Metrics.counter "pdb_pager_aborts_total" ~help:"Pager-level aborts"
+
+let m_recoveries =
+  Pobs.Metrics.counter "pdb_pager_recoveries_total"
+    ~help:"Journal replays performed on open or abort"
+
 type page = {
   no : int;
   data : Bytes.t;
@@ -150,7 +193,7 @@ let really_pread ~path (fd : Vfs.file) buf ~off ~len ~file_off =
       else go (pos + n) (remaining - n)
     end
   in
-  go 0 len
+  Pobs.Metrics.time m_pread_ns (fun () -> go 0 len)
 
 (* Write [len] bytes of [buf] from [off] at [file_off], retrying short
    transfers and EINTR. *)
@@ -165,7 +208,7 @@ let really_write ~path (fd : Vfs.file) buf ~off ~len ~file_off =
       go (pos + n)
     end
   in
-  go 0
+  Pobs.Metrics.time m_pwrite_ns (fun () -> go 0)
 
 (* Same, through the extent entry point (coalesced multi-page runs). *)
 let really_write_extent ~path (fd : Vfs.file) buf ~off ~len ~file_off =
@@ -179,7 +222,13 @@ let really_write_extent ~path (fd : Vfs.file) buf ~off ~len ~file_off =
       go (pos + n)
     end
   in
-  go 0
+  Pobs.Metrics.time m_pwrite_ns (fun () -> go 0)
+
+(* All fsyncs go through here so the latency histogram covers every
+   durability point (journal sync, commit flush, recovery). *)
+let fsync_file ~path (fd : Vfs.file) =
+  Pobs.Metrics.time m_fsync_ns (fun () ->
+      io ~op:"fsync" ~path (fun () -> fd.Vfs.fsync ()))
 
 (* ------------------------------------------------------------------ *)
 (* Journal                                                             *)
@@ -217,6 +266,7 @@ let journal_flush t =
       ~file_off:t.journal_len;
     t.journal_len <- t.journal_len + t.jbuf_len;
     t.journal_bytes <- t.journal_bytes + t.jbuf_len;
+    Pobs.Metrics.addi m_journal_bytes t.jbuf_len;
     t.jbuf_len <- 0
   end
 
@@ -233,7 +283,8 @@ let journal_append_legacy t jfd page_no (data : Bytes.t) =
     (Bytes.of_string (Codec.Enc.to_string e))
     ~off:0 ~len:journal_frame_size ~file_off:t.journal_len;
   t.journal_len <- t.journal_len + journal_frame_size;
-  t.journal_bytes <- t.journal_bytes + journal_frame_size
+  t.journal_bytes <- t.journal_bytes + journal_frame_size;
+  Pobs.Metrics.addi m_journal_bytes journal_frame_size
 
 let journal_append t page_no (data : Bytes.t) =
   let jfd = journal_open t in
@@ -269,7 +320,7 @@ let journal_truncate t =
          commit that journaled nothing then skips both syscalls. *)
       if t.journal_len > 0 || not t.cfg.lazy_checkpoint then begin
         io ~op:"truncate" ~path:t.journal_path (fun () -> fd.Vfs.truncate 0);
-        io ~op:"fsync" ~path:t.journal_path (fun () -> fd.Vfs.fsync ())
+        fsync_file ~path:t.journal_path fd
       end
   | None -> ());
   t.journal_len <- 0;
@@ -282,7 +333,7 @@ let journal_sync t =
   if not t.journal_synced then begin
     journal_flush t;
     (match t.jfd with
-    | Some fd -> io ~op:"fsync" ~path:t.journal_path (fun () -> fd.Vfs.fsync ())
+    | Some fd -> fsync_file ~path:t.journal_path fd
     | None -> ());
     t.journal_synced <- true
   end
@@ -381,6 +432,7 @@ let write_batch t (pages : page list) =
           really_write ~path:t.path t.fd p.data ~off:0 ~len:page_size
             ~file_off:(p.no * page_size);
           t.writes <- t.writes + 1;
+          Pobs.Metrics.inc m_page_writes;
           mark_clean t p)
         pages
     else begin
@@ -400,12 +452,15 @@ let write_batch t (pages : page list) =
               Bytes.blit arr.(!idx + k).data 0 t.wbuf (k * page_size) page_size
             done;
             really_write_extent ~path:t.path t.fd t.wbuf ~off:0 ~len:bytes
-              ~file_off:(start * page_size)
+              ~file_off:(start * page_size);
+            Pobs.Metrics.inc m_coalesced_runs;
+            Pobs.Metrics.addi m_extent_pages len
           end;
           for k = 0 to len - 1 do
             mark_clean t arr.(!idx + k)
           done;
           t.writes <- t.writes + len;
+          Pobs.Metrics.addi m_page_writes len;
           idx := !idx + len)
         runs
     end
@@ -441,7 +496,8 @@ let evict_if_needed t =
       (fun p ->
         Hashtbl.remove t.cache p.no;
         if t.cfg.logn_evict then t.lru_map <- Lru.remove p.lru t.lru_map;
-        t.evictions <- t.evictions + 1)
+        t.evictions <- t.evictions + 1;
+        Pobs.Metrics.inc m_evictions)
       victims
   end
 
@@ -450,13 +506,16 @@ let load_page t no =
   | Some p ->
       touch t p;
       t.hits <- t.hits + 1;
+      Pobs.Metrics.inc m_cache_hits;
       p
   | None ->
       t.misses <- t.misses + 1;
+      Pobs.Metrics.inc m_cache_misses;
       let data = Bytes.create page_size in
       if no < t.page_count then begin
         really_pread ~path:t.path t.fd data ~off:0 ~len:page_size ~file_off:(no * page_size);
-        t.reads <- t.reads + 1
+        t.reads <- t.reads + 1;
+        Pobs.Metrics.inc m_page_reads
       end
       else Bytes.fill data 0 page_size '\000';
       let p = { no; data; dirty = false; lru = 0 } in
@@ -489,8 +548,9 @@ let recover_from_journal ~(vfs : Vfs.t) path journal_path =
             ~file_off:(page_no * page_size)
         end)
       frames;
-    io ~op:"fsync" ~path (fun () -> fd.Vfs.fsync ());
-    io ~op:"close" ~path (fun () -> fd.Vfs.close ())
+    fsync_file ~path fd;
+    io ~op:"close" ~path (fun () -> fd.Vfs.close ());
+    Pobs.Metrics.inc m_recoveries
   end;
   if vfs.Vfs.exists journal_path then
     io ~op:"remove" ~path:journal_path (fun () -> vfs.Vfs.remove journal_path)
@@ -585,7 +645,7 @@ let flush_all t =
   end
   else t.dirty_list <- [];
   if t.unsynced_writes || not t.cfg.lazy_checkpoint then begin
-    io ~op:"fsync" ~path:t.path (fun () -> t.fd.Vfs.fsync ());
+    fsync_file ~path:t.path t.fd;
     t.unsynced_writes <- false
   end
 
@@ -606,7 +666,8 @@ let commit t =
   if not t.in_tx then fail "commit outside transaction";
   flush_all t;
   journal_truncate t;
-  t.in_tx <- false
+  t.in_tx <- false;
+  Pobs.Metrics.inc m_commits
 
 let abort t =
   if not t.in_tx then fail "abort outside transaction";
@@ -618,7 +679,7 @@ let abort t =
   (* Drop all cached state, then restore before-images from the journal. *)
   (match t.jfd with
   | Some fd ->
-      io ~op:"fsync" ~path:t.journal_path (fun () -> fd.Vfs.fsync ());
+      fsync_file ~path:t.journal_path fd;
       io ~op:"close" ~path:t.journal_path (fun () -> fd.Vfs.close ());
       t.jfd <- None
   | None -> ());
@@ -633,7 +694,8 @@ let abort t =
   t.journal_synced <- true;
   let size = io ~op:"size" ~path:t.path (fun () -> t.fd.Vfs.size ()) in
   t.page_count <- max ((size + page_size - 1) / page_size) 1;
-  t.in_tx <- false
+  t.in_tx <- false;
+  Pobs.Metrics.inc m_aborts
 
 let close t =
   if t.in_tx then abort t;

@@ -139,6 +139,12 @@ let path t = t.path
 
 (* --- transactions ---------------------------------------------------------- *)
 
+let m_tx_commits =
+  Pobs.Metrics.counter "pdb_store_tx_commits_total" ~help:"Store transactions committed"
+
+let m_tx_aborts =
+  Pobs.Metrics.counter "pdb_store_tx_aborts_total" ~help:"Store transactions aborted"
+
 let in_tx t = t.tx_depth > 0
 
 let begin_tx t =
@@ -159,7 +165,8 @@ let commit t =
      caller can — must — [abort] it. *)
   if t.tx_depth = 1 then begin
     hdr_write_next_oid t.pager t.next_oid;
-    Pager.commit t.pager
+    Pager.commit t.pager;
+    Pobs.Metrics.inc m_tx_commits
   end;
   t.tx_depth <- t.tx_depth - 1
 
@@ -167,6 +174,7 @@ let abort t =
   if t.tx_depth <= 0 then fail "abort outside transaction";
   t.tx_depth <- 0;
   Pager.abort t.pager;
+  Pobs.Metrics.inc m_tx_aborts;
   (* In-memory state may be stale after rollback: rebuild.  Keep the
      in-memory oid high-water mark: rollback restores the header's
      pre-transaction value, but oids handed out since must stay
