@@ -3,11 +3,11 @@
    mapping from thesis experiment to harness section and for the
    recorded results.
 
-   Usage: main.exe [all|raw|queries|struct|fig44|fig45|fig46|tax|ablation|tables|schema|micro|recovery|storage|query|obs]
+   Usage: main.exe [all|raw|queries|struct|fig44|fig45|fig46|tax|ablation|tables|schema|micro|recovery|storage|query|obs|repl]
                    [--out DIR]
 
    Sections that emit machine-readable trajectory records
-   (BENCH_PR2.json, BENCH_PR3.json, BENCH_PR4.json) write them to the
+   (BENCH_PR2.json .. BENCH_PR5.json) write them to the
    current directory by default; --out DIR redirects them so CI can
    validate fresh records without clobbering the committed ones. *)
 
@@ -1070,6 +1070,192 @@ let bench_obs () =
   write_record "BENCH_PR4.json" (Buffer.contents buf)
 
 (* ------------------------------------------------------------------ *)
+(* Section: replication (PR5 tentpole)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Three numbers, two software-only and one end-to-end:
+
+   - ship: encode a captured redo stream into wire frames (the
+     primary's per-conn cost once the delta is in the backlog)
+   - apply: replay snapshot + deltas through a fresh replica pager on
+     the in-memory fault VFS (the replica's software ceiling)
+   - lag: a live loopback primary/replica pair; sample
+     (primary LSN - applied LSN) after every commit, then wait for
+     convergence and demand byte-identical files.
+
+   Results land in BENCH_PR5.json; the gate is convergence to LSN
+   equality with identical bytes plus nonzero throughputs. *)
+let bench_repl () =
+  let module S = Pstore.Store in
+  let module F = Pstore.Fault in
+  let module W = Prepl.Wire in
+  let module Feed = Prepl.Feed in
+  let module R = Prepl.Replica in
+  Printf.printf "\n== replication: ship / apply throughput, steady-state lag ==\n";
+  let median l = List.nth (List.sort compare l) (List.length l / 2) in
+  let mib = 1024. *. 1024. in
+  (* --- capture a redo stream on the in-memory fault VFS ------------- *)
+  let fs = F.create ~seed:42 () in
+  F.set_short_transfers fs false;
+  let s = S.open_ ~vfs:(F.vfs fs) "bench_repl.db" in
+  let feed = Feed.create s in
+  S.with_tx s (fun () -> S.put s ~oid:1 "snapshot floor");
+  let snap_lsn, snap_data = Feed.snapshot feed in
+  let commits = 300 in
+  for i = 1 to commits do
+    (* mix of small objects and page-crossing blobs *)
+    let payload = String.make (64 + (i mod 7 * 900)) 'r' in
+    S.with_tx s (fun () -> S.put s ~oid:(S.fresh_oid s) payload)
+  done;
+  let stream_id = Feed.stream_id feed in
+  let deltas =
+    List.map (fun r -> (r.Feed.r_lsn, r.Feed.r_pages)) (Feed.deltas_after feed ~after:0)
+  in
+  Feed.detach feed;
+  S.close s;
+  let delta_bytes =
+    List.fold_left
+      (fun a (_, pages) ->
+        List.fold_left (fun a (_, data) -> a + String.length data) a pages)
+      0 deltas
+  in
+  (* --- ship: wire-encode the whole stream --------------------------- *)
+  let encode_all () =
+    List.fold_left
+      (fun a (lsn, pages) -> a + String.length (W.encode (W.Delta { lsn; pages })))
+      0 deltas
+  in
+  let wire_bytes = encode_all () in
+  let reps = 10 in
+  let ship_ms =
+    median
+      (List.init 5 (fun _ ->
+           snd (time_once (fun () -> for _ = 1 to reps do ignore (encode_all ()) done))))
+  in
+  let ship_mib_s = float_of_int (wire_bytes * reps) /. mib /. (ship_ms /. 1000.) in
+  Printf.printf "  ship   %7.1f MiB/s  (%d records, %.2f MiB on the wire)\n" ship_mib_s
+    (List.length deltas)
+    (float_of_int wire_bytes /. mib);
+  (* --- apply: replay through a fresh replica pager ------------------- *)
+  let replay () =
+    let rfs = F.create ~seed:7 () in
+    F.set_short_transfers rfs false;
+    let ap = R.Apply.create ~vfs:(F.vfs rfs) "replica.db" in
+    let (), ms =
+      time_once (fun () ->
+          R.Apply.install_snapshot ap ~stream_id ~lsn:snap_lsn ~data:snap_data;
+          List.iter (fun (lsn, pages) -> ignore (R.Apply.apply_delta ap ~lsn ~pages)) deltas)
+    in
+    ms
+  in
+  let apply_ms = median (List.init 5 (fun _ -> replay ())) in
+  let apply_payload = delta_bytes + String.length snap_data in
+  let apply_mib_s = float_of_int apply_payload /. mib /. (apply_ms /. 1000.) in
+  Printf.printf "  apply  %7.1f MiB/s  (%.2f MiB snapshot+deltas)\n" apply_mib_s
+    (float_of_int apply_payload /. mib);
+  (* --- lag: live loopback pair --------------------------------------- *)
+  let ppath = tmp_path "repl_primary" and rpath = tmp_path "repl_replica" in
+  let scrub path =
+    cleanup path;
+    List.iter
+      (fun suffix ->
+        let p = path ^ suffix in
+        if Sys.file_exists p then Sys.remove p)
+      [ ".replid"; ".replid.tmp"; ".snap" ]
+  in
+  scrub ppath;
+  scrub rpath;
+  let s = S.open_ ppath in
+  let feed = Feed.create s in
+  S.with_tx s (fun () -> S.put s ~oid:1 "bootstrap floor");
+  let srv = Feed.serve feed ~port:0 in
+  let sess = R.start ~host:"127.0.0.1" ~port:srv.Feed.port rpath in
+  let read_disk path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let lag_commits = 150 in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        R.stop sess;
+        (try Feed.stop_server srv with _ -> ());
+        Feed.detach feed;
+        S.close s;
+        scrub ppath;
+        scrub rpath)
+      (fun () ->
+        let caught_up () = R.Apply.last_lsn sess.R.apply = S.lsn s in
+        let deadline = Unix.gettimeofday () +. 30. in
+        while (not (caught_up ())) && Unix.gettimeofday () < deadline do
+          Unix.sleepf 0.005
+        done;
+        let samples = ref [] in
+        for i = 1 to lag_commits do
+          S.with_tx s (fun () -> S.put s ~oid:(S.fresh_oid s) (String.make (200 + (i mod 5 * 800)) 'l'));
+          samples := (S.lsn s - R.Apply.last_lsn sess.R.apply) :: !samples
+        done;
+        let (), catch_up_ms =
+          time_once (fun () ->
+              let deadline = Unix.gettimeofday () +. 30. in
+              while (not (caught_up ())) && Unix.gettimeofday () < deadline do
+                Unix.sleepf 0.002
+              done)
+        in
+        let lags = !samples in
+        let n = float_of_int (List.length lags) in
+        let mean_lag = float_of_int (List.fold_left ( + ) 0 lags) /. n in
+        let max_lag = List.fold_left max 0 lags in
+        let lsn_equal = caught_up () in
+        let identical = lsn_equal && read_disk ppath = read_disk rpath in
+        Printf.printf
+          "  lag    mean %5.2f LSNs  max %3d LSNs over %d commits; converged=%b \
+           identical=%b (%.1f ms)\n"
+          mean_lag max_lag lag_commits lsn_equal identical catch_up_ms;
+        (mean_lag, max_lag, catch_up_ms, lsn_equal, identical))
+  in
+  let mean_lag, max_lag, catch_up_ms, lsn_equal, identical = result in
+  let pass = lsn_equal && identical && ship_mib_s > 0. && apply_mib_s > 0. in
+  Printf.printf "replication gate: %s\n" (if pass then "PASS" else "FAIL");
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": \"replication\",\n";
+  Buffer.add_string buf "  \"pr\": 5,\n";
+  Buffer.add_string buf "  \"workloads\": [\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    { \"name\": \"ship_encode\", \"note\": \"wire-encode %d captured delta \
+        records\", \"unit\": \"MiB/s\", \"mib_per_s\": %.1f, \"wire_mib\": %.2f },\n"
+       (List.length deltas) ship_mib_s
+       (float_of_int wire_bytes /. mib));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    { \"name\": \"apply_replay\", \"note\": \"snapshot + delta replay through a \
+        fresh replica pager, fault VFS\", \"unit\": \"MiB/s\", \"mib_per_s\": %.1f, \
+        \"payload_mib\": %.2f },\n"
+       apply_mib_s
+       (float_of_int apply_payload /. mib));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    { \"name\": \"steady_state_lag\", \"note\": \"per-commit (primary LSN - \
+        applied LSN) over a live loopback pair\", \"unit\": \"lsns\", \"commits\": %d, \
+        \"mean_lag_lsns\": %.2f, \"max_lag_lsns\": %d, \"catch_up_ms\": %.1f }\n"
+       lag_commits mean_lag max_lag catch_up_ms);
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"acceptance\": {\n";
+  Buffer.add_string buf
+    "    \"criterion\": \"replica converges to the primary LSN with byte-identical files; \
+     ship and apply throughputs nonzero\",\n";
+  Buffer.add_string buf (Printf.sprintf "    \"final_lsn_equal\": %b,\n" lsn_equal);
+  Buffer.add_string buf (Printf.sprintf "    \"files_identical\": %b,\n" identical);
+  Buffer.add_string buf (Printf.sprintf "    \"pass\": %b\n" pass);
+  Buffer.add_string buf "  }\n";
+  Buffer.add_string buf "}\n";
+  write_record "BENCH_PR5.json" (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
 (* Main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1103,6 +1289,7 @@ let () =
     | "storage" -> bench_storage ()
     | "query" -> bench_query ()
     | "obs" -> bench_obs ()
+    | "repl" -> bench_repl ()
     | "schema" -> print_schema ()
     | s ->
         Printf.eprintf "unknown section %s\n" s;
@@ -1124,5 +1311,6 @@ let () =
       bench_recovery ();
       bench_storage ();
       bench_query ();
-      bench_obs ()
+      bench_obs ();
+      bench_repl ()
   | s -> run s

@@ -106,12 +106,114 @@ let trace_cmd =
 
 (* --- server --------------------------------------------------------------- *)
 
+let port_arg =
+  Arg.(value & opt int 8080 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Port to listen on.")
+
+let slowlog_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slowlog-ms" ] ~docv:"MS"
+        ~doc:"Slow-query log threshold in milliseconds (default 10).")
+
+let apply_slowlog = function
+  | Some ms -> Pobs.Slowlog.set_threshold_ms ms
+  | None -> ()
+
 let serve_cmd =
-  let port =
-    Arg.(value & opt int 8080 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Port to listen on.")
+  let primary =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "primary" ] ~docv:"RPORT"
+          ~doc:"Also act as a replication primary: stream page deltas to replicas on $(docv) (0 = ephemeral).")
   in
-  let run file port = with_db file (fun db -> Pserver.Http_server.serve db ~port ()) in
-  Cmd.v (Cmd.info "serve" ~doc:"Serve the database over HTTP.") Term.(const run $ db_arg $ port)
+  let run file port primary slowlog_ms =
+    apply_slowlog slowlog_ms;
+    with_db file (fun db ->
+        match primary with
+        | None -> Pserver.Http_server.serve db ~port ()
+        | Some rport ->
+            let feed = Prepl.Feed.create (Database.store db) in
+            let srv = Prepl.Feed.serve feed ~port:rport in
+            Printf.printf "prometheus: replication feed on port %d (stream %d)\n%!"
+              srv.Prepl.Feed.port (Prepl.Feed.stream_id feed);
+            Fun.protect
+              ~finally:(fun () ->
+                Prepl.Feed.stop_server srv;
+                Prepl.Feed.detach feed)
+              (fun () ->
+                Pserver.Http_server.serve db ~port
+                  ~repl_status:(fun () -> Prepl.Feed.status_json feed)
+                  ()))
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Serve the database over HTTP (optionally as a replication primary).")
+    Term.(const run $ db_arg $ port_arg $ primary $ slowlog_arg)
+
+let replica_cmd =
+  let from =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "from" ] ~docv:"HOST:PORT" ~doc:"Primary replication feed to follow.")
+  in
+  let run file from port slowlog_ms =
+    apply_slowlog slowlog_ms;
+    let host, rport =
+      match String.rindex_opt from ':' with
+      | Some i -> (
+          let h = String.sub from 0 i in
+          let p = String.sub from (i + 1) (String.length from - i - 1) in
+          match int_of_string_opt p with
+          | Some p -> ((if h = "" then "127.0.0.1" else h), p)
+          | None -> (Printf.eprintf "pdb replica: bad --from %S\n" from; exit 2))
+      | None -> (Printf.eprintf "pdb replica: bad --from %S (want HOST:PORT)\n" from; exit 2)
+    in
+    let sess = Prepl.Replica.start ~host ~port:rport file in
+    let apply = sess.Prepl.Replica.apply in
+    (* Wait for the bootstrap snapshot before serving: until it lands
+       there is no database file to open. *)
+    while
+      Prepl.Replica.Apply.with_lock apply (fun () ->
+          apply.Prepl.Replica.Apply.pager = None)
+    do
+      Thread.delay 0.05
+    done;
+    (* Serve a read-only database handle, refreshed (under the applier
+       lock) whenever the applied LSN has advanced.  The model layer's
+       mirror is loaded eagerly at open, so requests never touch pages
+       the applier is rewriting. *)
+    let cached : (int * Database.t) option ref = ref None in
+    let provider () =
+      Prepl.Replica.Apply.with_lock apply (fun () ->
+          let lsn =
+            match apply.Prepl.Replica.Apply.pager with
+            | Some p -> Pstore.Pager.lsn p
+            | None -> -1
+          in
+          match !cached with
+          | Some (l, db) when l = lsn -> db
+          | prev ->
+              (match prev with Some (_, db) -> (try Database.close db with _ -> ()) | None -> ());
+              let db = Database.open_ ~readonly:true file in
+              cached := Some (lsn, db);
+              db)
+    in
+    let db = provider () in
+    Fun.protect
+      ~finally:(fun () ->
+        Prepl.Replica.stop sess;
+        match !cached with Some (_, db) -> (try Database.close db with _ -> ()) | None -> ())
+      (fun () ->
+        Pserver.Http_server.serve db ~port ~readonly:true ~db_provider:provider
+          ~repl_status:(fun () -> Prepl.Replica.status_json sess)
+          ())
+  in
+  Cmd.v
+    (Cmd.info "replica"
+       ~doc:"Follow a primary's replication feed and serve the replica read-only over HTTP.")
+    Term.(const run $ db_arg $ from $ port_arg $ slowlog_arg)
 
 (* --- schema loading ----------------------------------------------------------- *)
 
@@ -156,4 +258,4 @@ let demo_cmd =
 
 let () =
   let info = Cmd.info "pdb" ~version:"1.0" ~doc:"Prometheus taxonomic database tool" in
-  exit (Cmd.eval (Cmd.group info [ query_cmd; check_cmd; schema_cmd; contexts_cmd; stats_cmd; metrics_cmd; trace_cmd; serve_cmd; demo_cmd; load_schema_cmd; dump_schema_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ query_cmd; check_cmd; schema_cmd; contexts_cmd; stats_cmd; metrics_cmd; trace_cmd; serve_cmd; replica_cmd; demo_cmd; load_schema_cmd; dump_schema_cmd ]))

@@ -204,12 +204,14 @@ let register_builtin_classes schema =
       (Meta.define_class schema synonym_class
          [ Meta.attr "a" (Value.TRef Meta.object_class); Meta.attr "b" (Value.TRef Meta.object_class) ])
 
-let open_ ?cache_pages path : t =
-  let store = Store.open_ ?cache_pages path in
+let open_ ?cache_pages ?readonly path : t =
+  let store = Store.open_ ?cache_pages ?readonly path in
+  let ro = Store.is_readonly store in
   let schema = Meta.empty () in
   (match Store.get store ~oid:schema_oid with
   | Some data -> Meta.decode_into schema data
   | None ->
+      if ro then fail "%s: readonly open of a store with no schema" path;
       let oid = Store.fresh_oid store in
       if oid <> schema_oid then fail "fresh store did not yield the schema oid (got %d)" oid);
   register_builtin_classes schema;
@@ -232,7 +234,10 @@ let open_ ?cache_pages path : t =
     }
   in
   Bus.set_subclass_pred bus (is_subclass t);
-  persist_schema t;
+  (* A read-only handle (replica serving) must not write: the stored
+     schema was decoded above and [register_builtin_classes] is
+     idempotent, so skipping the persist loses nothing. *)
+  if not ro then persist_schema t;
   rebuild_mirror t;
   t
 

@@ -5,7 +5,14 @@
 
 type entry = { query : string; kind : string; dur_ns : int; at_ns : int }
 
-let threshold_ns = ref 10_000_000
+let default_threshold_ns = 10_000_000
+let threshold_ns = ref default_threshold_ns
+
+(** Configure the slow-query threshold (also settable from the command
+    line via [pdb --slowlog-ms]).  Negative values are clamped to 0 —
+    "log every query". *)
+let set_threshold_ns ns = threshold_ns := max 0 ns
+let set_threshold_ms ms = set_threshold_ns (int_of_float (ms *. 1e6))
 let cap = 64
 let ring : entry option array = Array.make cap None
 let write_pos = ref 0

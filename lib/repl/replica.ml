@@ -1,0 +1,309 @@
+(** The replica: snapshot bootstrap, atomic delta apply, reconnect.
+
+    The applier owns a {e pager} — not a [Store] — on the replica file:
+    applying a delta means replaying foreign page images, and doing that
+    under an open store would desync its in-memory directory/heap state.
+    Serving reads is a separate concern: the HTTP side opens its own
+    {e read-only} store/database handle over the same file and refreshes
+    it (under {!with_lock}) when the applied LSN advances.
+
+    Apply protocol, per delta: skip if the record's LSN is not ahead of
+    the file's; otherwise begin a pager transaction, grow the file to
+    cover the record's pages, blit every after-image, and commit with
+    the record's own LSN.  The pager's undo journal makes this atomic
+    and the commit fsyncs make it durable — a crash mid-apply recovers
+    to the {e previous} LSN's image on reopen, never a torn mix — and
+    only then is the LSN acked to the primary.
+
+    Snapshot bootstrap writes the image to a side file, fsyncs, removes
+    any stale journal (before-images of the {e old} file must never
+    replay over the new one), and renames into place — the same
+    crash-ordering discipline as [Store.vacuum].  The stream id is
+    remembered in a tiny sidecar ([<path>.replid]) rather than in the
+    file itself, keeping the replica file byte-identical to the
+    primary's. *)
+
+open Pstore
+
+let m_applied_records =
+  Pobs.Metrics.counter "pdb_repl_applied_records_total"
+    ~help:"Redo records applied by the replica"
+
+let m_applied_bytes =
+  Pobs.Metrics.counter "pdb_repl_applied_bytes_total"
+    ~help:"After-image bytes applied by the replica"
+
+let m_reconnects =
+  Pobs.Metrics.counter "pdb_repl_reconnects_total"
+    ~help:"Replica reconnect attempts after a link failure"
+
+let m_snapshots_applied =
+  Pobs.Metrics.counter "pdb_repl_snapshots_applied_total"
+    ~help:"Full snapshots installed by the replica"
+
+exception Replica_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Replica_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Applier                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Apply = struct
+  type t = {
+    vfs : Vfs.t;
+    path : string;
+    mutable pager : Pager.t option; (* None until the first snapshot lands *)
+    mutable stream_id : int; (* 0 = never bootstrapped *)
+    mutable applied_records : int;
+    mutable snapshots_loaded : int;
+    m : Mutex.t;
+  }
+
+  let sidecar path = path ^ ".replid"
+
+  (* The sidecar holds the stream id as a decimal line.  Written via
+     write-fsync-rename so it can never be half-written. *)
+  let read_sidecar (vfs : Vfs.t) path =
+    if not (vfs.Vfs.exists (sidecar path)) then 0
+    else begin
+      let fd = vfs.Vfs.open_file (sidecar path) in
+      let len = fd.Vfs.size () in
+      let buf = Bytes.create len in
+      let n = fd.Vfs.pread ~buf ~off:0 ~len ~at:0 in
+      fd.Vfs.close ();
+      try int_of_string (String.trim (Bytes.sub_string buf 0 n)) with _ -> 0
+    end
+
+  let write_sidecar (vfs : Vfs.t) path id =
+    let tmp = sidecar path ^ ".tmp" in
+    let fd = vfs.Vfs.open_file ~trunc:true tmp in
+    let s = Bytes.of_string (string_of_int id ^ "\n") in
+    let pos = ref 0 in
+    while !pos < Bytes.length s do
+      let n = fd.Vfs.pwrite ~buf:s ~off:!pos ~len:(Bytes.length s - !pos) ~at:!pos in
+      if n <= 0 then fail "sidecar write made no progress";
+      pos := !pos + n
+    done;
+    fd.Vfs.fsync ();
+    fd.Vfs.close ();
+    vfs.Vfs.rename tmp (sidecar path)
+
+  (** Open (or prepare to bootstrap) the replica state at [path].  An
+      existing file is opened through the normal pager path, so a crash
+      mid-apply is rolled back by journal recovery right here. *)
+  let create ?(vfs = Vfs.unix) path : t =
+    let stream_id = read_sidecar vfs path in
+    let pager = if vfs.Vfs.exists path then Some (Pager.open_file ~vfs path) else None in
+    {
+      vfs;
+      path;
+      pager;
+      stream_id;
+      applied_records = 0;
+      snapshots_loaded = 0;
+      m = Mutex.create ();
+    }
+
+  (** Run [f] under the applier mutex.  The HTTP side uses this to
+      refresh its read-only store without racing a batch mid-apply. *)
+  let with_lock t f =
+    Mutex.lock t.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+  let last_lsn t =
+    with_lock t (fun () -> match t.pager with Some p -> Pager.lsn p | None -> 0)
+
+  let stream_id t = t.stream_id
+
+  let install_snapshot t ~stream_id ~lsn ~(data : string) =
+    with_lock t (fun () ->
+        (match t.pager with
+        | Some p -> Pager.close p
+        | None -> ());
+        t.pager <- None;
+        let vfs = t.vfs in
+        let tmp = t.path ^ ".snap" in
+        let fd = vfs.Vfs.open_file ~trunc:true tmp in
+        let buf = Bytes.unsafe_of_string data in
+        let pos = ref 0 in
+        while !pos < Bytes.length buf do
+          let n =
+            fd.Vfs.pwrite ~buf ~off:!pos ~len:(Bytes.length buf - !pos) ~at:!pos
+          in
+          if n <= 0 then fail "snapshot write made no progress";
+          pos := !pos + n
+        done;
+        fd.Vfs.fsync ();
+        fd.Vfs.close ();
+        (* A journal left by the previous incarnation holds before-images
+           of the *old* file; replaying it over the snapshot would corrupt
+           it.  Remove it before the rename commit point. *)
+        if vfs.Vfs.exists (t.path ^ ".journal") then vfs.Vfs.remove (t.path ^ ".journal");
+        vfs.Vfs.rename tmp t.path;
+        write_sidecar vfs t.path stream_id;
+        t.stream_id <- stream_id;
+        t.snapshots_loaded <- t.snapshots_loaded + 1;
+        Pobs.Metrics.inc m_snapshots_applied;
+        let p = Pager.open_file ~vfs t.path in
+        if Pager.lsn p <> lsn then
+          Printf.eprintf "replica: snapshot header lsn %d != announced %d\n%!"
+            (Pager.lsn p) lsn;
+        t.pager <- Some p)
+
+  (** Apply one delta; returns the file's LSN afterwards (unchanged when
+      the record was a duplicate from a resumed stream). *)
+  let apply_delta t ~lsn ~(pages : (int * string) list) : int =
+    with_lock t (fun () ->
+        match t.pager with
+        | None -> fail "delta before any snapshot: replica has no database file"
+        | Some p ->
+            if lsn <= Pager.lsn p then Pager.lsn p
+            else begin
+              Pager.begin_tx p;
+              (try
+                 List.iter
+                   (fun (no, data) ->
+                     while no >= Pager.page_count p do
+                       ignore (Pager.allocate p)
+                     done;
+                     Pager.with_write p no (fun b ->
+                         Bytes.blit_string data 0 b 0 Pager.page_size))
+                   pages;
+                 Pager.commit ~lsn p
+               with e ->
+                 (try Pager.abort p with _ -> ());
+                 raise e);
+              t.applied_records <- t.applied_records + 1;
+              Pobs.Metrics.inc m_applied_records;
+              Pobs.Metrics.addi m_applied_bytes (List.length pages * Pager.page_size);
+              Pager.lsn p
+            end)
+
+  let close t =
+    with_lock t (fun () ->
+        (match t.pager with Some p -> Pager.close p | None -> ());
+        t.pager <- None)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Client session: connect, handshake, apply, ack, reconnect           *)
+(* ------------------------------------------------------------------ *)
+
+let backoff_initial = 0.05
+let backoff_cap = 2.0
+
+type session = {
+  apply : Apply.t;
+  host : string;
+  port : int;
+  running : bool ref;
+  mutable link : Link.t option;
+  mutable connected : bool;
+  mutable reconnects : int;
+  mutable last_error : string;
+  mutable on_applied : int -> unit; (* called (outside the lock) after the LSN advances *)
+  mutable thread : Thread.t option;
+}
+
+(* One connection's lifetime: hello, then apply-and-ack until the link
+   dies or the session is stopped. *)
+let run_once (s : session) =
+  let link = Link.connect ~host:s.host ~port:s.port in
+  s.link <- Some link;
+  Fun.protect
+    ~finally:(fun () ->
+      s.connected <- false;
+      s.link <- None;
+      link.Link.close ())
+    (fun () ->
+      Wire.to_link link
+        (Wire.Hello { stream_id = Apply.stream_id s.apply; last_lsn = Apply.last_lsn s.apply });
+      s.connected <- true;
+      s.last_error <- "";
+      while !(s.running) do
+        (* Bounded poll so a stop request is noticed promptly even on an
+           idle stream. *)
+        if link.Link.poll 0.25 then begin
+          let applied =
+            match Wire.from_link link with
+            | Wire.Snapshot { stream_id; lsn; data } ->
+                Apply.install_snapshot s.apply ~stream_id ~lsn ~data;
+                lsn
+            | Wire.Delta { lsn; pages } -> Apply.apply_delta s.apply ~lsn ~pages
+            | _ -> raise (Wire.Wire_error "unexpected frame from primary")
+          in
+          (* Ack only what is durably applied; duplicates re-ack the
+             current LSN, which the primary treats as a no-op. *)
+          Wire.to_link link (Wire.Ack { lsn = applied });
+          s.on_applied applied
+        end
+      done)
+
+(** Start the replication client: a background thread that follows
+    [host:port] and keeps the file at [path] in sync, reconnecting with
+    capped exponential backoff (50 ms doubling to 2 s) and resuming from
+    the file's last durable LSN. *)
+let start ?(vfs = Vfs.unix) ~host ~port path : session =
+  let s =
+    {
+      apply = Apply.create ~vfs path;
+      host;
+      port;
+      running = ref true;
+      link = None;
+      connected = false;
+      reconnects = 0;
+      last_error = "";
+      on_applied = (fun _ -> ());
+      thread = None;
+    }
+  in
+  let th =
+    Thread.create
+      (fun () ->
+        let delay = ref backoff_initial in
+        while !(s.running) do
+          (match run_once s with
+          | () -> ()
+          | exception (Link.Link_down m | Wire.Wire_error m | Replica_error m) ->
+              s.last_error <- m
+          | exception Pager.Io_error { op; path; _ } ->
+              s.last_error <- Printf.sprintf "io error: %s %s" op path
+          | exception e -> s.last_error <- Printexc.to_string e);
+          if !(s.running) then begin
+            s.reconnects <- s.reconnects + 1;
+            Pobs.Metrics.inc m_reconnects;
+            Thread.delay !delay;
+            delay := min (!delay *. 2.) backoff_cap
+          end;
+          (* a session that made it to a connect resets the backoff *)
+          if s.last_error = "" then delay := backoff_initial
+        done)
+      ()
+  in
+  s.thread <- Some th;
+  s
+
+let stop (s : session) =
+  s.running := false;
+  (match s.link with Some l -> (try l.Link.close () with _ -> ()) | None -> ());
+  (match s.thread with Some th -> (try Thread.join th with _ -> ()) | None -> ());
+  Apply.close s.apply
+
+(** The replica half of the [/repl] admin document. *)
+let status_json (s : session) : string =
+  let open Pobs.Json in
+  to_string
+    (Obj
+       [
+         ("role", Str "replica");
+         ("primary", Str (Printf.sprintf "%s:%d" s.host s.port));
+         ("stream_id", Int (Apply.stream_id s.apply));
+         ("applied_lsn", Int (Apply.last_lsn s.apply));
+         ("applied_records", Int s.apply.Apply.applied_records);
+         ("snapshots_loaded", Int s.apply.Apply.snapshots_loaded);
+         ("connected", Bool s.connected);
+         ("reconnects", Int s.reconnects);
+         ("last_error", Str s.last_error);
+       ])

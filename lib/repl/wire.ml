@@ -1,0 +1,141 @@
+(** The replication wire protocol: length-prefixed, CRC-protected frames.
+
+    {v
+      off 0 : u32  magic "PDRL"
+      off 4 : u8   frame type
+      off 5 : u32  payload length
+      off 9 : payload bytes
+      then  : u32  CRC-32 of the payload
+    v}
+
+    Payloads (all little-endian, via {!Pstore.Codec}):
+
+    - [Hello]    (replica → primary): [i64 stream_id | i64 last_lsn] —
+      the replica announces which stream it last followed and the LSN
+      its file is durably at; the primary answers by resuming the delta
+      stream past that LSN, or by sending a full [Snapshot] when it
+      cannot (unknown stream, backlog evicted, replica ahead).
+    - [Snapshot] (primary → replica): [i64 stream_id | i64 lsn | string
+      file bytes] — a consistent image of the whole database file at
+      [lsn].
+    - [Delta]    (primary → replica): [i64 lsn | u32 npages |
+      (i64 page_no | page bytes)*] — one committed transaction's
+      after-images (see {!Pstore.Pager.redo_record}).
+    - [Ack]      (replica → primary): [i64 lsn] — durably applied.
+
+    Anything malformed — bad magic, unknown type, oversized payload,
+    CRC mismatch, or a mid-frame EOF — raises {!Wire_error}; the
+    connection is abandoned and the replica's reconnect/resume protocol
+    recovers, so a torn frame can never be half-applied. *)
+
+open Pstore
+
+exception Wire_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Wire_error s)) fmt
+
+let magic = 0x5044524C (* "PDRL" *)
+let header_size = 9
+
+(** Upper bound on a payload: a snapshot of a ~1 GiB database file.
+    Anything larger is treated as a corrupt length field. *)
+let max_payload = 1 lsl 30
+
+type frame =
+  | Hello of { stream_id : int; last_lsn : int }
+  | Snapshot of { stream_id : int; lsn : int; data : string }
+  | Delta of { lsn : int; pages : (int * string) list }
+  | Ack of { lsn : int }
+
+let type_byte = function Hello _ -> 1 | Snapshot _ -> 2 | Delta _ -> 3 | Ack _ -> 4
+
+let encode_payload (f : frame) : string =
+  let e = Codec.Enc.create () in
+  (match f with
+  | Hello { stream_id; last_lsn } ->
+      Codec.Enc.int e stream_id;
+      Codec.Enc.int e last_lsn
+  | Snapshot { stream_id; lsn; data } ->
+      Codec.Enc.int e stream_id;
+      Codec.Enc.int e lsn;
+      Codec.Enc.string e data
+  | Delta { lsn; pages } ->
+      Codec.Enc.int e lsn;
+      Codec.Enc.u32 e (List.length pages);
+      List.iter
+        (fun (no, data) ->
+          if String.length data <> Pager.page_size then
+            err "delta page %d has %d bytes (want %d)" no (String.length data)
+              Pager.page_size;
+          Codec.Enc.int e no;
+          Codec.Enc.raw e data)
+        pages
+  | Ack { lsn } -> Codec.Enc.int e lsn);
+  Codec.Enc.to_string e
+
+let decode_payload ty (payload : string) : frame =
+  let d = Codec.Dec.of_string payload in
+  try
+    let f =
+      match ty with
+      | 1 ->
+          let stream_id = Codec.Dec.int d in
+          let last_lsn = Codec.Dec.int d in
+          Hello { stream_id; last_lsn }
+      | 2 ->
+          let stream_id = Codec.Dec.int d in
+          let lsn = Codec.Dec.int d in
+          let data = Codec.Dec.string d in
+          Snapshot { stream_id; lsn; data }
+      | 3 ->
+          let lsn = Codec.Dec.int d in
+          let n = Codec.Dec.u32 d in
+          let pages =
+            List.init n (fun _ ->
+                let no = Codec.Dec.int d in
+                Codec.Dec.need d Pager.page_size;
+                let data = String.sub payload d.Codec.Dec.pos Pager.page_size in
+                d.Codec.Dec.pos <- d.Codec.Dec.pos + Pager.page_size;
+                (no, data))
+          in
+          Delta { lsn; pages }
+      | 4 -> Ack { lsn = Codec.Dec.int d }
+      | ty -> err "unknown frame type %d" ty
+    in
+    if Codec.Dec.remaining d <> 0 then err "trailing bytes in frame payload";
+    f
+  with Codec.Corrupt m -> err "corrupt payload: %s" m
+
+(** The complete on-wire encoding of a frame. *)
+let encode (f : frame) : string =
+  let payload = encode_payload f in
+  let e = Codec.Enc.create ~size:(header_size + String.length payload + 4) () in
+  Codec.Enc.u32 e magic;
+  Codec.Enc.u8 e (type_byte f);
+  Codec.Enc.u32 e (String.length payload);
+  Codec.Enc.raw e payload;
+  Codec.Enc.u32 e (Int32.to_int (Codec.Crc32.digest payload) land 0xffffffff);
+  Codec.Enc.to_string e
+
+let to_link (l : Link.t) (f : frame) : unit =
+  let s = encode f in
+  Link.really_send l (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
+
+(** Read one frame off the link.  Mid-frame EOF surfaces as
+    {!Link.Link_down} (the transport died); structural damage — the
+    bytes arrived but are not a frame — as {!Wire_error}. *)
+let from_link (l : Link.t) : frame =
+  let hdr = Bytes.create header_size in
+  Link.really_recv l hdr ~off:0 ~len:header_size;
+  let m = Int32.to_int (Bytes.get_int32_le hdr 0) land 0xffffffff in
+  if m <> magic then err "bad frame magic 0x%08x" m;
+  let ty = Bytes.get_uint8 hdr 4 in
+  let len = Int32.to_int (Bytes.get_int32_le hdr 5) land 0xffffffff in
+  if len > max_payload then err "frame payload of %d bytes exceeds limit" len;
+  let body = Bytes.create (len + 4) in
+  Link.really_recv l body ~off:0 ~len:(len + 4);
+  let payload = Bytes.sub_string body 0 len in
+  let crc = Int32.to_int (Bytes.get_int32_le body len) land 0xffffffff in
+  if Int32.to_int (Codec.Crc32.digest payload) land 0xffffffff <> crc then
+    err "frame CRC mismatch";
+  decode_payload ty payload

@@ -255,8 +255,29 @@ let drain_headers inp =
     go ()
   with End_of_file | Line_too_long -> ()
 
+(* How often the accept loop wakes to check the stop flag when no
+   connection is pending.  Bounds shutdown latency. *)
+let accept_poll_s = 0.25
+
 (** Serve [db] on [port] until [max_requests] requests have been
-    handled (None = forever).
+    handled (None = forever), [stop] is set, or a SIGTERM/SIGINT
+    arrives.
+
+    Graceful shutdown: signals only set a flag; the in-flight request
+    is always finished and responded to, then the listen socket is
+    closed, the previous signal dispositions are restored, and [serve]
+    returns so the caller can flush and close the store.  The accept
+    loop waits in [select] with a short timeout rather than a blocking
+    [accept], so a stop request on an idle server is honoured within
+    {!accept_poll_s}.
+
+    Replication hooks: [?readonly] rejects every non-GET method with
+    403 (a read-only replica serves queries but accepts no writes),
+    [?repl_status] is exposed verbatim as [GET /repl] (JSON), and
+    [?db_provider], when given, supplies the database handle per
+    request — the replica swaps in a fresh read-only handle as applied
+    LSNs advance.  [?ready] is called with the actually bound port
+    (useful with [~port:0]) once the socket is listening.
 
     Robust against misbehaving clients: SIGPIPE is ignored (a client
     closing mid-response must surface as [EPIPE], not kill the
@@ -264,47 +285,85 @@ let drain_headers inp =
     request lines and headers are size-bounded, and sockets carry
     send/receive timeouts so a stalled client cannot wedge the
     single-threaded accept loop. *)
-let serve ?(host = "127.0.0.1") ?max_requests (db : Database.t) ~port () =
+let serve ?(host = "127.0.0.1") ?max_requests ?stop ?ready ?(readonly = false)
+    ?repl_status ?db_provider (db : Database.t) ~port () =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> () (* no SIGPIPE on this platform *));
+  let stop = match stop with Some r -> r | None -> ref false in
+  let install signum =
+    try Some (signum, Sys.signal signum (Sys.Signal_handle (fun _ -> stop := true)))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let saved = List.filter_map install [ Sys.sigterm; Sys.sigint ] in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
   Unix.listen sock 16;
-  Printf.printf "prometheus: serving on http://%s:%d/\n%!" host port;
+  let bound_port =
+    match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  (match ready with Some f -> f bound_port | None -> ());
+  Printf.printf "prometheus: serving on http://%s:%d/%s\n%!" host bound_port
+    (if readonly then " (read-only replica)" else "");
   let handled = ref 0 in
-  let continue () = match max_requests with None -> true | Some m -> !handled < m in
+  let continue () =
+    (not !stop) && match max_requests with None -> true | Some m -> !handled < m
+  in
   while continue () do
-    let client, _addr = Unix.accept sock in
-    (try
-       (try
-          Unix.setsockopt_float client Unix.SO_RCVTIMEO client_timeout_s;
-          Unix.setsockopt_float client Unix.SO_SNDTIMEO client_timeout_s
-        with Unix.Unix_error _ -> ());
-       let inp = Unix.in_channel_of_descr client in
-       let out = Unix.out_channel_of_descr client in
-       (match read_line_bounded inp ~max:max_request_line with
-       | line -> (
-           drain_headers inp;
-           match parse_request_line (String.trim line) with
-           | Some ("GET", target) ->
-               let path, params = split_target target in
-               Pobs.Metrics.inc m_requests;
-               let status, body =
-                 Pobs.Metrics.time m_request_ns (fun () -> handle db path params)
-               in
-               respond out ~status ~content_type:(content_type_of_path path) ~body
-           | Some _ -> respond out ~status:"405 Method Not Allowed" ~body:"GET only\n"
-           | None -> respond out ~status:"400 Bad Request" ~body:"bad request\n")
-       | exception End_of_file -> () (* client disconnected before sending *)
-       | exception Line_too_long ->
-           respond out ~status:"414 URI Too Long" ~body:"request line too long\n");
-       flush out
-     with e ->
-       (* EPIPE/ECONNRESET/timeout from this client: log and move on;
-          one broken connection must never take the server down. *)
-       Printf.eprintf "prometheus: client error: %s\n%!" (Printexc.to_string e));
-    (try Unix.close client with Unix.Unix_error _ -> ());
-    incr handled
+    (* Wait for a connection with a bounded select so [stop] — set by a
+       signal handler or another thread — is noticed on an idle server.
+       EINTR (the signal itself) just re-checks the flag. *)
+    let pending =
+      match Unix.select [ sock ] [] [] accept_poll_s with
+      | [], _, _ -> false
+      | _ -> true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+    in
+    if pending && continue () then begin
+      let client, _addr = Unix.accept sock in
+      (try
+         (try
+            Unix.setsockopt_float client Unix.SO_RCVTIMEO client_timeout_s;
+            Unix.setsockopt_float client Unix.SO_SNDTIMEO client_timeout_s
+          with Unix.Unix_error _ -> ());
+         let inp = Unix.in_channel_of_descr client in
+         let out = Unix.out_channel_of_descr client in
+         (match read_line_bounded inp ~max:max_request_line with
+         | line -> (
+             drain_headers inp;
+             match parse_request_line (String.trim line) with
+             | Some ("GET", target) ->
+                 let db = match db_provider with Some f -> f () | None -> db in
+                 let path, params = split_target target in
+                 Pobs.Metrics.inc m_requests;
+                 let status, body =
+                   Pobs.Metrics.time m_request_ns (fun () ->
+                       match (path, repl_status) with
+                       | "/repl", Some f -> ("200 OK", f () ^ "\n")
+                       | _ -> handle db path params)
+                 in
+                 let content_type =
+                   if path = "/repl" then "application/json; charset=utf-8"
+                   else content_type_of_path path
+                 in
+                 respond out ~status ~content_type ~body
+             | Some _ when readonly ->
+                 respond out ~status:"403 Forbidden" ~body:"read-only replica\n"
+             | Some _ -> respond out ~status:"405 Method Not Allowed" ~body:"GET only\n"
+             | None -> respond out ~status:"400 Bad Request" ~body:"bad request\n")
+         | exception End_of_file -> () (* client disconnected before sending *)
+         | exception Line_too_long ->
+             respond out ~status:"414 URI Too Long" ~body:"request line too long\n");
+         flush out
+       with e ->
+         (* EPIPE/ECONNRESET/timeout from this client: log and move on;
+            one broken connection must never take the server down. *)
+         Printf.eprintf "prometheus: client error: %s\n%!" (Printexc.to_string e));
+      (try Unix.close client with Unix.Unix_error _ -> ());
+      incr handled
+    end
   done;
-  Unix.close sock
+  Unix.close sock;
+  List.iter
+    (fun (signum, prev) -> try Sys.set_signal signum prev with Invalid_argument _ | Sys_error _ -> ())
+    saved

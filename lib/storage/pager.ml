@@ -101,6 +101,24 @@ let m_recoveries =
   Pobs.Metrics.counter "pdb_pager_recoveries_total"
     ~help:"Journal replays performed on open or abort"
 
+(* ------------------------------------------------------------------ *)
+(* Log sequence numbers and redo records                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Byte offset of the commit LSN inside the header page (page 0).  The
+    store header uses offsets 0..27 (magic, version, next_oid, dir_root,
+    free_head); the LSN claims the next 8 bytes.  Pre-PR5 files carry
+    zeroes here, which reads back as LSN 0 — "never replicated". *)
+let lsn_header_off = 28
+
+(** A committed transaction's after-images: every page dirtied since the
+    previous commit, captured at the commit point, stamped with the LSN
+    the commit advanced the header to.  This is what physical
+    replication ships: the pager journals *before*-images for rollback,
+    so the redo stream is the complement — the coalesced writeback set.
+    Pages are sorted by page number; images are immutable copies. *)
+type redo_record = { lsn : int; pages : (int * string) list }
+
 type page = {
   no : int;
   data : Bytes.t;
@@ -147,8 +165,16 @@ type t = {
   path : string;
   journal_path : string;
   created : bool; (* the file was empty when opened (after recovery) *)
+  readonly : bool;
   cfg : config;
   mutable page_count : int;
+  mutable lsn : int; (* header LSN; advanced by each page-dirtying commit *)
+  mutable redo_hook : (redo_record -> unit) option;
+  since_commit : (int, unit) Hashtbl.t;
+      (* pages dirtied since the last commit — the candidate after-image
+         set for the next redo record.  A safe superset: entries from
+         aborted transactions or out-of-tx writes stay and ship their
+         (reverted or checkpointed) on-disk content harmlessly. *)
   cache : (int, page) Hashtbl.t;
   mutable cache_cap : int;
   mutable tick : int;
@@ -386,6 +412,7 @@ let touch t (p : page) =
   p.lru <- t.tick
 
 let mark_dirty t (p : page) =
+  Hashtbl.replace t.since_commit p.no ();
   if not p.dirty then begin
     p.dirty <- true;
     t.dirty_count <- t.dirty_count + 1;
@@ -555,20 +582,36 @@ let recover_from_journal ~(vfs : Vfs.t) path journal_path =
   if vfs.Vfs.exists journal_path then
     io ~op:"remove" ~path:journal_path (fun () -> vfs.Vfs.remove journal_path)
 
-let open_file ?(cache_pages = 2048) ?(config = default_config) ?(vfs = Vfs.unix) path =
+let open_file ?(cache_pages = 2048) ?(config = default_config) ?(vfs = Vfs.unix)
+    ?(readonly = false) path =
   let journal_path = path ^ ".journal" in
-  if vfs.Vfs.exists path then recover_from_journal ~vfs path journal_path;
+  if readonly then begin
+    (* A read-only pager must not write — and recovery both writes the
+       data file and *removes* the journal, which would pull the rug out
+       from under a concurrent writer (e.g. a replica applier holding the
+       same path).  A journal with valid frames means the file needs
+       recovery; refuse loudly rather than serve a torn image. *)
+    if not (vfs.Vfs.exists path) then fail "readonly open: %s does not exist" path;
+    if journal_read_frames ~vfs journal_path <> [] then
+      fail "readonly open: %s has a journal with pending frames" path
+  end
+  else if vfs.Vfs.exists path then recover_from_journal ~vfs path journal_path;
   let fd = io ~op:"open" ~path (fun () -> vfs.Vfs.open_file path) in
   let size = io ~op:"size" ~path (fun () -> fd.Vfs.size ()) in
   let page_count = (size + page_size - 1) / page_size in
+  let t =
   {
     vfs;
     fd;
     path;
     journal_path;
     created = size = 0;
+    readonly;
     cfg = config;
     page_count = max page_count 1;
+    lsn = 0;
+    redo_hook = None;
+    since_commit = Hashtbl.create 64;
     cache = Hashtbl.create 1024;
     cache_cap = cache_pages;
     tick = 0;
@@ -592,8 +635,30 @@ let open_file ?(cache_pages = 2048) ?(config = default_config) ?(vfs = Vfs.unix)
     evictions = 0;
     journal_bytes = 0;
   }
+  in
+  if size > 0 then begin
+    (* Seed the LSN from the header page; a pre-PR5 file reads 0. *)
+    let hdr = (load_page t 0).data in
+    t.lsn <- Int64.to_int (Bytes.get_int64_le hdr lsn_header_off)
+  end;
+  t
 
 let page_count t = t.page_count
+
+(** The header LSN: the sequence number of the last page-dirtying commit
+    applied to this file.  0 on a fresh (or pre-PR5) store. *)
+let lsn t = t.lsn
+
+let is_readonly t = t.readonly
+
+(** Install the redo hook.  After every commit that dirtied at least one
+    page, the hook receives the {!redo_record} of after-images.  It runs
+    *after* the commit point (journal truncated, data durable);
+    exceptions it raises are logged and swallowed — a replication
+    subscriber must never wedge the committing writer. *)
+let set_redo_hook t f = t.redo_hook <- Some f
+
+let clear_redo_hook t = t.redo_hook <- None
 
 (** True if the file was empty when this pager opened it (i.e. the
     store is brand new, not merely missing its header magic). *)
@@ -613,6 +678,7 @@ let read t no : Bytes.t =
 (** Mutate page [no].  Inside a transaction the before-image is
     journaled on first touch. *)
 let with_write t no (f : Bytes.t -> 'a) : 'a =
+  if t.readonly then fail "write: pager is read-only";
   if no < 0 || no >= t.page_count then fail "write: page %d out of range (count %d)" no t.page_count;
   let p = load_page t no in
   if t.in_tx && (not (Hashtbl.mem t.journaled no)) && not (Hashtbl.mem t.tx_new_pages no)
@@ -626,6 +692,7 @@ let with_write t no (f : Bytes.t -> 'a) : 'a =
 (** Allocate a fresh page at the end of the file; returns its number.
     The page is zero-filled. *)
 let allocate t : int =
+  if t.readonly then fail "allocate: pager is read-only";
   let no = t.page_count in
   t.page_count <- t.page_count + 1;
   let data = Bytes.make page_size '\000' in
@@ -650,6 +717,7 @@ let flush_all t =
   end
 
 let begin_tx t =
+  if t.readonly then fail "begin_tx: pager is read-only";
   if t.in_tx then fail "nested transactions are not supported at the pager level";
   (* Checkpoint: pre-transaction state must be durable on disk, because
      abort discards the cache and reconstructs state from the file plus
@@ -662,12 +730,57 @@ let begin_tx t =
   Hashtbl.reset t.journaled;
   Hashtbl.reset t.tx_new_pages
 
-let commit t =
+(* Commit: advance the LSN iff the commit set is non-empty, capture the
+   after-images for the redo hook, then make everything durable.
+
+   The LSN lives on page 0 and is written through {!with_write}, so its
+   before-image is journaled: a crash before the commit point rolls the
+   LSN back together with the data it stamps.  Commits that dirtied
+   nothing skip the bump entirely — this preserves the lazy-checkpoint
+   fast path where an empty-journal commit costs no syscalls.
+
+   [?lsn] lets a replica applier stamp the *primary's* LSN instead of
+   incrementing, keeping both headers (and so both files) byte-identical.
+
+   The hook runs strictly after the commit point with exceptions logged
+   and swallowed: the transaction is already durable, and letting a
+   subscriber failure escape would leave the store's tx bookkeeping
+   wedged over data that in fact committed. *)
+let commit ?lsn t =
   if not t.in_tx then fail "commit outside transaction";
+  let advanced = Hashtbl.length t.since_commit > 0 in
+  if advanced then begin
+    let next = match lsn with Some l -> l | None -> t.lsn + 1 in
+    with_write t 0 (fun hdr -> Bytes.set_int64_le hdr lsn_header_off (Int64.of_int next));
+    t.lsn <- next
+  end;
+  let record =
+    match t.redo_hook with
+    | Some _ when advanced ->
+        (* Pages allocated by a since-aborted transaction can linger in
+           the set above the current page count; they no longer exist. *)
+        let pages =
+          Hashtbl.fold
+            (fun no () acc ->
+              if no < t.page_count then (no, Bytes.to_string (read t no)) :: acc else acc)
+            t.since_commit []
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+        in
+        Some { lsn = t.lsn; pages }
+    | _ -> None
+  in
   flush_all t;
   journal_truncate t;
   t.in_tx <- false;
-  Pobs.Metrics.inc m_commits
+  Hashtbl.reset t.since_commit;
+  Pobs.Metrics.inc m_commits;
+  match (record, t.redo_hook) with
+  | Some r, Some hook -> (
+      try hook r
+      with e ->
+        Printf.eprintf "pager: redo hook failed at lsn %d: %s\n%!" r.lsn
+          (Printexc.to_string e))
+  | _ -> ()
 
 let abort t =
   if not t.in_tx then fail "abort outside transaction";
@@ -694,12 +807,17 @@ let abort t =
   t.journal_synced <- true;
   let size = io ~op:"size" ~path:t.path (fun () -> t.fd.Vfs.size ()) in
   t.page_count <- max ((size + page_size - 1) / page_size) 1;
+  (* The rollback may have restored a pre-bump header (a commit that
+     crashed after stamping the LSN but before its commit point);
+     re-read it so the in-memory LSN cannot drift ahead of disk. *)
+  if size > 0 then
+    t.lsn <- Int64.to_int (Bytes.get_int64_le (load_page t 0).data lsn_header_off);
   t.in_tx <- false;
   Pobs.Metrics.inc m_aborts
 
 let close t =
   if t.in_tx then abort t;
-  flush_all t;
+  if not t.readonly then flush_all t;
   (match t.jfd with
   | Some fd -> io ~op:"close" ~path:t.journal_path (fun () -> fd.Vfs.close ())
   | None -> ());

@@ -101,14 +101,16 @@ let header_all_zero hdr =
   let rec go i = i >= Bytes.length hdr || (Bytes.get hdr i = '\000' && go (i + 1)) in
   go 0
 
-let open_ ?cache_pages ?config ?(vfs = Vfs.unix) path =
-  let pager = Pager.open_file ?cache_pages ?config ~vfs path in
+let open_ ?cache_pages ?config ?(vfs = Vfs.unix) ?readonly path =
+  let pager = Pager.open_file ?cache_pages ?config ~vfs ?readonly path in
   let hdr = Pager.read pager 0 in
   (* A brand-new store is an empty file, or one whose header page
      recovery rolled back to zeros (a crash during initialisation).  A
      non-empty file with a damaged header is *corruption* and must fail
      loudly, never be silently re-initialised over. *)
   let fresh = Pager.created pager || header_all_zero hdr in
+  if fresh && Pager.is_readonly pager then
+    fail "%s: readonly open of an uninitialised store" path;
   if fresh then begin
     (* Initialise under the journal so a crash mid-initialisation rolls
        the header back to zeros instead of leaving a torn half-header.
@@ -136,6 +138,21 @@ let open_ ?cache_pages ?config ?(vfs = Vfs.unix) path =
   { pager; vfs; heap; dir; next_oid = hdr_read_next_oid pager; tx_depth = 0; path }
 
 let path t = t.path
+
+(** The underlying pager — the replication layer feeds from and applies
+    through it directly. *)
+let pager t = t.pager
+
+(** The header LSN of the last page-dirtying commit (see {!Pager.lsn}). *)
+let lsn t = Pager.lsn t.pager
+
+let is_readonly t = Pager.is_readonly t.pager
+
+(** Install the pager redo hook: called after every page-dirtying commit
+    with the LSN-stamped after-image record (see {!Pager.set_redo_hook}). *)
+let set_redo_hook t f = Pager.set_redo_hook t.pager f
+
+let clear_redo_hook t = Pager.clear_redo_hook t.pager
 
 (* --- transactions ---------------------------------------------------------- *)
 
@@ -189,7 +206,7 @@ let close t =
   (* Persist the oid high-water mark under the journal: an unjournaled
      header write here could be torn by a crash and take the whole
      store with it. *)
-  if hdr_read_next_oid t.pager <> t.next_oid then begin
+  if (not (Pager.is_readonly t.pager)) && hdr_read_next_oid t.pager <> t.next_oid then begin
     Pager.begin_tx t.pager;
     hdr_write_next_oid t.pager t.next_oid;
     Pager.commit t.pager

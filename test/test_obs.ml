@@ -499,6 +499,39 @@ let test_overhead_smoke () =
         Alcotest.fail
           (Printf.sprintf "metrics-on overhead pathological: off %.6fs on %.6fs" off on))
 
+(* --- slow-query log: configurable threshold --------------------------- *)
+
+let test_slowlog_threshold () =
+  with_db (fun db ->
+      ignore (Database.define_class db "Star" [ Meta.attr "name" Value.TString ]);
+      ignore (Database.create db "Star" [ ("name", Value.VString "sun") ]);
+      Fun.protect
+        ~finally:(fun () ->
+          Pobs.Slowlog.set_threshold_ns Pobs.Slowlog.default_threshold_ns;
+          Pobs.Slowlog.clear ())
+        (fun () ->
+          Pobs.Slowlog.clear ();
+          (* a prohibitive threshold logs nothing *)
+          Pobs.Slowlog.set_threshold_ms 60_000.;
+          ignore (Pool_lang.Pool.query db "select s.name from Star s");
+          Alcotest.(check int) "fast query not logged" 0
+            (List.length (Pobs.Slowlog.entries ()));
+          (* threshold 0 — "log every query", what pdb --slowlog-ms 0 sets *)
+          Pobs.Slowlog.set_threshold_ns 0;
+          let q = "select s.name from Star s where s.name = 'sun'" in
+          ignore (Pool_lang.Pool.query db q);
+          (match Pobs.Slowlog.entries () with
+          | [ e ] ->
+              Alcotest.(check string) "entry names the query" q e.Pobs.Slowlog.query;
+              Alcotest.(check bool) "duration recorded" true (e.Pobs.Slowlog.dur_ns >= 0)
+          | es -> Alcotest.failf "expected 1 slow entry, got %d" (List.length es));
+          (* negative values clamp to "log everything" *)
+          Pobs.Slowlog.set_threshold_ns (-5);
+          Alcotest.(check int) "negative clamps to zero" 0 !Pobs.Slowlog.threshold_ns;
+          (* the ms convenience setter feeds the same knob *)
+          Pobs.Slowlog.set_threshold_ms 2.5;
+          Alcotest.(check int) "ms setter converts" 2_500_000 !Pobs.Slowlog.threshold_ns))
+
 let () =
   Alcotest.run "obs"
     [
@@ -523,6 +556,8 @@ let () =
           Alcotest.test_case "shared JSON escaper" `Quick test_json_escaper;
           Alcotest.test_case "/stats JSON well-formed" `Quick test_stats_json_well_formed;
         ] );
+      ( "slowlog",
+        [ Alcotest.test_case "threshold is configurable" `Quick test_slowlog_threshold ] );
       ( "overhead",
         [ Alcotest.test_case "metrics-on vs metrics-off smoke" `Quick test_overhead_smoke ] );
     ]
