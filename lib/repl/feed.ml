@@ -189,6 +189,28 @@ let deltas_after t ~after : record list =
       Queue.fold (fun acc r -> if r.r_lsn > after then r :: acc else acc) [] t.backlog
       |> List.rev)
 
+(** What the sender should push next for a connection whose stream is at
+    [after]: the backlog tail — but {e only} when the backlog still
+    starts at or before [after + 1].  LSNs are dense, so a backlog that
+    was evicted past [after] has lost records this connection never saw;
+    shipping the survivors would silently skip the evicted pages and
+    diverge the replica.  In that case the connection restarts from a
+    fresh snapshot.  The check and the read happen under one lock so an
+    eviction cannot slip between them. *)
+let next_batch t ~after : [ `Deltas of record list | `Snapshot of int * string ] =
+  locked t (fun () ->
+      if after >= backlog_start t - 1 then
+        `Deltas
+          (Queue.fold
+             (fun acc r -> if r.r_lsn > after then r :: acc else acc)
+             [] t.backlog
+          |> List.rev)
+      else begin
+        t.snapshots_sent <- t.snapshots_sent + 1;
+        Pobs.Metrics.inc m_snapshots;
+        `Snapshot (t.lsn, Bytes.sub_string t.mirror 0 (t.mirror_pages * Pager.page_size))
+      end)
+
 (* Lag gauges: LSN distance to the slowest live connection, and the
    commit-to-ack time of the record just acked. *)
 let note_ack t (conn : conn) lsn =
@@ -221,10 +243,30 @@ let drop_conn t (c : conn) =
 
 (* --- the per-replica sender loop --------------------------------------- *)
 
+(* Headroom for the Snapshot frame's non-data fields (ints + string
+   header) under the wire payload cap. *)
+let max_snapshot_bytes = Wire.max_payload - 64
+
+(* A database bigger than the wire's payload cap cannot be framed as a
+   snapshot; replicas would reject the frame and re-request it forever.
+   Fail loudly here on the primary — the only place an operator can see
+   why bootstrap never completes. *)
+let send_snapshot t link ~lsn ~(data : string) =
+  if String.length data > max_snapshot_bytes then begin
+    Printf.eprintf
+      "repl: snapshot at lsn %d is %d bytes, over the %d-byte wire frame cap; \
+       replicas cannot bootstrap from this primary\n%!"
+      lsn (String.length data) Wire.max_payload;
+    raise (Wire.Wire_error "snapshot exceeds the wire frame cap")
+  end;
+  Wire.to_link link (Wire.Snapshot { stream_id = t.stream_id; lsn; data })
+
 (** Serve one replica connection until the link dies or [running] goes
     false.  Handshake (resume or snapshot), then a loop that drains
     inbound acks without blocking and pushes any backlog past what this
-    connection has seen. *)
+    connection has seen; if the backlog gets evicted past this
+    connection, the stream restarts with a fresh snapshot rather than
+    skipping records. *)
 let handle_conn t (link : Link.t) ~(running : bool ref) =
   let conn = register_conn t in
   Fun.protect
@@ -239,7 +281,7 @@ let handle_conn t (link : Link.t) ~(running : bool ref) =
             | `Resume -> last_lsn
             | `Snapshot ->
                 let lsn, data = snapshot t in
-                Wire.to_link link (Wire.Snapshot { stream_id = t.stream_id; lsn; data });
+                send_snapshot t link ~lsn ~data;
                 lsn
           in
           conn.sent_lsn <- start;
@@ -250,20 +292,24 @@ let handle_conn t (link : Link.t) ~(running : bool ref) =
               | Wire.Ack { lsn } -> note_ack t conn lsn
               | _ -> raise (Wire.Wire_error "unexpected frame from replica")
             done;
-            let pending = deltas_after t ~after:conn.sent_lsn in
-            if pending = [] then Thread.delay 0.02
-            else
-              List.iter
-                (fun r ->
-                  let f = Wire.Delta { lsn = r.r_lsn; pages = r.r_pages } in
-                  let s = Wire.encode f in
-                  Link.really_send link
-                    (Bytes.unsafe_of_string s)
-                    ~off:0 ~len:(String.length s);
-                  Pobs.Metrics.inc m_shipped_records;
-                  Pobs.Metrics.addi m_shipped_bytes (String.length s);
-                  conn.sent_lsn <- r.r_lsn)
-                pending
+            match next_batch t ~after:conn.sent_lsn with
+            | `Deltas [] -> Thread.delay 0.02
+            | `Deltas pending ->
+                List.iter
+                  (fun r ->
+                    let f = Wire.Delta { lsn = r.r_lsn; pages = r.r_pages } in
+                    let s = Wire.encode f in
+                    Link.really_send link
+                      (Bytes.unsafe_of_string s)
+                      ~off:0 ~len:(String.length s);
+                    Pobs.Metrics.inc m_shipped_records;
+                    Pobs.Metrics.addi m_shipped_bytes (String.length s);
+                    conn.sent_lsn <- r.r_lsn)
+                  pending
+            | `Snapshot (lsn, data) ->
+                (* the backlog no longer covers this connection *)
+                send_snapshot t link ~lsn ~data;
+                conn.sent_lsn <- lsn
           done
       | _ -> raise (Wire.Wire_error "expected Hello"))
 
@@ -274,15 +320,30 @@ type server = {
   port : int;
   running : bool ref;
   listener : Link.listener;
-  mutable threads : Thread.t list;
+  mutable acceptor : Thread.t option;
+  mutable threads : Thread.t list; (* handler threads; guarded by [sm] *)
+  mutable links : Link.t list; (* their live links; guarded by [sm] *)
+  sm : Mutex.t;
 }
+
+(* Cap on how long one send may block on a stalled replica before the
+   link is declared down (full TCP buffer on a wedged peer).  Dropping
+   such a replica is safe: it reconnects and resumes from its LSN. *)
+let sender_timeout_s = 30.
 
 (** Listen on [port] (0 = ephemeral; see {!server.port} for the actual
     one) and serve each replica on its own thread. *)
 let serve ?(host = "127.0.0.1") t ~port : server =
   let listener = Link.listen ~host ~port in
   let running = ref true in
-  let srv = { feed = t; port = listener.Link.bound_port; running; listener; threads = [] } in
+  let srv =
+    { feed = t; port = listener.Link.bound_port; running; listener;
+      acceptor = None; threads = []; links = []; sm = Mutex.create () }
+  in
+  let reg f =
+    Mutex.lock srv.sm;
+    Fun.protect ~finally:(fun () -> Mutex.unlock srv.sm) f
+  in
   let acceptor =
     Thread.create
       (fun () ->
@@ -290,27 +351,42 @@ let serve ?(host = "127.0.0.1") t ~port : server =
            would never notice [stop_server] closing the listener. *)
         while !running do
           if Link.poll_listener listener 0.25 && !running then
-            match Link.accept listener with
+            match Link.accept ~sndtimeo:sender_timeout_s listener with
             | link ->
+                reg (fun () -> srv.links <- link :: srv.links);
                 let th =
                   Thread.create
                     (fun () ->
-                      try handle_conn t link ~running
-                      with Link.Link_down _ | Wire.Wire_error _ | Pager.Io_error _ -> ())
+                      (try handle_conn t link ~running
+                       with Link.Link_down _ | Wire.Wire_error _ | Pager.Io_error _ -> ());
+                      reg (fun () ->
+                          srv.links <- List.filter (fun l -> l != link) srv.links))
                     ()
                 in
-                srv.threads <- th :: srv.threads
+                reg (fun () -> srv.threads <- th :: srv.threads)
             | exception Link.Link_down _ -> () (* listener closed: loop re-checks [running] *)
         done)
       ()
   in
-  srv.threads <- acceptor :: srv.threads;
+  srv.acceptor <- Some acceptor;
   srv
 
+(** Stop accepting, wake every sender — [shutdown], not [close], so a
+    thread blocked mid-send on a stalled replica fails over to
+    {!Link.Link_down} instead of wedging the join — and wait for all of
+    them.  The acceptor is joined first, so no new connection can
+    register behind the teardown's back. *)
 let stop_server (srv : server) =
   srv.running := false;
   Link.close_listener srv.listener;
-  List.iter (fun th -> try Thread.join th with _ -> ()) srv.threads
+  (match srv.acceptor with
+  | Some th -> ( try Thread.join th with _ -> ())
+  | None -> ());
+  Mutex.lock srv.sm;
+  let links = srv.links and threads = srv.threads in
+  Mutex.unlock srv.sm;
+  List.iter (fun l -> try l.Link.shutdown () with _ -> ()) links;
+  List.iter (fun th -> try Thread.join th with _ -> ()) threads
 
 (** The primary half of the [/repl] admin document. *)
 let status_json t : string =

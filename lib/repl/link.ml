@@ -24,6 +24,11 @@ type t = {
   recv : Bytes.t -> off:int -> len:int -> int;  (** 0 = peer closed *)
   poll : float -> bool;
   close : unit -> unit;
+  shutdown : unit -> unit;
+      (** Force any thread blocked in [send]/[recv] on this link to fail
+          with {!Link_down}, {e without} releasing the descriptor — safe
+          to call from another thread (a cross-thread [close] would race
+          fd reuse, and on Linux does not even wake a blocked writer). *)
 }
 
 let down fmt = Format.kasprintf (fun s -> raise (Link_down s)) fmt
@@ -51,8 +56,32 @@ let really_recv (l : t) buf ~off ~len =
 
 (* --- TCP --------------------------------------------------------------- *)
 
+(* A peer that vanishes mid-send must surface as EPIPE → Link_down, not
+   deliver a process-killing SIGPIPE; set once per endpoint creation. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
+(* [Unix.inet_addr_of_string] raises [Failure] on anything that is not a
+   numeric literal, so hostnames ("localhost", DNS names) go through
+   getaddrinfo.  Every failure mode becomes {!Link_down}. *)
+let resolve host port =
+  match Unix.inet_addr_of_string host with
+  | addr -> Unix.ADDR_INET (addr, port)
+  | exception Failure _ -> (
+      match
+        Unix.getaddrinfo host (string_of_int port)
+          [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+      with
+      | { Unix.ai_addr = Unix.ADDR_INET _ as addr; _ } :: _ -> addr
+      | _ -> down "cannot resolve host %S" host
+      | exception _ -> down "cannot resolve host %S" host)
+
 let of_fd fd : t =
   let closed = ref false in
+  (* serializes close/shutdown: a cross-thread [shutdown] must never
+     touch the descriptor after the owner's [close] released it *)
+  let cm = Mutex.create () in
   let rec send buf ~off ~len =
     match Unix.write fd buf off len with
     | n -> n
@@ -72,30 +101,42 @@ let of_fd fd : t =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
   in
   let close () =
+    Mutex.lock cm;
     if not !closed then begin
       closed := true;
-      try Unix.close fd with Unix.Unix_error _ -> ()
-    end
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+    end;
+    Mutex.unlock cm
   in
-  { send; recv; poll; close }
+  let shutdown () =
+    Mutex.lock cm;
+    if not !closed then (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    Mutex.unlock cm
+  in
+  { send; recv; poll; close; shutdown }
 
 let connect ~host ~port : t =
+  ignore_sigpipe ();
+  let addr = resolve host port in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
-     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.connect fd addr;
      Unix.setsockopt fd Unix.TCP_NODELAY true
-   with
-  | Unix.Unix_error (e, _, _) ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      down "connect %s:%d: %s" host port (Unix.error_message e));
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     (match e with
+     | Unix.Unix_error (er, _, _) ->
+         down "connect %s:%d: %s" host port (Unix.error_message er)
+     | e -> down "connect %s:%d: %s" host port (Printexc.to_string e)));
   of_fd fd
 
 type listener = { l_fd : Unix.file_descr; bound_port : int }
 
 let listen ~host ~port : listener =
+  ignore_sigpipe ();
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
-  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.bind fd (resolve host port);
   Unix.listen fd 16;
   let bound_port =
     match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
@@ -114,11 +155,19 @@ let poll_listener (l : listener) timeout =
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
   | exception Unix.Unix_error (_, _, _) -> false
 
-let accept (l : listener) : t =
+(** [sndtimeo] caps how long a [send] may block on a stalled peer (full
+    TCP buffer): past it the write fails with {!Link_down} instead of
+    wedging the sender thread forever. *)
+let accept ?sndtimeo (l : listener) : t =
   let rec go () =
     match Unix.accept l.l_fd with
     | fd, _addr ->
         (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+        (match sndtimeo with
+        | Some s -> (
+            try Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+            with Unix.Unix_error _ | Invalid_argument _ -> ())
+        | None -> ());
         of_fd fd
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
     | exception Unix.Unix_error (e, _, _) -> down "accept: %s" (Unix.error_message e)
@@ -210,14 +259,16 @@ let chan_close ch =
 let pair () : t * t =
   let a2b = chan () and b2a = chan () in
   let mk tx rx =
+    let close () =
+      chan_close tx;
+      chan_close rx
+    in
     {
       send = (fun buf ~off ~len -> chan_send tx buf ~off ~len);
       recv = (fun buf ~off ~len -> chan_recv rx buf ~off ~len);
       poll = (fun timeout -> chan_poll rx timeout);
-      close =
-        (fun () ->
-          chan_close tx;
-          chan_close rx);
+      close;
+      shutdown = close (* in-memory: closing the chans wakes both sides *);
     }
   in
   (mk a2b b2a, mk b2a a2b)
@@ -248,5 +299,6 @@ let of_string ?cut (s : string) : t * Buffer.t =
       recv;
       poll = (fun _ -> !pos < String.length s);
       close = (fun () -> ());
+      shutdown = (fun () -> ());
     },
     sent )

@@ -152,13 +152,21 @@ module Apply = struct
         t.pager <- Some p)
 
   (** Apply one delta; returns the file's LSN afterwards (unchanged when
-      the record was a duplicate from a resumed stream). *)
+      the record was a duplicate from a resumed stream).  LSNs are dense
+      — every page-dirtying commit is exactly [previous + 1] — so a
+      record that skips ahead means records were lost upstream (e.g.
+      evicted from the primary's backlog); applying it would silently
+      diverge.  Reject it instead: the session drops the link and the
+      re-handshake gets a fresh snapshot. *)
   let apply_delta t ~lsn ~(pages : (int * string) list) : int =
     with_lock t (fun () ->
         match t.pager with
         | None -> fail "delta before any snapshot: replica has no database file"
         | Some p ->
             if lsn <= Pager.lsn p then Pager.lsn p
+            else if lsn > Pager.lsn p + 1 then
+              fail "delta lsn %d skips past %d: records lost upstream" lsn
+                (Pager.lsn p)
             else begin
               Pager.begin_tx p;
               (try
@@ -200,6 +208,7 @@ type session = {
   running : bool ref;
   mutable link : Link.t option;
   mutable connected : bool;
+  mutable made_progress : bool; (* did the last run_once reach the stream? *)
   mutable reconnects : int;
   mutable last_error : string;
   mutable on_applied : int -> unit; (* called (outside the lock) after the LSN advances *)
@@ -220,6 +229,7 @@ let run_once (s : session) =
       Wire.to_link link
         (Wire.Hello { stream_id = Apply.stream_id s.apply; last_lsn = Apply.last_lsn s.apply });
       s.connected <- true;
+      s.made_progress <- true;
       s.last_error <- "";
       while !(s.running) do
         (* Bounded poll so a stop request is noticed promptly even on an
@@ -253,6 +263,7 @@ let start ?(vfs = Vfs.unix) ~host ~port path : session =
       running = ref true;
       link = None;
       connected = false;
+      made_progress = false;
       reconnects = 0;
       last_error = "";
       on_applied = (fun _ -> ());
@@ -264,6 +275,7 @@ let start ?(vfs = Vfs.unix) ~host ~port path : session =
       (fun () ->
         let delay = ref backoff_initial in
         while !(s.running) do
+          s.made_progress <- false;
           (match run_once s with
           | () -> ()
           | exception (Link.Link_down m | Wire.Wire_error m | Replica_error m) ->
@@ -271,14 +283,16 @@ let start ?(vfs = Vfs.unix) ~host ~port path : session =
           | exception Pager.Io_error { op; path; _ } ->
               s.last_error <- Printf.sprintf "io error: %s %s" op path
           | exception e -> s.last_error <- Printexc.to_string e);
+          (* a run that reached the stream resets the backoff — keyed on
+             the flag, not on [last_error], which the failure that ended
+             the run has already overwritten *)
+          if s.made_progress then delay := backoff_initial;
           if !(s.running) then begin
             s.reconnects <- s.reconnects + 1;
             Pobs.Metrics.inc m_reconnects;
             Thread.delay !delay;
             delay := min (!delay *. 2.) backoff_cap
-          end;
-          (* a session that made it to a connect resets the backoff *)
-          if s.last_error = "" then delay := backoff_initial
+          end
         done)
       ()
   in
@@ -287,7 +301,9 @@ let start ?(vfs = Vfs.unix) ~host ~port path : session =
 
 let stop (s : session) =
   s.running := false;
-  (match s.link with Some l -> (try l.Link.close () with _ -> ()) | None -> ());
+  (* shutdown, not close: it wakes a thread blocked mid-recv without
+     racing the session thread's own close of the same descriptor *)
+  (match s.link with Some l -> (try l.Link.shutdown () with _ -> ()) | None -> ());
   (match s.thread with Some th -> (try Thread.join th with _ -> ()) | None -> ());
   Apply.close s.apply
 

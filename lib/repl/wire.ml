@@ -106,9 +106,15 @@ let decode_payload ty (payload : string) : frame =
     f
   with Codec.Corrupt m -> err "corrupt payload: %s" m
 
-(** The complete on-wire encoding of a frame. *)
+(** The complete on-wire encoding of a frame.  A payload over
+    {!max_payload} (a snapshot of a > 1 GiB database) raises here, on
+    the {e sender}: the receiver would reject the length field anyway,
+    and failing at the source is the only place the error is visible. *)
 let encode (f : frame) : string =
   let payload = encode_payload f in
+  if String.length payload > max_payload then
+    err "frame payload of %d bytes exceeds the %d-byte limit"
+      (String.length payload) max_payload;
   let e = Codec.Enc.create ~size:(header_size + String.length payload + 4) () in
   Codec.Enc.u32 e magic;
   Codec.Enc.u8 e (type_byte f);

@@ -450,6 +450,35 @@ let test_feed_backlog_eviction () =
   Feed.detach feed;
   S.close s
 
+(* The sender's per-batch decision: a connection the backlog was evicted
+   past must get a snapshot, never the surviving (gappy) delta tail —
+   the silent-divergence hole the contiguity check closes. *)
+let test_feed_next_batch_eviction () =
+  let fs = F.create ~seed:(seed + 4) () in
+  let vfs = F.vfs fs in
+  let s = S.open_ ~vfs "batch.db" in
+  let feed = Feed.create ~backlog_cap_bytes:1 s in
+  for i = 1 to 4 do
+    S.with_tx s (fun () -> S.put s ~oid:i (String.make 500 'b'))
+  done;
+  let at = Feed.lsn feed in
+  (match Feed.next_batch feed ~after:at with
+  | `Deltas [] -> ()
+  | `Deltas _ -> Alcotest.fail "caught-up connection got deltas"
+  | `Snapshot _ -> Alcotest.fail "caught-up connection got a snapshot");
+  (match Feed.next_batch feed ~after:(at - 1) with
+  | `Deltas [ r ] -> Alcotest.(check int) "contiguous tail resumes" at r.Feed.r_lsn
+  | `Deltas rs -> Alcotest.failf "expected 1 delta, got %d" (List.length rs)
+  | `Snapshot _ -> Alcotest.fail "covered connection forced to snapshot");
+  (match Feed.next_batch feed ~after:(at - 2) with
+  | `Snapshot (lsn, data) ->
+      Alcotest.(check int) "snapshot is current" at lsn;
+      Alcotest.(check string) "snapshot is the primary image"
+        (file_bytes vfs "batch.db") data
+  | `Deltas _ -> Alcotest.fail "evicted connection got the gappy delta tail");
+  Feed.detach feed;
+  S.close s
+
 (* ------------------------------------------------------------------ *)
 (* Apply: bootstrap, catch-up, duplicates                              *)
 (* ------------------------------------------------------------------ *)
@@ -483,6 +512,40 @@ let test_apply_delta_before_snapshot () =
   match R.Apply.apply_delta ap ~lsn:1 ~pages:[ (0, page_of 'x') ] with
   | _ -> Alcotest.fail "delta applied with no database file"
   | exception R.Replica_error _ -> R.Apply.close ap
+
+(* LSNs are dense; a delta that skips ahead means records were lost
+   upstream and must be rejected (forcing re-handshake), not applied. *)
+let test_apply_gap_rejected () =
+  with_fixture ~txs:4 (fun fx _feed ->
+      let rfs = F.create ~seed:(seed + 5) () in
+      let rvfs = F.vfs rfs in
+      let ap = R.Apply.create ~vfs:rvfs "replica.db" in
+      R.Apply.install_snapshot ap ~stream_id:fx.stream_id ~lsn:fx.snap_lsn
+        ~data:fx.snap_data;
+      (match
+         R.Apply.apply_delta ap ~lsn:(fx.snap_lsn + 2) ~pages:[ (1, page_of 'g') ]
+       with
+      | _ -> Alcotest.fail "gappy delta applied"
+      | exception R.Replica_error _ -> ());
+      Alcotest.(check int) "file lsn unchanged by the rejected delta" fx.snap_lsn
+        (R.Apply.last_lsn ap);
+      Alcotest.(check string) "file bytes unchanged by the rejected delta"
+        (Hashtbl.find fx.images fx.snap_lsn)
+        (file_bytes rvfs "replica.db");
+      (* the contiguous successor still applies *)
+      (match List.assoc_opt (fx.snap_lsn + 1) fx.deltas with
+      | Some pages ->
+          Alcotest.(check int) "contiguous delta applies" (fx.snap_lsn + 1)
+            (R.Apply.apply_delta ap ~lsn:(fx.snap_lsn + 1) ~pages)
+      | None -> ());
+      R.Apply.close ap)
+
+(* Unresolvable hosts must surface as Link_down (with the socket
+   closed), not as the bare Failure that inet_addr_of_string raises. *)
+let test_connect_bad_host () =
+  match L.connect ~host:"no-such-host.invalid" ~port:1 with
+  | _ -> Alcotest.fail "connect to a nonexistent host succeeded"
+  | exception L.Link_down _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Live TCP pair: bootstrap, stream, reconnect                         *)
@@ -664,11 +727,16 @@ let () =
           Alcotest.test_case "resume-or-snapshot plan" `Quick test_feed_plan;
           Alcotest.test_case "backlog eviction forces snapshot" `Quick
             test_feed_backlog_eviction;
+          Alcotest.test_case "sender batch falls back on eviction" `Quick
+            test_feed_next_batch_eviction;
         ] );
       ( "apply",
         [
           Alcotest.test_case "bootstrap + catch-up + duplicates" `Quick test_apply_end_to_end;
           Alcotest.test_case "delta before snapshot" `Quick test_apply_delta_before_snapshot;
+          Alcotest.test_case "lsn gap rejected" `Quick test_apply_gap_rejected;
+          Alcotest.test_case "connect to bad host is Link_down" `Quick
+            test_connect_bad_host;
         ] );
       ( "tcp",
         [ Alcotest.test_case "live pair: bootstrap, stream, reconnect" `Slow test_tcp_pair ] );
