@@ -8,6 +8,8 @@
      pdb stats FILE             storage statistics
      pdb metrics FILE           Prometheus text exposition of all metrics
      pdb trace FILE QUERY       run a query with span tracing, print the tree
+     pdb verify FILE            verify every page checksum (exit 1 on corruption)
+     pdb scrub FILE [--from H:P] scrub checksums; repair from a primary
      pdb serve FILE [-p PORT]   HTTP interface (thesis 6.1.7)
      pdb demo FILE              populate FILE with a demo flora
 *)
@@ -104,6 +106,111 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Run a POOL query with span tracing and print the span tree.")
     Term.(const run $ db_arg $ q)
 
+let parse_host_port ~what spec =
+  match String.rindex_opt spec ':' with
+  | Some i -> (
+      let h = String.sub spec 0 i in
+      let p = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt p with
+      | Some p -> ((if h = "" then "127.0.0.1" else h), p)
+      | None ->
+          Printf.eprintf "pdb %s: bad --from %S\n" what spec;
+          exit 2)
+  | None ->
+      Printf.eprintf "pdb %s: bad --from %S (want HOST:PORT)\n" what spec;
+      exit 2
+
+(* --- integrity ------------------------------------------------------------ *)
+
+let print_scrub_report (r : Pstore.Pager.scrub_report) =
+  List.iter
+    (fun (no, expected, got) ->
+      Printf.printf "page %6d CORRUPT: stored crc 0x%08x computed 0x%08x\n" no
+        expected got)
+    r.Pstore.Pager.scrub_corrupt;
+  Printf.printf "%d pages scanned, %d skipped, %d corrupt\n"
+    r.Pstore.Pager.scrub_scanned r.Pstore.Pager.scrub_skipped
+    (List.length r.Pstore.Pager.scrub_corrupt)
+
+(* Scan FILE's checksums and report; exit status is the verdict.
+   0 = every page verified, 1 = corruption found (per-page report on
+   stdout), 2 = the file cannot be checked at all. *)
+let verify_run file =
+  if not (Sys.file_exists file) then begin
+    Printf.eprintf "pdb verify: no such file: %s\n" file;
+    exit 2
+  end;
+  match Pstore.Pager.open_file file with
+  | exception Pstore.Pager.Page_corrupt { page; expected; got } ->
+      (* header damage: the file cannot even be opened *)
+      Printf.printf "page %6d CORRUPT: stored crc 0x%08x computed 0x%08x\n" page
+        expected got;
+      Printf.printf "header page corrupt: repair from a peer or restore from a snapshot\n";
+      exit 1
+  | p ->
+      let code =
+        Fun.protect
+          ~finally:(fun () -> Pstore.Pager.close p)
+          (fun () ->
+            if not (Pstore.Pager.checksums_enabled p) then begin
+              Printf.printf "%s: checksums not enabled (legacy file); nothing to verify\n" file;
+              0
+            end
+            else begin
+              let r = Pstore.Pager.scrub p in
+              print_scrub_report r;
+              if r.Pstore.Pager.scrub_corrupt = [] then 0 else 1
+            end)
+      in
+      exit code
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Verify every page checksum of a database file. Exits 0 when clean, \
+          1 with a per-page report when corruption is found.")
+    Term.(const verify_run $ db_arg)
+
+let scrub_cmd =
+  let from =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Repair corrupt pages from the replication primary at $(docv); \
+             without it the scrub only detects and reports.")
+  in
+  let run file from =
+    match from with
+    | None -> verify_run file
+    | Some spec -> (
+        let host, rport = parse_host_port ~what:"scrub" spec in
+        match Prepl.Replica.scrub_repair ~host ~port:rport file with
+        | `Clean n ->
+            Printf.printf "%d pages scanned, 0 corrupt\n" n;
+            exit 0
+        | `Repaired pages ->
+            Printf.printf "repaired %d corrupt page(s) from %s: %s\n"
+              (List.length pages) spec
+              (String.concat " " (List.map string_of_int pages));
+            exit 0
+        | `Rebootstrapped lsn ->
+            Printf.printf "repair impossible: re-bootstrapped from a full snapshot at lsn %d\n" lsn;
+            exit 0
+        | exception e ->
+            Printf.eprintf "pdb scrub: %s\n" (Printexc.to_string e);
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:
+         "Scrub a database file's checksums; with --from, heal corrupt pages \
+          from a replication primary (falling back to a full re-bootstrap \
+          when in-place repair is impossible).")
+    Term.(const run $ db_arg $ from)
+
 (* --- server --------------------------------------------------------------- *)
 
 let port_arg =
@@ -158,19 +265,19 @@ let replica_cmd =
       & opt (some string) None
       & info [ "from" ] ~docv:"HOST:PORT" ~doc:"Primary replication feed to follow.")
   in
-  let run file from port slowlog_ms =
+  let scrub_interval =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "scrub-interval" ] ~docv:"SEC"
+          ~doc:
+            "Background-scrub the replica file every $(docv) seconds, \
+             repairing corrupt pages from the primary.")
+  in
+  let run file from port slowlog_ms scrub_every_s =
     apply_slowlog slowlog_ms;
-    let host, rport =
-      match String.rindex_opt from ':' with
-      | Some i -> (
-          let h = String.sub from 0 i in
-          let p = String.sub from (i + 1) (String.length from - i - 1) in
-          match int_of_string_opt p with
-          | Some p -> ((if h = "" then "127.0.0.1" else h), p)
-          | None -> (Printf.eprintf "pdb replica: bad --from %S\n" from; exit 2))
-      | None -> (Printf.eprintf "pdb replica: bad --from %S (want HOST:PORT)\n" from; exit 2)
-    in
-    let sess = Prepl.Replica.start ~host ~port:rport file in
+    let host, rport = parse_host_port ~what:"replica" from in
+    let sess = Prepl.Replica.start ?scrub_every_s ~host ~port:rport file in
     let apply = sess.Prepl.Replica.apply in
     (* Wait for the bootstrap snapshot before serving: until it lands
        there is no database file to open. *)
@@ -213,7 +320,7 @@ let replica_cmd =
   Cmd.v
     (Cmd.info "replica"
        ~doc:"Follow a primary's replication feed and serve the replica read-only over HTTP.")
-    Term.(const run $ db_arg $ from $ port_arg $ slowlog_arg)
+    Term.(const run $ db_arg $ from $ port_arg $ slowlog_arg $ scrub_interval)
 
 (* --- schema loading ----------------------------------------------------------- *)
 
@@ -258,4 +365,4 @@ let demo_cmd =
 
 let () =
   let info = Cmd.info "pdb" ~version:"1.0" ~doc:"Prometheus taxonomic database tool" in
-  exit (Cmd.eval (Cmd.group info [ query_cmd; check_cmd; schema_cmd; contexts_cmd; stats_cmd; metrics_cmd; trace_cmd; serve_cmd; replica_cmd; demo_cmd; load_schema_cmd; dump_schema_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ query_cmd; check_cmd; schema_cmd; contexts_cmd; stats_cmd; metrics_cmd; trace_cmd; verify_cmd; scrub_cmd; serve_cmd; replica_cmd; demo_cmd; load_schema_cmd; dump_schema_cmd ]))

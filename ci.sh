@@ -1,12 +1,12 @@
 #!/bin/sh
-# CI gate: build, full test suite (includes the smoke crash and
-# replication sweeps), bench smoke (micro + storage hot paths + query
-# engine + observability overhead + replication, which emit
-# BENCH_PR2.json .. BENCH_PR5.json into a temp dir — the committed
-# trajectory records in the repo tree are never touched), then the
-# long fixed-seed crash-torture and replication fault sweeps.
-# Equivalent to `dune build @ci` plus the bench smoke.  Pass `smoke`
-# to skip the long sweeps.
+# CI gate: build, full test suite (includes the smoke crash,
+# replication and bit-rot sweeps), bench smoke (micro + storage hot
+# paths + query engine + observability overhead + replication + page
+# integrity, which emit BENCH_PR2.json .. BENCH_PR6.json into a temp
+# dir — the committed trajectory records in the repo tree are never
+# touched), then the long fixed-seed crash-torture, replication fault
+# and bit-rot sweeps.  Equivalent to `dune build @ci` plus the bench
+# smoke.  Pass `smoke` to skip the long sweeps.
 set -e
 cd "$(dirname "$0")"
 
@@ -43,7 +43,8 @@ trap 'rm -rf "$BENCH_OUT"' EXIT INT TERM
 # snapshot the committed trajectory records so we can prove the bench
 # smoke never clobbers them (it must write only into $BENCH_OUT)
 records_digest() {
-  cat BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json 2>/dev/null | cksum
+  cat BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json \
+    BENCH_PR6.json 2>/dev/null | cksum
 }
 digest_before="$(records_digest)"
 
@@ -73,6 +74,13 @@ check_bench_json "$BENCH_OUT/BENCH_PR5.json" \
   ship_encode apply_replay steady_state_lag mean_lag_lsns \
   final_lsn_equal files_identical workloads acceptance
 
+# page integrity (PR6): verified-read overhead, scrub throughput,
+# bit-rot detection
+dune exec bench/main.exe -- integrity --out "$BENCH_OUT" >/dev/null
+check_bench_json "$BENCH_OUT/BENCH_PR6.json" \
+  verified_read cold_scan scrub detection overhead_pct \
+  workloads acceptance
+
 # the bench smoke must leave the committed trajectory records untouched
 [ "$(records_digest)" = "$digest_before" ] \
   || fail "bench smoke clobbered committed trajectory records"
@@ -80,5 +88,6 @@ check_bench_json "$BENCH_OUT/BENCH_PR5.json" \
 if [ "${1:-full}" != "smoke" ]; then
   CRASH_TORTURE=long dune exec test/test_crash.exe -- -e
   REPL_TORTURE=long dune exec test/test_repl.exe -- -e
+  SCRUB_TORTURE=long dune exec test/test_integrity.exe -- -e
 fi
 echo "ci: OK"

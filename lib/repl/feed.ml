@@ -50,6 +50,14 @@ let g_lag_ns =
 let g_backlog_bytes =
   Pobs.Metrics.gauge "pdb_repl_backlog_bytes" ~help:"Redo backlog size in bytes"
 
+let m_page_fetches =
+  Pobs.Metrics.counter "pdb_repl_page_fetches_total"
+    ~help:"Clean page images served to replicas repairing corruption"
+
+let m_page_fetch_refusals =
+  Pobs.Metrics.counter "pdb_repl_page_fetch_refusals_total"
+    ~help:"Page-fetch requests refused (LSN not serveable from the mirror)"
+
 type record = {
   r_lsn : int;
   r_pages : (int * string) list;
@@ -75,6 +83,8 @@ type t = {
   backlog_cap : int;
   mutable snapshots_sent : int;
   mutable records_captured : int;
+  mutable pages_served : int;
+  mutable fetch_refusals : int;
   mutable conns : conn list;
   mutable next_conn_id : int;
   m : Mutex.t;
@@ -153,6 +163,8 @@ let create ?(backlog_cap_bytes = 64 * 1024 * 1024) (store : Store.t) : t =
       backlog_cap = backlog_cap_bytes;
       snapshots_sent = 0;
       records_captured = 0;
+      pages_served = 0;
+      fetch_refusals = 0;
       conns = [];
       next_conn_id = 1;
       m = Mutex.create ();
@@ -209,6 +221,45 @@ let next_batch t ~after : [ `Deltas of record list | `Snapshot of int * string ]
         t.snapshots_sent <- t.snapshots_sent + 1;
         Pobs.Metrics.inc m_snapshots;
         `Snapshot (t.lsn, Bytes.sub_string t.mirror 0 (t.mirror_pages * Pager.page_size))
+      end)
+
+(** Serve clean copies of [pages] {e as they were at [lsn]} — the
+    repair path for a replica that found corrupt pages.  The mirror is
+    at [t.lsn], so the request is serveable only when the mirror's
+    content for those pages provably equals their content at [lsn]:
+    either [lsn = t.lsn], or every backlog record in ([lsn], [t.lsn]]
+    is present and touches none of the requested pages.  Anything else
+    — replica ahead, backlog evicted past [lsn], a requested page
+    rewritten since, or a page beyond the mirror — returns [None] and
+    the replica falls back to a full re-bootstrap.  LSN-consistency
+    over availability: a page from the future spliced into an older
+    file would diverge silently. *)
+let pages_at t ~lsn ~(pages : int list) : (int * string) list option =
+  locked t (fun () ->
+      let untouched_since r =
+        r.r_lsn <= lsn
+        || List.for_all (fun (no, _) -> not (List.mem no pages)) r.r_pages
+      in
+      let serveable =
+        lsn = t.lsn
+        || (lsn < t.lsn
+           && backlog_start t <= lsn + 1
+           && Queue.fold (fun acc r -> acc && untouched_since r) true t.backlog)
+      in
+      let in_range = List.for_all (fun no -> no >= 0 && no < t.mirror_pages) pages in
+      if serveable && in_range then begin
+        t.pages_served <- t.pages_served + List.length pages;
+        Pobs.Metrics.addi m_page_fetches (List.length pages);
+        Some
+          (List.map
+             (fun no ->
+               (no, Bytes.sub_string t.mirror (no * Pager.page_size) Pager.page_size))
+             pages)
+      end
+      else begin
+        t.fetch_refusals <- t.fetch_refusals + 1;
+        Pobs.Metrics.inc m_page_fetch_refusals;
+        None
       end)
 
 (* Lag gauges: LSN distance to the slowest live connection, and the
@@ -290,6 +341,12 @@ let handle_conn t (link : Link.t) ~(running : bool ref) =
             while link.Link.poll 0. do
               match Wire.from_link link with
               | Wire.Ack { lsn } -> note_ack t conn lsn
+              | Wire.PageFetch { lsn; pages } ->
+                  (* Repair request: answer with clean images at the
+                     replica's LSN, or an empty page list — the typed
+                     refusal that sends it to re-bootstrap. *)
+                  let served = Option.value (pages_at t ~lsn ~pages) ~default:[] in
+                  Wire.to_link link (Wire.PageData { lsn; pages = served })
               | _ -> raise (Wire.Wire_error "unexpected frame from replica")
             done;
             match next_batch t ~after:conn.sent_lsn with
@@ -402,6 +459,8 @@ let status_json t : string =
              ("backlog_records", Int (Queue.length t.backlog));
              ("backlog_bytes", Int t.backlog_bytes);
              ("snapshots_sent", Int t.snapshots_sent);
+             ("repair_pages_served", Int t.pages_served);
+             ("repair_refusals", Int t.fetch_refusals);
              ( "connections",
                List
                  (List.map

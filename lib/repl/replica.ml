@@ -41,6 +41,14 @@ let m_snapshots_applied =
   Pobs.Metrics.counter "pdb_repl_snapshots_applied_total"
     ~help:"Full snapshots installed by the replica"
 
+let m_page_repairs =
+  Pobs.Metrics.counter "pdb_repl_page_repairs_total"
+    ~help:"Corrupt pages repaired in place from the primary"
+
+let m_repair_failures =
+  Pobs.Metrics.counter "pdb_repl_page_repair_failures_total"
+    ~help:"Page repairs that failed or were refused (degraded to re-bootstrap)"
+
 exception Replica_error of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Replica_error s)) fmt
@@ -57,6 +65,7 @@ module Apply = struct
     mutable stream_id : int; (* 0 = never bootstrapped *)
     mutable applied_records : int;
     mutable snapshots_loaded : int;
+    mutable repaired_pages : int;
     m : Mutex.t;
   }
 
@@ -102,6 +111,7 @@ module Apply = struct
       stream_id;
       applied_records = 0;
       snapshots_loaded = 0;
+      repaired_pages = 0;
       m = Mutex.create ();
     }
 
@@ -188,6 +198,77 @@ module Apply = struct
               Pager.lsn p
             end)
 
+  (** Splice clean page images (fetched from the primary) over corrupt
+      pages, as one journalled transaction that leaves the LSN where it
+      is — the images are {e at} the file's LSN, not past it.
+
+      Order matters: each image's own trailer is verified first (the
+      fetch crossed a CRC-framed link, but defence in depth is the
+      point of this PR); the pages are then quarantined so journalling
+      their damaged before-images does not re-raise; and after the
+      commit the quarantine is lifted and every page is re-read from
+      disk and re-verified to prove the repair landed.  Page 0 is
+      refused here — its LSN/flag fields are what repair consistency is
+      judged against, so a damaged header can only re-bootstrap. *)
+  let apply_repair t ~lsn ~(pages : (int * string) list) : unit =
+    with_lock t (fun () ->
+        match t.pager with
+        | None -> fail "repair before any snapshot: replica has no database file"
+        | Some p ->
+            if lsn <> Pager.lsn p then
+              fail "repair images are at lsn %d but the file is at %d" lsn
+                (Pager.lsn p);
+            List.iter
+              (fun (no, data) ->
+                if String.length data <> Pager.page_size then
+                  fail "repair page %d has %d bytes (want %d)" no
+                    (String.length data) Pager.page_size;
+                if no <= 0 || no >= Pager.page_count p then
+                  fail "repair page %d out of range" no;
+                if Pager.checksums_enabled p then
+                  Pager.verify_image ~page:no (Bytes.of_string data))
+              pages;
+            List.iter (fun (no, _) -> Pager.quarantine p no) pages;
+            Pager.begin_tx p;
+            (try
+               List.iter
+                 (fun (no, data) ->
+                   Pager.with_write p no (fun b ->
+                       Bytes.blit_string data 0 b 0 Pager.page_size))
+                 pages;
+               Pager.commit ~lsn:(Pager.lsn p) p
+             with e ->
+               (try Pager.abort p with _ -> ());
+               Pobs.Metrics.inc m_repair_failures;
+               raise e);
+            List.iter (fun (no, _) -> Pager.unquarantine p no) pages;
+            List.iter (fun (no, _) -> Pager.verify_page p no) pages;
+            t.repaired_pages <- t.repaired_pages + List.length pages;
+            Pobs.Metrics.addi m_page_repairs (List.length pages))
+
+  (** One checksum pass over the replica file (see {!Pager.scrub});
+      [None] when no snapshot has been installed yet. *)
+  let scrub t : Pager.scrub_report option =
+    with_lock t (fun () -> Option.map Pager.scrub t.pager)
+
+  let quarantined t =
+    with_lock t (fun () ->
+        match t.pager with Some p -> Pager.quarantined p | None -> [])
+
+  (** Degrade to PR 5 re-bootstrap: forget the stream (sidecar id 0) so
+      the next [Hello] is answered with a full snapshot, and drop the
+      pager — the damaged file stays on disk until the snapshot rename
+      replaces it wholesale. *)
+  let force_rebootstrap t =
+    with_lock t (fun () ->
+        (match t.pager with
+        | Some p -> ( try Pager.close p with _ -> ())
+        | None -> ());
+        t.pager <- None;
+        t.stream_id <- 0;
+        write_sidecar t.vfs t.path 0;
+        Pobs.Metrics.inc m_repair_failures)
+
   let close t =
     with_lock t (fun () ->
         (match t.pager with Some p -> Pager.close p | None -> ());
@@ -201,6 +282,65 @@ end
 let backoff_initial = 0.05
 let backoff_cap = 2.0
 
+(* How long a repair waits for the primary's [PageData] before giving
+   up on this connection (the reconnect path retries from scratch). *)
+let fetch_timeout_s = 10.
+
+(* ------------------------------------------------------------------ *)
+(* Peer repair: fetch clean pages over an open link                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Repair [pages] of [apply]'s file in place through [link]: send
+    [PageFetch] at the applied LSN, wait for the matching [PageData]
+    (buffering and afterwards replaying any [Delta]s that race it),
+    verify + splice + re-verify via {!Apply.apply_repair}.
+
+    Degrades to re-bootstrap — sidecar reset so the next [Hello] gets a
+    snapshot — exactly when repair is impossible: the header page is
+    among the damage, or the primary refuses (gone past our LSN, page
+    beyond its mirror, backlog evicted).  A timeout merely drops the
+    connection; the damage is still quarantined and the next session
+    retries. *)
+let repair_via (apply : Apply.t) (link : Link.t) (pages : int list) : unit =
+  if List.mem 0 pages then begin
+    Apply.force_rebootstrap apply;
+    fail "header page corrupt: repair impossible, re-bootstrapping"
+  end;
+  let lsn = Apply.last_lsn apply in
+  Wire.to_link link (Wire.PageFetch { lsn; pages });
+  let buffered = Queue.create () in
+  let deadline = Unix.gettimeofday () +. fetch_timeout_s in
+  let rec await () =
+    let left = deadline -. Unix.gettimeofday () in
+    if left <= 0. then begin
+      Pobs.Metrics.inc m_repair_failures;
+      fail "timed out waiting for page data from the primary"
+    end;
+    if not (link.Link.poll (Float.min left 0.25)) then await ()
+    else
+      match Wire.from_link link with
+      | Wire.PageData { lsn = l; pages = imgs } ->
+          if imgs = [] then begin
+            Apply.force_rebootstrap apply;
+            fail "primary refused page fetch at lsn %d: re-bootstrapping" l
+          end;
+          Apply.apply_repair apply ~lsn:l ~pages:imgs
+      | Wire.Delta { lsn; pages } ->
+          (* committed while we waited; ordered before the reply only
+             by chance of thread interleaving on the primary *)
+          Queue.add (lsn, pages) buffered;
+          await ()
+      | Wire.Snapshot { stream_id; lsn; data } ->
+          (* the primary restarted the stream under us; installing the
+             snapshot rewrites the whole file and supersedes the repair *)
+          Apply.install_snapshot apply ~stream_id ~lsn ~data
+      | _ -> raise (Wire.Wire_error "unexpected frame from primary")
+  in
+  await ();
+  (* Deltas that raced the repair are all ≤ the primary's LSN at reply
+     time; duplicates are skipped by the applier's LSN check. *)
+  Queue.iter (fun (lsn, pages) -> ignore (Apply.apply_delta apply ~lsn ~pages)) buffered
+
 type session = {
   apply : Apply.t;
   host : string;
@@ -213,6 +353,9 @@ type session = {
   mutable last_error : string;
   mutable on_applied : int -> unit; (* called (outside the lock) after the LSN advances *)
   mutable thread : Thread.t option;
+  scrub_every_s : float option; (* in-session background scrub period *)
+  mutable scrubs_run : int;
+  mutable last_scrub_at : float;
 }
 
 (* One connection's lifetime: hello, then apply-and-ack until the link
@@ -232,6 +375,17 @@ let run_once (s : session) =
       s.made_progress <- true;
       s.last_error <- "";
       while !(s.running) do
+        (* Periodic in-session scrub: walk the file's checksums and
+           repair whatever has rotted through the live link. *)
+        (match s.scrub_every_s with
+        | Some every when Unix.gettimeofday () -. s.last_scrub_at >= every -> (
+            s.last_scrub_at <- Unix.gettimeofday ();
+            s.scrubs_run <- s.scrubs_run + 1;
+            match Apply.scrub s.apply with
+            | Some { Pager.scrub_corrupt = (_ :: _) as bad; _ } ->
+                repair_via s.apply link (List.map (fun (no, _, _) -> no) bad)
+            | _ -> ())
+        | _ -> ());
         (* Bounded poll so a stop request is noticed promptly even on an
            idle stream. *)
         if link.Link.poll 0.25 then begin
@@ -240,7 +394,15 @@ let run_once (s : session) =
             | Wire.Snapshot { stream_id; lsn; data } ->
                 Apply.install_snapshot s.apply ~stream_id ~lsn ~data;
                 lsn
-            | Wire.Delta { lsn; pages } -> Apply.apply_delta s.apply ~lsn ~pages
+            | Wire.Delta { lsn; pages } -> (
+                (* At-rest rot surfaces here as [Page_corrupt] when the
+                   apply journals the damaged before-image.  The apply
+                   aborted cleanly; repair the page from the peer and
+                   re-apply the same record. *)
+                try Apply.apply_delta s.apply ~lsn ~pages
+                with Pager.Page_corrupt { page; _ } ->
+                  repair_via s.apply link [ page ];
+                  Apply.apply_delta s.apply ~lsn ~pages)
             | _ -> raise (Wire.Wire_error "unexpected frame from primary")
           in
           (* Ack only what is durably applied; duplicates re-ack the
@@ -253,8 +415,10 @@ let run_once (s : session) =
 (** Start the replication client: a background thread that follows
     [host:port] and keeps the file at [path] in sync, reconnecting with
     capped exponential backoff (50 ms doubling to 2 s) and resuming from
-    the file's last durable LSN. *)
-let start ?(vfs = Vfs.unix) ~host ~port path : session =
+    the file's last durable LSN.  [scrub_every_s] turns on an in-session
+    background scrub: every that many seconds the file's checksums are
+    walked and corrupt pages repaired from the primary. *)
+let start ?(vfs = Vfs.unix) ?scrub_every_s ~host ~port path : session =
   let s =
     {
       apply = Apply.create ~vfs path;
@@ -268,6 +432,9 @@ let start ?(vfs = Vfs.unix) ~host ~port path : session =
       last_error = "";
       on_applied = (fun _ -> ());
       thread = None;
+      scrub_every_s;
+      scrubs_run = 0;
+      last_scrub_at = Unix.gettimeofday ();
     }
   in
   let th =
@@ -307,6 +474,90 @@ let stop (s : session) =
   (match s.thread with Some th -> (try Thread.join th with _ -> ()) | None -> ());
   Apply.close s.apply
 
+(* ------------------------------------------------------------------ *)
+(* Offline scrub-and-repair (the [pdb scrub --from] path)              *)
+(* ------------------------------------------------------------------ *)
+
+(** Scrub the replica file at [path] and repair any corruption from the
+    primary at [host:port], without starting a session: one scrub pass,
+    one connection, then close.  Outcomes:
+
+    - [`Clean n] — all [n] scanned pages verified; nothing sent.
+    - [`Repaired pages] — those pages were fetched, spliced and
+      re-verified; the file is clean again.
+    - [`Rebootstrapped lsn] — repair was impossible (header page
+      damaged, primary refused, or the primary answered the handshake
+      with a snapshot) and a full snapshot at [lsn] was installed
+      instead.
+
+    Anything else — primary unreachable, timeout, wire damage — raises
+    ({!Link.Link_down}, {!Wire.Wire_error} or {!Replica_error}); the
+    file keeps its quarantine and a later run can retry. *)
+let scrub_repair ?(vfs = Vfs.unix) ~host ~port path :
+    [ `Clean of int | `Repaired of int list | `Rebootstrapped of int ] =
+  let with_link f =
+    let link = Link.connect ~host ~port in
+    Fun.protect ~finally:(fun () -> link.Link.close ()) (fun () -> f link)
+  in
+  (* Full re-bootstrap: a [Hello] for stream 0 is unanswerable by
+     deltas, so the primary must send a snapshot. *)
+  let bootstrap (apply : Apply.t) =
+    with_link (fun link ->
+        Wire.to_link link (Wire.Hello { stream_id = 0; last_lsn = 0 });
+        match Wire.from_link link with
+        | Wire.Snapshot { stream_id; lsn; data } ->
+            Apply.install_snapshot apply ~stream_id ~lsn ~data;
+            Wire.to_link link (Wire.Ack { lsn });
+            `Rebootstrapped lsn
+        | _ -> raise (Wire.Wire_error "expected a snapshot from the primary"))
+  in
+  match Apply.create ~vfs path with
+  | exception Pager.Page_corrupt _ ->
+      (* The header page is damaged: the file cannot even be opened.
+         Degrade straight to re-bootstrap. *)
+      Pobs.Metrics.inc m_repair_failures;
+      let apply =
+        Apply.
+          {
+            vfs;
+            path;
+            pager = None;
+            stream_id = 0;
+            applied_records = 0;
+            snapshots_loaded = 0;
+            repaired_pages = 0;
+            m = Mutex.create ();
+          }
+      in
+      Fun.protect ~finally:(fun () -> Apply.close apply) (fun () -> bootstrap apply)
+  | apply ->
+      Fun.protect
+        ~finally:(fun () -> Apply.close apply)
+        (fun () ->
+          match Apply.scrub apply with
+          | None -> fail "no replica file at %s" path
+          | Some { Pager.scrub_scanned; scrub_corrupt = []; _ } -> `Clean scrub_scanned
+          | Some { Pager.scrub_corrupt = bad; _ } ->
+              let pages = List.map (fun (no, _, _) -> no) bad in
+              if List.mem 0 pages then begin
+                Apply.force_rebootstrap apply;
+                bootstrap apply
+              end
+              else
+                with_link (fun link ->
+                    Wire.to_link link
+                      (Wire.Hello
+                         {
+                           stream_id = Apply.stream_id apply;
+                           last_lsn = Apply.last_lsn apply;
+                         });
+                    match repair_via apply link pages with
+                    | () -> `Repaired pages
+                    | exception Replica_error _ when Apply.stream_id apply = 0 ->
+                        (* repair_via degraded (refusal): re-bootstrap now
+                           rather than leaving a quarantined file behind *)
+                        bootstrap apply))
+
 (** The replica half of the [/repl] admin document. *)
 let status_json (s : session) : string =
   let open Pobs.Json in
@@ -319,6 +570,9 @@ let status_json (s : session) : string =
          ("applied_lsn", Int (Apply.last_lsn s.apply));
          ("applied_records", Int s.apply.Apply.applied_records);
          ("snapshots_loaded", Int s.apply.Apply.snapshots_loaded);
+         ("repaired_pages", Int s.apply.Apply.repaired_pages);
+         ("quarantined_pages", List (List.map (fun no -> Int no) (Apply.quarantined s.apply)));
+         ("scrubs_run", Int s.scrubs_run);
          ("connected", Bool s.connected);
          ("reconnects", Int s.reconnects);
          ("last_error", Str s.last_error);

@@ -22,6 +22,13 @@
       (i64 page_no | page bytes)*] — one committed transaction's
       after-images (see {!Pstore.Pager.redo_record}).
     - [Ack]      (replica → primary): [i64 lsn] — durably applied.
+    - [PageFetch] (replica → primary): [i64 lsn | u32 npages | i64*] —
+      the replica found corrupt pages and asks for clean copies
+      consistent with its applied [lsn].
+    - [PageData] (primary → replica): [i64 lsn | u32 npages |
+      (i64 page_no | page bytes)*] — the requested images, or an
+      {e empty} page list when the primary cannot serve them at that
+      LSN (the refusal that sends the replica to re-bootstrap).
 
     Anything malformed — bad magic, unknown type, oversized payload,
     CRC mismatch, or a mid-frame EOF — raises {!Wire_error}; the
@@ -46,8 +53,16 @@ type frame =
   | Snapshot of { stream_id : int; lsn : int; data : string }
   | Delta of { lsn : int; pages : (int * string) list }
   | Ack of { lsn : int }
+  | PageFetch of { lsn : int; pages : int list }
+  | PageData of { lsn : int; pages : (int * string) list }
 
-let type_byte = function Hello _ -> 1 | Snapshot _ -> 2 | Delta _ -> 3 | Ack _ -> 4
+let type_byte = function
+  | Hello _ -> 1
+  | Snapshot _ -> 2
+  | Delta _ -> 3
+  | Ack _ -> 4
+  | PageFetch _ -> 5
+  | PageData _ -> 6
 
 let encode_payload (f : frame) : string =
   let e = Codec.Enc.create () in
@@ -70,7 +85,22 @@ let encode_payload (f : frame) : string =
           Codec.Enc.int e no;
           Codec.Enc.raw e data)
         pages
-  | Ack { lsn } -> Codec.Enc.int e lsn);
+  | Ack { lsn } -> Codec.Enc.int e lsn
+  | PageFetch { lsn; pages } ->
+      Codec.Enc.int e lsn;
+      Codec.Enc.u32 e (List.length pages);
+      List.iter (fun no -> Codec.Enc.int e no) pages
+  | PageData { lsn; pages } ->
+      Codec.Enc.int e lsn;
+      Codec.Enc.u32 e (List.length pages);
+      List.iter
+        (fun (no, data) ->
+          if String.length data <> Pager.page_size then
+            err "page-data page %d has %d bytes (want %d)" no
+              (String.length data) Pager.page_size;
+          Codec.Enc.int e no;
+          Codec.Enc.raw e data)
+        pages);
   Codec.Enc.to_string e
 
 let decode_payload ty (payload : string) : frame =
@@ -100,6 +130,23 @@ let decode_payload ty (payload : string) : frame =
           in
           Delta { lsn; pages }
       | 4 -> Ack { lsn = Codec.Dec.int d }
+      | 5 ->
+          let lsn = Codec.Dec.int d in
+          let n = Codec.Dec.u32 d in
+          let pages = List.init n (fun _ -> Codec.Dec.int d) in
+          PageFetch { lsn; pages }
+      | 6 ->
+          let lsn = Codec.Dec.int d in
+          let n = Codec.Dec.u32 d in
+          let pages =
+            List.init n (fun _ ->
+                let no = Codec.Dec.int d in
+                Codec.Dec.need d Pager.page_size;
+                let data = String.sub payload d.Codec.Dec.pos Pager.page_size in
+                d.Codec.Dec.pos <- d.Codec.Dec.pos + Pager.page_size;
+                (no, data))
+          in
+          PageData { lsn; pages }
       | ty -> err "unknown frame type %d" ty
     in
     if Codec.Dec.remaining d <> 0 then err "trailing bytes in frame payload";

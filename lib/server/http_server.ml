@@ -161,6 +161,22 @@ let stats_json (db : Database.t) : string =
                ("plan_cache_misses", Int q.Pool_lang.Eval.plan_cache_misses);
                ("adjacency_rebuilds", Int q.Pool_lang.Eval.adjacency_rebuilds);
              ] );
+         ( "integrity",
+           (* checksum/scrub posture of this database plus the
+              process-wide detection counters *)
+           let pager = Pstore.Store.pager (Database.store db) in
+           let cnt (c : Pobs.Metrics.counter) = Int (int_of_float c.Pobs.Metrics.c_value) in
+           Obj
+             [
+               ("checksums_enabled", Bool (Pstore.Pager.checksums_enabled pager));
+               ( "quarantined_pages",
+                 List (List.map (fun no -> Int no) (Pstore.Pager.quarantined pager)) );
+               ("pages_corrupt_detected", cnt Pstore.Pager.m_page_corrupt);
+               ("scrub_runs", cnt Pstore.Pager.m_scrub_runs);
+               ("scrub_pages", cnt Pstore.Pager.m_scrub_pages);
+               ("scrub_corrupt", cnt Pstore.Pager.m_scrub_corrupt);
+               ("recovery_torn_tails", cnt Pstore.Pager.m_torn_tail);
+             ] );
          ( "observability",
            Obj
              [

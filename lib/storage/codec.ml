@@ -150,6 +150,7 @@ module Crc32 = struct
 
   let digest s = digest_sub s 0 (String.length s)
   let digest_bytes b = digest (Bytes.unsafe_to_string b)
+  let digest_bytes_sub b pos len = digest_sub (Bytes.unsafe_to_string b) pos len
 
   (* The pre-overhaul boxed-[Int32] implementation, kept wired into the
      legacy journal path ([Pager.legacy_config]) so ablation benchmarks

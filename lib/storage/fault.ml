@@ -45,6 +45,7 @@ type counters = {
   mutable failed_fsyncs : int;
   mutable noop_fsyncs : int;
   mutable crashes : int;
+  mutable bit_flips : int;  (** at-rest bits flipped by rot injection *)
 }
 
 type image = { mutable data : Bytes.t; mutable len : int }
@@ -81,6 +82,7 @@ let create ?(seed = 0) () =
         failed_fsyncs = 0;
         noop_fsyncs = 0;
         crashes = 0;
+        bit_flips = 0;
       };
     seed;
     gen = 0;
@@ -354,12 +356,51 @@ let vfs t : Vfs.t =
         Hashtbl.mem t.files path);
   }
 
+(* --- at-rest bit rot -------------------------------------------------- *)
+
+(* Flip one bit in both the current and the last-synced image: media
+   decay damages the platter itself, so the corruption survives any
+   subsequent crash freeze.  Not a syscall — rot happens while the
+   "machine" does nothing. *)
+let flip_in_node t node ~off ~bit =
+  let flip img =
+    if off < img.len then begin
+      let v = Bytes.get_uint8 img.data off in
+      Bytes.set_uint8 img.data off (v lxor (1 lsl bit))
+    end
+  in
+  flip node.cur;
+  flip node.synced;
+  t.c.bit_flips <- t.c.bit_flips + 1
+
+(** Flip bit [bit] (0..7) of the byte at offset [off] in [path] — at
+    rest, in both the current and last-synced images.  Raises [ENOENT]
+    on a missing file; an offset past EOF flips nothing (but still
+    counts: the decayed sector is unreadable anyway). *)
+let flip_bit t path ~off ~bit =
+  match find_node t path with
+  | None -> raise (Unix.Unix_error (Unix.ENOENT, "flip_bit", path))
+  | Some node -> flip_in_node t node ~off ~bit
+
+(** Flip [count] pseudo-random bits (deterministic in the VFS seed and
+    [salt]) within the byte range [at, at+len) of [path]. *)
+let flip_bits ?(salt = 0) t path ~at ~len ~count =
+  match find_node t path with
+  | None -> raise (Unix.Unix_error (Unix.ENOENT, "flip_bits", path))
+  | Some node ->
+      let rng = Random.State.make [| t.seed; salt; at; len; 0x726f74 |] in
+      for _ = 1 to count do
+        let off = at + Random.State.int rng (max len 1) in
+        let bit = Random.State.int rng 8 in
+        flip_in_node t node ~off ~bit
+      done
+
 (* --- debugging helpers ---------------------------------------------- *)
 
 let file_size t path = match find_node t path with Some n -> Some n.cur.len | None -> None
 
 let pp_counters ppf c =
   Format.fprintf ppf
-    "syscalls=%d writes=%d extent_w=%d fsyncs=%d torn=%d short_w=%d short_r=%d failed_w=%d failed_fsync=%d noop_fsync=%d crashes=%d"
+    "syscalls=%d writes=%d extent_w=%d fsyncs=%d torn=%d short_w=%d short_r=%d failed_w=%d failed_fsync=%d noop_fsync=%d crashes=%d bit_flips=%d"
     c.syscalls c.writes c.extent_writes c.fsyncs c.torn_writes c.short_writes c.short_reads
-    c.failed_writes c.failed_fsyncs c.noop_fsyncs c.crashes
+    c.failed_writes c.failed_fsyncs c.noop_fsyncs c.crashes c.bit_flips

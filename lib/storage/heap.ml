@@ -12,8 +12,10 @@
       off 3 : u16 free_start   (first free byte after records)
       off 5 : u16 free_end     (last free byte, before slot array)
       7 .. free_start-1        record bytes
-      free_end .. page_size-1  slot array, growing downwards
+      free_end .. page_capacity-1  slot array, growing downwards
     v}
+    The page's last {!Pager.trailer_size} bytes (from [page_capacity])
+    belong to the pager's checksum trailer and are never used here.
     Each slot is 4 bytes: [u16 off; u16 len].  A dead slot has off
     0xFFFF (len 0 is a valid empty record).
     A blob-pointer slot has the high bit of len set (stored len 12).
@@ -34,7 +36,7 @@ let kind_blob = 4
 let header_size = 7
 let slot_size = 4
 let blob_header = 7
-let blob_capacity = Pager.page_size - blob_header
+let blob_capacity = Pager.page_capacity - blob_header
 let inline_threshold = 3500
 let blob_ptr_len = 12
 let len_blob_flag = 0x8000
@@ -63,7 +65,7 @@ let get_free_start b = Bytes.get_uint16_le b 3
 let set_free_start b v = Bytes.set_uint16_le b 3 v
 let get_free_end b = Bytes.get_uint16_le b 5
 let set_free_end b v = Bytes.set_uint16_le b 5 v
-let slot_pos i = Pager.page_size - (slot_size * (i + 1))
+let slot_pos i = Pager.page_capacity - (slot_size * (i + 1))
 let get_slot b i = (Bytes.get_uint16_le b (slot_pos i), Bytes.get_uint16_le b (slot_pos i + 2))
 
 let set_slot b i ~off ~len =
@@ -75,7 +77,7 @@ let init_heap_page b =
   Bytes.set_uint8 b 0 kind_heap;
   set_nslots b 0;
   set_free_start b header_size;
-  set_free_end b Pager.page_size
+  set_free_end b Pager.page_capacity
 
 let page_contiguous_free b =
   let fe = get_free_end b and fs = get_free_start b in
@@ -90,7 +92,7 @@ let page_total_free b =
     let off, len = get_slot b i in
     if off <> dead_off then live := !live + (len land lnot len_blob_flag)
   done;
-  Pager.page_size - header_size - (slot_size * nslots) - !live
+  Pager.page_capacity - header_size - (slot_size * nslots) - !live
 
 (* --- blob chains ---------------------------------------------------- *)
 
@@ -216,7 +218,7 @@ let find_page_with_space t need =
   | None ->
       let p = t.pa.alloc_page () in
       Pager.with_write t.pager p (fun b -> init_heap_page b);
-      Hashtbl.replace t.avail p (Pager.page_size - header_size);
+      Hashtbl.replace t.avail p (Pager.page_capacity - header_size);
       p
 
 (* --- public record operations --------------------------------------- *)
@@ -306,9 +308,9 @@ let validate_page t page =
     fail "validate: page %d is not a heap page (kind %d)" page (Bytes.get_uint8 b 0);
   let nslots = get_nslots b in
   let fs = get_free_start b and fe = get_free_end b in
-  if fs < header_size || fs > Pager.page_size then
+  if fs < header_size || fs > Pager.page_capacity then
     fail "validate: page %d free_start %d out of bounds" page fs;
-  if fe <> Pager.page_size - (slot_size * nslots) then
+  if fe <> Pager.page_capacity - (slot_size * nslots) then
     fail "validate: page %d free_end %d inconsistent with %d slots" page fe nslots;
   if fe < fs then fail "validate: page %d slot array overlaps records" page;
   for i = 0 to nslots - 1 do

@@ -36,7 +36,28 @@
 
 let page_size = 4096
 
+(** Per-page checksum trailer: the last {!trailer_size} bytes of every
+    page hold a CRC-32 over the first {!page_capacity} bytes.  The
+    trailer is part of the page layout regardless of configuration —
+    higher layers (heap, free list) never place data there — so the
+    same file format serves both the checksummed and the ablation
+    (no-verify) pager; {!config}[.checksums] only controls whether the
+    trailer is stamped on writeback and verified on read. *)
+let trailer_size = 4
+
+(** Bytes of a page available to higher layers ([page_size] minus the
+    checksum trailer). *)
+let page_capacity = page_size - trailer_size
+
+let crc_off = page_capacity
+
 exception Pager_error of string
+
+(** A page read from disk whose content does not hash to its stored
+    checksum trailer: media-level corruption (bit rot, torn hardware
+    write, misdirected I/O).  [expected] is the stored trailer CRC,
+    [got] the CRC computed over the page content as read. *)
+exception Page_corrupt of { page : int; expected : int; got : int }
 
 (** Typed I/O failure: an operating-system error surfaced by the
     underlying VFS, annotated with the operation and file it hit.
@@ -101,6 +122,25 @@ let m_recoveries =
   Pobs.Metrics.counter "pdb_pager_recoveries_total"
     ~help:"Journal replays performed on open or abort"
 
+let m_page_corrupt =
+  Pobs.Metrics.counter "pdb_page_corrupt_total"
+    ~help:"Pages whose checksum verification failed"
+
+let m_torn_tail =
+  Pobs.Metrics.counter "pdb_recovery_torn_tail_total"
+    ~help:"Journal recoveries that discarded a corrupt or torn tail"
+
+let m_scrub_runs = Pobs.Metrics.counter "pdb_scrub_runs_total" ~help:"Scrub passes completed"
+
+let m_scrub_pages =
+  Pobs.Metrics.counter "pdb_scrub_pages_total" ~help:"Pages verified by scrub passes"
+
+let m_scrub_corrupt =
+  Pobs.Metrics.counter "pdb_scrub_corrupt_total" ~help:"Corrupt pages found by scrub passes"
+
+let m_scrub_run_ns =
+  Pobs.Metrics.histogram "pdb_scrub_run_ns" ~help:"Wall-clock duration of scrub passes"
+
 (* ------------------------------------------------------------------ *)
 (* Log sequence numbers and redo records                               *)
 (* ------------------------------------------------------------------ *)
@@ -110,6 +150,20 @@ let m_recoveries =
     free_head); the LSN claims the next 8 bytes.  Pre-PR5 files carry
     zeroes here, which reads back as LSN 0 — "never replicated". *)
 let lsn_header_off = 28
+
+(** Byte offset of the checksum flag inside the header page:
+    {!checksum_flag_on} when the file's pages carry stamped CRC
+    trailers, 0 otherwise.  Written together with the LSN at every
+    page-dirtying commit, so the flag is journaled and rolls back with
+    the data.  A file whose flag is 0 is never verified even under a
+    checksumming config (its trailers were never maintained); vacuum
+    rewrites every page and so upgrades such a file.  The "on" value is
+    a bit pattern rather than 1 so that any {e single-bit} flip of the
+    flag byte itself yields an invalid value — detected as header
+    corruption — instead of silently disabling verification. *)
+let checksum_flag_off = 36
+
+let checksum_flag_on = 0xA5
 
 (** A committed transaction's after-images: every page dirtied since the
     previous commit, captured at the commit point, stamped with the LSN
@@ -145,14 +199,62 @@ type config = {
   logn_evict : bool;
       (** pick eviction victims from an O(log n) LRU map (off: sort
           the whole cache by last touch on every eviction) *)
+  checksums : bool;
+      (** stamp a CRC-32 trailer into every page on writeback and
+          verify it on every cache-miss read, raising {!Page_corrupt}
+          on mismatch (off: trailers neither stamped nor checked — the
+          ablation path; the page layout is identical either way) *)
 }
 
 let default_config =
-  { coalesce = true; group_journal = true; lazy_checkpoint = true; logn_evict = true }
+  {
+    coalesce = true;
+    group_journal = true;
+    lazy_checkpoint = true;
+    logn_evict = true;
+    checksums = true;
+  }
 
 (** The pre-overhaul pager, kept wired for ablation benchmarks. *)
 let legacy_config =
-  { coalesce = false; group_journal = false; lazy_checkpoint = false; logn_evict = false }
+  {
+    coalesce = false;
+    group_journal = false;
+    lazy_checkpoint = false;
+    logn_evict = false;
+    checksums = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Page checksum helpers                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* CRC of the content region, and the CRC the trailer claims. *)
+let image_crc b = Int32.to_int (Codec.Crc32.digest_bytes_sub b 0 page_capacity) land 0xffffffff
+let stored_crc b = Int32.to_int (Bytes.get_int32_le b crc_off) land 0xffffffff
+
+(** Stamp the checksum trailer of a full page image in place.  Exposed
+    for layers that fabricate page images outside the pager (the
+    replication feed's snapshot mirror, tests). *)
+let stamp_image (b : Bytes.t) = Codec.Put.u32 b crc_off (image_crc b)
+
+(* A page that is entirely zero is "never written": the file was
+   extended past it (sparse tail, crash-torn growth) without its
+   content ever landing.  No live page is all-zero — every page kind
+   sets byte 0 — so accepting it cannot mask real data corruption,
+   while rejecting it would fail states a clean crash can produce. *)
+let is_zero_page b =
+  let rec go i = i >= page_size || (Bytes.get_int64_le b i = 0L && go (i + 8)) in
+  go 0
+
+(** Verify a full page image against its trailer; raises
+    {!Page_corrupt} (and counts it) on mismatch. *)
+let verify_image ~page (b : Bytes.t) =
+  let expected = stored_crc b and got = image_crc b in
+  if expected <> got && not (is_zero_page b) then begin
+    Pobs.Metrics.inc m_page_corrupt;
+    raise (Page_corrupt { page; expected; got })
+  end
 
 (* LRU index: last-touch tick -> page.  Ticks are strictly increasing,
    so every cached page (except pinned page 0) owns exactly one key and
@@ -167,6 +269,14 @@ type t = {
   created : bool; (* the file was empty when opened (after recovery) *)
   readonly : bool;
   cfg : config;
+  mutable verify : bool;
+      (* checksums active for this file: [cfg.checksums] and the file
+         actually carries stamped trailers (created by us, or header
+         flag set) *)
+  quarantined : (int, unit) Hashtbl.t;
+      (* known-corrupt pages awaiting repair: reads skip verification
+         (so a repair transaction can journal the damaged before-image)
+         and scrub skips re-reporting them *)
   mutable page_count : int;
   mutable lsn : int; (* header LSN; advanced by each page-dirtying commit *)
   mutable redo_hook : (redo_record -> unit) option;
@@ -373,6 +483,7 @@ let journal_read_frames ~(vfs : Vfs.t) path =
   else begin
     let fd = io ~op:"open" ~path (fun () -> vfs.Vfs.open_file path) in
     let frames = ref [] in
+    let torn = ref false in
     (try
        let len = io ~op:"size" ~path (fun () -> fd.Vfs.size ()) in
        let bytes = Bytes.create len in
@@ -393,9 +504,19 @@ let journal_read_frames ~(vfs : Vfs.t) path =
            && Int32.to_int (Codec.Crc32.digest data) land 0xffffffff = crc
          then frames := (page_no, data) :: !frames
          else continue := false
-       done
-     with Codec.Corrupt _ -> ());
+       done;
+       (* Anything left behind the valid prefix — a frame that failed
+          its magic/CRC check, or a short final frame — is a torn tail:
+          expected after a power cut mid-append, but worth a trace
+          rather than a silent discard. *)
+       if (not !continue) || Codec.Dec.remaining d > 0 then torn := true
+     with Codec.Corrupt _ -> torn := true);
     io ~op:"close" ~path (fun () -> fd.Vfs.close ());
+    if !torn then begin
+      Pobs.Metrics.inc m_torn_tail;
+      Printf.eprintf "pager: journal %s: discarded corrupt/torn tail after %d valid frame(s)\n%!"
+        path (List.length !frames)
+    end;
     List.rev !frames
   end
 
@@ -450,6 +571,10 @@ let coalesce_runs (nos : int list) : (int * int) list =
    write per page, in the order given (the pre-overhaul path). *)
 let write_batch t (pages : page list) =
   if pages <> [] then begin
+    (* Stamp trailers in place (the cached image keeps the stamp, so
+       before-images journaled on a later first-touch stay
+       self-consistent) before any byte reaches the journal or file. *)
+    if t.verify then List.iter (fun p -> stamp_image p.data) pages;
     if t.in_tx && List.exists (fun p -> Hashtbl.mem t.journaled p.no) pages then
       journal_sync t;
     t.unsynced_writes <- true;
@@ -542,7 +667,12 @@ let load_page t no =
       if no < t.page_count then begin
         really_pread ~path:t.path t.fd data ~off:0 ~len:page_size ~file_off:(no * page_size);
         t.reads <- t.reads + 1;
-        Pobs.Metrics.inc m_page_reads
+        Pobs.Metrics.inc m_page_reads;
+        (* Verify before caching: a corrupt page must never enter the
+           cache (each retry re-reads and re-raises).  Quarantined pages
+           skip the check so a repair transaction can journal and
+           overwrite the damaged image. *)
+        if t.verify && not (Hashtbl.mem t.quarantined no) then verify_image ~page:no data
       end
       else Bytes.fill data 0 page_size '\000';
       let p = { no; data; dirty = false; lru = 0 } in
@@ -608,6 +738,8 @@ let open_file ?(cache_pages = 2048) ?(config = default_config) ?(vfs = Vfs.unix)
     created = size = 0;
     readonly;
     cfg = config;
+    verify = size = 0 && config.checksums;
+    quarantined = Hashtbl.create 4;
     page_count = max page_count 1;
     lsn = 0;
     redo_hook = None;
@@ -637,9 +769,26 @@ let open_file ?(cache_pages = 2048) ?(config = default_config) ?(vfs = Vfs.unix)
   }
   in
   if size > 0 then begin
-    (* Seed the LSN from the header page; a pre-PR5 file reads 0. *)
+    (* Seed the LSN from the header page; a pre-PR5 file reads 0.
+       [t.verify] is still false here, so this load skips verification
+       — the checksum flag that decides whether to verify lives on this
+       very page. *)
     let hdr = (load_page t 0).data in
-    t.lsn <- Int64.to_int (Bytes.get_int64_le hdr lsn_header_off)
+    t.lsn <- Int64.to_int (Bytes.get_int64_le hdr lsn_header_off);
+    let flag = Bytes.get_uint8 hdr checksum_flag_off in
+    if config.checksums then begin
+      (* An invalid flag value is itself header corruption: the flag is
+         only ever written as [checksum_flag_on] or 0, so a flipped bit
+         in the byte cannot silently disable verification.  An all-zero
+         header is a store whose initialisation was rolled back — treat
+         it as fresh and start (re)stamping. *)
+      if flag <> 0 && flag <> checksum_flag_on then begin
+        Pobs.Metrics.inc m_page_corrupt;
+        raise (Page_corrupt { page = 0; expected = stored_crc hdr; got = image_crc hdr })
+      end;
+      t.verify <- flag = checksum_flag_on || is_zero_page hdr;
+      if flag = checksum_flag_on then verify_image ~page:0 hdr
+    end
   end;
   t
 
@@ -668,6 +817,98 @@ let path t = t.path
 
 (** Test hook: is page [no] currently held in the cache? *)
 let cached t no = Hashtbl.mem t.cache no
+
+(* ------------------------------------------------------------------ *)
+(* Integrity: verification, quarantine, scrub                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Whether pages of this file are actively checksummed: the config
+    asks for it and the file carries stamped trailers. *)
+let checksums_enabled t = t.verify
+
+(** Mark page [no] known-corrupt: it is dropped from the cache and
+    reads stop verifying it, so a repair transaction can journal the
+    damaged before-image and overwrite it.  The journal stays sound —
+    its frames checksum the bytes actually appended — and an abort
+    merely restores the same damaged image. *)
+let quarantine t no =
+  (match Hashtbl.find_opt t.cache no with
+  | Some p ->
+      mark_clean t p;
+      Hashtbl.remove t.cache no;
+      if t.cfg.logn_evict && p.lru > 0 then t.lru_map <- Lru.remove p.lru t.lru_map
+  | None -> ());
+  Hashtbl.replace t.quarantined no ()
+
+(** Lift the quarantine of page [no]; subsequent cache-miss reads
+    verify it again. *)
+let unquarantine t no = Hashtbl.remove t.quarantined no
+
+(** Currently quarantined pages, ascending. *)
+let quarantined t =
+  Hashtbl.fold (fun no () acc -> no :: acc) t.quarantined [] |> List.sort compare
+
+(** Re-read page [no] from disk (bypassing the cache) and verify its
+    trailer; raises {!Page_corrupt} on mismatch.  Used to prove a
+    repair actually landed. *)
+let verify_page t no =
+  if no < 0 || no >= t.page_count then
+    fail "verify_page: page %d out of range (count %d)" no t.page_count;
+  let b = Bytes.create page_size in
+  really_pread ~path:t.path t.fd b ~off:0 ~len:page_size ~file_off:(no * page_size);
+  if t.verify then verify_image ~page:no b
+
+(** One scrub pass over the whole file. *)
+type scrub_report = {
+  scrub_scanned : int;  (** pages whose checksum was verified *)
+  scrub_skipped : int;  (** pages skipped: quarantined, or dirty in cache *)
+  scrub_corrupt : (int * int * int) list;
+      (** corrupt pages as [(page, expected, got)], ascending *)
+}
+
+(** Verify every page of the file without polluting the page cache:
+    uncached pages are read into a scratch buffer and never inserted;
+    cached clean pages are verified from their resident image (their
+    disk bytes matched at load/writeback time, and a raw re-read could
+    race a concurrent writeback); cached dirty pages and quarantined
+    pages are skipped.  Corruption is {e reported}, not raised — the
+    caller decides whether to quarantine, repair, or fail.  A pass over
+    a file without checksums scans nothing.  [sleep_s] > 0 throttles
+    the pass by sleeping between [batch_pages]-page batches. *)
+let scrub ?(batch_pages = 256) ?(sleep_s = 0.) t =
+  Pobs.Metrics.time m_scrub_run_ns (fun () ->
+      Pobs.Metrics.inc m_scrub_runs;
+      let size = io ~op:"size" ~path:t.path (fun () -> t.fd.Vfs.size ()) in
+      let n = if t.verify then min t.page_count (size / page_size) else 0 in
+      let buf = Bytes.create page_size in
+      let corrupt = ref [] and scanned = ref 0 and skipped = ref 0 in
+      let check no b =
+        incr scanned;
+        let expected = stored_crc b and got = image_crc b in
+        if expected <> got && not (is_zero_page b) then begin
+          Pobs.Metrics.inc m_page_corrupt;
+          corrupt := (no, expected, got) :: !corrupt
+        end
+      in
+      for no = 0 to n - 1 do
+        if sleep_s > 0. && no > 0 && no mod batch_pages = 0 then Unix.sleepf sleep_s;
+        if Hashtbl.mem t.quarantined no then incr skipped
+        else
+          match Hashtbl.find_opt t.cache no with
+          | Some p when p.dirty -> incr skipped
+          | Some p -> check no p.data
+          | None ->
+              really_pread ~path:t.path t.fd buf ~off:0 ~len:page_size
+                ~file_off:(no * page_size);
+              check no buf
+      done;
+      Pobs.Metrics.addi m_scrub_pages !scanned;
+      Pobs.Metrics.addi m_scrub_corrupt (List.length !corrupt);
+      {
+        scrub_scanned = !scanned;
+        scrub_skipped = !skipped;
+        scrub_corrupt = List.sort compare !corrupt;
+      })
 
 (** Read access to a page.  The returned bytes must not be mutated; use
     {!with_write} for mutation. *)
@@ -751,18 +992,32 @@ let commit ?lsn t =
   let advanced = Hashtbl.length t.since_commit > 0 in
   if advanced then begin
     let next = match lsn with Some l -> l | None -> t.lsn + 1 in
-    with_write t 0 (fun hdr -> Bytes.set_int64_le hdr lsn_header_off (Int64.of_int next));
+    with_write t 0 (fun hdr ->
+        Bytes.set_int64_le hdr lsn_header_off (Int64.of_int next);
+        (* Keep the checksum flag truthful at every commit: set while
+           trailers are being maintained, cleared by the first commit
+           under a no-checksum config (whose writeback stops refreshing
+           them). *)
+        Bytes.set_uint8 hdr checksum_flag_off (if t.verify then checksum_flag_on else 0));
     t.lsn <- next
   end;
   let record =
     match t.redo_hook with
     | Some _ when advanced ->
         (* Pages allocated by a since-aborted transaction can linger in
-           the set above the current page count; they no longer exist. *)
+           the set above the current page count; they no longer exist.
+           The captured images are stamped: writeback has not run yet,
+           so cached trailers may be stale, but replicas install these
+           bytes verbatim and verify them on read-back. *)
         let pages =
           Hashtbl.fold
             (fun no () acc ->
-              if no < t.page_count then (no, Bytes.to_string (read t no)) :: acc else acc)
+              if no < t.page_count then begin
+                let b = Bytes.copy (read t no) in
+                if t.verify then stamp_image b;
+                (no, Bytes.unsafe_to_string b) :: acc
+              end
+              else acc)
             t.since_commit []
           |> List.sort (fun (a, _) (b, _) -> compare a b)
         in

@@ -290,6 +290,11 @@ let stats t =
     journal_bytes = s.Pager.s_journal_bytes;
   }
 
+(** One checksum scrub pass over the underlying file — every page
+    verified against its CRC trailer without polluting the page cache
+    (see {!Pager.scrub}). *)
+let scrub ?batch_pages ?sleep_s t = Pager.scrub ?batch_pages ?sleep_s t.pager
+
 (** Consistency check used by tests and the crash-torture harness:
 
     - the directory B-tree is structurally valid;

@@ -49,6 +49,12 @@ let seed =
 
 let page_of c = String.make P.page_size c
 
+(* The content region of a page image: shipped pages carry a pager
+   checksum trailer after [P.page_capacity], so content assertions
+   compare up to there. *)
+let body s = String.sub s 0 P.page_capacity
+let body_of c = String.make P.page_capacity c
+
 (* Read a whole file through a VFS (short reads retried). *)
 let file_bytes (vfs : V.t) path =
   let fd = vfs.V.open_file path in
@@ -77,6 +83,11 @@ let frames_equal msg a b =
         Printf.sprintf "Snapshot(%d,%d,%d bytes)" stream_id lsn (String.length data)
     | W.Delta { lsn; pages } -> Printf.sprintf "Delta(%d,%d pages)" lsn (List.length pages)
     | W.Ack { lsn } -> Printf.sprintf "Ack(%d)" lsn
+    | W.PageFetch { lsn; pages } ->
+        Printf.sprintf "PageFetch(%d,[%s])" lsn
+          (String.concat ";" (List.map string_of_int pages))
+    | W.PageData { lsn; pages } ->
+        Printf.sprintf "PageData(%d,%d pages)" lsn (List.length pages)
   in
   Alcotest.(check string) msg (show a) (show b);
   Alcotest.(check bool) (msg ^ " (payload)") true (a = b)
@@ -92,6 +103,10 @@ let test_wire_roundtrip () =
       W.Delta { lsn = 7; pages = [ (0, page_of 'h'); (5, page_of 'x') ] };
       W.Delta { lsn = 8; pages = [] };
       W.Ack { lsn = max_int };
+      W.PageFetch { lsn = 42; pages = [ 1; 5; 9 ] };
+      W.PageFetch { lsn = 0; pages = [] };
+      W.PageData { lsn = 42; pages = [ (1, page_of 'r'); (5, page_of 's') ] };
+      W.PageData { lsn = 42; pages = [] };
     ]
 
 let manual_frame ty payload =
@@ -169,8 +184,8 @@ let test_redo_capture () =
           Alcotest.(check int) "first commit is lsn 1" 1 r.P.lsn;
           Alcotest.(check int) "lsn visible on the pager" 1 (P.lsn p);
           Alcotest.(check bool) "header page shipped" true (List.mem_assoc 0 r.P.pages);
-          Alcotest.(check string) "page a after-image" (page_of 'a') (List.assoc a r.P.pages);
-          Alcotest.(check string) "page b after-image" (page_of 'b') (List.assoc b r.P.pages);
+          Alcotest.(check string) "page a after-image" (body_of 'a') (body (List.assoc a r.P.pages));
+          Alcotest.(check string) "page b after-image" (body_of 'b') (body (List.assoc b r.P.pages));
           Alcotest.(check (list int)) "pages sorted by number"
             (List.sort compare (List.map fst r.P.pages))
             (List.map fst r.P.pages);
@@ -183,7 +198,7 @@ let test_redo_capture () =
               Alcotest.(check int) "lsn monotonic" 2 r2.P.lsn;
               Alcotest.(check bool) "untouched page not recaptured" false
                 (List.mem_assoc a r2.P.pages);
-              Alcotest.(check string) "new after-image" (page_of 'B') (List.assoc b r2.P.pages)
+              Alcotest.(check string) "new after-image" (body_of 'B') (body (List.assoc b r2.P.pages))
           | rs -> Alcotest.failf "expected 2 records, got %d" (List.length rs))
       | rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs))
 
@@ -218,9 +233,9 @@ let test_redo_abort_and_empty () =
       | r :: _ ->
           Alcotest.(check int) "lsn resumes" (lsn0 + 1) r.P.lsn;
           Alcotest.(check string) "aborted page re-shipped, rolled back"
-            (page_of 'a') (List.assoc a r.P.pages);
-          Alcotest.(check string) "committed page shipped" (page_of 'y')
-            (List.assoc b r.P.pages)
+            (body_of 'a') (body (List.assoc a r.P.pages));
+          Alcotest.(check string) "committed page shipped" (body_of 'y')
+            (body (List.assoc b r.P.pages))
       | [] -> Alcotest.fail "commit after abort fired no record")
 
 let test_redo_lsn_override_persisted () =
