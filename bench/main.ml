@@ -3,11 +3,11 @@
    mapping from thesis experiment to harness section and for the
    recorded results.
 
-   Usage: main.exe [all|raw|queries|struct|fig44|fig45|fig46|tax|ablation|tables|schema|micro|recovery|storage|query|obs|repl|integrity]
+   Usage: main.exe [all|raw|queries|struct|fig44|fig45|fig46|tax|ablation|tables|schema|micro|recovery|storage|query|obs|repl|integrity|mvcc]
                    [--out DIR]
 
    Sections that emit machine-readable trajectory records
-   (BENCH_PR2.json .. BENCH_PR5.json) write them to the
+   (BENCH_PR2.json .. BENCH_PR7.json) write them to the
    current directory by default; --out DIR redirects them so CI can
    validate fresh records without clobbering the committed ones. *)
 
@@ -1417,6 +1417,160 @@ let bench_integrity () =
   write_record "BENCH_PR6.json" (Buffer.contents buf)
 
 (* ------------------------------------------------------------------ *)
+(* Section: MVCC reader scaling and group commit (PR7)                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Two workloads.  (1) Reader scaling: aggregate POOL query throughput
+   over frozen snapshot views from 1/2/4 OCaml domains — each domain
+   owns a clone of the same frozen LSN, so reads are lock-free against
+   the version chains.  The acceptance gate asks for >= 2x aggregate
+   throughput at 4 domains vs 1 when the host actually has >= 4 cores;
+   on smaller hosts true parallel speedup is physically unavailable, so
+   the gate degrades to "no contention collapse" (4-domain aggregate
+   >= 0.5x of 1 domain) and the core count is recorded.  (2) Group
+   commit: commits/s of 4 concurrent submitters batched through
+   [Store.Group] vs the same number of serial fsync'd transactions —
+   reported, ungated.  Results land in BENCH_PR7.json. *)
+let bench_mvcc () =
+  let module S = Pstore.Store in
+  let module F = Pstore.Fault in
+  Printf.printf "\n== mvcc: snapshot reader scaling, group commit ==\n";
+  (* --- reader scaling over snapshot views --------------------------- *)
+  let fs = F.create ~seed:7 () in
+  F.set_short_transfers fs false;
+  let vfs = F.vfs fs in
+  let db = Database.open_ ~vfs "bench_mvcc.db" in
+  ignore
+    (Database.define_class db "Rec"
+       [ Meta.attr "n" Value.TInt; Meta.attr "pad" Value.TString ]);
+  Database.create_index db "Rec" "n";
+  let n_objects = 2000 in
+  Database.with_tx db (fun () ->
+      for i = 0 to n_objects - 1 do
+        ignore
+          (Database.create db "Rec"
+             [ ("n", Value.VInt (i mod 500)); ("pad", Value.VString (String.make 32 'r')) ])
+      done);
+  let view = Database.snapshot db in
+  let thresholds = [| 60; 110; 170; 230; 290; 350; 410; 470 |] in
+  let queries_per_domain = 120 in
+  let query_at v t =
+    ignore
+      (Pool_lang.Pool.scalar v
+         (Printf.sprintf "count(select r from Rec r where r.n < %d)" t))
+  in
+  let run_queries v =
+    (* a larger per-domain minor heap keeps the stop-the-world minor-GC
+       barrier (whose cost multiplies with domain count) off the
+       measured path; applied identically at every domain count *)
+    Gc.set { (Gc.get ()) with Gc.minor_heap_size = 4 * 1024 * 1024 };
+    for i = 1 to queries_per_domain do
+      query_at v thresholds.(i mod Array.length thresholds)
+    done
+  in
+  let aggregate n_domains =
+    (* each domain gets its own clone of the frozen LSN: independent
+       plan caches, shared immutable version chains *)
+    let clones = List.init n_domains (fun _ -> Database.snapshot_clone view) in
+    (* warm each clone's plan cache outside the timed region *)
+    List.iter (fun v -> Array.iter (query_at v) thresholds) clones;
+    let (), ms =
+      time_once (fun () ->
+          let ds = List.map (fun v -> Domain.spawn (fun () -> run_queries v)) clones in
+          List.iter Domain.join ds)
+    in
+    List.iter Database.close clones;
+    float_of_int (n_domains * queries_per_domain) /. (ms /. 1000.)
+  in
+  let best f = List.fold_left Float.max neg_infinity (List.init 3 (fun _ -> f ())) in
+  let thr1 = best (fun () -> aggregate 1) in
+  let thr2 = best (fun () -> aggregate 2) in
+  let thr4 = best (fun () -> aggregate 4) in
+  let speedup = thr4 /. thr1 in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "  readers   1 domain %8.0f q/s   2 domains %8.0f q/s   4 domains %8.0f q/s\n" thr1
+    thr2 thr4;
+  Printf.printf "  aggregate speedup 4 vs 1: %.2fx  (%d core%s available)\n" speedup cores
+    (if cores = 1 then "" else "s");
+  Database.close view;
+  Database.close db;
+  let scaling_pass = if cores >= 4 then speedup >= 2.0 else speedup >= 0.5 in
+  (* --- group commit vs serial fsync'd transactions ------------------ *)
+  let path = tmp_path "mvcc_gc" in
+  let st = S.open_ path in
+  let payload = String.make 120 'g' in
+  let total = 240 in
+  let serial_ms =
+    snd
+      (time_once (fun () ->
+           for i = 1 to total do
+             S.with_tx st (fun () -> S.put st ~oid:i payload)
+           done))
+  in
+  let g = S.Group.start ~max_batch:64 st in
+  let n_workers = 4 in
+  let per = total / n_workers in
+  let group_ms =
+    snd
+      (time_once (fun () ->
+           let ds =
+             List.init n_workers (fun w ->
+                 Domain.spawn (fun () ->
+                     for j = 1 to per do
+                       ignore
+                         (S.Group.submit g (fun st ->
+                              S.put st ~oid:(10_000 + (w * per) + j) payload))
+                     done))
+           in
+           List.iter Domain.join ds))
+  in
+  let gstats = S.Group.group_stats g in
+  S.Group.stop g;
+  S.close st;
+  cleanup path;
+  let serial_cps = float_of_int total /. (serial_ms /. 1000.) in
+  let group_cps = float_of_int total /. (group_ms /. 1000.) in
+  Printf.printf
+    "  group commit  serial %8.0f commits/s   grouped %8.0f commits/s  (%d commits in %d \
+     batches)\n"
+    serial_cps group_cps gstats.S.Group.commits gstats.S.Group.batches;
+  Printf.printf "mvcc gate: %s (speedup %.2fx, %d cores)\n"
+    (if scaling_pass then "PASS" else "FAIL")
+    speedup cores;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": \"mvcc\",\n";
+  Buffer.add_string buf "  \"pr\": 7,\n";
+  Buffer.add_string buf "  \"workloads\": [\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    { \"name\": \"reader_scaling\", \"note\": \"POOL count queries over frozen \
+        snapshot views, %d objects, %d queries/domain, one clone per domain, in-memory \
+        VFS\", \"unit\": \"queries/s\", \"domains_1\": %.0f, \"domains_2\": %.0f, \
+        \"domains_4\": %.0f, \"speedup_4_vs_1\": %.2f, \"cores\": %d },\n"
+       n_objects queries_per_domain thr1 thr2 thr4 speedup cores);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    { \"name\": \"group_commit\", \"note\": \"%d puts: serial fsync'd \
+        transactions vs 4 concurrent submitters batched through Store.Group \
+        (max_batch 64)\", \"unit\": \"commits/s\", \"serial_commits_per_s\": %.0f, \
+        \"group_commits_per_s\": %.0f, \"batches\": %d, \"commits\": %d }\n"
+       total serial_cps group_cps gstats.S.Group.batches gstats.S.Group.commits);
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"acceptance\": {\n";
+  Buffer.add_string buf
+    "    \"criterion\": \"aggregate snapshot-read throughput at 4 domains >= 2x 1 domain \
+     when >= 4 cores are available; on smaller hosts the gate degrades to >= 0.5x (no \
+     contention collapse). group commit is reported ungated.\",\n";
+  Buffer.add_string buf (Printf.sprintf "    \"speedup_4_vs_1\": %.2f,\n" speedup);
+  Buffer.add_string buf (Printf.sprintf "    \"cores\": %d,\n" cores);
+  Buffer.add_string buf (Printf.sprintf "    \"pass\": %b\n" scaling_pass);
+  Buffer.add_string buf "  }\n";
+  Buffer.add_string buf "}\n";
+  write_record "BENCH_PR7.json" (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
 (* Main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1452,6 +1606,7 @@ let () =
     | "obs" -> bench_obs ()
     | "repl" -> bench_repl ()
     | "integrity" -> bench_integrity ()
+    | "mvcc" -> bench_mvcc ()
     | "schema" -> print_schema ()
     | s ->
         Printf.eprintf "unknown section %s\n" s;
@@ -1475,5 +1630,6 @@ let () =
       bench_query ();
       bench_obs ();
       bench_repl ();
-      bench_integrity ()
+      bench_integrity ();
+      bench_mvcc ()
   | s -> run s

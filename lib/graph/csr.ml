@@ -47,6 +47,7 @@ type snapshot = {
 type t = {
   db : Database.t;
   snaps : (string * int option, snapshot) Hashtbl.t; (* (rel, context) *)
+  mu : Mutex.t; (* guards [snaps]/[rebuilds]: traversals may run on any domain *)
   mutable rebuilds : int; (* snapshots built (adjacency_rebuilds stat) *)
 }
 
@@ -121,11 +122,14 @@ let build db ?context ~rel () : snapshot =
 (* ---------------------------------------------------------------------- *)
 
 let create db : t =
-  let t = { db; snaps = Hashtbl.create 8; rebuilds = 0 } in
+  let t = { db; snaps = Hashtbl.create 8; mu = Mutex.create (); rebuilds = 0 } in
   let _ : Bus.sub_id =
     Bus.subscribe (Database.bus db) ~name:"csr-invalidate"
       (Event.Any_of [ Event.rel_change; Event.On_abort ])
-      (fun _ -> Hashtbl.reset t.snaps)
+      (fun _ ->
+        Mutex.lock t.mu;
+        Hashtbl.reset t.snaps;
+        Mutex.unlock t.mu)
   in
   t
 
@@ -139,12 +143,9 @@ type Database.ext += Csr_manager of t
 let ext_key = "graph.csr"
 
 let handle db : t =
-  match Database.ext_find db ext_key with
-  | Some (Csr_manager m) -> m
-  | _ ->
-      let m = create db in
-      Database.ext_set db ext_key (Csr_manager m);
-      m
+  match Database.ext_get_or_init db ext_key (fun () -> Csr_manager (create db)) with
+  | Csr_manager m -> m
+  | _ -> assert false
 
 let m_rebuilds =
   Pobs.Metrics.counter "pdb_csr_rebuilds_total" ~help:"CSR adjacency snapshots built"
@@ -154,13 +155,24 @@ let m_build_ns = Pobs.Metrics.histogram "pdb_csr_build_ns" ~help:"CSR snapshot b
 (** The snapshot for [(context, rel)], building it on first use. *)
 let get (t : t) ?context ~rel () : snapshot =
   let key = (rel, context) in
-  match Hashtbl.find_opt t.snaps key with
+  let cached =
+    Mutex.lock t.mu;
+    let r = Hashtbl.find_opt t.snaps key in
+    Mutex.unlock t.mu;
+    r
+  in
+  match cached with
   | Some s -> s
   | None ->
+      (* build outside the lock: an invalidation racing the build can
+         only make this snapshot redundant, never stale — the bus event
+         fires before any query can observe the new graph *)
       let s = Pobs.Metrics.time m_build_ns (fun () -> build t.db ?context ~rel ()) in
+      Mutex.lock t.mu;
       t.rebuilds <- t.rebuilds + 1;
-      Pobs.Metrics.inc m_rebuilds;
       Hashtbl.replace t.snaps key s;
+      Mutex.unlock t.mu;
+      Pobs.Metrics.inc m_rebuilds;
       s
 
 (** Snapshots built so far for [db] (0 if none were ever requested) —

@@ -49,6 +49,10 @@ type ext = ..
 
 type t = {
   store : Store.t;
+  (* [Some s] marks a frozen snapshot view: reads come from the mirror
+     built off [s], mutators are rejected, and [close] releases the
+     snapshot instead of closing the (shared) store. *)
+  view : Store.Snapshot.s option;
   schema : Meta.t;
   bus : Bus.t;
   (* in-memory mirror *)
@@ -62,8 +66,11 @@ type t = {
      definition so cached query plans can detect that their access-path
      and extent-vs-expression choices went stale *)
   mutable index_epoch : int;
-  (* layer-private state, keyed by layer (see {!type:ext}) *)
+  (* layer-private state, keyed by layer (see {!type:ext}); [ext_mu]
+     serialises get-or-init so concurrent readers over a shared
+     snapshot view can't double-install a layer's state *)
   ext : (string, ext) Hashtbl.t;
+  ext_mu : Mutex.t;
   (* instance synonyms: union-find parent map (rebuilt on open) *)
   syn_parent : (int, int) Hashtbl.t;
   (* oids touched in the current transaction, for deferred checks *)
@@ -94,6 +101,26 @@ let bus t = t.bus
 let store t = t.store
 let ext_find t key : ext option = Hashtbl.find_opt t.ext key
 let ext_set t key (v : ext) = Hashtbl.replace t.ext key v
+
+(** Atomically fetch the layer state under [key], installing [mk ()]
+    on first use.  The lock covers lookup + install, so two domains
+    racing on a shared snapshot view agree on one state value. *)
+let ext_get_or_init t key (mk : unit -> ext) : ext =
+  Mutex.lock t.ext_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.ext_mu)
+    (fun () ->
+      match Hashtbl.find_opt t.ext key with
+      | Some v -> v
+      | None ->
+          let v = mk () in
+          Hashtbl.replace t.ext key v;
+          v)
+
+let is_view t = t.view <> None
+
+let check_writable t =
+  if is_view t then fail "operation not permitted on a read-only snapshot view"
 let is_subclass t = fun ~sub ~super -> Meta.is_subclass t.schema ~sub ~super
 
 let get t oid : Obj.t option = Hashtbl.find_opt t.objects oid
@@ -204,8 +231,8 @@ let register_builtin_classes schema =
       (Meta.define_class schema synonym_class
          [ Meta.attr "a" (Value.TRef Meta.object_class); Meta.attr "b" (Value.TRef Meta.object_class) ])
 
-let open_ ?cache_pages ?readonly path : t =
-  let store = Store.open_ ?cache_pages ?readonly path in
+let open_ ?cache_pages ?config ?vfs ?readonly path : t =
+  let store = Store.open_ ?cache_pages ?config ?vfs ?readonly path in
   let ro = Store.is_readonly store in
   let schema = Meta.empty () in
   (match Store.get store ~oid:schema_oid with
@@ -219,6 +246,7 @@ let open_ ?cache_pages ?readonly path : t =
   let t =
     {
       store;
+      view = None;
       schema;
       bus;
       objects = Hashtbl.create 1024;
@@ -228,6 +256,7 @@ let open_ ?cache_pages ?readonly path : t =
       indexes = Hashtbl.create 8;
       index_epoch = 0;
       ext = Hashtbl.create 4;
+      ext_mu = Mutex.create ();
       syn_parent = Hashtbl.create 64;
       touched = Hashtbl.create 64;
       tx_depth = 0;
@@ -241,7 +270,92 @@ let open_ ?cache_pages ?readonly path : t =
   rebuild_mirror t;
   t
 
-let close t = Store.close t.store
+let close t =
+  match t.view with
+  | Some s -> Store.Snapshot.release s
+  | None -> Store.close t.store
+
+(* ---------------------------------------------------------------------- *)
+(* Snapshot views                                                          *)
+(* ---------------------------------------------------------------------- *)
+
+(* Build a full database view over a frozen store snapshot: its own
+   schema, bus, mirror and layer state, all reconstructed from the
+   snapshot's bytes, so it shares nothing mutable with the parent. *)
+let of_store_snapshot ~(store : Store.t) (snap : Store.Snapshot.s)
+    ~(index_defs : (string * string) list) : t =
+  let schema = Meta.empty () in
+  (match Store.Snapshot.get snap ~oid:schema_oid with
+  | Some data -> Meta.decode_into schema data
+  | None -> fail "snapshot: store has no schema record");
+  register_builtin_classes schema;
+  let bus = Bus.create () in
+  let t =
+    {
+      (* the parent's handle, kept only for stats plumbing: every view
+         read goes to the mirror, and [check_writable] fences writes *)
+      store;
+      view = Some snap;
+      schema;
+      bus;
+      objects = Hashtbl.create 1024;
+      extents = Hashtbl.create 64;
+      out_rels = Hashtbl.create 1024;
+      in_rels = Hashtbl.create 1024;
+      indexes = Hashtbl.create 8;
+      index_epoch = 0;
+      ext = Hashtbl.create 4;
+      ext_mu = Mutex.create ();
+      syn_parent = Hashtbl.create 64;
+      touched = Hashtbl.create 64;
+      tx_depth = 0;
+    }
+  in
+  Bus.set_subclass_pred bus (is_subclass t);
+  Store.Snapshot.iter snap (fun oid data ->
+      if oid <> schema_oid then mirror_insert t (Obj.decode ~oid data));
+  (* Rebuild the parent's secondary indexes over the frozen mirror so
+     cached plans made against the view see the same access paths. *)
+  List.iter
+    (fun (cls, attr) ->
+      let table = ref ValueMap.empty in
+      Hashtbl.replace t.indexes (cls, attr) table;
+      Hashtbl.iter
+        (fun _ o ->
+          if index_covers t ~index_class:cls ~obj_class:o.Obj.class_name then
+            map_add table (Obj.get o attr) o.Obj.oid)
+        t.objects)
+    index_defs;
+  t
+
+let index_defs t = Hashtbl.fold (fun k _ acc -> k :: acc) t.indexes []
+
+(** Freeze the current committed state into a read-only database view.
+
+    The view is a complete, self-contained {!t}: queries, extents,
+    indexes and graph traversals all work, pinned at the store LSN the
+    snapshot captured.  Mutators and transactions are rejected.
+    [close] on the view releases the pinned page versions (it never
+    touches the parent).  A view is built for one domain; to fan out
+    across N domains either [snapshot_clone] it per domain or share one
+    view — shared views are safe because all reads go to the immutable
+    mirror and layer state is installed under {!ext_get_or_init}. *)
+let snapshot (parent : t) : t =
+  if is_view parent then fail "snapshot of a snapshot view";
+  let defs = index_defs parent in
+  of_store_snapshot ~store:parent.store (Store.snapshot parent.store) ~index_defs:defs
+
+(** An independent view of the same frozen LSN (own mirror, own layer
+    state) for another domain. *)
+let snapshot_clone (v : t) : t =
+  match v.view with
+  | None -> fail "snapshot_clone of a live database"
+  | Some s ->
+      of_store_snapshot ~store:v.store (Store.Snapshot.clone s) ~index_defs:(index_defs v)
+
+(** The LSN a snapshot view is frozen at. *)
+let view_lsn t =
+  match t.view with Some s -> Store.Snapshot.lsn s | None -> Store.lsn t.store
 
 (* ---------------------------------------------------------------------- *)
 (* Schema definition (persisted)                                           *)
@@ -251,6 +365,7 @@ let close t = Store.close t.store
    names denote class extents (Plan.compile's extent-vs-expression
    choice), so a plan cached before a class existed must replan. *)
 let define_class t ?supers ?abstract name attrs =
+  check_writable t;
   let c = Meta.define_class t.schema ?supers ?abstract name attrs in
   t.index_epoch <- t.index_epoch + 1;
   persist_schema t;
@@ -258,6 +373,7 @@ let define_class t ?supers ?abstract name attrs =
 
 let define_rel t ?supers ?kind ?card_out ?card_in ?exclusive ?sharable ?lifetime_dep ?constant
     ?inherited_attrs ?attrs name ~origin ~destination =
+  check_writable t;
   let r =
     Meta.define_rel t.schema ?supers ?kind ?card_out ?card_in ?exclusive ?sharable ?lifetime_dep
       ?constant ?inherited_attrs ?attrs name ~origin ~destination
@@ -273,6 +389,7 @@ let define_rel t ?supers ?kind ?card_out ?card_in ?exclusive ?sharable ?lifetime
 let in_tx t = t.tx_depth > 0
 
 let begin_tx t =
+  check_writable t;
   if t.tx_depth = 0 then begin
     Store.begin_tx t.store;
     Hashtbl.reset t.touched;
@@ -357,6 +474,7 @@ let validated_attrs t ~class_name (attrs : (string * Value.t) list) : (string * 
 let persist t (o : Obj.t) = Store.put t.store ~oid:o.Obj.oid (Obj.encode o)
 
 let create t class_name (attrs : (string * Value.t) list) : int =
+  check_writable t;
   let cdef = Meta.class_exn t.schema class_name in
   if cdef.Meta.abstract then fail "cannot instantiate abstract class %s" class_name;
   let attrs = validated_attrs t ~class_name attrs in
@@ -369,6 +487,7 @@ let create t class_name (attrs : (string * Value.t) list) : int =
   oid
 
 let update t oid attr (v : Value.t) : unit =
+  check_writable t;
   let o = get_exn t oid in
   if Obj.is_reserved_attr attr then fail "attribute %s is reserved" attr;
   (match Meta.find_attr t.schema o.Obj.class_name attr with
@@ -394,6 +513,7 @@ let update t oid attr (v : Value.t) : unit =
 
 (* forward declaration for mutual recursion with cascade delete *)
 let rec delete t oid : unit =
+  check_writable t;
   match get t oid with
   | None -> () (* already gone (e.g. via a cascade) *)
   | Some o ->
@@ -556,6 +676,7 @@ let semantic_checks t (rdef : Meta.rel_def) ~origin ~destination ~context =
     [origin] to [destination], optionally inside classification context
     [context], with user attributes [attrs]. *)
 let link t ?context ?(attrs = []) rel_name ~origin ~destination : int =
+  check_writable t;
   let rdef = Meta.rel_exn t.schema rel_name in
   check_endpoint t ~rel_name ~role:"origin" ~expected:rdef.Meta.origin origin;
   check_endpoint t ~rel_name ~role:"destination" ~expected:rdef.Meta.destination destination;
@@ -583,6 +704,7 @@ let link t ?context ?(attrs = []) rel_name ~origin ~destination : int =
 
 (** Remove a link by its oid. *)
 let unlink t rel_oid =
+  check_writable t;
   match get t rel_oid with
   | Some r when is_rel_instance t r ->
       let rdef = Meta.rel_exn t.schema r.Obj.class_name in
@@ -596,6 +718,7 @@ let unlink t rel_oid =
 (** Re-target a relationship instance (move a link).  Violates
     constancy if the relationship class is constant. *)
 let retarget t rel_oid ?origin ?destination () =
+  check_writable t;
   let r = get_exn t rel_oid in
   if not (is_rel_instance t r) then fail "#%d is not a relationship instance" rel_oid;
   let rdef = Meta.rel_exn t.schema r.Obj.class_name in

@@ -8,28 +8,32 @@
     - {b Near-zero cost when off.}  Every mutation is guarded by the
       process-wide {!enabled} flag: one ref read and a branch.  Timing
       helpers skip the clock reads entirely when disabled.
-    - {b Cheap when on.}  A counter increment is a float add on a
-      dedicated record; a histogram observation is a short linear scan
-      over ~13 bucket bounds plus three stores.  No allocation on any
-      hot path.
+    - {b Cheap when on, and domain-safe.}  Samples live in [Atomic.t]
+      cells so concurrent domains (snapshot readers, the group-commit
+      writer) never lose or tear updates: integer paths are a single
+      [fetch_and_add], float paths a short CAS loop.  Float cells box
+      on update (one 2-word minor allocation) — the price of lock-free
+      float accumulation; the integer histogram/counter hot paths stay
+      allocation-free.
     - {b Idempotent registration.}  Handles are registered at module
       initialisation time all over the codebase; registering the same
       (name, labels) twice returns the first handle, so tests and
-      layers can re-acquire handles by name.
+      layers can re-acquire handles by name.  Registration takes a
+      registry-wide lock — it is rare and never on a hot path.
 
     The registry is process-wide by design ({!default}): it aggregates
     across every open database, matching what a scrape of the process
     should see.  Per-database figures stay in [Pager.stats] /
     [Pool.stats].  Fresh registries ({!create}) exist for tests. *)
 
-type counter = { mutable c_value : float }
-type gauge = { mutable g_value : float }
+type counter = { c_value : float Atomic.t }
+type gauge = { g_value : float Atomic.t }
 
 type histogram = {
   h_bounds : float array; (* ascending upper bucket bounds; +Inf is implicit *)
-  h_counts : int array; (* one per bound plus the +Inf overflow, non-cumulative *)
-  mutable h_sum : float;
-  mutable h_total : int;
+  h_counts : int Atomic.t array; (* one per bound plus the +Inf overflow, non-cumulative *)
+  h_sum : float Atomic.t;
+  h_total : int Atomic.t;
 }
 
 type sample = Counter of counter | Gauge of gauge | Histogram of histogram
@@ -45,10 +49,16 @@ type t = {
   mutable order : string list; (* family names, newest first *)
   families : (string, metric list ref) Hashtbl.t; (* name -> members, newest first *)
   index : (string * (string * string) list, metric) Hashtbl.t;
+  reg_mu : Mutex.t; (* guards order/families/index *)
 }
 
 let create () : t =
-  { order = []; families = Hashtbl.create 64; index = Hashtbl.create 64 }
+  {
+    order = [];
+    families = Hashtbl.create 64;
+    index = Hashtbl.create 64;
+    reg_mu = Mutex.create ();
+  }
 
 (** The process-wide registry every layer registers into. *)
 let default : t = create ()
@@ -57,6 +67,11 @@ let default : t = create ()
     and histogram observation into a guarded no-op — the
     metrics-off side of the overhead ablation ([bench/main.exe obs]). *)
 let enabled = ref true
+
+(* Lock-free maximum-free float accumulate: CAS until our add lands. *)
+let rec atomic_fadd (a : float Atomic.t) (x : float) : unit =
+  let v = Atomic.get a in
+  if not (Atomic.compare_and_set a v (v +. x)) then atomic_fadd a x
 
 (** Default latency buckets, in nanoseconds: exponential ×4 from
     250 ns to 4 s — wide enough for a cache-hit page read and a
@@ -82,30 +97,40 @@ let register (reg : t) ~name ~help ~labels (make : unit -> sample) : metric =
         invalid_arg ("Metrics: invalid label name " ^ k))
     labels;
   let labels = List.sort compare labels in
-  match Hashtbl.find_opt reg.index (name, labels) with
-  | Some m -> m
-  | None ->
-      let m = { m_name = name; m_help = help; m_labels = labels; m_sample = make () } in
-      (match Hashtbl.find_opt reg.families name with
-      | Some members ->
-          (* one family, one kind: a name cannot mix counter and gauge *)
-          (match ((List.hd !members).m_sample, m.m_sample) with
-          | Counter _, Counter _ | Gauge _, Gauge _ | Histogram _, Histogram _ -> ()
-          | _ -> invalid_arg ("Metrics: kind mismatch for family " ^ name));
-          members := m :: !members
+  Mutex.lock reg.reg_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock reg.reg_mu)
+    (fun () ->
+      match Hashtbl.find_opt reg.index (name, labels) with
+      | Some m -> m
       | None ->
-          Hashtbl.replace reg.families name (ref [ m ]);
-          reg.order <- name :: reg.order);
-      Hashtbl.replace reg.index (name, labels) m;
-      m
+          let m = { m_name = name; m_help = help; m_labels = labels; m_sample = make () } in
+          (match Hashtbl.find_opt reg.families name with
+          | Some members ->
+              (* one family, one kind: a name cannot mix counter and gauge *)
+              (match ((List.hd !members).m_sample, m.m_sample) with
+              | Counter _, Counter _ | Gauge _, Gauge _ | Histogram _, Histogram _ -> ()
+              | _ -> invalid_arg ("Metrics: kind mismatch for family " ^ name));
+              members := m :: !members
+          | None ->
+              Hashtbl.replace reg.families name (ref [ m ]);
+              reg.order <- name :: reg.order);
+          Hashtbl.replace reg.index (name, labels) m;
+          m)
 
 let counter ?(registry = default) ?(labels = []) ~help name : counter =
-  match (register registry ~name ~help ~labels (fun () -> Counter { c_value = 0. })).m_sample with
+  match
+    (register registry ~name ~help ~labels (fun () -> Counter { c_value = Atomic.make 0. }))
+      .m_sample
+  with
   | Counter c -> c
   | _ -> invalid_arg ("Metrics: " ^ name ^ " is not a counter")
 
 let gauge ?(registry = default) ?(labels = []) ~help name : gauge =
-  match (register registry ~name ~help ~labels (fun () -> Gauge { g_value = 0. })).m_sample with
+  match
+    (register registry ~name ~help ~labels (fun () -> Gauge { g_value = Atomic.make 0. }))
+      .m_sample
+  with
   | Gauge g -> g
   | _ -> invalid_arg ("Metrics: " ^ name ^ " is not a gauge")
 
@@ -118,7 +143,12 @@ let histogram ?(registry = default) ?(labels = []) ?(buckets = default_ns_bucket
         invalid_arg ("Metrics: bucket bounds must ascend in " ^ name)
     done;
     Histogram
-      { h_bounds = Array.copy buckets; h_counts = Array.make (n + 1) 0; h_sum = 0.; h_total = 0 }
+      {
+        h_bounds = Array.copy buckets;
+        h_counts = Array.init (n + 1) (fun _ -> Atomic.make 0);
+        h_sum = Atomic.make 0.;
+        h_total = Atomic.make 0;
+      }
   in
   match (register registry ~name ~help ~labels make).m_sample with
   | Histogram h -> h
@@ -129,12 +159,12 @@ let histogram ?(registry = default) ?(labels = []) ?(buckets = default_ns_bucket
 let add (c : counter) (x : float) : unit =
   if !enabled then begin
     if x < 0. then invalid_arg "Metrics.add: counters are monotonic";
-    c.c_value <- c.c_value +. x
+    atomic_fadd c.c_value x
   end
 
-let inc (c : counter) : unit = if !enabled then c.c_value <- c.c_value +. 1.
+let inc (c : counter) : unit = if !enabled then atomic_fadd c.c_value 1.
 let addi (c : counter) (n : int) : unit = add c (float_of_int n)
-let set (g : gauge) (v : float) : unit = if !enabled then g.g_value <- v
+let set (g : gauge) (v : float) : unit = if !enabled then Atomic.set g.g_value v
 let seti (g : gauge) (n : int) : unit = set g (float_of_int n)
 
 let observe (h : histogram) (x : float) : unit =
@@ -144,9 +174,9 @@ let observe (h : histogram) (x : float) : unit =
     while !i < n && x > h.h_bounds.(!i) do
       incr i
     done;
-    h.h_counts.(!i) <- h.h_counts.(!i) + 1;
-    h.h_sum <- h.h_sum +. x;
-    h.h_total <- h.h_total + 1
+    ignore (Atomic.fetch_and_add h.h_counts.(!i) 1);
+    atomic_fadd h.h_sum x;
+    ignore (Atomic.fetch_and_add h.h_total 1)
   end
 
 let observe_ns (h : histogram) (ns : int) : unit = observe h (float_of_int ns)
@@ -162,19 +192,23 @@ let time (h : histogram) (f : unit -> 'a) : 'a =
 
 (* --- readers (tests, CLI) ---------------------------------------------- *)
 
-let counter_value (c : counter) : float = c.c_value
-let gauge_value (g : gauge) : float = g.g_value
-let hist_total (h : histogram) : int = h.h_total
-let hist_sum (h : histogram) : float = h.h_sum
-let hist_counts (h : histogram) : int array = Array.copy h.h_counts
+let counter_value (c : counter) : float = Atomic.get c.c_value
+let gauge_value (g : gauge) : float = Atomic.get g.g_value
+let hist_total (h : histogram) : int = Atomic.get h.h_total
+let hist_sum (h : histogram) : float = Atomic.get h.h_sum
+let hist_counts (h : histogram) : int array = Array.map Atomic.get h.h_counts
 let hist_bounds (h : histogram) : float array = Array.copy h.h_bounds
 
 (* --- exposition --------------------------------------------------------- *)
 
 let families_in_order (reg : t) : (string * metric list) list =
-  List.rev_map
-    (fun name -> (name, List.rev !(Hashtbl.find reg.families name)))
-    reg.order
+  Mutex.lock reg.reg_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock reg.reg_mu)
+    (fun () ->
+      List.rev_map
+        (fun name -> (name, List.rev !(Hashtbl.find reg.families name)))
+        reg.order)
 
 let value_repr (v : float) : string =
   if Float.is_nan v then "NaN"
@@ -222,7 +256,10 @@ let help_repr (s : string) : string =
 (** Render the registry in the Prometheus text exposition format
     (version 0.0.4): one [# HELP] / [# TYPE] header per family, then
     one sample line per counter/gauge, and for histograms the
-    cumulative [_bucket{le=...}] series plus [_sum] and [_count]. *)
+    cumulative [_bucket{le=...}] series plus [_sum] and [_count].
+    Histogram series are rendered from one snapshot of the bucket
+    array, so concurrent observations cannot make the cumulative
+    counts non-monotonic within a single scrape. *)
 let expose ?(registry = default) () : string =
   let b = Buffer.create 4096 in
   List.iter
@@ -236,11 +273,14 @@ let expose ?(registry = default) () : string =
           match m.m_sample with
           | Counter c ->
               Buffer.add_string b
-                (Printf.sprintf "%s%s %s\n" name (labels_repr m.m_labels) (value_repr c.c_value))
+                (Printf.sprintf "%s%s %s\n" name (labels_repr m.m_labels)
+                   (value_repr (Atomic.get c.c_value)))
           | Gauge g ->
               Buffer.add_string b
-                (Printf.sprintf "%s%s %s\n" name (labels_repr m.m_labels) (value_repr g.g_value))
+                (Printf.sprintf "%s%s %s\n" name (labels_repr m.m_labels)
+                   (value_repr (Atomic.get g.g_value)))
           | Histogram h ->
+              let counts = Array.map Atomic.get h.h_counts in
               let cum = ref 0 in
               Array.iteri
                 (fun i cnt ->
@@ -252,12 +292,13 @@ let expose ?(registry = default) () : string =
                     (Printf.sprintf "%s_bucket%s %d\n" name
                        (labels_repr ~extra:("le", le) m.m_labels)
                        !cum))
-                h.h_counts;
+                counts;
               Buffer.add_string b
                 (Printf.sprintf "%s_sum%s %s\n" name (labels_repr m.m_labels)
-                   (value_repr h.h_sum));
+                   (value_repr (Atomic.get h.h_sum)));
               Buffer.add_string b
-                (Printf.sprintf "%s_count%s %d\n" name (labels_repr m.m_labels) h.h_total))
+                (Printf.sprintf "%s_count%s %d\n" name (labels_repr m.m_labels)
+                   (Atomic.get h.h_total)))
         members)
     (families_in_order registry);
   Buffer.contents b
@@ -268,9 +309,10 @@ let expose_json ?(registry = default) () : Json.t =
   let sample_json (m : metric) : Json.t =
     let labels = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) m.m_labels) in
     match m.m_sample with
-    | Counter c -> Json.Obj [ ("labels", labels); ("value", Json.Float c.c_value) ]
-    | Gauge g -> Json.Obj [ ("labels", labels); ("value", Json.Float g.g_value) ]
+    | Counter c -> Json.Obj [ ("labels", labels); ("value", Json.Float (Atomic.get c.c_value)) ]
+    | Gauge g -> Json.Obj [ ("labels", labels); ("value", Json.Float (Atomic.get g.g_value)) ]
     | Histogram h ->
+        let counts = Array.map Atomic.get h.h_counts in
         let cum = ref 0 in
         let buckets =
           Array.to_list
@@ -281,14 +323,14 @@ let expose_json ?(registry = default) () : Json.t =
                    if i < Array.length h.h_bounds then value_repr h.h_bounds.(i) else "+Inf"
                  in
                  (le, Json.Int !cum))
-               h.h_counts)
+               counts)
         in
         Json.Obj
           [
             ("labels", labels);
             ("buckets", Json.Obj buckets);
-            ("sum", Json.Float h.h_sum);
-            ("count", Json.Int h.h_total);
+            ("sum", Json.Float (Atomic.get h.h_sum));
+            ("count", Json.Int (Atomic.get h.h_total));
           ]
   in
   Json.Obj

@@ -1,26 +1,44 @@
 (** A cheap, never-going-backwards nanosecond clock.
 
-    The stdlib offers no monotonic clock without C stubs, so this is
+    The primary source is a one-line C stub over
+    [clock_gettime(CLOCK_MONOTONIC)] — a true monotonic clock that
+    wall-clock steps (NTP slew, manual reset) cannot skew, which
+    matters now that spans from several domains are timed against each
+    other.  If the stub reports the clock unavailable at start-up
+    (exotic libc), we fall back to the historical seam:
     [Unix.gettimeofday] (a vDSO call, ~25 ns) converted to integer
-    nanoseconds and clamped to be non-decreasing: a wall-clock step
-    backwards (NTP slew, manual reset) freezes the reading instead of
-    producing negative durations.  Resolution is therefore the
-    microsecond [gettimeofday] provides — coarse against a real
-    [CLOCK_MONOTONIC], but plenty for the syscall- and query-level
-    latencies the observability layer measures (see DESIGN.md
-    "Observability").
+    nanoseconds and clamped to be non-decreasing, so a backwards step
+    freezes the reading instead of producing negative durations.
 
-    The conversion goes through integer microseconds so the result is
-    exact: multiplying seconds-as-float directly by 1e9 would exceed
-    the 53-bit mantissa and quantise readings by ~256 ns. *)
+    The clamp state is an [Atomic.t]: several domains read the clock
+    concurrently, and a plain ref would tear the published maximum.
+    The fallback conversion goes through integer microseconds so the
+    result is exact: multiplying seconds-as-float directly by 1e9
+    would exceed the 53-bit mantissa and quantise readings by
+    ~256 ns. *)
 
-let last = ref 0
+external clock_monotonic_ns : unit -> int64 = "pdb_clock_monotonic_ns"
+
+(* Probe once at module init: 0 means the stub could not read
+   CLOCK_MONOTONIC on this system. *)
+let have_monotonic = clock_monotonic_ns () <> 0L
+let last = Atomic.make 0
+
+(* Publish [t] as the new maximum and return the largest reading any
+   domain has seen — a CAS loop so concurrent readers never observe
+   the clock going backwards. *)
+let rec clamp (t : int) : int =
+  let prev = Atomic.get last in
+  if t <= prev then prev
+  else if Atomic.compare_and_set last prev t then t
+  else clamp t
 
 (** Current time in integer nanoseconds, non-decreasing within the
-    process.  Only differences are meaningful; the epoch is the Unix
-    epoch today but callers must not rely on that. *)
+    process.  Only differences are meaningful; the epoch is boot time
+    on the monotonic path and the Unix epoch on the fallback, so
+    callers must not rely on it. *)
 let now_ns () : int =
-  let us = int_of_float (Unix.gettimeofday () *. 1e6) in
-  let t = us * 1000 in
-  if t > !last then last := t;
-  !last
+  if have_monotonic then Int64.to_int (clock_monotonic_ns ())
+  else
+    let us = int_of_float (Unix.gettimeofday () *. 1e6) in
+    clamp (us * 1000)

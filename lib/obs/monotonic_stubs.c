@@ -1,0 +1,18 @@
+/* CLOCK_MONOTONIC as integer nanoseconds, for Monotonic.now_ns.
+   Returns 0 when the clock is unavailable so the OCaml side can fall
+   back to the clamped wall clock. */
+#include <stdint.h>
+#include <time.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+CAMLprim value pdb_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+#ifdef CLOCK_MONOTONIC
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+#endif
+  return caml_copy_int64(0);
+}

@@ -16,28 +16,38 @@ let set_threshold_ms ms = set_threshold_ns (int_of_float (ms *. 1e6))
 let cap = 64
 let ring : entry option array = Array.make cap None
 let write_pos = ref 0
+let mu = Mutex.create () (* guards ring/write_pos: queries finish on any domain *)
 
 let total =
   Metrics.counter "pdb_slow_queries_total"
     ~help:"Queries slower than the slow-query threshold"
 
 let clear () =
+  Mutex.lock mu;
   Array.fill ring 0 cap None;
-  write_pos := 0
+  write_pos := 0;
+  Mutex.unlock mu
 
 (** Record [query] if it was slow enough; cheap no-op otherwise. *)
 let note ~(kind : string) ~(dur_ns : int) (query : string) : unit =
   if !Metrics.enabled && dur_ns >= !threshold_ns then begin
     Metrics.inc total;
-    ring.(!write_pos mod cap) <- Some { query; kind; dur_ns; at_ns = Monotonic.now_ns () };
-    incr write_pos
+    let e = Some { query; kind; dur_ns; at_ns = Monotonic.now_ns () } in
+    Mutex.lock mu;
+    ring.(!write_pos mod cap) <- e;
+    incr write_pos;
+    Mutex.unlock mu
   end
 
 (** Logged entries, oldest first. *)
 let entries () : entry list =
-  let n = min cap !write_pos in
-  let first = !write_pos - n in
-  List.filter_map (fun i -> ring.((first + i) mod cap)) (List.init n (fun i -> i))
+  Mutex.lock mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock mu)
+    (fun () ->
+      let n = min cap !write_pos in
+      let first = !write_pos - n in
+      List.filter_map (fun i -> ring.((first + i) mod cap)) (List.init n (fun i -> i)))
 
 let to_json () : Json.t =
   Json.List

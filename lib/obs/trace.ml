@@ -12,7 +12,13 @@
 
     Spans are recorded at {e completion} (children before parents),
     which is why rendering sorts by id — ids are allocated at span
-    {e start}, restoring the natural outer-before-inner order. *)
+    {e start}, restoring the natural outer-before-inner order.
+
+    Domain safety: the finished-span ring is guarded by a mutex (span
+    completion is not a hot path — it already pays two clock reads),
+    span ids come from an [Atomic.t], and the open-span stack is
+    {e domain-local} ([Domain.DLS]) so each domain nests its own spans
+    without seeing another domain's parents. *)
 
 type span = {
   id : int; (* unique, > 0, allocated at span start *)
@@ -28,37 +34,47 @@ let enabled = ref false
 
 let dummy = { id = 0; name = ""; start_ns = 0; dur_ns = 0; parent = 0; attrs = [] }
 
+let mu = Mutex.create () (* guards capacity/ring/write_pos *)
 let capacity = ref 512
 let ring : span array ref = ref (Array.make !capacity dummy)
 let write_pos = ref 0 (* total spans ever recorded *)
-let next_id = ref 0
+let next_id = Atomic.make 0
 
-(* Spans started but not yet finished, innermost first. *)
+let locked (f : unit -> 'a) : 'a =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+(* Spans started but not yet finished, innermost first — one stack
+   per domain, so nesting is tracked where the spans actually run. *)
 type open_span = { o_id : int; o_name : string; o_start : int; mutable o_attrs : (string * string) list }
 
-let open_stack : open_span list ref = ref []
+let open_stack : open_span list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 (** Resize the ring and drop all recorded spans (open spans survive). *)
 let set_capacity (n : int) : unit =
   if n < 1 then invalid_arg "Trace.set_capacity";
-  capacity := n;
-  ring := Array.make n dummy;
-  write_pos := 0
+  locked (fun () ->
+      capacity := n;
+      ring := Array.make n dummy;
+      write_pos := 0)
 
 let clear () : unit =
-  ring := Array.make !capacity dummy;
-  write_pos := 0;
-  open_stack := []
+  locked (fun () ->
+      ring := Array.make !capacity dummy;
+      write_pos := 0);
+  Domain.DLS.get open_stack := []
 
 let record (s : span) : unit =
-  !ring.(!write_pos mod !capacity) <- s;
-  incr write_pos
+  locked (fun () ->
+      !ring.(!write_pos mod !capacity) <- s;
+      incr write_pos)
 
-(** Attach an attribute to the innermost open span (no-op when
-    tracing is off or no span is open). *)
+(** Attach an attribute to the innermost open span of the calling
+    domain (no-op when tracing is off or no span is open). *)
 let add_attr (k : string) (v : string) : unit =
   if !enabled then
-    match !open_stack with
+    match !(Domain.DLS.get open_stack) with
     | [] -> ()
     | o :: _ -> o.o_attrs <- (k, v) :: o.o_attrs
 
@@ -67,16 +83,16 @@ let add_attr (k : string) (v : string) : unit =
 let with_span ?(attrs = []) (name : string) (f : unit -> 'a) : 'a =
   if not !enabled then f ()
   else begin
-    incr next_id;
-    let id = !next_id in
-    let parent = match !open_stack with [] -> 0 | o :: _ -> o.o_id in
+    let id = Atomic.fetch_and_add next_id 1 + 1 in
+    let stack = Domain.DLS.get open_stack in
+    let parent = match !stack with [] -> 0 | o :: _ -> o.o_id in
     let o = { o_id = id; o_name = name; o_start = Monotonic.now_ns (); o_attrs = List.rev attrs } in
-    open_stack := o :: !open_stack;
+    stack := o :: !stack;
     Fun.protect
       ~finally:(fun () ->
-        (match !open_stack with
-        | top :: rest when top.o_id = id -> open_stack := rest
-        | stack -> open_stack := List.filter (fun x -> x.o_id <> id) stack);
+        (match !stack with
+        | top :: rest when top.o_id = id -> stack := rest
+        | s -> stack := List.filter (fun x -> x.o_id <> id) s);
         record
           {
             id;
@@ -91,16 +107,18 @@ let with_span ?(attrs = []) (name : string) (f : unit -> 'a) : 'a =
 
 (** Recorded spans, oldest first. *)
 let spans () : span list =
-  let cap = !capacity and total = !write_pos in
-  let n = min cap total in
-  let first = total - n in
-  List.init n (fun i -> !ring.((first + i) mod cap))
+  locked (fun () ->
+      let cap = !capacity and total = !write_pos in
+      let n = min cap total in
+      let first = total - n in
+      let r = !ring in
+      List.init n (fun i -> r.((first + i) mod cap)))
 
 (** How many spans have been evicted by ring wraparound. *)
-let dropped () : int = max 0 (!write_pos - !capacity)
+let dropped () : int = locked (fun () -> max 0 (!write_pos - !capacity))
 
 (** Total spans ever recorded (including dropped ones). *)
-let recorded () : int = !write_pos
+let recorded () : int = locked (fun () -> !write_pos)
 
 (* --- text rendering (pdb trace) ---------------------------------------- *)
 

@@ -58,19 +58,23 @@ let legacy_config = { planner = false; use_csr = false; plan_cache = false }
 (** Cumulative per-database counters, reported by [pdb stats] and the
     server's [/stats]. *)
 type totals = {
-  mutable t_index_probes : int;
-  mutable t_range_scans : int;
-  mutable t_hash_joins : int;
-  mutable t_extent_scans : int;
-  mutable t_cache_hits : int;
-  mutable t_cache_misses : int;
+  t_index_probes : int Atomic.t;
+  t_range_scans : int Atomic.t;
+  t_hash_joins : int Atomic.t;
+  t_extent_scans : int Atomic.t;
+  t_cache_hits : int Atomic.t;
+  t_cache_misses : int Atomic.t;
 }
 
 (* Plan-cache entries carry the index epoch they were compiled under;
    a moved epoch means an index was created or dropped, or a class or
    relationship was defined, and the plan must be rebuilt (counted as
    a miss). *)
-type per_db = { totals : totals; cache : (string, int * Plan.t) Hashtbl.t }
+type per_db = {
+  totals : totals;
+  cache : (string, int * Plan.t) Hashtbl.t;
+  cache_mu : Mutex.t; (* queries may run on any domain over a shared view *)
+}
 
 (* Per-database state lives on the database record itself
    (Database.ext), so cumulative statistics and the plan cache share
@@ -82,25 +86,25 @@ type Database.ext += Pool_state of per_db
 let ext_key = "pool.eval"
 
 let per_db db : per_db =
-  match Database.ext_find db ext_key with
-  | Some (Pool_state p) -> p
-  | _ ->
-      let p =
-        {
-          totals =
-            {
-              t_index_probes = 0;
-              t_range_scans = 0;
-              t_hash_joins = 0;
-              t_extent_scans = 0;
-              t_cache_hits = 0;
-              t_cache_misses = 0;
-            };
-          cache = Hashtbl.create 64;
-        }
-      in
-      Database.ext_set db ext_key (Pool_state p);
-      p
+  match
+    Database.ext_get_or_init db ext_key (fun () ->
+        Pool_state
+          {
+            totals =
+              {
+                t_index_probes = Atomic.make 0;
+                t_range_scans = Atomic.make 0;
+                t_hash_joins = Atomic.make 0;
+                t_extent_scans = Atomic.make 0;
+                t_cache_hits = Atomic.make 0;
+                t_cache_misses = Atomic.make 0;
+              };
+            cache = Hashtbl.create 64;
+            cache_mu = Mutex.create ();
+          })
+  with
+  | Pool_state p -> p
+  | _ -> assert false
 
 type db_stats = {
   index_probes : int;
@@ -116,12 +120,12 @@ type db_stats = {
 let db_stats db : db_stats =
   let t = (per_db db).totals in
   {
-    index_probes = t.t_index_probes;
-    range_scans = t.t_range_scans;
-    hash_joins = t.t_hash_joins;
-    extent_scans = t.t_extent_scans;
-    plan_cache_hits = t.t_cache_hits;
-    plan_cache_misses = t.t_cache_misses;
+    index_probes = Atomic.get t.t_index_probes;
+    range_scans = Atomic.get t.t_range_scans;
+    hash_joins = Atomic.get t.t_hash_joins;
+    extent_scans = Atomic.get t.t_extent_scans;
+    plan_cache_hits = Atomic.get t.t_cache_hits;
+    plan_cache_misses = Atomic.get t.t_cache_misses;
     adjacency_rebuilds = Pgraph.Csr.rebuild_count db;
   }
 
@@ -130,6 +134,7 @@ type state = {
   config : config;
   totals : totals;
   cache : (string, int * Plan.t) Hashtbl.t;
+  cache_mu : Mutex.t;
   mutable plan_memo : (Ast.select * Plan.t) list;
       (* per-query physical-identity memo: a correlated subselect is
          planned once, not once per outer row *)
@@ -147,6 +152,7 @@ let make_state ?(config = default_config) db =
     config;
     totals = p.totals;
     cache = p.cache;
+    cache_mu = p.cache_mu;
     plan_memo = [];
     ctx = None;
     index_probes = 0;
@@ -583,19 +589,33 @@ and plan_for st (env : env) (s : Ast.select) : Plan.t =
             Ast.to_string (Ast.Select s) ^ "|" ^ String.concat "," (List.sort_uniq compare bound)
           in
           let epoch = Database.index_epoch st.db in
-          match Hashtbl.find_opt st.cache key with
-          | Some (e, p) when e = epoch ->
-              st.totals.t_cache_hits <- st.totals.t_cache_hits + 1;
+          let cached =
+            Mutex.lock st.cache_mu;
+            let r =
+              match Hashtbl.find_opt st.cache key with
+              | Some (e, p) when e = epoch -> Some p
+              | _ -> None
+            in
+            Mutex.unlock st.cache_mu;
+            r
+          in
+          match cached with
+          | Some p ->
+              Atomic.incr st.totals.t_cache_hits;
               Pobs.Metrics.inc m_cache_hits;
               p
-          | _ ->
-              st.totals.t_cache_misses <- st.totals.t_cache_misses + 1;
+          | None ->
+              Atomic.incr st.totals.t_cache_misses;
               Pobs.Metrics.inc m_cache_misses;
-              if Hashtbl.length st.cache > 512 then Hashtbl.reset st.cache;
+              (* compile outside the lock: concurrent misses duplicate
+                 work, never block each other on the compiler *)
               let p =
                 Pobs.Trace.with_span "pool.plan" (fun () -> Plan.compile st.db ~bound s)
               in
+              Mutex.lock st.cache_mu;
+              if Hashtbl.length st.cache > 512 then Hashtbl.reset st.cache;
               Hashtbl.replace st.cache key (epoch, p);
+              Mutex.unlock st.cache_mu;
               p
         end
         else Pobs.Trace.with_span "pool.plan" (fun () -> Plan.compile st.db ~bound s)
@@ -610,15 +630,15 @@ and plan_for st (env : env) (s : Ast.select) : Plan.t =
 and oidset_of_access st (a : Plan.access) : OidSet.t =
   let bump_probe () =
     st.index_probes <- st.index_probes + 1;
-    st.totals.t_index_probes <- st.totals.t_index_probes + 1;
+    Atomic.incr st.totals.t_index_probes;
     Pobs.Metrics.inc m_index_probes
   and bump_range () =
     st.range_scans <- st.range_scans + 1;
-    st.totals.t_range_scans <- st.totals.t_range_scans + 1;
+    Atomic.incr st.totals.t_range_scans;
     Pobs.Metrics.inc m_range_scans
   and bump_extent () =
     st.extent_scans <- st.extent_scans + 1;
-    st.totals.t_extent_scans <- st.totals.t_extent_scans + 1;
+    Atomic.incr st.totals.t_extent_scans;
     Pobs.Metrics.inc m_extent_scans
   in
   let fallback cls =
@@ -667,7 +687,7 @@ and prepare st (b : Plan.binding) : string * exec =
             oids;
           Hashtbl.iter (fun _ r -> r := List.rev !r) tbl;
           st.hash_joins <- st.hash_joins + 1;
-          st.totals.t_hash_joins <- st.totals.t_hash_joins + 1;
+          Atomic.incr st.totals.t_hash_joins;
           Pobs.Metrics.inc m_hash_joins;
           (b.Plan.var, Hash_probe (tbl, probe_expr, cands))
       | None -> (b.Plan.var, Candidates cands))

@@ -149,6 +149,9 @@ let stats_json (db : Database.t) : string =
                ("cache_misses", Int s.Pstore.Store.cache_misses);
                ("evictions", Int s.Pstore.Store.evictions);
                ("journal_bytes", Int s.Pstore.Store.journal_bytes);
+               ("snapshots", Int s.Pstore.Store.snapshots);
+               ("pinned_versions", Int s.Pstore.Store.pinned_versions);
+               ("snapshot_reads", Int s.Pstore.Store.snapshot_reads);
              ] );
          ( "query",
            Obj
@@ -165,7 +168,7 @@ let stats_json (db : Database.t) : string =
            (* checksum/scrub posture of this database plus the
               process-wide detection counters *)
            let pager = Pstore.Store.pager (Database.store db) in
-           let cnt (c : Pobs.Metrics.counter) = Int (int_of_float c.Pobs.Metrics.c_value) in
+           let cnt (c : Pobs.Metrics.counter) = Int (int_of_float (Pobs.Metrics.counter_value c)) in
            Obj
              [
                ("checksums_enabled", Bool (Pstore.Pager.checksums_enabled pager));

@@ -55,6 +55,12 @@ type node = { mutable cur : image; mutable synced : image }
 type t = {
   files : (string, node) Hashtbl.t;
   c : counters;
+  mu : Mutex.t;
+      (* One lock over the whole simulated disk: images, counters and
+         the injection plan are plain mutable state, and MVCC snapshot
+         readers pread from other domains while the writer mutates.
+         Serialising every operation also matches the per-file lock
+         the real [Vfs.unix] takes around its seek+transfer pairs. *)
   seed : int;
   mutable gen : int; (* bumped at crash: invalidates all open handles *)
   mutable crash_at : int; (* crash when [c.syscalls] reaches this; 0 = off *)
@@ -69,6 +75,7 @@ type t = {
 let create ?(seed = 0) () =
   {
     files = Hashtbl.create 16;
+    mu = Mutex.create ();
     c =
       {
         syscalls = 0;
@@ -95,24 +102,32 @@ let create ?(seed = 0) () =
     reads = 0;
   }
 
+(* Run [f] with the disk lock held; [Vfs.Crash] and injected
+   [Unix_error]s propagate with the lock released. *)
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
 let counters t = t.c
-let syscalls t = t.c.syscalls
-let set_crash_at t n = t.crash_at <- n
+let syscalls t = locked t (fun () -> t.c.syscalls)
+let set_crash_at t n = locked t (fun () -> t.crash_at <- n)
 let fail_write t ~nth err =
-  t.write_error_at <- nth;
-  t.write_error <- err
-let fail_fsync t ~nth = t.fsync_fail_at <- nth
-let set_fsync_noop t v = t.fsync_noop <- v
-let set_short_transfers t v = t.short_transfers <- v
+  locked t (fun () ->
+      t.write_error_at <- nth;
+      t.write_error <- err)
+let fail_fsync t ~nth = locked t (fun () -> t.fsync_fail_at <- nth)
+let set_fsync_noop t v = locked t (fun () -> t.fsync_noop <- v)
+let set_short_transfers t v = locked t (fun () -> t.short_transfers <- v)
 
 (** Disarm all injections (the crash itself has already frozen the
     files); the next opens see the frozen images, as a process
     restarting after a power cut would. *)
 let revive t =
-  t.crash_at <- 0;
-  t.write_error_at <- 0;
-  t.fsync_fail_at <- 0;
-  t.fsync_noop <- false
+  locked t (fun () ->
+      t.crash_at <- 0;
+      t.write_error_at <- 0;
+      t.fsync_fail_at <- 0;
+      t.fsync_noop <- false)
 
 (* --- images --------------------------------------------------------- *)
 
@@ -235,27 +250,32 @@ let get_node t path =
 
 let vfs t : Vfs.t =
   let open_file ?(trunc = false) path =
-    check_alive t t.gen;
-    tick t;
-    (* creat: the node exists from here on *)
-    let node = get_node t path in
-    if trunc then img_truncate node.cur 0;
-    let gen = t.gen in
+    let node, gen =
+      locked t (fun () ->
+          check_alive t t.gen;
+          tick t;
+          (* creat: the node exists from here on *)
+          let node = get_node t path in
+          if trunc then img_truncate node.cur 0;
+          (node, t.gen))
+    in
     {
       Vfs.pread =
         (fun ~buf ~off ~len ~at ->
-          check_alive t gen;
-          t.reads <- t.reads + 1;
-          let len =
-            if t.short_transfers && len > 1 && t.reads mod 13 = 0 then begin
-              t.c.short_reads <- t.c.short_reads + 1;
-              (len + 1) / 2
-            end
-            else len
-          in
-          img_read node.cur ~buf ~off ~len ~at);
+          locked t (fun () ->
+              check_alive t gen;
+              t.reads <- t.reads + 1;
+              let len =
+                if t.short_transfers && len > 1 && t.reads mod 13 = 0 then begin
+                  t.c.short_reads <- t.c.short_reads + 1;
+                  (len + 1) / 2
+                end
+                else len
+              in
+              img_read node.cur ~buf ~off ~len ~at));
       pwrite =
         (fun ~buf ~off ~len ~at ->
+          locked t @@ fun () ->
           check_alive t gen;
           match tick_write t ~len with
           | Some k ->
@@ -279,6 +299,7 @@ let vfs t : Vfs.t =
              power cut an arbitrary subset of the extent's sectors
              survives — strictly more adversarial than [pwrite]'s
              prefix tear. *)
+          locked t @@ fun () ->
           check_alive t gen;
           t.c.extent_writes <- t.c.extent_writes + 1;
           match tick_write t ~len with
@@ -311,6 +332,7 @@ let vfs t : Vfs.t =
               len);
       fsync =
         (fun () ->
+          locked t @@ fun () ->
           check_alive t gen;
           tick t;
           t.c.fsyncs <- t.c.fsyncs + 1;
@@ -322,11 +344,13 @@ let vfs t : Vfs.t =
           else node.synced <- img_copy node.cur);
       truncate =
         (fun n ->
+          locked t @@ fun () ->
           check_alive t gen;
           tick t;
           img_truncate node.cur n);
       size =
         (fun () ->
+          locked t @@ fun () ->
           check_alive t gen;
           node.cur.len);
       close = (fun () -> ());
@@ -336,6 +360,7 @@ let vfs t : Vfs.t =
     Vfs.open_file;
     rename =
       (fun src dst ->
+        locked t @@ fun () ->
         check_alive t t.gen;
         tick t;
         (match find_node t src with
@@ -345,6 +370,7 @@ let vfs t : Vfs.t =
             Hashtbl.replace t.files dst n));
     remove =
       (fun path ->
+        locked t @@ fun () ->
         check_alive t t.gen;
         tick t;
         if not (Hashtbl.mem t.files path) then
@@ -352,6 +378,7 @@ let vfs t : Vfs.t =
         Hashtbl.remove t.files path);
     exists =
       (fun path ->
+        locked t @@ fun () ->
         check_alive t t.gen;
         Hashtbl.mem t.files path);
   }
@@ -378,6 +405,7 @@ let flip_in_node t node ~off ~bit =
     on a missing file; an offset past EOF flips nothing (but still
     counts: the decayed sector is unreadable anyway). *)
 let flip_bit t path ~off ~bit =
+  locked t @@ fun () ->
   match find_node t path with
   | None -> raise (Unix.Unix_error (Unix.ENOENT, "flip_bit", path))
   | Some node -> flip_in_node t node ~off ~bit
@@ -385,6 +413,7 @@ let flip_bit t path ~off ~bit =
 (** Flip [count] pseudo-random bits (deterministic in the VFS seed and
     [salt]) within the byte range [at, at+len) of [path]. *)
 let flip_bits ?(salt = 0) t path ~at ~len ~count =
+  locked t @@ fun () ->
   match find_node t path with
   | None -> raise (Unix.Unix_error (Unix.ENOENT, "flip_bits", path))
   | Some node ->
@@ -397,7 +426,9 @@ let flip_bits ?(salt = 0) t path ~at ~len ~count =
 
 (* --- debugging helpers ---------------------------------------------- *)
 
-let file_size t path = match find_node t path with Some n -> Some n.cur.len | None -> None
+let file_size t path =
+  locked t (fun () ->
+      match find_node t path with Some n -> Some n.cur.len | None -> None)
 
 let pp_counters ppf c =
   Format.fprintf ppf

@@ -47,7 +47,8 @@ let dead_off = 0xFFFF
 type page_alloc = { alloc_page : unit -> int; free_page : int -> unit }
 
 type t = {
-  pager : Pager.t;
+  pager : Pager.t option; (* [None] for read-only snapshot heaps *)
+  read : int -> Bytes.t; (* all read paths go through this seam *)
   pa : page_alloc;
   (* In-memory free-space map: page -> free bytes.  Built lazily; pages
      not present are assumed full.  Survives only for the process
@@ -55,7 +56,22 @@ type t = {
   avail : (int, int) Hashtbl.t;
 }
 
-let create pager pa = { pager; pa; avail = Hashtbl.create 256 }
+let wpager t =
+  match t.pager with Some p -> p | None -> fail "heap: read-only (snapshot)"
+
+let create pager pa =
+  { pager = Some pager; read = Pager.read pager; pa; avail = Hashtbl.create 256 }
+
+(** A read-only heap over an arbitrary page source (a frozen pager
+    snapshot).  Mutators raise {!Heap_error}. *)
+let create_reader ~(read : int -> Bytes.t) =
+  let ro _ = fail "heap: read-only (snapshot)" in
+  {
+    pager = None;
+    read;
+    pa = { alloc_page = (fun () -> ro 0); free_page = ro };
+    avail = Hashtbl.create 1;
+  }
 
 (* --- page accessors ------------------------------------------------- *)
 
@@ -105,7 +121,7 @@ let write_blob t (data : string) : int =
     | [] -> ()
     | p :: rest ->
         let chunk = min blob_capacity (len - off) in
-        Pager.with_write t.pager p (fun b ->
+        Pager.with_write (wpager t) p (fun b ->
             Bytes.fill b 0 Pager.page_size '\000';
             Bytes.set_uint8 b 0 kind_blob;
             let next = match rest with [] -> 0 | q :: _ -> q in
@@ -121,7 +137,7 @@ let read_blob t first total_len : string =
   let buf = Buffer.create total_len in
   let rec go page =
     if page <> 0 then begin
-      let b = Pager.read t.pager page in
+      let b = t.read page in
       if Bytes.get_uint8 b 0 <> kind_blob then fail "blob chain hits non-blob page %d" page;
       let next = Int32.to_int (Bytes.get_int32_le b 1) in
       let len = Bytes.get_uint16_le b 5 in
@@ -139,7 +155,7 @@ let free_blob t first =
   let rec go page =
     if page <> 0 then begin
       let next =
-        let b = Pager.read t.pager page in
+        let b = t.read page in
         Int32.to_int (Bytes.get_int32_le b 1)
       in
       t.pa.free_page page;
@@ -184,7 +200,7 @@ let find_slot b =
 
 let insert_into_page t page (payload : string) (len_field : int) : rid =
   let slot_ref = ref (-1) in
-  Pager.with_write t.pager page (fun b ->
+  Pager.with_write (wpager t) page (fun b ->
       let need = String.length payload in
       let slot, extra = find_slot b in
       if page_total_free b < need + extra then fail "insert_into_page: no space";
@@ -217,7 +233,7 @@ let find_page_with_space t need =
   | Some p -> p
   | None ->
       let p = t.pa.alloc_page () in
-      Pager.with_write t.pager p (fun b -> init_heap_page b);
+      Pager.with_write (wpager t) p (fun b -> init_heap_page b);
       Hashtbl.replace t.avail p (Pager.page_capacity - header_size);
       p
 
@@ -244,7 +260,7 @@ let insert t (data : string) : rid =
   end
 
 let get t (r : rid) : string =
-  let b = Pager.read t.pager r.page in
+  let b = t.read r.page in
   if Bytes.get_uint8 b 0 <> kind_heap then fail "rid %a points to non-heap page" pp_rid r;
   if r.slot >= get_nslots b then fail "rid %a: slot out of range" pp_rid r;
   let off, len = get_slot b r.slot in
@@ -259,7 +275,7 @@ let get t (r : rid) : string =
   else Bytes.sub_string b off len
 
 let delete t (r : rid) : unit =
-  Pager.with_write t.pager r.page (fun b ->
+  Pager.with_write (wpager t) r.page (fun b ->
       if Bytes.get_uint8 b 0 <> kind_heap then fail "delete %a: non-heap page" pp_rid r;
       let off, len = get_slot b r.slot in
       if off = dead_off then fail "delete %a: dead slot" pp_rid r;
@@ -279,14 +295,14 @@ let delete t (r : rid) : unit =
 
 (** Update record [r] with [data]; returns the (possibly new) rid. *)
 let update t (r : rid) (data : string) : rid =
-  let b = Pager.read t.pager r.page in
+  let b = t.read r.page in
   let off, len = get_slot b r.slot in
   if off = dead_off then fail "update %a: dead slot" pp_rid r;
   let is_blob = len land len_blob_flag <> 0 in
   let new_len = String.length data in
   if (not is_blob) && new_len <= len then begin
     (* fits in place *)
-    Pager.with_write t.pager r.page (fun b ->
+    Pager.with_write (wpager t) r.page (fun b ->
         Bytes.blit_string data 0 b off new_len;
         set_slot b r.slot ~off ~len:new_len;
         Hashtbl.replace t.avail r.page (page_total_free b));
@@ -303,7 +319,7 @@ let update t (r : rid) (data : string) : rid =
     lies inside the record area — so a torn page that survived
     recovery is detected rather than silently served. *)
 let validate_page t page =
-  let b = Pager.read t.pager page in
+  let b = t.read page in
   if Bytes.get_uint8 b 0 <> kind_heap then
     fail "validate: page %d is not a heap page (kind %d)" page (Bytes.get_uint8 b 0);
   let nslots = get_nslots b in
@@ -327,7 +343,7 @@ let validate_page t page =
 
 (** Iterate over all live records of heap page [page]. *)
 let iter_page t page (f : rid -> string -> unit) =
-  let b = Pager.read t.pager page in
+  let b = t.read page in
   if Bytes.get_uint8 b 0 = kind_heap then
     for i = 0 to get_nslots b - 1 do
       let off, _ = get_slot b i in

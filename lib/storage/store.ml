@@ -275,6 +275,9 @@ type stats = {
   cache_misses : int;
   evictions : int;
   journal_bytes : int;
+  snapshots : int; (* live MVCC snapshot handles *)
+  pinned_versions : int; (* page versions pinned by those snapshots *)
+  snapshot_reads : int; (* pages served to snapshot readers *)
 }
 
 let stats t =
@@ -288,6 +291,9 @@ let stats t =
     cache_misses = s.Pager.s_misses;
     evictions = s.Pager.s_evictions;
     journal_bytes = s.Pager.s_journal_bytes;
+    snapshots = s.Pager.s_snapshots;
+    pinned_versions = s.Pager.s_pinned_versions;
+    snapshot_reads = s.Pager.s_snapshot_reads;
   }
 
 (** One checksum scrub pass over the underlying file — every page
@@ -367,3 +373,284 @@ let vacuum t : t =
   vfs.Vfs.rename tmp path;
   if vfs.Vfs.exists (tmp ^ ".journal") then vfs.Vfs.remove (tmp ^ ".journal");
   open_ ~vfs path
+
+(* --- MVCC snapshots ----------------------------------------------------- *)
+
+(** A frozen, read-only view of the store at one commit LSN.
+
+    Built over {!Pager.Snapshot}: the handle pins the page versions
+    current at its LSN, so [get]/[iter]/[count] return exactly what a
+    single-threaded reader would have seen at that commit — bit for bit
+    — no matter how many transactions the writer retires meanwhile.
+    Handles are single-domain; to fan a query out across N domains,
+    [clone] the handle once per domain (clones share nothing mutable
+    and each pins the same LSN). *)
+module Snapshot = struct
+  type store = t
+
+  type s = {
+    psnap : Pager.Snapshot.t;
+    s_heap : Heap.t;
+    s_dir : Btree.t;
+    s_next_oid : int;
+  }
+
+  let of_psnap (psnap : Pager.Snapshot.t) : s =
+    let read no = Pager.Snapshot.read psnap no in
+    let hdr = read 0 in
+    if Bytes.sub_string hdr 0 8 <> magic then
+      fail "snapshot: corrupt store header (bad magic)";
+    let dir_root = Int32.to_int (Bytes.get_int32_le hdr 20) in
+    {
+      psnap;
+      s_heap = Heap.create_reader ~read;
+      s_dir = Btree.create_reader ~read ~root:dir_root;
+      s_next_oid = Int64.to_int (Bytes.get_int64_le hdr 12);
+    }
+
+  (** Freeze the current committed state.  Blocks while a transaction
+      is open on another domain (snapshots register only at commit
+      boundaries); calling with a transaction open on {e this} domain
+      would self-deadlock, so that is rejected. *)
+  let create ?cache_pages (t : store) : s =
+    if in_tx t then fail "snapshot inside a transaction";
+    of_psnap (Pager.snapshot ?cache_pages t.pager)
+
+  let lsn s = Pager.Snapshot.lsn s.psnap
+  let next_oid s = s.s_next_oid
+
+  (** An independent handle at the same LSN for another domain. *)
+  let clone (s : s) : s = of_psnap (Pager.Snapshot.clone s.psnap)
+
+  let release (s : s) : unit = Pager.Snapshot.release s.psnap
+
+  let get (s : s) ~oid : string option =
+    match Btree.find s.s_dir (key_of_oid oid) with
+    | Some rid -> Some (Heap.get s.s_heap rid)
+    | None -> None
+
+  let mem (s : s) ~oid = Btree.mem s.s_dir (key_of_oid oid)
+
+  let iter (s : s) (f : int -> string -> unit) =
+    Btree.iter s.s_dir (fun k rid -> f (Int64.to_int k) (Heap.get s.s_heap rid))
+
+  let count (s : s) = Btree.cardinal s.s_dir
+end
+
+let snapshot ?cache_pages t = Snapshot.create ?cache_pages t
+
+(* --- group commit ------------------------------------------------------- *)
+
+(** Group commit: a dedicated writer domain drains a bounded queue of
+    transaction bodies, runs each as a soft transaction (LSN advance +
+    version publish, no fsync), and retires the whole batch with one
+    journal-flush/fsync/truncate cycle.  Every submitter blocks until
+    its own commit is durable and is woken with its commit LSN, so the
+    per-caller contract is exactly [with_tx] — only the fsyncs are
+    amortised K-into-1.
+
+    The store must not be driven through [begin_tx]/[with_tx] by other
+    code while a group is running: the group's writer domain owns the
+    write path. *)
+module Group = struct
+  type store = t
+
+  type job = {
+    body : store -> unit;
+    j_mu : Mutex.t;
+    j_cv : Condition.t;
+    mutable j_res : (int, exn) result option;
+  }
+
+  type g = {
+    g_store : store;
+    q : job Queue.t;
+    q_mu : Mutex.t;
+    q_cv : Condition.t;
+    q_cap : int;
+    max_batch : int;
+    mutable g_stopping : bool;
+    mutable g_dead : exn option; (* writer died; submissions now fail *)
+    mutable g_writer : unit Domain.t option;
+    mutable g_batches : int; (* hard-commit (fsync) cycles *)
+    mutable g_commits : int; (* soft commits retired *)
+    mutable g_aborts : int; (* bodies that raised *)
+  }
+
+  exception Stopped
+
+  let finish (j : job) (res : (int, exn) result) =
+    Mutex.lock j.j_mu;
+    j.j_res <- Some res;
+    Condition.broadcast j.j_cv;
+    Mutex.unlock j.j_mu
+
+  (* Run one batch of jobs inside a single pager transaction.  Each
+     job's soft commit gets its own LSN; one commit_hard makes them all
+     durable.  A body that raises is soft-aborted (in-memory page
+     restore) and reported to its submitter; the rest of the batch is
+     unaffected.  If the hard commit itself fails, every job in the
+     batch is reported failed — none of their LSNs became durable. *)
+  let run_batch g (jobs : job list) =
+    let t = g.g_store in
+    begin_tx t;
+    match
+      List.map
+        (fun j ->
+          match
+            Pager.soft_begin t.pager;
+            j.body t;
+            hdr_write_next_oid t.pager t.next_oid;
+            Pager.commit_soft t.pager
+          with
+          | lsn ->
+              g.g_commits <- g.g_commits + 1;
+              (j, Ok lsn)
+          | exception e ->
+              Pager.soft_abort t.pager;
+              (* In-memory component state may be stale after the page
+                 restore (cached btree root, heap free-space map). *)
+              let heap, dir = build_components t.pager in
+              t.heap <- heap;
+              t.dir <- dir;
+              t.next_oid <- max t.next_oid (hdr_read_next_oid t.pager);
+              g.g_aborts <- g.g_aborts + 1;
+              (j, Error e))
+        jobs
+    with
+    | results -> (
+        match
+          hdr_write_next_oid t.pager t.next_oid;
+          Pager.commit_hard t.pager
+        with
+        | () ->
+            t.tx_depth <- 0;
+            g.g_batches <- g.g_batches + 1;
+            Pobs.Metrics.inc m_tx_commits;
+            List.iter (fun (j, r) -> finish j r) results
+        | exception e ->
+            (* Durability failed: nothing in this batch committed. *)
+            t.tx_depth <- 1;
+            (try abort t with _ -> ());
+            List.iter (fun (j, _) -> finish j (Error e)) results;
+            raise e)
+    | exception e ->
+        (* begin_tx itself failed *)
+        List.iter (fun j -> finish j (Error e)) jobs;
+        raise e
+
+  let writer_loop g =
+    let rec loop () =
+      Mutex.lock g.q_mu;
+      while Queue.is_empty g.q && not g.g_stopping do
+        Condition.wait g.q_cv g.q_mu
+      done;
+      let jobs = ref [] in
+      while (not (Queue.is_empty g.q)) && List.length !jobs < g.max_batch do
+        jobs := Queue.pop g.q :: !jobs
+      done;
+      Condition.broadcast g.q_cv (* wake submitters blocked on a full queue *);
+      Mutex.unlock g.q_mu;
+      let jobs = List.rev !jobs in
+      if jobs = [] then (if not g.g_stopping then loop ())
+      else begin
+        run_batch g jobs;
+        loop ()
+      end
+    in
+    match loop () with
+    | () -> ()
+    | exception e ->
+        (* The writer died (simulated power cut, I/O error).  Fail every
+           queued job and every future submission instead of letting
+           submitters block forever. *)
+        Mutex.lock g.q_mu;
+        g.g_dead <- Some e;
+        g.g_stopping <- true;
+        let orphans = Queue.fold (fun acc j -> j :: acc) [] g.q in
+        Queue.clear g.q;
+        Condition.broadcast g.q_cv;
+        Mutex.unlock g.q_mu;
+        List.iter (fun j -> finish j (Error e)) (List.rev orphans)
+
+  let start ?(max_batch = 32) ?(queue_cap = 256) (t : store) : g =
+    if in_tx t then fail "group start inside a transaction";
+    if max_batch < 1 || queue_cap < 1 then fail "group: bad configuration";
+    let g =
+      {
+        g_store = t;
+        q = Queue.create ();
+        q_mu = Mutex.create ();
+        q_cv = Condition.create ();
+        q_cap = queue_cap;
+        max_batch;
+        g_stopping = false;
+        g_dead = None;
+        g_writer = None;
+        g_batches = 0;
+        g_commits = 0;
+        g_aborts = 0;
+      }
+    in
+    g.g_writer <- Some (Domain.spawn (fun () -> writer_loop g));
+    g
+
+  (** Submit a transaction body and block until it is durable.  Returns
+      the commit LSN.  Re-raises the body's exception if it raised (the
+      body's effects are rolled back), or the I/O error that killed the
+      batch.  Raises {!Stopped} if the group has been stopped. *)
+  let submit (g : g) (body : store -> unit) : int =
+    let j =
+      { body; j_mu = Mutex.create (); j_cv = Condition.create (); j_res = None }
+    in
+    Mutex.lock g.q_mu;
+    while Queue.length g.q >= g.q_cap && not g.g_stopping do
+      Condition.wait g.q_cv g.q_mu
+    done;
+    if g.g_stopping then begin
+      let e = match g.g_dead with Some e -> e | None -> Stopped in
+      Mutex.unlock g.q_mu;
+      raise e
+    end;
+    Queue.push j g.q;
+    Condition.broadcast g.q_cv;
+    Mutex.unlock g.q_mu;
+    Mutex.lock j.j_mu;
+    while j.j_res = None do
+      Condition.wait j.j_cv j.j_mu
+    done;
+    Mutex.unlock j.j_mu;
+    match j.j_res with
+    | Some (Ok lsn) -> lsn
+    | Some (Error e) -> raise e
+    | None -> assert false
+
+  (** Drain the queue, retire the writer domain, and surface the error
+      that killed it, if any.  Idempotent. *)
+  let stop (g : g) : unit =
+    Mutex.lock g.q_mu;
+    g.g_stopping <- true;
+    Condition.broadcast g.q_cv;
+    Mutex.unlock g.q_mu;
+    (match g.g_writer with
+    | Some d ->
+        g.g_writer <- None;
+        Domain.join d
+    | None -> ());
+    match g.g_dead with Some Vfs.Crash -> raise Vfs.Crash | _ -> ()
+
+  type gstats = { batches : int; commits : int; aborts : int; queued : int }
+
+  let group_stats (g : g) : gstats =
+    Mutex.lock g.q_mu;
+    let s =
+      {
+        batches = g.g_batches;
+        commits = g.g_commits;
+        aborts = g.g_aborts;
+        queued = Queue.length g.q;
+      }
+    in
+    Mutex.unlock g.q_mu;
+    s
+end

@@ -59,15 +59,24 @@ let unix : t =
   let open_file ?(trunc = false) path =
     let flags = [ Unix.O_RDWR; Unix.O_CREAT ] @ if trunc then [ Unix.O_TRUNC ] else [] in
     let fd = Unix.openfile path flags 0o644 in
-    let pwrite ~buf ~off ~len ~at =
-      ignore (Unix.lseek fd at Unix.SEEK_SET);
-      Unix.write fd buf off len
-    in
-    {
-      pread =
-        (fun ~buf ~off ~len ~at ->
+    (* The stdlib Unix module exposes no pread/pwrite, so positioned
+       I/O is lseek + read/write on a shared fd — two syscalls that
+       must not interleave now that MVCC snapshot readers pread from
+       other domains while the writer does writeback.  One mutex per
+       open file serialises the seek+transfer pairs; each page-sized
+       transfer is then atomic with respect to the others. *)
+    let io_mu = Mutex.create () in
+    let positioned op ~buf ~off ~len ~at =
+      Mutex.lock io_mu;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock io_mu)
+        (fun () ->
           ignore (Unix.lseek fd at Unix.SEEK_SET);
-          Unix.read fd buf off len);
+          op fd buf off len)
+    in
+    let pwrite = positioned Unix.write in
+    {
+      pread = positioned Unix.read;
       pwrite;
       pwrite_extent = pwrite;
       fsync = (fun () -> Unix.fsync fd);

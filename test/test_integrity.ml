@@ -42,7 +42,7 @@ let seed =
   | Some s -> int_of_string s
   | None -> 0x5C12
 
-let cval (c : Pobs.Metrics.counter) = int_of_float c.Pobs.Metrics.c_value
+let cval (c : Pobs.Metrics.counter) = int_of_float (Pobs.Metrics.counter_value c)
 let page_of c = String.make P.page_size c
 
 (* ------------------------------------------------------------------ *)
