@@ -3,11 +3,11 @@
    mapping from thesis experiment to harness section and for the
    recorded results.
 
-   Usage: main.exe [all|raw|queries|struct|fig44|fig45|fig46|tax|ablation|tables|schema|micro|recovery|storage|query|obs|repl|integrity|mvcc]
+   Usage: main.exe [all|raw|queries|struct|fig44|fig45|fig46|tax|ablation|tables|schema|micro|recovery|storage|query|obs|repl|integrity|mvcc|serving]
                    [--out DIR]
 
    Sections that emit machine-readable trajectory records
-   (BENCH_PR2.json .. BENCH_PR7.json) write them to the
+   (BENCH_PR2.json .. BENCH_PR8.json) write them to the
    current directory by default; --out DIR redirects them so CI can
    validate fresh records without clobbering the committed ones. *)
 
@@ -1571,6 +1571,256 @@ let bench_mvcc () =
   write_record "BENCH_PR7.json" (Buffer.contents buf)
 
 (* ------------------------------------------------------------------ *)
+(* Section: snapshot serving — reader pool QPS + read-your-writes (PR8) *)
+(* ------------------------------------------------------------------ *)
+
+(* The serving path introduced for `pdb serve --readers`: a
+   {!Pserver.Reader_pool} of N reader domains, each holding a clone of
+   the current snapshot generation, fed one job per request by client
+   threads (exactly the server's handler-thread shape).
+
+   (1) Serving scaling: aggregate POOL query throughput through the
+   pool at 1/2/4 reader domains, driven by 8 submitter threads, vs the
+   single-handle baseline the server had before the pool (every query
+   sequential on the live handle).  The gate asks for >= 2x aggregate
+   QPS at 4 readers vs single-handle when the host has >= 4 cores; on
+   smaller hosts it degrades to "no collapse" (>= 0.5x) and records
+   the core count.
+
+   (2) Write-heavy mix: concurrent writers push creates through
+   [Database.Writer] (group commit) while tokened reads present each
+   write's LSN back as min_lsn — read-your-writes must hold for every
+   single write (violations are gated at zero).  Pool read p99 under
+   the mix is reported alongside the single-handle mix p99, ungated. *)
+let bench_serving () =
+  let module F = Pstore.Fault in
+  let module RP = Pserver.Reader_pool in
+  Printf.printf "\n== serving: reader-pool scaling, read-your-writes under writes ==\n";
+  let fs = F.create ~seed:8 () in
+  F.set_short_transfers fs false;
+  let vfs = F.vfs fs in
+  let db = Database.open_ ~vfs "bench_serving.db" in
+  ignore
+    (Database.define_class db "Rec"
+       [ Meta.attr "n" Value.TInt; Meta.attr "pad" Value.TString ]);
+  let n_objects = 8000 in
+  Database.with_tx db (fun () ->
+      for i = 0 to n_objects - 1 do
+        ignore
+          (Database.create db "Rec"
+             [ ("n", Value.VInt (i mod 1000)); ("pad", Value.VString (String.make 32 's')) ])
+      done);
+  (* No index on [n]: every count is an extent scan with a predicate,
+     i.e. a query heavy enough to stand in for a real request — the
+     pool pays one enqueue/condvar round-trip per request, so
+     per-request work must dominate for scaling to be visible, exactly
+     as it does on the HTTP path. *)
+  let thresholds = [| 120; 220; 370; 430; 540; 660; 780; 910 |] in
+  let query_at v t =
+    ignore
+      (Pool_lang.Pool.scalar v
+         (Printf.sprintf "count(select r from Rec r where r.n < %d)" t))
+  in
+  let total_queries = 480 in
+  let submitters = 8 in
+  let best f = List.fold_left Float.max neg_infinity (List.init 3 (fun _ -> f ())) in
+  (* --- single-handle baseline: the pre-pool server loop ------------- *)
+  Array.iter (query_at db) thresholds;
+  let qps_single =
+    best (fun () ->
+        let (), ms =
+          time_once (fun () ->
+              for i = 1 to total_queries do
+                query_at db thresholds.(i mod Array.length thresholds)
+              done)
+        in
+        float_of_int total_queries /. (ms /. 1000.))
+  in
+  (* --- pooled serving at 1/2/4 reader domains ----------------------- *)
+  let pooled n_readers =
+    let pool = RP.create ~max_lag_ms:50. ~readers:n_readers (RP.primary_source db) in
+    (* warm every reader's plan cache (jobs land on whichever reader is
+       free, so warm with several rounds) *)
+    for _ = 1 to 3 * n_readers do
+      Array.iter (fun t -> ignore (RP.read pool (fun v -> query_at v t))) thresholds
+    done;
+    let per = total_queries / submitters in
+    let (), ms =
+      time_once (fun () ->
+          let ths =
+            List.init submitters (fun s ->
+                Thread.create
+                  (fun () ->
+                    for j = 1 to per do
+                      ignore
+                        (RP.read pool (fun v ->
+                             query_at v thresholds.((s + j) mod Array.length thresholds)))
+                    done)
+                  ())
+          in
+          List.iter Thread.join ths)
+    in
+    RP.stop pool;
+    float_of_int total_queries /. (ms /. 1000.)
+  in
+  let qps1 = best (fun () -> pooled 1) in
+  let qps2 = best (fun () -> pooled 2) in
+  let qps4 = best (fun () -> pooled 4) in
+  let speedup = qps4 /. qps_single in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "  serving   single-handle %8.0f q/s   pool x1 %8.0f   x2 %8.0f   x4 %8.0f q/s\n"
+    qps_single qps1 qps2 qps4;
+  Printf.printf "  aggregate speedup pool x4 vs single-handle: %.2fx  (%d core%s)\n" speedup
+    cores
+    (if cores = 1 then "" else "s");
+  let scaling_pass = if cores >= 4 then speedup >= 2.0 else speedup >= 0.5 in
+  (* --- write-heavy mix: read-your-writes + p99 ---------------------- *)
+  let pool = RP.create ~max_lag_ms:25. ~readers:4 (RP.primary_source db) in
+  let w = Database.Writer.start db in
+  let violations = Atomic.make 0 in
+  let n_writers = 4 and writes_each = 30 in
+  let n_readers_mix = 4 and reads_each = 120 in
+  let pool_lat = Array.make (n_readers_mix * reads_each) 0 in
+  let marker_count v m =
+    match
+      Pool_lang.Pool.scalar v
+        (Printf.sprintf "count(select r from Rec r where r.n = %d)" m)
+    with
+    | Value.VInt c -> c
+    | _ -> 0
+  in
+  let (), mix_ms =
+    time_once (fun () ->
+        let writer_ths =
+          List.init n_writers (fun wi ->
+              Thread.create
+                (fun () ->
+                  for j = 1 to writes_each do
+                    let marker = 100_000 + (wi * writes_each) + j in
+                    let lsn, _oid =
+                      Database.Writer.submit w (fun db ->
+                          Database.create db "Rec"
+                            [ ("n", Value.VInt marker); ("pad", Value.VString "w") ])
+                    in
+                    (* read-your-writes: the token must make this write
+                       visible, on the pool or via the primary *)
+                    let seen =
+                      match RP.read pool ~min_lsn:lsn (fun v -> marker_count v marker) with
+                      | RP.Served (c, _) -> c >= 1
+                      | RP.Behind _ -> (
+                          match Database.Writer.read w (fun db -> marker_count db marker) with
+                          | _, Ok c -> c >= 1
+                          | _, Error _ -> false)
+                    in
+                    if not seen then Atomic.incr violations
+                  done)
+                ())
+        in
+        let reader_ths =
+          List.init n_readers_mix (fun ri ->
+              Thread.create
+                (fun () ->
+                  for j = 0 to reads_each - 1 do
+                    let t0 = Pobs.Monotonic.now_ns () in
+                    ignore
+                      (RP.read pool (fun v ->
+                           query_at v thresholds.(j mod Array.length thresholds)));
+                    pool_lat.((ri * reads_each) + j) <- Pobs.Monotonic.now_ns () - t0
+                  done)
+                ())
+        in
+        List.iter Thread.join writer_ths;
+        List.iter Thread.join reader_ths)
+  in
+  let wstats = Database.Writer.stats w in
+  Database.Writer.stop w;
+  RP.stop pool;
+  (* single-handle mix: same op schedule on one thread, each write a
+     full fsync'd transaction — the latency a read pays when it shares
+     the one handle with the write stream *)
+  let single_lat = Array.make (n_readers_mix * reads_each) 0 in
+  let total_writes = n_writers * writes_each in
+  let reads_per_write = Array.length single_lat / total_writes in
+  let (), single_mix_ms =
+    time_once (fun () ->
+        let r = ref 0 in
+        for wi = 1 to total_writes do
+          Database.with_tx db (fun () ->
+              ignore
+                (Database.create db "Rec"
+                   [ ("n", Value.VInt (200_000 + wi)); ("pad", Value.VString "w") ]));
+          for _ = 1 to reads_per_write do
+            if !r < Array.length single_lat then begin
+              let t0 = Pobs.Monotonic.now_ns () in
+              query_at db thresholds.(!r mod Array.length thresholds);
+              single_lat.(!r) <- Pobs.Monotonic.now_ns () - t0;
+              incr r
+            end
+          done
+        done)
+  in
+  let p99 a =
+    let a = Array.copy a in
+    Array.sort compare a;
+    float_of_int a.(min (Array.length a - 1) (Array.length a * 99 / 100)) /. 1e6
+  in
+  let pool_p99 = p99 pool_lat and single_p99 = p99 single_lat in
+  let rywr_violations = Atomic.get violations in
+  Printf.printf
+    "  write mix  %d writes (%d batches, %d commits)  %d reads  rywr violations %d\n"
+    total_writes wstats.Pstore.Store.Group.batches wstats.Pstore.Store.Group.commits
+    (Array.length pool_lat) rywr_violations;
+  Printf.printf "  read p99   pooled %.2f ms   single-handle mix %.2f ms\n" pool_p99
+    single_p99;
+  let pass = scaling_pass && rywr_violations = 0 in
+  Printf.printf "serving gate: %s (speedup %.2fx, %d cores, %d rywr violations)\n"
+    (if pass then "PASS" else "FAIL")
+    speedup cores rywr_violations;
+  Database.close db;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": \"serving\",\n";
+  Buffer.add_string buf "  \"pr\": 8,\n";
+  Buffer.add_string buf "  \"workloads\": [\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    { \"name\": \"serving_scaling\", \"note\": \"POOL count queries (extent \
+        scan, %d objects) through Reader_pool, %d submitter threads, one job per \
+        request, vs sequential single-handle serving; in-memory VFS\", \"unit\": \
+        \"queries/s\", \"single_handle\": %.0f, \"pool_1\": %.0f, \"pool_2\": %.0f, \
+        \"pool_4\": %.0f, \"speedup_pool4_vs_single\": %.2f, \"cores\": %d },\n"
+       n_objects submitters qps_single qps1 qps2 qps4 speedup cores);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    { \"name\": \"write_mix\", \"note\": \"%d creates through Database.Writer \
+        (group commit) from %d threads, each followed by a tokened read (X-PDB-Min-LSN \
+        semantics); %d concurrent untokened reads; single-handle mix interleaves the \
+        same ops on one thread; group_commits also counts tokened reads that fell \
+        through to the primary, which serialize through the same group\", \
+        \"writes\": %d, \"group_batches\": %d, \
+        \"group_commits\": %d, \"reads\": %d, \"rywr_violations\": %d, \
+        \"pool_read_p99_ms\": %.2f, \"single_handle_read_p99_ms\": %.2f, \
+        \"pool_mix_ms\": %.0f, \"single_mix_ms\": %.0f }\n"
+       total_writes n_writers (Array.length pool_lat) total_writes
+       wstats.Pstore.Store.Group.batches wstats.Pstore.Store.Group.commits
+       (Array.length pool_lat) rywr_violations pool_p99 single_p99 mix_ms single_mix_ms);
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"acceptance\": {\n";
+  Buffer.add_string buf
+    "    \"criterion\": \"aggregate served QPS at 4 reader domains >= 2x the \
+     single-handle baseline when >= 4 cores are available (>= 0.5x no-collapse floor on \
+     smaller hosts), and read-your-writes holds for every write under the write-heavy \
+     mix (zero violations)\",\n";
+  Buffer.add_string buf (Printf.sprintf "    \"speedup_pool4_vs_single\": %.2f,\n" speedup);
+  Buffer.add_string buf (Printf.sprintf "    \"cores\": %d,\n" cores);
+  Buffer.add_string buf (Printf.sprintf "    \"rywr_violations\": %d,\n" rywr_violations);
+  Buffer.add_string buf (Printf.sprintf "    \"pass\": %b\n" pass);
+  Buffer.add_string buf "  }\n";
+  Buffer.add_string buf "}\n";
+  write_record "BENCH_PR8.json" (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
 (* Main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1607,6 +1857,7 @@ let () =
     | "repl" -> bench_repl ()
     | "integrity" -> bench_integrity ()
     | "mvcc" -> bench_mvcc ()
+    | "serving" -> bench_serving ()
     | "schema" -> print_schema ()
     | s ->
         Printf.eprintf "unknown section %s\n" s;
@@ -1631,5 +1882,6 @@ let () =
       bench_obs ();
       bench_repl ();
       bench_integrity ();
-      bench_mvcc ()
+      bench_mvcc ();
+      bench_serving ()
   | s -> run s

@@ -228,6 +228,24 @@ let apply_slowlog = function
   | Some ms -> Pobs.Slowlog.set_threshold_ms ms
   | None -> ()
 
+let readers_arg ~default =
+  Arg.(
+    value
+    & opt int default
+    & info [ "readers" ] ~docv:"N"
+        ~doc:
+          "Snapshot-serving reader domains. With $(docv) > 0, GET traffic is \
+           served from frozen snapshot views refreshed at the configured lag \
+           and mutations batch through the group-commit writer; 0 keeps the \
+           legacy single-threaded path.")
+
+let max_lag_arg =
+  Arg.(
+    value
+    & opt float 50.
+    & info [ "max-lag-ms" ] ~docv:"MS"
+        ~doc:"Maximum staleness of the reader pool's snapshot generation.")
+
 let serve_cmd =
   let primary =
     Arg.(
@@ -236,11 +254,11 @@ let serve_cmd =
       & info [ "primary" ] ~docv:"RPORT"
           ~doc:"Also act as a replication primary: stream page deltas to replicas on $(docv) (0 = ephemeral).")
   in
-  let run file port primary slowlog_ms =
+  let run file port primary slowlog_ms readers max_lag_ms =
     apply_slowlog slowlog_ms;
     with_db file (fun db ->
         match primary with
-        | None -> Pserver.Http_server.serve db ~port ()
+        | None -> Pserver.Http_server.serve db ~port ~readers ~max_lag_ms ()
         | Some rport ->
             let feed = Prepl.Feed.create (Database.store db) in
             let srv = Prepl.Feed.serve feed ~port:rport in
@@ -251,13 +269,13 @@ let serve_cmd =
                 Prepl.Feed.stop_server srv;
                 Prepl.Feed.detach feed)
               (fun () ->
-                Pserver.Http_server.serve db ~port
+                Pserver.Http_server.serve db ~port ~readers ~max_lag_ms
                   ~repl_status:(fun () -> Prepl.Feed.status_json feed)
                   ()))
   in
   Cmd.v
     (Cmd.info "serve" ~doc:"Serve the database over HTTP (optionally as a replication primary).")
-    Term.(const run $ db_arg $ port_arg $ primary $ slowlog_arg)
+    Term.(const run $ db_arg $ port_arg $ primary $ slowlog_arg $ readers_arg ~default:0 $ max_lag_arg)
 
 let replica_cmd =
   let from =
@@ -275,7 +293,7 @@ let replica_cmd =
             "Background-scrub the replica file every $(docv) seconds, \
              repairing corrupt pages from the primary.")
   in
-  let run file from port slowlog_ms scrub_every_s =
+  let run file from port slowlog_ms scrub_every_s readers max_lag_ms =
     apply_slowlog slowlog_ms;
     let host, rport = parse_host_port ~what:"replica" from in
     let sess = Prepl.Replica.start ?scrub_every_s ~host ~port:rport file in
@@ -288,40 +306,50 @@ let replica_cmd =
     do
       Thread.delay 0.05
     done;
-    (* Serve a read-only database handle, refreshed (under the applier
-       lock) whenever the applied LSN has advanced.  The model layer's
-       mirror is loaded eagerly at open, so requests never touch pages
-       the applier is rewriting. *)
-    let cached : (int * Database.t) option ref = ref None in
-    let provider () =
-      Prepl.Replica.Apply.with_lock apply (fun () ->
-          let lsn =
-            match apply.Prepl.Replica.Apply.pager with
-            | Some p -> Pstore.Pager.lsn p
-            | None -> -1
-          in
-          match !cached with
-          | Some (l, db) when l = lsn -> db
-          | prev ->
-              (match prev with Some (_, db) -> (try Database.close db with _ -> ()) | None -> ());
-              let db = Database.open_ ~readonly:true file in
-              cached := Some (lsn, db);
-              db)
+    (* Replica serving goes through the same snapshot-routing path as
+       the primary: a reader pool whose generations are read-only
+       handles opened under the applier lock, so requests never race
+       delta apply, and a client's X-PDB-Min-LSN token is answered
+       honestly (catch-up wait, then 503) instead of from a handle the
+       applier is rewriting. *)
+    let readers = max 1 readers in
+    let open_view () =
+      Prepl.Replica.Apply.with_lock apply (fun () -> Database.open_ ~readonly:true file)
     in
-    let db = provider () in
+    let source =
+      {
+        Pserver.Reader_pool.src_lsn =
+          (fun () ->
+            Prepl.Replica.Apply.with_lock apply (fun () ->
+                match apply.Prepl.Replica.Apply.pager with
+                | Some p -> Pstore.Pager.lsn p
+                | None -> -1));
+        src_build =
+          (fun n ->
+            (* One read-only handle per generation, shared by all
+               readers: the mirror is immutable once loaded. *)
+            let db = open_view () in
+            (Array.make n db, [ db ]));
+      }
+    in
+    let pool = Pserver.Reader_pool.create ~max_lag_ms ~readers source in
+    let db = open_view () in
     Fun.protect
       ~finally:(fun () ->
         Prepl.Replica.stop sess;
-        match !cached with Some (_, db) -> (try Database.close db with _ -> ()) | None -> ())
+        Pserver.Reader_pool.stop pool;
+        try Database.close db with _ -> ())
       (fun () ->
-        Pserver.Http_server.serve db ~port ~readonly:true ~db_provider:provider
+        Pserver.Http_server.serve db ~port ~readonly:true ~pool
           ~repl_status:(fun () -> Prepl.Replica.status_json sess)
           ())
   in
   Cmd.v
     (Cmd.info "replica"
        ~doc:"Follow a primary's replication feed and serve the replica read-only over HTTP.")
-    Term.(const run $ db_arg $ from $ port_arg $ slowlog_arg $ scrub_interval)
+    Term.(
+      const run $ db_arg $ from $ port_arg $ slowlog_arg $ scrub_interval
+      $ readers_arg ~default:1 $ max_lag_arg)
 
 (* --- schema loading ----------------------------------------------------------- *)
 

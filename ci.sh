@@ -2,7 +2,7 @@
 # CI gate: build, full test suite (includes the smoke crash,
 # replication and bit-rot sweeps), bench smoke (micro + storage hot
 # paths + query engine + observability overhead + replication + page
-# integrity + mvcc, which emit BENCH_PR2.json .. BENCH_PR7.json into a temp
+# integrity + mvcc + serving, which emit BENCH_PR2.json .. BENCH_PR8.json into a temp
 # dir — the committed trajectory records in the repo tree are never
 # touched), then the long fixed-seed crash-torture, replication fault
 # and bit-rot sweeps.  Equivalent to `dune build @ci` plus the bench
@@ -44,7 +44,7 @@ trap 'rm -rf "$BENCH_OUT"' EXIT INT TERM
 # smoke never clobbers them (it must write only into $BENCH_OUT)
 records_digest() {
   cat BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json \
-    BENCH_PR6.json BENCH_PR7.json 2>/dev/null | cksum
+    BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json 2>/dev/null | cksum
 }
 digest_before="$(records_digest)"
 
@@ -87,6 +87,14 @@ dune exec bench/main.exe -- mvcc --out "$BENCH_OUT" >/dev/null
 check_bench_json "$BENCH_OUT/BENCH_PR7.json" \
   reader_scaling speedup_4_vs_1 cores group_commit \
   serial_commits_per_s group_commits_per_s workloads acceptance
+
+# snapshot serving (PR8): reader-pool QPS vs single-handle serving
+# (gated, core-aware) and read-your-writes under a write-heavy mix
+# (violations gated at zero)
+dune exec bench/main.exe -- serving --out "$BENCH_OUT" >/dev/null
+check_bench_json "$BENCH_OUT/BENCH_PR8.json" \
+  serving_scaling speedup_pool4_vs_single cores write_mix \
+  rywr_violations pool_read_p99_ms workloads acceptance
 
 # the bench smoke must leave the committed trajectory records untouched
 [ "$(records_digest)" = "$digest_before" ] \

@@ -1007,3 +1007,68 @@ let validate_min_cards t : string list =
   in
   List.iter check_obj (touched_oids t);
   !errors
+
+(* ---------------------------------------------------------------------- *)
+(* Group writer                                                            *)
+(* ---------------------------------------------------------------------- *)
+
+(** Objects in the mirror (relationship instances included, the
+    reserved schema record excluded).  Unlike {!Store.count}, which
+    walks the live B-tree through the page cache, this is safe to call
+    from any thread while a {!Writer} is running. *)
+let object_count t = Hashtbl.length t.objects
+
+(** Group-commit write routing for the model layer.
+
+    [start] hands the store's write path to a {!Store.Group} writer
+    domain; [submit] runs a mutation body in that domain as one soft
+    transaction and blocks until it is durable, returning the commit
+    LSN.  Concurrent submitters batch into shared fsync cycles.  A body
+    that raises is rolled back (store pages soft-aborted, mirror
+    rebuilt via the group's rollback hook) and its exception re-raised
+    at the submitter.
+
+    While a writer is running, the database must not be driven through
+    [begin_tx]/[with_tx] or bare mutators from other threads — the
+    writer domain owns the write path.  Bodies must not open
+    database-level transactions either: each body already runs inside
+    the group's transaction envelope, so deferred (commit-time) rule
+    validation does not fire for them, exactly as for out-of-tx
+    mutators. *)
+module Writer = struct
+  type db = t
+
+  type w = { w_db : db; w_group : Store.Group.g }
+
+  let start ?max_batch ?queue_cap (db : db) : w =
+    check_writable db;
+    if in_tx db then fail "writer start inside a transaction";
+    let g =
+      Store.Group.start ?max_batch ?queue_cap
+        ~on_rollback:(fun () -> rebuild_mirror db)
+        db.store
+    in
+    { w_db = db; w_group = g }
+
+  (** Run a mutation body in the writer domain; blocks until durable
+      and returns [(commit lsn, result)]. *)
+  let submit (w : w) (f : db -> 'a) : int * 'a =
+    let out = ref None in
+    let lsn = Store.Group.submit w.w_group (fun _st -> out := Some (f w.w_db)) in
+    match !out with Some v -> (lsn, v) | None -> assert false
+
+  (** Run a read-only body in the writer domain, serialised with the
+      mutation stream — the safe way to read the live handle while a
+      writer is running.  The body's exception (if any) is returned
+      rather than treated as a rollback: the body must not mutate. *)
+  let read (w : w) (f : db -> 'a) : int * ('a, exn) result =
+    let out = ref (Error Store.Group.Stopped) in
+    let lsn =
+      Store.Group.submit w.w_group (fun _st ->
+          out := (try Ok (f w.w_db) with e -> Error e))
+    in
+    (lsn, !out)
+
+  let stop (w : w) = Store.Group.stop w.w_group
+  let stats (w : w) = Store.Group.group_stats w.w_group
+end

@@ -199,6 +199,32 @@ let hist_sum (h : histogram) : float = Atomic.get h.h_sum
 let hist_counts (h : histogram) : int array = Array.map Atomic.get h.h_counts
 let hist_bounds (h : histogram) : float array = Array.copy h.h_bounds
 
+(** Estimate the [q]-quantile (0 < q <= 1) of a histogram from its
+    bucket counts by linear interpolation inside the bucket the
+    quantile rank falls in — the usual Prometheus [histogram_quantile]
+    estimate.  Returns [nan] on an empty histogram; observations beyond
+    the last finite bound are clamped to that bound. *)
+let hist_quantile (h : histogram) (q : float) : float =
+  let total = Atomic.get h.h_total in
+  let n = Array.length h.h_bounds in
+  if total = 0 || n = 0 || q <= 0. || q > 1. then nan
+  else begin
+    let rank = q *. float_of_int total in
+    let rec go i acc =
+      if i >= n then h.h_bounds.(n - 1)
+      else
+        let c = Atomic.get h.h_counts.(i) in
+        let acc' = acc +. float_of_int c in
+        if acc' >= rank then begin
+          let lo = if i = 0 then 0. else h.h_bounds.(i - 1) in
+          let hi = h.h_bounds.(i) in
+          if c = 0 then hi else lo +. ((hi -. lo) *. ((rank -. acc) /. float_of_int c))
+        end
+        else go (i + 1) acc'
+    in
+    go 0 0.
+  end
+
 (* --- exposition --------------------------------------------------------- *)
 
 let families_in_order (reg : t) : (string * metric list) list =

@@ -1,4 +1,4 @@
-(** A small HTTP/1.0 front-end to a Prometheus database (thesis 6.1.7).
+(** An HTTP/1.0 front-end to a Prometheus database (thesis 6.1.7).
 
     The thesis prototype exposed the database to user interfaces
     through an HTTP server; this module provides the same access path:
@@ -9,11 +9,33 @@
     - [GET /schema]      — the schema, classes and relationship classes;
     - [GET /contexts]    — the classifications in the database;
     - [GET /stats]       — storage/query/observability statistics, JSON;
-    - [GET /metrics]     — Prometheus text exposition (format 0.0.4).
+    - [GET /metrics]     — Prometheus text exposition (format 0.0.4);
+    - [POST /create?class=C&attr=v...]                  — create an object;
+    - [POST /update?oid=N&attr=A&value=V]               — set an attribute;
+    - [POST /delete?oid=N]                              — delete (cascades);
+    - [POST /link?rel=R&origin=N&destination=M]         — relate two objects;
+    - [POST /unlink?oid=N]                              — remove a rel instance.
 
-    Single-threaded by design: the object layer is not re-entrant and
-    taxonomic interfaces are single-user editors (the thesis's
-    multi-user distribution is listed as future work). *)
+    Two serving modes:
+
+    {b Legacy} ([readers = 0], the default): single-threaded — one
+    connection at a time against the live handle, mutations inside
+    [Database.with_tx].  This is the mode the object layer's
+    single-user heritage assumes, kept bit-compatible for tests and
+    small deployments.
+
+    {b Snapshot serving} ([readers = N > 0], or an explicit [?pool]):
+    GET traffic is routed to a {!Reader_pool} of N reader domains, each
+    holding a frozen [Database.snapshot] view refreshed at a bounded
+    LSN lag; mutations are funnelled through a [Database.Writer] group
+    so concurrent HTTP writers share fsync cycles.  Read-your-writes:
+    every mutating response carries an [X-PDB-LSN] header; a GET
+    presenting [X-PDB-Min-LSN] waits (bounded) for a refresh to catch
+    up or falls through to the primary handle, serialised with the
+    write stream.  Responses state their route in [X-PDB-Route]
+    ([pool] or [primary]).  A read-only replica given an external
+    [?pool] serves the same way but answers 503 when it cannot catch up
+    to a client's token. *)
 
 open Pmodel
 
@@ -57,13 +79,14 @@ let split_target target =
       in
       (path, params)
 
-let respond ?(content_type = "text/plain; charset=utf-8") out ~status ~body =
-  let headers =
-    Printf.sprintf
-      "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
-      status content_type (String.length body)
-  in
-  output_string out headers;
+let respond ?(content_type = "text/plain; charset=utf-8") ?(extra = []) out ~status ~body =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "HTTP/1.0 %s\r\n" status);
+  Buffer.add_string b (Printf.sprintf "Content-Type: %s\r\n" content_type);
+  Buffer.add_string b (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v)) extra;
+  Buffer.add_string b "Connection: close\r\n\r\n";
+  output_string out (Buffer.contents b);
   output_string out body
 
 let schema_text db =
@@ -95,7 +118,14 @@ let usage =
    GET /schema                 list classes and relationship classes\n\
    GET /contexts               list classifications\n\
    GET /stats                  storage/query/observability statistics (JSON)\n\
-   GET /metrics                Prometheus text exposition\n"
+   GET /metrics                Prometheus text exposition\n\
+   POST /create?class=C&a=v     create an object (other params are attributes)\n\
+   POST /update?oid=N&attr=A&value=V\n\
+   POST /delete?oid=N           delete an object (cascades)\n\
+   POST /link?rel=R&origin=N&destination=M[&context=K]\n\
+   POST /unlink?oid=N           remove a relationship instance\n\
+   Mutating responses carry X-PDB-LSN; send it back as X-PDB-Min-LSN\n\
+   on GETs for read-your-writes.\n"
 
 (* --- observability surfaces ------------------------------------------- *)
 
@@ -104,13 +134,24 @@ let m_requests =
 
 let m_request_ns = Pobs.Metrics.histogram "pdb_http_request_ns" ~help:"HTTP request latency"
 
+let m_fallthrough =
+  Pobs.Metrics.counter "pdb_serving_fallthrough_total"
+    ~help:"Reads that fell through the snapshot pool to the primary handle"
+
+let m_group_writes =
+  Pobs.Metrics.counter "pdb_serving_group_writes_total"
+    ~help:"HTTP mutations routed through the group-commit writer"
+
 let g_objects = Pobs.Metrics.gauge "pdb_store_objects" ~help:"Objects in the database"
 let g_pages = Pobs.Metrics.gauge "pdb_store_pages" ~help:"Pages in the database file"
 
-(* Gauges are snapshots of store state, refreshed at scrape time. *)
+(* Gauges are snapshots of store state, refreshed at scrape time.  The
+   object count comes from the mirror, not a B-tree walk: scrapes run
+   concurrently with the group writer in pool mode, and walking the
+   live tree through the page cache from another thread is unsafe. *)
 let refresh_gauges db =
-  let s = Pstore.Store.stats (Database.store db) in
-  Pobs.Metrics.seti g_objects s.Pstore.Store.objects;
+  let s = Pstore.Store.stats ~count_objects:false (Database.store db) in
+  Pobs.Metrics.seti g_objects (Database.object_count db);
   Pobs.Metrics.seti g_pages s.Pstore.Store.pages
 
 (** The /metrics body: the whole process-wide registry in Prometheus
@@ -128,71 +169,78 @@ let metrics_content_type = "text/plain; version=0.0.4; charset=utf-8"
     per-database storage and query counters, observability switches,
     the slow-query log, and a JSON mirror of the metric registry.  All
     serialisation goes through {!Pobs.Json}, so no attribute value can
-    produce malformed output. *)
-let stats_json (db : Database.t) : string =
+    produce malformed output.  [?serving], when present, contributes a
+    "serving" section (snapshot pool + group writer). *)
+let stats_json ?serving (db : Database.t) : string =
   Prules.Engine.ensure_metrics ();
   refresh_gauges db;
-  let s = Pstore.Store.stats (Database.store db) in
+  let s = Pstore.Store.stats ~count_objects:false (Database.store db) in
   let q = Pool_lang.Pool.stats db in
   let open Pobs.Json in
+  let sections =
+    [
+      ( "storage",
+        Obj
+          [
+            ("objects", Int (Database.object_count db));
+            ("pages", Int s.Pstore.Store.pages);
+            ("page_reads", Int s.Pstore.Store.page_reads);
+            ("page_writes", Int s.Pstore.Store.page_writes);
+            ("cache_hits", Int s.Pstore.Store.cache_hits);
+            ("cache_misses", Int s.Pstore.Store.cache_misses);
+            ("evictions", Int s.Pstore.Store.evictions);
+            ("journal_bytes", Int s.Pstore.Store.journal_bytes);
+            ("snapshots", Int s.Pstore.Store.snapshots);
+            ("pinned_versions", Int s.Pstore.Store.pinned_versions);
+            ("snapshot_reads", Int s.Pstore.Store.snapshot_reads);
+          ] );
+      ( "query",
+        Obj
+          [
+            ("index_probes", Int q.Pool_lang.Eval.index_probes);
+            ("range_scans", Int q.Pool_lang.Eval.range_scans);
+            ("hash_joins", Int q.Pool_lang.Eval.hash_joins);
+            ("extent_scans", Int q.Pool_lang.Eval.extent_scans);
+            ("plan_cache_hits", Int q.Pool_lang.Eval.plan_cache_hits);
+            ("plan_cache_misses", Int q.Pool_lang.Eval.plan_cache_misses);
+            ("adjacency_rebuilds", Int q.Pool_lang.Eval.adjacency_rebuilds);
+          ] );
+      ( "integrity",
+        (* checksum/scrub posture of this database plus the
+           process-wide detection counters *)
+        let pager = Pstore.Store.pager (Database.store db) in
+        let cnt (c : Pobs.Metrics.counter) = Int (int_of_float (Pobs.Metrics.counter_value c)) in
+        Obj
+          [
+            ("checksums_enabled", Bool (Pstore.Pager.checksums_enabled pager));
+            ( "quarantined_pages",
+              List (List.map (fun no -> Int no) (Pstore.Pager.quarantined pager)) );
+            ("pages_corrupt_detected", cnt Pstore.Pager.m_page_corrupt);
+            ("scrub_runs", cnt Pstore.Pager.m_scrub_runs);
+            ("scrub_pages", cnt Pstore.Pager.m_scrub_pages);
+            ("scrub_corrupt", cnt Pstore.Pager.m_scrub_corrupt);
+            ("recovery_torn_tails", cnt Pstore.Pager.m_torn_tail);
+          ] );
+      ( "observability",
+        Obj
+          [
+            ("metrics_enabled", Bool !Pobs.Metrics.enabled);
+            ("trace_enabled", Bool !Pobs.Trace.enabled);
+            ("trace_spans_recorded", Int (Pobs.Trace.recorded ()));
+            ("slow_query_threshold_ns", Int !Pobs.Slowlog.threshold_ns);
+          ] );
+    ]
+  in
+  let serving_section =
+    match serving with None -> [] | Some f -> [ ("serving", f ()) ]
+  in
   to_string
     (Obj
-       [
-         ( "storage",
-           Obj
-             [
-               ("objects", Int s.Pstore.Store.objects);
-               ("pages", Int s.Pstore.Store.pages);
-               ("page_reads", Int s.Pstore.Store.page_reads);
-               ("page_writes", Int s.Pstore.Store.page_writes);
-               ("cache_hits", Int s.Pstore.Store.cache_hits);
-               ("cache_misses", Int s.Pstore.Store.cache_misses);
-               ("evictions", Int s.Pstore.Store.evictions);
-               ("journal_bytes", Int s.Pstore.Store.journal_bytes);
-               ("snapshots", Int s.Pstore.Store.snapshots);
-               ("pinned_versions", Int s.Pstore.Store.pinned_versions);
-               ("snapshot_reads", Int s.Pstore.Store.snapshot_reads);
-             ] );
-         ( "query",
-           Obj
-             [
-               ("index_probes", Int q.Pool_lang.Eval.index_probes);
-               ("range_scans", Int q.Pool_lang.Eval.range_scans);
-               ("hash_joins", Int q.Pool_lang.Eval.hash_joins);
-               ("extent_scans", Int q.Pool_lang.Eval.extent_scans);
-               ("plan_cache_hits", Int q.Pool_lang.Eval.plan_cache_hits);
-               ("plan_cache_misses", Int q.Pool_lang.Eval.plan_cache_misses);
-               ("adjacency_rebuilds", Int q.Pool_lang.Eval.adjacency_rebuilds);
-             ] );
-         ( "integrity",
-           (* checksum/scrub posture of this database plus the
-              process-wide detection counters *)
-           let pager = Pstore.Store.pager (Database.store db) in
-           let cnt (c : Pobs.Metrics.counter) = Int (int_of_float (Pobs.Metrics.counter_value c)) in
-           Obj
-             [
-               ("checksums_enabled", Bool (Pstore.Pager.checksums_enabled pager));
-               ( "quarantined_pages",
-                 List (List.map (fun no -> Int no) (Pstore.Pager.quarantined pager)) );
-               ("pages_corrupt_detected", cnt Pstore.Pager.m_page_corrupt);
-               ("scrub_runs", cnt Pstore.Pager.m_scrub_runs);
-               ("scrub_pages", cnt Pstore.Pager.m_scrub_pages);
-               ("scrub_corrupt", cnt Pstore.Pager.m_scrub_corrupt);
-               ("recovery_torn_tails", cnt Pstore.Pager.m_torn_tail);
-             ] );
-         ( "observability",
-           Obj
-             [
-               ("metrics_enabled", Bool !Pobs.Metrics.enabled);
-               ("trace_enabled", Bool !Pobs.Trace.enabled);
-               ("trace_spans_recorded", Int (Pobs.Trace.recorded ()));
-               ("slow_query_threshold_ns", Int !Pobs.Slowlog.threshold_ns);
-             ] );
-         ("slow_queries", Pobs.Slowlog.to_json ());
-         ("metrics", Pobs.Metrics.expose_json ());
-       ])
+       (sections @ serving_section
+       @ [ ("slow_queries", Pobs.Slowlog.to_json ()); ("metrics", Pobs.Metrics.expose_json ()) ]
+       ))
 
-let handle (db : Database.t) (path : string) (params : (string * string) list) :
+let handle ?serving (db : Database.t) (path : string) (params : (string * string) list) :
     string * string =
   match path with
   | "/" -> ("200 OK", usage)
@@ -229,7 +277,7 @@ let handle (db : Database.t) (path : string) (params : (string * string) list) :
           (List.map
              (fun (oid, name) -> Printf.sprintf "#%d %s\n" oid name)
              (Database.contexts db)) )
-  | "/stats" -> ("200 OK", stats_json db ^ "\n")
+  | "/stats" -> ("200 OK", stats_json ?serving db ^ "\n")
   | "/metrics" -> ("200 OK", metrics_text db)
   | _ -> ("404 Not Found", "not found\n")
 
@@ -239,21 +287,127 @@ let content_type_of_path = function
   | "/metrics" -> metrics_content_type
   | _ -> "text/plain; charset=utf-8"
 
-(* Bounds on what a client may send before we stop listening to it: a
-   single-threaded server must not let one connection buffer without
-   limit or stall the accept loop. *)
+(* --- mutation endpoints ------------------------------------------------ *)
+
+exception Bad_param of string
+
+let bad fmt = Format.kasprintf (fun s -> raise (Bad_param s)) fmt
+
+(* Typed literal syntax for attribute values in query strings: null,
+   true/false, integer, float, #oid references; everything else is a
+   string. *)
+let parse_value (s : string) : Value.t =
+  if s = "null" then Value.VNull
+  else if s = "true" then Value.VBool true
+  else if s = "false" then Value.VBool false
+  else if String.length s > 1 && s.[0] = '#' then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some oid -> Value.VRef oid
+    | None -> Value.VString s
+  else
+    match int_of_string_opt s with
+    | Some i -> Value.VInt i
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> Value.VFloat f
+        | None -> Value.VString s)
+
+let oid_of_string k s =
+  let s = if String.length s > 1 && s.[0] = '#' then String.sub s 1 (String.length s - 1) else s in
+  match int_of_string_opt s with Some oid -> oid | None -> bad "%s: not an oid: %s" k s
+
+let str_param params k =
+  match List.assoc_opt k params with
+  | Some v when v <> "" -> v
+  | _ -> bad "missing %s parameter" k
+
+let oid_param params k = oid_of_string k (str_param params k)
+
+let attr_params ~reserved params =
+  List.filter_map
+    (fun (k, v) -> if List.mem k reserved then None else Some (k, parse_value v))
+    params
+
+type mutation =
+  | MCreate of string * (string * Value.t) list
+  | MUpdate of int * string * Value.t
+  | MDelete of int
+  | MLink of {
+      rel : string;
+      origin : int;
+      destination : int;
+      context : int option;
+      attrs : (string * Value.t) list;
+    }
+  | MUnlink of int
+
+let write_paths = [ "/create"; "/update"; "/delete"; "/link"; "/unlink" ]
+
+(* Parsing happens before the body is submitted to the writer: a
+   malformed request must cost a 400, never a group-batch rollback. *)
+let parse_mutation (path : string) params : mutation =
+  match path with
+  | "/create" -> MCreate (str_param params "class", attr_params ~reserved:[ "class" ] params)
+  | "/update" ->
+      MUpdate
+        ( oid_param params "oid",
+          str_param params "attr",
+          parse_value (match List.assoc_opt "value" params with Some v -> v | None -> bad "missing value parameter") )
+  | "/delete" -> MDelete (oid_param params "oid")
+  | "/link" ->
+      MLink
+        {
+          rel = str_param params "rel";
+          origin = oid_param params "origin";
+          destination = oid_param params "destination";
+          context = Option.map (oid_of_string "context") (List.assoc_opt "context" params);
+          attrs = attr_params ~reserved:[ "rel"; "origin"; "destination"; "context" ] params;
+        }
+  | "/unlink" -> MUnlink (oid_param params "oid")
+  | _ -> bad "not a mutation endpoint: %s" path
+
+let apply_mutation (db : Database.t) (m : mutation) : string =
+  match m with
+  | MCreate (cls, attrs) -> Printf.sprintf "created #%d\n" (Database.create db cls attrs)
+  | MUpdate (oid, attr, v) ->
+      Database.update db oid attr v;
+      "ok\n"
+  | MDelete oid ->
+      Database.delete db oid;
+      "ok\n"
+  | MLink { rel; origin; destination; context; attrs } ->
+      Printf.sprintf "created #%d\n"
+        (Database.link db ?context ~attrs rel ~origin ~destination)
+  | MUnlink oid ->
+      Database.unlink db oid;
+      "ok\n"
+
+(* --- request framing bounds -------------------------------------------- *)
+
+(* Bounds on what a client may send before we stop listening to it: the
+   server must not let one connection buffer without limit (memory) or
+   trickle bytes forever (a slowloris holding a handler hostage). *)
 let max_request_line = 8192
 let max_header_bytes = 65536
+let max_header_count = 100
 let client_timeout_s = 10.
 
 exception Line_too_long
+exception Headers_too_large
+exception Header_timeout
 
 (* Read one LF-terminated line of at most [max] bytes (the caller trims
    the CR).  [input_line] is unbounded — a hostile client could feed an
-   endless request line and exhaust memory. *)
-let read_line_bounded inp ~max =
+   endless request line and exhaust memory.  [deadline] (monotonic ns)
+   caps the wall-clock spent across reads: the socket's SO_RCVTIMEO
+   only bounds each syscall, so a client trickling one byte per
+   almost-timeout would otherwise hold the handler forever. *)
+let read_line_bounded ?deadline inp ~max =
   let b = Buffer.create 128 in
   let rec go () =
+    (match deadline with
+    | Some d when Pobs.Monotonic.now_ns () > d -> raise Header_timeout
+    | _ -> ());
     match input_char inp with
     | '\n' -> Buffer.contents b
     | c ->
@@ -263,49 +417,237 @@ let read_line_bounded inp ~max =
   in
   go ()
 
-let drain_headers inp =
-  let total = ref 0 in
-  try
-    let rec go () =
-      let line = read_line_bounded inp ~max:max_request_line in
-      total := !total + String.length line;
-      if String.trim line <> "" && !total < max_header_bytes then go ()
+(* Read and parse the header block: lowercased names, trimmed values.
+   Raises [Headers_too_large] (431) when the block exceeds the byte or
+   count bound, [Header_timeout] (408) past the deadline. *)
+let read_headers ?deadline inp : (string * string) list =
+  let rec go acc count total =
+    let line =
+      try read_line_bounded ?deadline inp ~max:max_request_line
+      with Line_too_long -> raise Headers_too_large
     in
-    go ()
-  with End_of_file | Line_too_long -> ()
+    let line = String.trim line in
+    if line = "" then List.rev acc
+    else begin
+      let total = total + String.length line in
+      if total > max_header_bytes || count + 1 > max_header_count then raise Headers_too_large;
+      let acc =
+        match String.index_opt line ':' with
+        | Some i ->
+            let k = String.lowercase_ascii (String.trim (String.sub line 0 i)) in
+            let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+            (k, v) :: acc
+        | None -> acc
+      in
+      go acc (count + 1) total
+    end
+  in
+  go [] 0 0
+
+(* --- request dispatch --------------------------------------------------- *)
+
+(* Everything a connection handler needs; one value per [serve] call,
+   shared by all handler threads. *)
+type ctx = {
+  x_db : Database.t;
+  x_readonly : bool;
+  x_repl_status : (unit -> string) option;
+  x_pool : Reader_pool.t option;
+  x_writer : Database.Writer.w option;
+  x_serving : (unit -> Pobs.Json.t) option;
+  x_timeout_s : float;
+}
+
+(* GET endpoints safe to serve from a frozen snapshot view. *)
+let pool_routable = function
+  | "/" | "/query" | "/check" | "/schema" | "/contexts" | "/stats" | "/metrics" -> true
+  | _ -> false
+
+let lsn_header lsn = ("X-PDB-LSN", string_of_int lsn)
+
+let serve_get (x : ctx) out path params headers =
+  let content_type =
+    if path = "/repl" then "application/json; charset=utf-8" else content_type_of_path path
+  in
+  let timed f = Pobs.Metrics.time m_request_ns f in
+  match (path, x.x_repl_status) with
+  | "/repl", Some f ->
+      let status, body = timed (fun () -> ("200 OK", f () ^ "\n")) in
+      respond out ~status ~content_type ~body
+  | _ -> (
+      match x.x_pool with
+      | Some pool when pool_routable path -> (
+          let min_lsn =
+            Option.bind (List.assoc_opt "x-pdb-min-lsn" headers) int_of_string_opt
+          in
+          match
+            Reader_pool.read pool ?min_lsn (fun view ->
+                timed (fun () -> handle ?serving:x.x_serving view path params))
+          with
+          | Reader_pool.Served ((status, body), lsn) ->
+              respond out ~status ~content_type
+                ~extra:[ lsn_header lsn; ("X-PDB-Route", "pool") ]
+                ~body
+          | Reader_pool.Behind best -> (
+              match x.x_writer with
+              | Some w -> (
+                  (* Primary fallthrough: run the read in the writer
+                     domain, serialised with the mutation stream — the
+                     only safe way to touch the live handle. *)
+                  Pobs.Metrics.inc m_fallthrough;
+                  let lsn, r =
+                    Database.Writer.read w (fun live ->
+                        timed (fun () -> handle ?serving:x.x_serving live path params))
+                  in
+                  match r with
+                  | Ok (status, body) ->
+                      respond out ~status ~content_type
+                        ~extra:[ lsn_header lsn; ("X-PDB-Route", "primary") ]
+                        ~body
+                  | Error e ->
+                      respond out ~status:"500 Internal Server Error"
+                        ~body:(Printexc.to_string e ^ "\n"))
+              | None ->
+                  (* A replica has no primary handle to fall through
+                     to: be honest about the lag. *)
+                  respond out ~status:"503 Service Unavailable"
+                    ~extra:[ lsn_header best; ("Retry-After", "1") ]
+                    ~body:(Printf.sprintf "behind: serving lsn %d\n" best))
+          | exception Reader_pool.Stopped ->
+              respond out ~status:"503 Service Unavailable" ~body:"shutting down\n"
+          | exception e ->
+              respond out ~status:"500 Internal Server Error"
+                ~body:(Printexc.to_string e ^ "\n"))
+      | _ ->
+          let status, body =
+            timed (fun () -> handle ?serving:x.x_serving x.x_db path params)
+          in
+          let extra =
+            match x.x_pool with
+            | None -> [ lsn_header (Pstore.Store.lsn (Database.store x.x_db)) ]
+            | Some _ -> []
+          in
+          respond out ~status ~content_type ~extra ~body)
+
+let serve_mutation (x : ctx) out path params =
+  match parse_mutation path params with
+  | exception Bad_param m ->
+      respond out ~status:"400 Bad Request" ~body:("error: " ^ m ^ "\n")
+  | mut -> (
+      match
+        Pobs.Metrics.time m_request_ns (fun () ->
+            match x.x_writer with
+            | Some w ->
+                (* Group-commit routing: the body runs in the writer
+                   domain as one soft transaction; concurrent HTTP
+                   writers share the batch's single fsync. *)
+                let lsn, body = Database.Writer.submit w (fun live -> apply_mutation live mut) in
+                Pobs.Metrics.inc m_group_writes;
+                (lsn, body)
+            | None ->
+                let body = Database.with_tx x.x_db (fun () -> apply_mutation x.x_db mut) in
+                (Pstore.Store.lsn (Database.store x.x_db), body))
+      with
+      | lsn, body -> respond out ~status:"200 OK" ~extra:[ lsn_header lsn ] ~body
+      | exception Database.Model_error m ->
+          respond out ~status:"400 Bad Request" ~body:("error: " ^ m ^ "\n")
+      | exception Pstore.Store.Group.Stopped ->
+          respond out ~status:"503 Service Unavailable" ~body:"shutting down\n"
+      | exception e ->
+          respond out ~status:"500 Internal Server Error" ~body:(Printexc.to_string e ^ "\n"))
+
+let dispatch (x : ctx) out line headers =
+  match parse_request_line (String.trim line) with
+  | Some ("GET", target) ->
+      let path, params = split_target target in
+      Pobs.Metrics.inc m_requests;
+      serve_get x out path params headers
+  | Some _ when x.x_readonly ->
+      respond out ~status:"403 Forbidden" ~body:"read-only replica\n"
+  | Some ("POST", target) when List.mem (fst (split_target target)) write_paths ->
+      let path, params = split_target target in
+      Pobs.Metrics.inc m_requests;
+      serve_mutation x out path params
+  | Some _ -> respond out ~status:"405 Method Not Allowed" ~body:"GET only\n"
+  | None -> respond out ~status:"400 Bad Request" ~body:"bad request\n"
+
+(* One full connection: framing, dispatch, response, close.  Never
+   raises — per-connection errors are logged and the server moves on. *)
+let handle_conn (x : ctx) client =
+  (try
+     (try
+        Unix.setsockopt_float client Unix.SO_RCVTIMEO x.x_timeout_s;
+        Unix.setsockopt_float client Unix.SO_SNDTIMEO x.x_timeout_s
+      with Unix.Unix_error _ -> ());
+     let inp = Unix.in_channel_of_descr client in
+     let out = Unix.out_channel_of_descr client in
+     let deadline = Pobs.Monotonic.now_ns () + int_of_float (x.x_timeout_s *. 1e9) in
+     (match read_line_bounded ~deadline inp ~max:max_request_line with
+     | line -> (
+         match read_headers ~deadline inp with
+         | headers -> dispatch x out line headers
+         | exception Headers_too_large ->
+             respond out ~status:"431 Request Header Fields Too Large"
+               ~body:"header block too large\n"
+         | exception Header_timeout ->
+             respond out ~status:"408 Request Timeout" ~body:"timed out reading headers\n"
+         | exception End_of_file ->
+             respond out ~status:"400 Bad Request" ~body:"bad request\n")
+     | exception End_of_file -> () (* client disconnected before sending *)
+     | exception Line_too_long ->
+         respond out ~status:"414 URI Too Long" ~body:"request line too long\n"
+     | exception Header_timeout ->
+         respond out ~status:"408 Request Timeout" ~body:"timed out reading request\n");
+     flush out
+   with e ->
+     (* EPIPE/ECONNRESET/timeout from this client: log and move on;
+        one broken connection must never take the server down. *)
+     Printf.eprintf "prometheus: client error: %s\n%!" (Printexc.to_string e));
+  try Unix.close client with Unix.Unix_error _ -> ()
 
 (* How often the accept loop wakes to check the stop flag when no
    connection is pending.  Bounds shutdown latency. *)
 let accept_poll_s = 0.25
 
+(* Connections queued for handler threads in pool mode; beyond this the
+   accept loop stops accepting (backpressure into the listen backlog). *)
+let conn_queue_cap = 128
+
 (** Serve [db] on [port] until [max_requests] requests have been
     handled (None = forever), [stop] is set, or a SIGTERM/SIGINT
     arrives.
 
-    Graceful shutdown: signals only set a flag; the in-flight request
-    is always finished and responded to, then the listen socket is
-    closed, the previous signal dispositions are restored, and [serve]
-    returns so the caller can flush and close the store.  The accept
-    loop waits in [select] with a short timeout rather than a blocking
-    [accept], so a stop request on an idle server is honoured within
+    Graceful shutdown: signals only set a flag; in-flight requests are
+    always finished and responded to, then the listen socket is closed,
+    the previous signal dispositions are restored, and [serve] returns
+    so the caller can flush and close the store.  The accept loop waits
+    in [select] with a short timeout rather than a blocking [accept],
+    so a stop request on an idle server is honoured within
     {!accept_poll_s}.
 
+    Snapshot serving: [?readers] > 0 builds a {!Reader_pool} over [db]
+    (refreshed within [?max_lag_ms]) plus a [Database.Writer] group,
+    and handles connections on a small thread pool so slow clients
+    don't serialise the accept loop; [?pool] supplies an external
+    pool instead (the read-only replica path — no writer is started
+    when [readonly]).  Both are stopped before [serve] returns iff
+    they were created here.
+
     Replication hooks: [?readonly] rejects every non-GET method with
-    403 (a read-only replica serves queries but accepts no writes),
-    [?repl_status] is exposed verbatim as [GET /repl] (JSON), and
-    [?db_provider], when given, supplies the database handle per
-    request — the replica swaps in a fresh read-only handle as applied
-    LSNs advance.  [?ready] is called with the actually bound port
-    (useful with [~port:0]) once the socket is listening.
+    403 (a read-only replica serves queries but accepts no writes) and
+    [?repl_status] is exposed verbatim as [GET /repl] (JSON).
+    [?ready] is called with the actually bound port (useful with
+    [~port:0]) once the socket is listening.
 
     Robust against misbehaving clients: SIGPIPE is ignored (a client
     closing mid-response must surface as [EPIPE], not kill the
     process), per-connection errors are logged and the loop continues,
-    request lines and headers are size-bounded, and sockets carry
-    send/receive timeouts so a stalled client cannot wedge the
-    single-threaded accept loop. *)
+    request lines and header blocks are size- and count-bounded (414 /
+    431), and a wall-clock deadline spans all request reads (408), so
+    neither a flood nor a trickle can wedge a handler. *)
 let serve ?(host = "127.0.0.1") ?max_requests ?stop ?ready ?(readonly = false)
-    ?repl_status ?db_provider (db : Database.t) ~port () =
+    ?repl_status ?(readers = 0) ?(max_lag_ms = 50.) ?pool
+    ?(client_timeout = client_timeout_s) (db : Database.t) ~port () =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> () (* no SIGPIPE on this platform *));
   let stop = match stop with Some r -> r | None -> ref false in
@@ -314,19 +656,123 @@ let serve ?(host = "127.0.0.1") ?max_requests ?stop ?ready ?(readonly = false)
     with Invalid_argument _ | Sys_error _ -> None
   in
   let saved = List.filter_map install [ Sys.sigterm; Sys.sigint ] in
+  let own_pool, pool =
+    match pool with
+    | Some p -> (false, Some p)
+    | None when readers > 0 ->
+        (true, Some (Reader_pool.create ~max_lag_ms ~readers (Reader_pool.primary_source db)))
+    | None -> (false, None)
+  in
+  let writer =
+    match pool with Some _ when not readonly -> Some (Database.Writer.start db) | _ -> None
+  in
+  let serving_json =
+    match pool with
+    | None -> None
+    | Some p ->
+        Some
+          (fun () ->
+            Reader_pool.update_metrics p;
+            let ps = Reader_pool.stats p in
+            let open Pobs.Json in
+            let cnt c = Int (int_of_float (Pobs.Metrics.counter_value c)) in
+            let p99 =
+              let v = Pobs.Metrics.hist_quantile m_request_ns 0.99 /. 1e6 in
+              Float (if Float.is_nan v then 0. else v)
+            in
+            let base =
+              [
+                ("readers", Int ps.Reader_pool.p_readers);
+                ("generation_lsn", Int ps.Reader_pool.p_gen_lsn);
+                ("generation_age_ms", Float ps.Reader_pool.p_age_ms);
+                ("refreshes", Int ps.Reader_pool.p_refreshes);
+                ("refresh_errors", Int ps.Reader_pool.p_refresh_errors);
+                ("routed_reads", Int ps.Reader_pool.p_routed);
+                ("catchup_waits", Int ps.Reader_pool.p_catchup_waits);
+                ("draining_generations", Int ps.Reader_pool.p_draining);
+                ("fallthroughs", cnt m_fallthrough);
+                ("request_p99_ms", p99);
+              ]
+            in
+            let group =
+              match writer with
+              | None -> []
+              | Some w ->
+                  let gs = Database.Writer.stats w in
+                  [
+                    ( "group",
+                      Obj
+                        [
+                          ("batches", Int gs.Pstore.Store.Group.batches);
+                          ("commits", Int gs.Pstore.Store.Group.commits);
+                          ("aborts", Int gs.Pstore.Store.Group.aborts);
+                          ("queued", Int gs.Pstore.Store.Group.queued);
+                          ("group_writes", cnt m_group_writes);
+                        ] );
+                  ]
+            in
+            Obj (base @ group))
+  in
+  let ctx =
+    {
+      x_db = db;
+      x_readonly = readonly;
+      x_repl_status = repl_status;
+      x_pool = pool;
+      x_writer = writer;
+      x_serving = serving_json;
+      x_timeout_s = client_timeout;
+    }
+  in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-  Unix.listen sock 16;
+  Unix.listen sock 64;
   let bound_port =
     match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | _ -> port
   in
   (match ready with Some f -> f bound_port | None -> ());
-  Printf.printf "prometheus: serving on http://%s:%d/%s\n%!" host bound_port
-    (if readonly then " (read-only replica)" else "");
-  let handled = ref 0 in
+  Printf.printf "prometheus: serving on http://%s:%d/%s%s\n%!" host bound_port
+    (if readonly then " (read-only replica)" else "")
+    (match pool with
+    | Some p -> Printf.sprintf " (snapshot pool: %d readers)" (Reader_pool.size p)
+    | None -> "");
+  let handled = Atomic.make 0 in
   let continue () =
-    (not !stop) && match max_requests with None -> true | Some m -> !handled < m
+    (not !stop) && match max_requests with None -> true | Some m -> Atomic.get handled < m
+  in
+  (* Pool mode handles connections on a small thread pool: handler
+     threads block on reader-domain results and on client I/O, so a
+     slow client no longer serialises everyone behind it. *)
+  let pooled = Option.is_some pool in
+  let conn_q = Queue.create () in
+  let conn_mu = Mutex.create () in
+  let conn_cv = Condition.create () in
+  let conn_stop = ref false in
+  let worker () =
+    let rec loop () =
+      Mutex.lock conn_mu;
+      while Queue.is_empty conn_q && not !conn_stop do
+        Condition.wait conn_cv conn_mu
+      done;
+      (* drain before exiting: every accepted connection gets a response *)
+      if Queue.is_empty conn_q then Mutex.unlock conn_mu
+      else begin
+        let c = Queue.pop conn_q in
+        Condition.broadcast conn_cv;
+        Mutex.unlock conn_mu;
+        handle_conn ctx c;
+        Atomic.incr handled;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let workers =
+    if pooled then
+      let n = max 4 (2 * match pool with Some p -> Reader_pool.size p | None -> 0) in
+      Array.init n (fun _ -> Thread.create worker ())
+    else [||]
   in
   while continue () do
     (* Wait for a connection with a bounded select so [stop] — set by a
@@ -340,49 +786,31 @@ let serve ?(host = "127.0.0.1") ?max_requests ?stop ?ready ?(readonly = false)
     in
     if pending && continue () then begin
       let client, _addr = Unix.accept sock in
-      (try
-         (try
-            Unix.setsockopt_float client Unix.SO_RCVTIMEO client_timeout_s;
-            Unix.setsockopt_float client Unix.SO_SNDTIMEO client_timeout_s
-          with Unix.Unix_error _ -> ());
-         let inp = Unix.in_channel_of_descr client in
-         let out = Unix.out_channel_of_descr client in
-         (match read_line_bounded inp ~max:max_request_line with
-         | line -> (
-             drain_headers inp;
-             match parse_request_line (String.trim line) with
-             | Some ("GET", target) ->
-                 let db = match db_provider with Some f -> f () | None -> db in
-                 let path, params = split_target target in
-                 Pobs.Metrics.inc m_requests;
-                 let status, body =
-                   Pobs.Metrics.time m_request_ns (fun () ->
-                       match (path, repl_status) with
-                       | "/repl", Some f -> ("200 OK", f () ^ "\n")
-                       | _ -> handle db path params)
-                 in
-                 let content_type =
-                   if path = "/repl" then "application/json; charset=utf-8"
-                   else content_type_of_path path
-                 in
-                 respond out ~status ~content_type ~body
-             | Some _ when readonly ->
-                 respond out ~status:"403 Forbidden" ~body:"read-only replica\n"
-             | Some _ -> respond out ~status:"405 Method Not Allowed" ~body:"GET only\n"
-             | None -> respond out ~status:"400 Bad Request" ~body:"bad request\n")
-         | exception End_of_file -> () (* client disconnected before sending *)
-         | exception Line_too_long ->
-             respond out ~status:"414 URI Too Long" ~body:"request line too long\n");
-         flush out
-       with e ->
-         (* EPIPE/ECONNRESET/timeout from this client: log and move on;
-            one broken connection must never take the server down. *)
-         Printf.eprintf "prometheus: client error: %s\n%!" (Printexc.to_string e));
-      (try Unix.close client with Unix.Unix_error _ -> ());
-      incr handled
+      if pooled then begin
+        Mutex.lock conn_mu;
+        while Queue.length conn_q >= conn_queue_cap && not !conn_stop do
+          Condition.wait conn_cv conn_mu
+        done;
+        Queue.push client conn_q;
+        Condition.broadcast conn_cv;
+        Mutex.unlock conn_mu
+      end
+      else begin
+        handle_conn ctx client;
+        Atomic.incr handled
+      end
     end
   done;
+  if pooled then begin
+    Mutex.lock conn_mu;
+    conn_stop := true;
+    Condition.broadcast conn_cv;
+    Mutex.unlock conn_mu;
+    Array.iter Thread.join workers
+  end;
   Unix.close sock;
   List.iter
     (fun (signum, prev) -> try Sys.set_signal signum prev with Invalid_argument _ | Sys_error _ -> ())
-    saved
+    saved;
+  (match writer with Some w -> ( try Database.Writer.stop w with _ -> ()) | None -> ());
+  if own_pool then match pool with Some p -> Reader_pool.stop p | None -> ()

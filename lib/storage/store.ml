@@ -42,6 +42,7 @@ type t = {
   mutable dir : Btree.t;
   mutable next_oid : int;
   mutable tx_depth : int; (* supports nested begin via counting *)
+  mutable group_active : bool; (* a Group writer domain owns the write path *)
   path : string;
 }
 
@@ -135,7 +136,16 @@ let open_ ?cache_pages ?config ?(vfs = Vfs.unix) ?readonly path =
   else if Int32.to_int (Bytes.get_int32_le hdr 8) <> version then
     fail "%s: unsupported store version" path;
   let heap, dir = build_components pager in
-  { pager; vfs; heap; dir; next_oid = hdr_read_next_oid pager; tx_depth = 0; path }
+  {
+    pager;
+    vfs;
+    heap;
+    dir;
+    next_oid = hdr_read_next_oid pager;
+    tx_depth = 0;
+    group_active = false;
+    path;
+  }
 
 let path t = t.path
 
@@ -280,11 +290,15 @@ type stats = {
   snapshot_reads : int; (* pages served to snapshot readers *)
 }
 
-let stats t =
+(* [count_objects:false] skips the B-tree walk behind [objects]
+   (reported as 0): counter snapshots are safe to read from any thread,
+   but walking the live tree through the page cache is not while a
+   {!Group} writer domain owns the write path. *)
+let stats ?(count_objects = true) t =
   let s = Pager.stats t.pager in
   {
     pages = s.Pager.s_pages;
-    objects = count t;
+    objects = (if count_objects then count t else 0);
     page_reads = s.Pager.s_reads;
     page_writes = s.Pager.s_writes;
     cache_hits = s.Pager.s_hits;
@@ -411,9 +425,12 @@ module Snapshot = struct
   (** Freeze the current committed state.  Blocks while a transaction
       is open on another domain (snapshots register only at commit
       boundaries); calling with a transaction open on {e this} domain
-      would self-deadlock, so that is rejected. *)
+      would self-deadlock, so that is rejected — except while a
+      {!Group} writer owns the write path, where the tx flag belongs to
+      the writer domain and the pager's own snapshot lock provides the
+      commit-boundary blocking. *)
   let create ?cache_pages (t : store) : s =
-    if in_tx t then fail "snapshot inside a transaction";
+    if in_tx t && not t.group_active then fail "snapshot inside a transaction";
     of_psnap (Pager.snapshot ?cache_pages t.pager)
 
   let lsn s = Pager.Snapshot.lsn s.psnap
@@ -469,6 +486,11 @@ module Group = struct
     q_cv : Condition.t;
     q_cap : int;
     max_batch : int;
+    on_rollback : (unit -> unit) option;
+        (* called in the writer domain after any store rollback (a job
+           soft-abort or a failed hard commit), once the store's own
+           components are rebuilt — lets layers stacked on the store
+           (the Database mirror) resynchronise *)
     mutable g_stopping : bool;
     mutable g_dead : exn option; (* writer died; submissions now fail *)
     mutable g_writer : unit Domain.t option;
@@ -514,6 +536,7 @@ module Group = struct
               t.heap <- heap;
               t.dir <- dir;
               t.next_oid <- max t.next_oid (hdr_read_next_oid t.pager);
+              (match g.on_rollback with Some f -> f () | None -> ());
               g.g_aborts <- g.g_aborts + 1;
               (j, Error e))
         jobs
@@ -532,6 +555,7 @@ module Group = struct
             (* Durability failed: nothing in this batch committed. *)
             t.tx_depth <- 1;
             (try abort t with _ -> ());
+            (match g.on_rollback with Some f -> (try f () with _ -> ()) | None -> ());
             List.iter (fun (j, _) -> finish j (Error e)) results;
             raise e)
     | exception e ->
@@ -573,8 +597,9 @@ module Group = struct
         Mutex.unlock g.q_mu;
         List.iter (fun j -> finish j (Error e)) (List.rev orphans)
 
-  let start ?(max_batch = 32) ?(queue_cap = 256) (t : store) : g =
+  let start ?(max_batch = 32) ?(queue_cap = 256) ?on_rollback (t : store) : g =
     if in_tx t then fail "group start inside a transaction";
+    if t.group_active then fail "group already running on this store";
     if max_batch < 1 || queue_cap < 1 then fail "group: bad configuration";
     let g =
       {
@@ -584,6 +609,7 @@ module Group = struct
         q_cv = Condition.create ();
         q_cap = queue_cap;
         max_batch;
+        on_rollback;
         g_stopping = false;
         g_dead = None;
         g_writer = None;
@@ -592,6 +618,7 @@ module Group = struct
         g_aborts = 0;
       }
     in
+    t.group_active <- true;
     g.g_writer <- Some (Domain.spawn (fun () -> writer_loop g));
     g
 
@@ -635,7 +662,8 @@ module Group = struct
     (match g.g_writer with
     | Some d ->
         g.g_writer <- None;
-        Domain.join d
+        Domain.join d;
+        g.g_store.group_active <- false
     | None -> ());
     match g.g_dead with Some Vfs.Crash -> raise Vfs.Crash | _ -> ()
 
