@@ -1821,6 +1821,590 @@ let bench_serving () =
   write_record "BENCH_PR8.json" (Buffer.contents buf)
 
 (* ------------------------------------------------------------------ *)
+(* PR 9: load generator — event-loop connection scaling               *)
+(* ------------------------------------------------------------------ *)
+
+(* Connection-scaling curves over the event-loop front-end: the same
+   tiny POOL query driven through four client shapes — HTTP with a
+   connection per request, HTTP keep-alive, the binary protocol one
+   query per round trip, and the binary protocol batched — at rising
+   concurrent-connection counts, plus an admission-control probe
+   asserting that connections over [max_conns] are answered 503 rather
+   than dropped.  The query is deliberately cheap (a count over 100
+   objects): the curve is meant to measure the serving surface, not
+   the query engine.  LOADGEN=soak multiplies the request budget for
+   the nightly run. *)
+let bench_loadgen () =
+  let module F = Pstore.Fault in
+  Printf.printf "\n== loadgen: event-loop connection scaling, HTTP vs binary ==\n";
+  let soak = match Sys.getenv_opt "LOADGEN" with Some "soak" -> true | _ -> false in
+  let fs = F.create ~seed:9 () in
+  F.set_short_transfers fs false;
+  let vfs = F.vfs fs in
+  let db = Database.open_ ~vfs "bench_loadgen.db" in
+  ignore (Database.define_class db "Rec" [ Meta.attr "n" Value.TInt ]);
+  Database.with_tx db (fun () ->
+      for i = 0 to 99 do
+        ignore (Database.create db "Rec" [ ("n", Value.VInt i) ])
+      done);
+  let query = "count(select r from Rec r where r.n < 50)" in
+  let query_enc =
+    let b = Buffer.create 64 in
+    String.iter
+      (function
+        | ('A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '-' | '_' | '.' | '~') as c ->
+            Buffer.add_char b c
+        | c -> Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code c)))
+      query;
+    Buffer.contents b
+  in
+  let start_server ?max_conns () =
+    let stop = ref false in
+    let ports = ref (0, 0) in
+    let m = Mutex.create () and c = Condition.create () in
+    let set f =
+      Mutex.lock m;
+      ports := f !ports;
+      Condition.broadcast c;
+      Mutex.unlock m
+    in
+    let th =
+      Thread.create
+        (fun () ->
+          try
+            Pserver.Http_server.serve db ~port:0 ~binary_port:0 ?max_conns ~stop
+              ~ready:(fun p -> set (fun (_, b) -> (p, b)))
+              ~binary_ready:(fun b -> set (fun (p, _) -> (p, b)))
+              ()
+          with e -> Printf.eprintf "loadgen server died: %s\n%!" (Printexc.to_string e))
+        ()
+    in
+    Mutex.lock m;
+    while fst !ports = 0 || snd !ports = 0 do
+      Condition.wait c m
+    done;
+    let http_port, bin_port = !ports in
+    Mutex.unlock m;
+    (http_port, bin_port, stop, th)
+  in
+  let stop_server (stop, th) =
+    stop := true;
+    Thread.join th
+  in
+  (* raw-socket client plumbing *)
+  let send_all fd s =
+    let b = Bytes.unsafe_of_string s in
+    let pos = ref 0 in
+    while !pos < String.length s do
+      pos := !pos + Unix.write fd b !pos (String.length s - !pos)
+    done
+  in
+  let recv_until_eof fd =
+    let b = Buffer.create 512 in
+    let chunk = Bytes.create 4096 in
+    let rec go () =
+      match Unix.read fd chunk 0 4096 with
+      | 0 -> ()
+      | n ->
+          Buffer.add_subbytes b chunk 0 n;
+          go ()
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let find_sub hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      if i + nn > nh then None else if String.sub hay i nn = needle then Some i else go (i + 1)
+    in
+    go 0
+  in
+  (* read exactly one Content-Length-framed response off a keep-alive
+     connection, leaving pipelined extras in [bufr] *)
+  let read_response fd bufr =
+    let chunk = Bytes.create 4096 in
+    let refill () =
+      match Unix.read fd chunk 0 4096 with
+      | 0 -> failwith "connection closed mid-response"
+      | n -> bufr := !bufr ^ Bytes.sub_string chunk 0 n
+    in
+    let rec head_end () =
+      match find_sub !bufr "\r\n\r\n" with
+      | Some i -> i + 4
+      | None ->
+          refill ();
+          head_end ()
+    in
+    let he = head_end () in
+    let head = String.lowercase_ascii (String.sub !bufr 0 he) in
+    let clen =
+      match find_sub head "content-length:" with
+      | None -> 0
+      | Some i ->
+          let rest = String.sub head (i + 15) (String.length head - i - 15) in
+          int_of_string (String.trim (List.hd (String.split_on_char '\r' rest)))
+    in
+    while String.length !bufr < he + clen do
+      refill ()
+    done;
+    bufr := String.sub !bufr (he + clen) (String.length !bufr - he - clen)
+  in
+  let p99_ms (a : int array) =
+    let a = Array.copy a in
+    Array.sort compare a;
+    if Array.length a = 0 then 0.
+    else float_of_int a.(min (Array.length a - 1) (Array.length a * 99 / 100)) /. 1e6
+  in
+  (* Run [conns] concurrent client threads, each doing [per] round
+     trips; [mk ci] builds a (round, finish) pair where [round]
+     returns the number of requests it completed. *)
+  let run_cell ~conns ~per mk =
+    let lat = Array.make (conns * per) 0 in
+    let completed = Atomic.make 0 in
+    let (), ms =
+      time_once (fun () ->
+          let ths =
+            List.init conns (fun ci ->
+                Thread.create
+                  (fun () ->
+                    try
+                      let round, finish = mk ci in
+                      for j = 0 to per - 1 do
+                        let t0 = Pobs.Monotonic.now_ns () in
+                        let n = round () in
+                        lat.((ci * per) + j) <- Pobs.Monotonic.now_ns () - t0;
+                        ignore (Atomic.fetch_and_add completed n)
+                      done;
+                      finish ()
+                    with e ->
+                      Printf.eprintf "loadgen client: %s\n%!" (Printexc.to_string e))
+                  ())
+          in
+          List.iter Thread.join ths)
+    in
+    let reqs = Atomic.get completed in
+    (float_of_int reqs /. (ms /. 1000.), p99_ms lat, reqs)
+  in
+  let http_port, bin_port, stop, th = start_server () in
+  let close_req =
+    Printf.sprintf "GET /query?q=%s HTTP/1.0\r\nHost: x\r\n\r\n" query_enc
+  in
+  let ka_req = Printf.sprintf "GET /query?q=%s HTTP/1.1\r\nHost: x\r\n\r\n" query_enc in
+  let mk_http_close _ci =
+    ( (fun () ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, http_port));
+            send_all fd close_req;
+            ignore (recv_until_eof fd));
+        1),
+      fun () -> () )
+  in
+  let mk_http_keepalive _ci =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, http_port));
+    let buf = ref "" in
+    ( (fun () ->
+        send_all fd ka_req;
+        read_response fd buf;
+        1),
+      fun () -> try Unix.close fd with Unix.Unix_error _ -> () )
+  in
+  let mk_binary _ci =
+    let cl = Pserver.Client.connect ~port:bin_port () in
+    ( (fun () ->
+        ignore (Pserver.Client.query cl query);
+        1),
+      fun () -> Pserver.Client.close cl )
+  in
+  let batch_size = 16 in
+  let mk_binary_batch _ci =
+    let cl = Pserver.Client.connect ~port:bin_port () in
+    let qs = List.init batch_size (fun _ -> query) in
+    ( (fun () ->
+        ignore (Pserver.Client.batch cl qs);
+        batch_size),
+      fun () -> Pserver.Client.close cl )
+  in
+  let budget = if soak then 16384 else 2048 in
+  let conn_levels = [ 16; 64; 256 ] in
+  let scenarios =
+    [
+      ("http_close", mk_http_close, 1);
+      ("http_keepalive", mk_http_keepalive, 1);
+      ("binary", mk_binary, 1);
+      ("binary_batch", mk_binary_batch, batch_size);
+    ]
+  in
+  (* warm every path once *)
+  List.iter
+    (fun (_, mk, _) ->
+      let round, finish = mk 0 in
+      ignore (round ());
+      finish ())
+    scenarios;
+  let results =
+    List.map
+      (fun (name, mk, per_round) ->
+        let curve =
+          List.map
+            (fun conns ->
+              let per = max 1 (budget / (conns * per_round)) in
+              let qps, p99, reqs = run_cell ~conns ~per mk in
+              Printf.printf "  %-14s %4d conns  %8.0f req/s   p99 %6.2f ms  (%d reqs)\n%!"
+                name conns qps p99 reqs;
+              (conns, qps, p99, reqs))
+            conn_levels
+        in
+        (name, curve))
+      scenarios
+  in
+  stop_server (stop, th);
+  let qps_at name conns =
+    let curve = List.assoc name results in
+    let _, qps, _, _ = List.find (fun (c, _, _, _) -> c = conns) curve in
+    qps
+  in
+  let p99_at name conns =
+    let curve = List.assoc name results in
+    let _, _, p99, _ = List.find (fun (c, _, _, _) -> c = conns) curve in
+    p99
+  in
+  let sat = 256 in
+  let speedup = qps_at "binary_batch" sat /. qps_at "http_close" sat in
+  let cores = Domain.recommended_domain_count () in
+  (* --- admission control: over capacity is answered, never dropped --- *)
+  let cap = 8 and probes = 32 in
+  let http_port2, _bin2, stop2, th2 = start_server ~max_conns:cap () in
+  let served = Atomic.make 0 and rejected = Atomic.make 0 and dropped = Atomic.make 0 in
+  let fds =
+    List.init probes (fun _ ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, http_port2));
+        fd)
+  in
+  let ths =
+    List.map
+      (fun fd ->
+        Thread.create
+          (fun () ->
+            (try
+               send_all fd "GET / HTTP/1.0\r\nHost: x\r\n\r\n";
+               let r = recv_until_eof fd in
+               if String.length r >= 12 && String.sub r 9 3 = "200" then Atomic.incr served
+               else if String.length r >= 12 && String.sub r 9 3 = "503" then
+                 Atomic.incr rejected
+               else Atomic.incr dropped
+             with _ -> Atomic.incr dropped);
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          ())
+      fds
+  in
+  List.iter Thread.join ths;
+  stop_server (stop2, th2);
+  Database.close db;
+  let n_served = Atomic.get served
+  and n_rejected = Atomic.get rejected
+  and n_dropped = Atomic.get dropped in
+  Printf.printf
+    "  admission  cap %d, %d probes: %d served, %d rejected with 503, %d dropped\n" cap
+    probes n_served n_rejected n_dropped;
+  let floor_ok = if cores >= 4 then speedup >= 2.0 else speedup >= 0.5 in
+  let pass = floor_ok && n_dropped = 0 in
+  Printf.printf
+    "loadgen gate: %s (binary-batch vs http-close at %d conns: %.2fx, %d core%s; \
+     dropped-without-503: %d)\n"
+    (if pass then "PASS" else "FAIL")
+    sat speedup cores
+    (if cores = 1 then "" else "s")
+    n_dropped;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": \"loadgen\",\n";
+  Buffer.add_string buf "  \"pr\": 9,\n";
+  Buffer.add_string buf (Printf.sprintf "  \"soak\": %b,\n" soak);
+  Buffer.add_string buf "  \"workloads\": [\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    { \"name\": \"connection_scaling\", \"note\": \"closed-loop clients over \
+        the event-loop server, one tiny POOL count query (%d objects, in-memory VFS) \
+        per request; http_close opens a connection per request, http_keepalive reuses \
+        one, binary is one Query frame per round trip, binary_batch packs %d queries \
+        per Batch frame; ~%d-request budget per cell\", \"unit\": \"requests/s\",\n"
+       100 batch_size budget);
+  Buffer.add_string buf "      \"scenarios\": [\n";
+  List.iteri
+    (fun i (name, curve) ->
+      Buffer.add_string buf (Printf.sprintf "        { \"proto\": \"%s\", \"curve\": [" name);
+      List.iteri
+        (fun j (conns, qps, p99, reqs) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s{ \"conns\": %d, \"qps\": %.0f, \"p99_ms\": %.2f, \"requests\": %d }"
+               (if j = 0 then " " else ", ")
+               conns qps p99 reqs))
+        curve;
+      Buffer.add_string buf
+        (Printf.sprintf " ] }%s\n" (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "      ] },\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    { \"name\": \"admission_control\", \"note\": \"%d concurrent probes \
+        against max_conns=%d: every connection over capacity must be answered 503 + \
+        Retry-After, never silently dropped\", \"probes\": %d, \"max_conns\": %d, \
+        \"served\": %d, \"rejected_503\": %d, \"dropped_without_503\": %d }\n"
+       probes cap probes cap n_served n_rejected n_dropped);
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"acceptance\": {\n";
+  Buffer.add_string buf
+    "    \"criterion\": \"binary-batched QPS >= 2x HTTP/close QPS at 256 connections \
+     on >= 4 cores (>= 0.5x no-collapse floor on smaller hosts); p99 at saturation \
+     recorded for every protocol; zero connections dropped without a 503 under \
+     admission control\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    \"qps_http_close_256\": %.0f,\n" (qps_at "http_close" sat));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"qps_http_keepalive_256\": %.0f,\n" (qps_at "http_keepalive" sat));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"qps_binary_256\": %.0f,\n" (qps_at "binary" sat));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"qps_binary_batch_256\": %.0f,\n" (qps_at "binary_batch" sat));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"p99_http_close_256_ms\": %.2f,\n" (p99_at "http_close" sat));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"p99_binary_batch_256_ms\": %.2f,\n" (p99_at "binary_batch" sat));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"speedup_batch_vs_close_256\": %.2f,\n" speedup);
+  Buffer.add_string buf (Printf.sprintf "    \"cores\": %d,\n" cores);
+  Buffer.add_string buf (Printf.sprintf "    \"dropped_without_503\": %d,\n" n_dropped);
+  Buffer.add_string buf (Printf.sprintf "    \"pass\": %b\n" pass);
+  Buffer.add_string buf "  }\n";
+  Buffer.add_string buf "}\n";
+  write_record "BENCH_PR9.json" (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
+(* validate: real JSON validation of emitted bench records             *)
+(* ------------------------------------------------------------------ *)
+
+(* A small strict JSON reader — enough to parse what this harness
+   emits (and reject what it must not emit).  `validate FILE KEY...`
+   replaces ci.sh's old grep of `"pass": false`: the file must parse,
+   every KEY must be present somewhere, and no object anywhere may
+   carry a false "pass". *)
+module Json_check = struct
+  type v =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of v list
+    | Obj of (string * v) list
+
+  exception Bad of string
+
+  let parse (s : string) : v =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let rec skip_ws () =
+      match peek () with Some (' ' | '\t' | '\n' | '\r') -> incr pos; skip_ws () | _ -> ()
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let lit word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let string_lit () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> incr pos
+          | '\\' ->
+              incr pos;
+              if !pos >= n then fail "unterminated escape";
+              (match s.[!pos] with
+              | '"' -> Buffer.add_char b '"'
+              | '\\' -> Buffer.add_char b '\\'
+              | '/' -> Buffer.add_char b '/'
+              | 'n' -> Buffer.add_char b '\n'
+              | 't' -> Buffer.add_char b '\t'
+              | 'r' -> Buffer.add_char b '\r'
+              | 'b' -> Buffer.add_char b '\b'
+              | 'f' -> Buffer.add_char b '\012'
+              | 'u' ->
+                  if !pos + 4 >= n then fail "truncated \\u escape";
+                  (* raw passthrough: key comparison never needs it *)
+                  Buffer.add_string b (String.sub s (!pos - 1) 6);
+                  pos := !pos + 4
+              | c -> fail (Printf.sprintf "bad escape \\%c" c));
+              incr pos;
+              go ()
+          | c ->
+              Buffer.add_char b c;
+              incr pos;
+              go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let number () =
+      let start = !pos in
+      let is_num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        incr pos
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number"
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' -> obj ()
+      | Some '[' -> arr ()
+      | Some '"' -> Str (string_lit ())
+      | Some 't' -> lit "true" (Bool true)
+      | Some 'f' -> lit "false" (Bool false)
+      | Some 'n' -> lit "null" Null
+      | Some ('-' | '0' .. '9') -> number ()
+      | _ -> fail "expected a value"
+    and obj () =
+      expect '{';
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws ();
+          let k = string_lit () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+              incr pos;
+              members ()
+          | Some '}' -> incr pos
+          | _ -> fail "expected ',' or '}'"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+    and arr () =
+      expect '[';
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        Arr []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          items := value () :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+              incr pos;
+              elements ()
+          | Some ']' -> incr pos
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements ();
+        Arr (List.rev !items)
+      end
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing bytes after the document";
+    v
+
+  (* every object key, plus every string value of a "name" field —
+     workloads are addressed by name, so `validate FILE deep_descent`
+     must find { "name": "deep_descent", ... } *)
+  let rec all_keys = function
+    | Obj fields ->
+        List.concat_map
+          (fun (k, v) ->
+            match (k, v) with
+            | "name", Str s -> [ k; s ]
+            | _ -> k :: all_keys v)
+          fields
+    | Arr items -> List.concat_map all_keys items
+    | _ -> []
+
+  (* every object carrying "pass": false, as a breadcrumb path *)
+  let rec failed_gates path = function
+    | Obj fields ->
+        let here =
+          match List.assoc_opt "pass" fields with
+          | Some (Bool false) -> [ path ]
+          | _ -> []
+        in
+        here
+        @ List.concat_map (fun (k, v) -> failed_gates (path ^ "." ^ k) v) fields
+    | Arr items ->
+        List.concat (List.mapi (fun i v -> failed_gates (Printf.sprintf "%s[%d]" path i) v) items)
+    | _ -> []
+end
+
+let validate_record file keys =
+  let contents =
+    match open_in_bin file with
+    | exception Sys_error m ->
+        Printf.eprintf "validate: cannot read %s: %s\n" file m;
+        exit 1
+    | ic ->
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+  in
+  match Json_check.parse contents with
+  | exception Json_check.Bad m ->
+      Printf.eprintf "validate: %s: malformed JSON: %s\n" file m;
+      exit 1
+  | Json_check.Obj _ as v ->
+      let present = Json_check.all_keys v in
+      let missing = List.filter (fun k -> not (List.mem k present)) keys in
+      if missing <> [] then begin
+        Printf.eprintf "validate: %s: missing keys: %s\n" file (String.concat ", " missing);
+        exit 1
+      end;
+      (match Json_check.failed_gates "$" v with
+      | [] ->
+          Printf.printf "validate: %s: ok (%d keys checked, all gates pass)\n" file
+            (List.length keys)
+      | gates ->
+          Printf.eprintf "validate: %s: failed acceptance gates: %s\n" file
+            (String.concat ", " gates);
+          exit 1)
+  | _ ->
+      Printf.eprintf "validate: %s: top level is not a JSON object\n" file;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1838,7 +2422,16 @@ let () =
     | a -> rest := a :: !rest);
     incr i
   done;
-  let section = match List.rev !rest with s :: _ -> s | [] -> "all" in
+  let args = List.rev !rest in
+  let section = match args with s :: _ -> s | [] -> "all" in
+  (match args with
+  | "validate" :: file :: keys ->
+      validate_record file keys;
+      exit 0
+  | "validate" :: [] ->
+      Printf.eprintf "usage: validate FILE [KEY...]\n";
+      exit 1
+  | _ -> ());
   let run = function
     | "raw" -> bench_raw_performance ()
     | "micro" -> bench_micro ()
@@ -1858,6 +2451,7 @@ let () =
     | "integrity" -> bench_integrity ()
     | "mvcc" -> bench_mvcc ()
     | "serving" -> bench_serving ()
+    | "loadgen" -> bench_loadgen ()
     | "schema" -> print_schema ()
     | s ->
         Printf.eprintf "unknown section %s\n" s;
@@ -1883,5 +2477,6 @@ let () =
       bench_repl ();
       bench_integrity ();
       bench_mvcc ();
-      bench_serving ()
+      bench_serving ();
+      bench_loadgen ()
   | s -> run s

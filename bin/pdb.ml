@@ -254,11 +254,46 @@ let serve_cmd =
       & info [ "primary" ] ~docv:"RPORT"
           ~doc:"Also act as a replication primary: stream page deltas to replicas on $(docv) (0 = ephemeral).")
   in
-  let run file port primary slowlog_ms readers max_lag_ms =
+  let proto =
+    Arg.(
+      value
+      & opt (enum [ ("http", `Http); ("binary", `Binary) ]) `Http
+      & info [ "proto" ] ~docv:"PROTO"
+          ~doc:
+            "Wire protocols to serve. $(b,http) serves HTTP only; $(b,binary) \
+             additionally opens a second port speaking the length-prefixed \
+             CRC-framed binary POOL protocol (Query/Batch frames).")
+  in
+  let binary_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "binary-port" ] ~docv:"BPORT"
+          ~doc:
+            "Port for the binary protocol listener (with --proto binary); \
+             defaults to PORT+1.")
+  in
+  let max_conns =
+    Arg.(
+      value
+      & opt int 1024
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Admission-control bound: connections beyond $(docv) are answered \
+             503 + Retry-After and closed instead of being queued without limit.")
+  in
+  let run file port primary proto binary_port max_conns slowlog_ms readers max_lag_ms =
     apply_slowlog slowlog_ms;
+    let binary_port =
+      match (proto, binary_port) with
+      | `Binary, Some p -> Some p
+      | `Binary, None -> Some (if port = 0 then 0 else port + 1)
+      | `Http, _ -> None
+    in
     with_db file (fun db ->
         match primary with
-        | None -> Pserver.Http_server.serve db ~port ~readers ~max_lag_ms ()
+        | None ->
+            Pserver.Http_server.serve db ~port ~readers ~max_lag_ms ~max_conns ?binary_port ()
         | Some rport ->
             let feed = Prepl.Feed.create (Database.store db) in
             let srv = Prepl.Feed.serve feed ~port:rport in
@@ -269,13 +304,15 @@ let serve_cmd =
                 Prepl.Feed.stop_server srv;
                 Prepl.Feed.detach feed)
               (fun () ->
-                Pserver.Http_server.serve db ~port ~readers ~max_lag_ms
+                Pserver.Http_server.serve db ~port ~readers ~max_lag_ms ~max_conns ?binary_port
                   ~repl_status:(fun () -> Prepl.Feed.status_json feed)
                   ()))
   in
   Cmd.v
     (Cmd.info "serve" ~doc:"Serve the database over HTTP (optionally as a replication primary).")
-    Term.(const run $ db_arg $ port_arg $ primary $ slowlog_arg $ readers_arg ~default:0 $ max_lag_arg)
+    Term.(
+      const run $ db_arg $ port_arg $ primary $ proto $ binary_port $ max_conns $ slowlog_arg
+      $ readers_arg ~default:0 $ max_lag_arg)
 
 let replica_cmd =
   let from =

@@ -2,11 +2,15 @@
 # CI gate: build, full test suite (includes the smoke crash,
 # replication and bit-rot sweeps), bench smoke (micro + storage hot
 # paths + query engine + observability overhead + replication + page
-# integrity + mvcc + serving, which emit BENCH_PR2.json .. BENCH_PR8.json into a temp
-# dir — the committed trajectory records in the repo tree are never
-# touched), then the long fixed-seed crash-torture, replication fault
-# and bit-rot sweeps.  Equivalent to `dune build @ci` plus the bench
-# smoke.  Pass `smoke` to skip the long sweeps.
+# integrity + mvcc + serving + loadgen, which emit BENCH_PR2.json ..
+# BENCH_PR9.json into a temp dir — the committed trajectory records in
+# the repo tree are never touched), then the long fixed-seed
+# crash-torture, replication fault and bit-rot sweeps.  Equivalent to
+# `dune build @ci` plus the bench smoke.  Pass `smoke` to skip the
+# long sweeps.
+#
+# Set BENCH_OUT to keep the emitted bench records (CI uploads them as
+# workflow artifacts); unset, they go to a temp dir removed on exit.
 set -e
 cd "$(dirname "$0")"
 
@@ -15,21 +19,17 @@ fail() {
   exit 1
 }
 
-# check_bench_json FILE KEY... — the trajectory record must exist, be
-# a JSON object, contain every KEY, and must not record a failed
-# acceptance gate ("pass": false anywhere in the file).
+# check_bench_json FILE KEY... — the trajectory record must exist,
+# parse as a JSON object, contain every KEY, and must not record a
+# failed acceptance gate ("pass": false anywhere).  Validation is done
+# by the bench harness's own JSON reader (`bench/main.exe validate`),
+# not a grep over the raw bytes.
 check_bench_json() {
   file="$1"
   shift
   [ -s "$file" ] || fail "$(basename "$file") missing or empty"
-  head -c 1 "$file" | grep -q '{' || fail "$(basename "$file") is not a JSON object"
-  tail -c 2 "$file" | grep -q '}' || fail "$(basename "$file") is not a JSON object"
-  for key in "$@"; do
-    grep -q "\"$key\"" "$file" || fail "$(basename "$file") missing key $key"
-  done
-  if grep -Eq '"pass"[[:space:]]*:[[:space:]]*false' "$file"; then
-    fail "$(basename "$file") records a failed acceptance gate"
-  fi
+  dune exec bench/main.exe -- validate "$file" "$@" \
+    || fail "$(basename "$file") failed validation"
 }
 
 dune build
@@ -37,14 +37,19 @@ dune runtest
 
 # bench smoke: each section must run end to end and emit a well-formed
 # trajectory record with its acceptance gate passing
-BENCH_OUT="$(mktemp -d)"
-trap 'rm -rf "$BENCH_OUT"' EXIT INT TERM
+if [ -n "${BENCH_OUT:-}" ]; then
+  mkdir -p "$BENCH_OUT"
+else
+  BENCH_OUT="$(mktemp -d)"
+  trap 'rm -rf "$BENCH_OUT"' EXIT INT TERM
+fi
 
 # snapshot the committed trajectory records so we can prove the bench
 # smoke never clobbers them (it must write only into $BENCH_OUT)
 records_digest() {
   cat BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json \
-    BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json 2>/dev/null | cksum
+    BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json BENCH_PR9.json \
+    2>/dev/null | cksum
 }
 digest_before="$(records_digest)"
 
@@ -96,6 +101,15 @@ check_bench_json "$BENCH_OUT/BENCH_PR8.json" \
   serving_scaling speedup_pool4_vs_single cores write_mix \
   rywr_violations pool_read_p99_ms workloads acceptance
 
+# event-loop serving (PR9): connection-scaling curve HTTP vs binary
+# (gated, core-aware) and the admission-control probe (connections
+# dropped without a 503 gated at zero)
+dune exec bench/main.exe -- loadgen --out "$BENCH_OUT" >/dev/null
+check_bench_json "$BENCH_OUT/BENCH_PR9.json" \
+  connection_scaling admission_control qps_http_close_256 \
+  qps_binary_batch_256 speedup_batch_vs_close_256 cores \
+  p99_binary_batch_256_ms dropped_without_503 workloads acceptance
+
 # the bench smoke must leave the committed trajectory records untouched
 [ "$(records_digest)" = "$digest_before" ] \
   || fail "bench smoke clobbered committed trajectory records"
@@ -104,5 +118,8 @@ if [ "${1:-full}" != "smoke" ]; then
   CRASH_TORTURE=long dune exec test/test_crash.exe -- -e
   REPL_TORTURE=long dune exec test/test_repl.exe -- -e
   SCRUB_TORTURE=long dune exec test/test_integrity.exe -- -e
+  LOADGEN=soak dune exec bench/main.exe -- loadgen --out "$BENCH_OUT" >/dev/null
+  check_bench_json "$BENCH_OUT/BENCH_PR9.json" \
+    speedup_batch_vs_close_256 dropped_without_503 acceptance
 fi
 echo "ci: OK"

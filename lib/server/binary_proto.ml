@@ -1,0 +1,150 @@
+(** Compact binary wire protocol for POOL queries.
+
+    Same envelope discipline as the replication link ([Prepl.Wire]):
+
+    {v
+      off 0 : u32  magic "PDBQ"
+      off 4 : u8   frame type
+      off 5 : u32  payload length
+      off 9 : payload bytes
+      then  : u32  CRC-32 of the payload
+    v}
+
+    The magic is distinct from the replication magic ("PDRL") so a
+    client pointed at the wrong port fails loudly instead of decoding
+    garbage.  Payloads are capped at 1 MiB — a query text or printed
+    result beyond that is a protocol violation, not a bigger
+    allocation.
+
+    Frames:
+    - [Query {id; q}] — one POOL query; [id] is an opaque client token
+      echoed back in the answer so batched responses can be matched up.
+    - [Result {id; v}] — the printed value of a successful query.
+    - [Error {id; msg}] — the error text of a failed query.
+    - [Batch qs] — several queries in one frame; the server answers
+      with one [Result]/[Error] frame per query, in order.  Batching is
+      the client-side amortisation lever: one write syscall, one read
+      burst, N answers. *)
+
+let magic = 0x50444251 (* "PDBQ" *)
+let header_size = 9 (* magic u32 + type u8 + length u32 *)
+let max_payload = 1 lsl 20
+let max_batch = 4096
+
+type frame =
+  | Query of { id : int; q : string }
+  | Result of { id : int; v : string }
+  | Error of { id : int; msg : string }
+  | Batch of (int * string) list
+
+let tag = function Query _ -> 1 | Result _ -> 2 | Error _ -> 3 | Batch _ -> 4
+
+let encode_payload (f : frame) : string =
+  let open Pstore.Codec in
+  let e = Enc.create () in
+  (match f with
+  | Query { id; q } ->
+      Enc.int e id;
+      Enc.string e q
+  | Result { id; v } ->
+      Enc.int e id;
+      Enc.string e v
+  | Error { id; msg } ->
+      Enc.int e id;
+      Enc.string e msg
+  | Batch qs ->
+      Enc.u32 e (List.length qs);
+      List.iter
+        (fun (id, q) ->
+          Enc.int e id;
+          Enc.string e q)
+        qs);
+  Enc.to_string e
+
+exception Malformed of string
+
+let decode_payload (ty : int) (payload : string) : frame =
+  let open Pstore.Codec in
+  let d = Dec.of_string payload in
+  try
+    let f =
+      match ty with
+      | 1 ->
+          let id = Dec.int d in
+          Query { id; q = Dec.string d }
+      | 2 ->
+          let id = Dec.int d in
+          Result { id; v = Dec.string d }
+      | 3 ->
+          let id = Dec.int d in
+          Error { id; msg = Dec.string d }
+      | 4 ->
+          let n = Dec.u32 d in
+          if n > max_batch then
+            raise (Malformed (Printf.sprintf "batch of %d queries" n));
+          Batch
+            (List.init n (fun _ ->
+                 let id = Dec.int d in
+                 (id, Dec.string d)))
+      | ty -> raise (Malformed (Printf.sprintf "unknown frame type %d" ty))
+    in
+    if Dec.remaining d <> 0 then raise (Malformed "trailing payload bytes");
+    f
+  with Corrupt m -> raise (Malformed m)
+
+let crc_of (payload : string) : int =
+  Int32.to_int (Pstore.Codec.Crc32.digest payload) land 0xffffffff
+
+(** The complete on-wire encoding of a frame.  Oversized payloads raise
+    [Malformed] on the sender — the receiver would reject the length
+    field anyway, and failing at the source is where the bug is
+    visible. *)
+let encode (f : frame) : string =
+  let open Pstore.Codec in
+  let payload = encode_payload f in
+  if String.length payload > max_payload then
+    raise
+      (Malformed
+         (Printf.sprintf "frame payload of %d bytes exceeds the %d-byte cap"
+            (String.length payload) max_payload));
+  let e = Enc.create ~size:(header_size + String.length payload + 4) () in
+  Enc.u32 e magic;
+  Enc.u8 e (tag f);
+  Enc.u32 e (String.length payload);
+  Enc.raw e payload;
+  Enc.u32 e (crc_of payload);
+  Enc.to_string e
+
+type parsed = Frame of frame * int | Need_more | Bad of string
+
+let u32_at (buf : string) (at : int) : int =
+  Char.code buf.[at]
+  lor (Char.code buf.[at + 1] lsl 8)
+  lor (Char.code buf.[at + 2] lsl 16)
+  lor (Char.code buf.[at + 3] lsl 24)
+
+(** Try to extract one frame starting at [off] in a stream buffer.
+    [Frame (f, n)] means [n] bytes were consumed.  Any envelope
+    violation — wrong magic, unknown type, oversized length, CRC
+    mismatch, malformed payload — is [Bad]: there is no resynchronising
+    a byte stream after corrupt framing, the connection must die. *)
+let parse (buf : string) ~(off : int) : parsed =
+  let avail = String.length buf - off in
+  if avail < header_size then Need_more
+  else
+    let m = u32_at buf off in
+    if m <> magic then Bad (Printf.sprintf "bad magic 0x%08x" m)
+    else
+      let ty = Char.code buf.[off + 4] in
+      let len = u32_at buf (off + 5) in
+      if len > max_payload then
+        Bad (Printf.sprintf "oversized frame (%d-byte payload)" len)
+      else if avail < header_size + len + 4 then Need_more
+      else
+        let payload = String.sub buf (off + header_size) len in
+        let expect = u32_at buf (off + header_size + len) in
+        if crc_of payload <> expect then Bad "frame CRC mismatch"
+        else
+          match decode_payload ty payload with
+          | f -> Frame (f, header_size + len + 4)
+          | exception Malformed m -> Bad m

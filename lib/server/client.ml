@@ -1,0 +1,83 @@
+(** Blocking client for the binary POOL protocol.
+
+    Deliberately small and dependency-free: connect, send
+    {!Binary_proto} frames, read answers.  [query] is the one-shot
+    path; [batch] is the amortisation path — one [Batch] frame out, N
+    answers back in request order, one write syscall and one read burst
+    instead of N round trips.  The load generator and the protocol
+    tests are both built on this module, and it is the reference
+    implementation for anyone speaking the protocol from another
+    language. *)
+
+type t = {
+  fd : Unix.file_descr;
+  mutable buf : string; (* received, not yet parsed *)
+  mutable next_id : int;
+}
+
+type answer = Ok of string | Err of string
+
+let connect ?(host = "127.0.0.1") ~port () : t =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  { fd; buf = ""; next_id = 0 }
+
+let close (t : t) = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_all (t : t) (s : string) =
+  let b = Bytes.unsafe_of_string s in
+  let off = ref 0 in
+  while !off < String.length s do
+    off := !off + Unix.write t.fd b !off (String.length s - !off)
+  done
+
+exception Protocol_error of string
+
+(** Read frames until one arrives; connection EOF or framing damage
+    raises {!Protocol_error}. *)
+let recv_frame (t : t) : Binary_proto.frame =
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match Binary_proto.parse t.buf ~off:0 with
+    | Binary_proto.Frame (f, consumed) ->
+        t.buf <- String.sub t.buf consumed (String.length t.buf - consumed);
+        f
+    | Binary_proto.Bad m -> raise (Protocol_error m)
+    | Binary_proto.Need_more -> (
+        match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+        | 0 -> raise (Protocol_error "connection closed mid-frame")
+        | n ->
+            t.buf <- t.buf ^ Bytes.sub_string chunk 0 n;
+            go ())
+  in
+  go ()
+
+let answer_of (id : int) (f : Binary_proto.frame) : answer =
+  match f with
+  | Binary_proto.Result r when r.id = id -> Ok r.v
+  | Binary_proto.Error e when e.id = id -> Err e.msg
+  | Binary_proto.Result _ | Binary_proto.Error _ ->
+      raise (Protocol_error "answer id does not match query id")
+  | _ -> raise (Protocol_error "unexpected frame type in answer")
+
+(** Run one POOL query; returns its printed value or error text. *)
+let query (t : t) (q : string) : answer =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  send_all t (Binary_proto.encode (Binary_proto.Query { id; q }));
+  answer_of id (recv_frame t)
+
+(** Run a batch of POOL queries in one frame; answers come back in
+    query order. *)
+let batch (t : t) (qs : string list) : answer list =
+  let ids =
+    List.map
+      (fun q ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        (id, q))
+      qs
+  in
+  send_all t (Binary_proto.encode (Binary_proto.Batch ids));
+  List.map (fun (id, _) -> answer_of id (recv_frame t)) ids

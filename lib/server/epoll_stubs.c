@@ -1,0 +1,125 @@
+/* epoll(7) bindings for the event-loop serving core.
+ *
+ * The OCaml side (Event_loop.Poller) treats these as an optional fast
+ * backend: on Linux, pdb_epoll_create returns a real epoll instance;
+ * elsewhere it returns -1 and the poller falls back to Unix.select.
+ *
+ * File descriptors cross the boundary as plain ints (Unix.file_descr
+ * is an int on every Unix port of OCaml).  pdb_epoll_wait releases the
+ * runtime lock around the blocking wait so worker threads and other
+ * domains keep running.
+ *
+ * Event masks are a tiny private encoding shared with event_loop.ml:
+ *   1 = readable (EPOLLIN | EPOLLHUP | EPOLLERR | EPOLLRDHUP)
+ *   2 = writable (EPOLLOUT)
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/threads.h>
+
+#ifdef __linux__
+
+#include <sys/epoll.h>
+#include <string.h>
+#include <unistd.h>
+#include <errno.h>
+
+#define PDB_EV_READ 1
+#define PDB_EV_WRITE 2
+#define PDB_MAX_EVENTS 256
+
+CAMLprim value pdb_epoll_create(value unit)
+{
+  (void)unit;
+  return Val_int(epoll_create1(EPOLL_CLOEXEC));
+}
+
+/* op: 0 = add, 1 = mod, 2 = del */
+CAMLprim value pdb_epoll_ctl(value vep, value vop, value vfd, value vmask)
+{
+  struct epoll_event ev;
+  int op, r;
+  memset(&ev, 0, sizeof ev);
+  ev.data.fd = Int_val(vfd);
+  ev.events = 0;
+  if (Int_val(vmask) & PDB_EV_READ)
+    ev.events |= EPOLLIN;
+  if (Int_val(vmask) & PDB_EV_WRITE)
+    ev.events |= EPOLLOUT;
+  switch (Int_val(vop)) {
+  case 0:
+    op = EPOLL_CTL_ADD;
+    break;
+  case 1:
+    op = EPOLL_CTL_MOD;
+    break;
+  default:
+    op = EPOLL_CTL_DEL;
+    break;
+  }
+  r = epoll_ctl(Int_val(vep), op, Int_val(vfd), &ev);
+  return Val_int(r);
+}
+
+/* Returns a fresh int array [| fd0; mask0; fd1; mask1; ... |].  EINTR
+ * (and any other failure) surfaces as the empty array: the caller's
+ * loop re-checks its stop flag and polls again. */
+CAMLprim value pdb_epoll_wait(value vep, value vtimeout_ms)
+{
+  CAMLparam2(vep, vtimeout_ms);
+  CAMLlocal1(arr);
+  struct epoll_event evs[PDB_MAX_EVENTS];
+  int ep = Int_val(vep);
+  int timeout = Int_val(vtimeout_ms);
+  int n, i;
+
+  caml_release_runtime_system();
+  n = epoll_wait(ep, evs, PDB_MAX_EVENTS, timeout);
+  caml_acquire_runtime_system();
+
+  if (n <= 0)
+    CAMLreturn(Atom(0));
+  arr = caml_alloc(2 * n, 0);
+  for (i = 0; i < n; i++) {
+    int mask = 0;
+    if (evs[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR | EPOLLPRI))
+      mask |= PDB_EV_READ;
+    if (evs[i].events & EPOLLOUT)
+      mask |= PDB_EV_WRITE;
+    /* An error with neither IN nor OUT still has to wake the
+       connection so the loop can discover the failure on read. */
+    if (mask == 0)
+      mask = PDB_EV_READ;
+    Store_field(arr, 2 * i, Val_int(evs[i].data.fd));
+    Store_field(arr, 2 * i + 1, Val_int(mask));
+  }
+  CAMLreturn(arr);
+}
+
+#else /* !__linux__ */
+
+CAMLprim value pdb_epoll_create(value unit)
+{
+  (void)unit;
+  return Val_int(-1);
+}
+
+CAMLprim value pdb_epoll_ctl(value vep, value vop, value vfd, value vmask)
+{
+  (void)vep;
+  (void)vop;
+  (void)vfd;
+  (void)vmask;
+  return Val_int(-1);
+}
+
+CAMLprim value pdb_epoll_wait(value vep, value vtimeout_ms)
+{
+  (void)vep;
+  (void)vtimeout_ms;
+  return Atom(0);
+}
+
+#endif

@@ -1,4 +1,4 @@
-(** An HTTP/1.0 front-end to a Prometheus database (thesis 6.1.7).
+(** The HTTP front-end to a Prometheus database (thesis 6.1.7).
 
     The thesis prototype exposed the database to user interfaces
     through an HTTP server; this module provides the same access path:
@@ -16,13 +16,25 @@
     - [POST /link?rel=R&origin=N&destination=M]         — relate two objects;
     - [POST /unlink?oid=N]                              — remove a rel instance.
 
-    Two serving modes:
+    {b I/O model}: all connections are served by an {!Event_loop} —
+    non-blocking sockets multiplexed through epoll/select on one loop
+    thread, with request handlers running on worker threads.  The loop
+    gives every mode HTTP keep-alive and pipelining, bounded buffers,
+    admission control (503 + [Retry-After] over [max_conns]), and the
+    slowloris bounds (414/431 on oversized framing, 408 on a request
+    trickling past the deadline).  Responses keep the [HTTP/1.0]
+    status line of the original server; keep-alive is honoured when
+    the client asks for it (HTTP/1.1 default, or an explicit
+    [Connection: keep-alive]) and framed by [Content-Length].
 
-    {b Legacy} ([readers = 0], the default): single-threaded — one
-    connection at a time against the live handle, mutations inside
-    [Database.with_tx].  This is the mode the object layer's
+    Two execution modes:
+
+    {b Legacy} ([readers = 0], the default): one worker thread — all
+    handlers run single-threaded against the live handle, mutations
+    inside [Database.with_tx].  This is the mode the object layer's
     single-user heritage assumes, kept bit-compatible for tests and
-    small deployments.
+    small deployments; the event loop still multiplexes any number of
+    concurrent connections onto that one executor.
 
     {b Snapshot serving} ([readers = N > 0], or an explicit [?pool]):
     GET traffic is routed to a {!Reader_pool} of N reader domains, each
@@ -35,7 +47,13 @@
     write stream.  Responses state their route in [X-PDB-Route]
     ([pool] or [primary]).  A read-only replica given an external
     [?pool] serves the same way but answers 503 when it cannot catch up
-    to a client's token. *)
+    to a client's token.
+
+    {b Binary protocol}: [?binary_port] opens a second listener
+    speaking {!Binary_proto} — length-prefixed CRC-framed Query/Batch
+    frames for POOL queries, answered from the same pool/writer
+    plumbing.  One [Batch] frame costs one read burst and one write
+    per side for N queries; see {!Client} for the reference client. *)
 
 open Pmodel
 
@@ -78,16 +96,6 @@ let split_target target =
                | None -> Some (kv, ""))
       in
       (path, params)
-
-let respond ?(content_type = "text/plain; charset=utf-8") ?(extra = []) out ~status ~body =
-  let b = Buffer.create 256 in
-  Buffer.add_string b (Printf.sprintf "HTTP/1.0 %s\r\n" status);
-  Buffer.add_string b (Printf.sprintf "Content-Type: %s\r\n" content_type);
-  Buffer.add_string b (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
-  List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v)) extra;
-  Buffer.add_string b "Connection: close\r\n\r\n";
-  output_string out (Buffer.contents b);
-  output_string out body
 
 let schema_text db =
   let schema = Database.schema db in
@@ -134,6 +142,10 @@ let m_requests =
 
 let m_request_ns = Pobs.Metrics.histogram "pdb_http_request_ns" ~help:"HTTP request latency"
 
+let m_bin_queries =
+  Pobs.Metrics.counter "pdb_binary_queries_total"
+    ~help:"POOL queries answered over the binary protocol"
+
 let m_fallthrough =
   Pobs.Metrics.counter "pdb_serving_fallthrough_total"
     ~help:"Reads that fell through the snapshot pool to the primary handle"
@@ -170,7 +182,7 @@ let metrics_content_type = "text/plain; version=0.0.4; charset=utf-8"
     the slow-query log, and a JSON mirror of the metric registry.  All
     serialisation goes through {!Pobs.Json}, so no attribute value can
     produce malformed output.  [?serving], when present, contributes a
-    "serving" section (snapshot pool + group writer). *)
+    "serving" section (snapshot pool + group writer + event loop). *)
 let stats_json ?serving (db : Database.t) : string =
   Prules.Engine.ensure_metrics ();
   refresh_gauges db;
@@ -382,72 +394,147 @@ let apply_mutation (db : Database.t) (m : mutation) : string =
       Database.unlink db oid;
       "ok\n"
 
-(* --- request framing bounds -------------------------------------------- *)
+(* --- HTTP framing ------------------------------------------------------- *)
 
 (* Bounds on what a client may send before we stop listening to it: the
    server must not let one connection buffer without limit (memory) or
-   trickle bytes forever (a slowloris holding a handler hostage). *)
+   trickle bytes forever (a slowloris holding a connection hostage). *)
 let max_request_line = 8192
 let max_header_bytes = 65536
 let max_header_count = 100
+let max_body_bytes = 1 lsl 20
 let client_timeout_s = 10.
 
-exception Line_too_long
-exception Headers_too_large
-exception Header_timeout
+(** One parsed HTTP request, as extracted from a connection buffer by
+    {!parse_http}. *)
+type http_req = {
+  r_meth : string;
+  r_target : string;
+  r_headers : (string * string) list; (* lowercased names, trimmed values *)
+  r_keep_alive : bool;
+  r_bad : bool; (* request line was not [METHOD TARGET VERSION] *)
+}
 
-(* Read one LF-terminated line of at most [max] bytes (the caller trims
-   the CR).  [input_line] is unbounded — a hostile client could feed an
-   endless request line and exhaust memory.  [deadline] (monotonic ns)
-   caps the wall-clock spent across reads: the socket's SO_RCVTIMEO
-   only bounds each syscall, so a client trickling one byte per
-   almost-timeout would otherwise hold the handler forever. *)
-let read_line_bounded ?deadline inp ~max =
-  let b = Buffer.create 128 in
-  let rec go () =
-    (match deadline with
-    | Some d when Pobs.Monotonic.now_ns () > d -> raise Header_timeout
-    | _ -> ());
-    match input_char inp with
-    | '\n' -> Buffer.contents b
-    | c ->
-        if Buffer.length b >= max then raise Line_too_long;
-        Buffer.add_char b c;
-        go ()
-  in
-  go ()
+(** Serialise a response.  Status lines stay in the original server's
+    [HTTP/1.0] form (clients and tests match on the exact string);
+    keep-alive is explicit via the [Connection] header and framed by
+    [Content-Length]. *)
+let response_string ?(content_type = "text/plain; charset=utf-8") ?(extra = [])
+    ~keep_alive ~status ~body () : string =
+  let b = Buffer.create (256 + String.length body) in
+  Buffer.add_string b (Printf.sprintf "HTTP/1.0 %s\r\n" status);
+  Buffer.add_string b (Printf.sprintf "Content-Type: %s\r\n" content_type);
+  Buffer.add_string b (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v)) extra;
+  Buffer.add_string b
+    (if keep_alive then "Connection: keep-alive\r\n\r\n" else "Connection: close\r\n\r\n");
+  Buffer.add_string b body;
+  Buffer.contents b
 
-(* Read and parse the header block: lowercased names, trimmed values.
-   Raises [Headers_too_large] (431) when the block exceeds the byte or
-   count bound, [Header_timeout] (408) past the deadline. *)
-let read_headers ?deadline inp : (string * string) list =
-  let rec go acc count total =
-    let line =
-      try read_line_bounded ?deadline inp ~max:max_request_line
-      with Line_too_long -> raise Headers_too_large
-    in
-    let line = String.trim line in
-    if line = "" then List.rev acc
-    else begin
-      let total = total + String.length line in
-      if total > max_header_bytes || count + 1 > max_header_count then raise Headers_too_large;
-      let acc =
-        match String.index_opt line ':' with
-        | Some i ->
-            let k = String.lowercase_ascii (String.trim (String.sub line 0 i)) in
-            let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
-            (k, v) :: acc
-        | None -> acc
-      in
-      go acc (count + 1) total
-    end
-  in
-  go [] 0 0
+let close_response ?content_type ?extra ~status ~body () : Event_loop.response =
+  {
+    Event_loop.rsp_data = response_string ?content_type ?extra ~keep_alive:false ~status ~body ();
+    rsp_close = true;
+  }
+
+let resp_414 = close_response ~status:"414 URI Too Long" ~body:"request line too long\n" ()
+
+let resp_431 =
+  close_response ~status:"431 Request Header Fields Too Large" ~body:"header block too large\n" ()
+
+let resp_413 = close_response ~status:"413 Content Too Large" ~body:"request body too large\n" ()
+
+let resp_408 =
+  close_response ~status:"408 Request Timeout" ~body:"timed out reading request\n" ()
+
+let resp_503 =
+  close_response
+    ~extra:[ ("Retry-After", "1") ]
+    ~status:"503 Service Unavailable" ~body:"overloaded\n" ()
+
+(** Try to extract one request from the connection buffer starting at
+    [off].  Enforces the framing bounds incrementally: an oversized
+    request line rejects with 414 and an oversized header block with
+    431 {e before} the terminator arrives, so a hostile sender cannot
+    make the server buffer past the bound.  A request body
+    (Content-Length) is consumed and discarded — no endpoint takes a
+    body, but it must not desynchronise keep-alive framing. *)
+let parse_http (buf : string) ~(off : int) : http_req Event_loop.parse_result =
+  match String.index_from_opt buf off '\n' with
+  | None ->
+      if String.length buf - off > max_request_line then Event_loop.Reject resp_414
+      else Event_loop.Incomplete
+  | Some eol ->
+      if eol - off > max_request_line then Event_loop.Reject resp_414
+      else begin
+        let line = String.trim (String.sub buf off (eol - off)) in
+        (* header block *)
+        let rec go pos acc count total =
+          match String.index_from_opt buf pos '\n' with
+          | None ->
+              let tail = String.length buf - pos in
+              if tail > max_request_line || total + tail > max_header_bytes then `Rej resp_431
+              else `Inc
+          | Some e ->
+              if e - pos > max_request_line then `Rej resp_431
+              else
+                let l = String.trim (String.sub buf pos (e - pos)) in
+                if l = "" then `Done (List.rev acc, e + 1)
+                else
+                  let total = total + String.length l in
+                  if total > max_header_bytes || count + 1 > max_header_count then `Rej resp_431
+                  else
+                    let acc =
+                      match String.index_opt l ':' with
+                      | Some i ->
+                          let k = String.lowercase_ascii (String.trim (String.sub l 0 i)) in
+                          let v = String.trim (String.sub l (i + 1) (String.length l - i - 1)) in
+                          (k, v) :: acc
+                      | None -> acc
+                    in
+                    go (e + 1) acc (count + 1) total
+        in
+        match go (eol + 1) [] 0 0 with
+        | `Inc -> Event_loop.Incomplete
+        | `Rej r -> Event_loop.Reject r
+        | `Done (headers, body_off) -> (
+            let body_len =
+              match Option.bind (List.assoc_opt "content-length" headers) int_of_string_opt with
+              | Some n when n > 0 -> n
+              | _ -> 0
+            in
+            if body_len > max_body_bytes then Event_loop.Reject resp_413
+            else if String.length buf - body_off < body_len then Event_loop.Incomplete
+            else
+              let consumed = body_off + body_len - off in
+              match parse_request_line line with
+              | None ->
+                  Event_loop.Parsed
+                    ( { r_meth = ""; r_target = ""; r_headers = headers; r_keep_alive = false; r_bad = true },
+                      consumed )
+              | Some (meth, target) ->
+                  let version =
+                    match String.rindex_opt line ' ' with
+                    | Some i -> String.sub line (i + 1) (String.length line - i - 1)
+                    | None -> ""
+                  in
+                  let keep_alive =
+                    match
+                      Option.map String.lowercase_ascii (List.assoc_opt "connection" headers)
+                    with
+                    | Some "close" -> false
+                    | Some "keep-alive" -> true
+                    | _ -> version = "HTTP/1.1"
+                  in
+                  Event_loop.Parsed
+                    ( { r_meth = meth; r_target = target; r_headers = headers; r_keep_alive = keep_alive; r_bad = false },
+                      consumed ))
+      end
 
 (* --- request dispatch --------------------------------------------------- *)
 
-(* Everything a connection handler needs; one value per [serve] call,
-   shared by all handler threads. *)
+(* Everything a request handler needs; one value per [serve] call,
+   shared by all worker threads. *)
 type ctx = {
   x_db : Database.t;
   x_readonly : bool;
@@ -455,8 +542,18 @@ type ctx = {
   x_pool : Reader_pool.t option;
   x_writer : Database.Writer.w option;
   x_serving : (unit -> Pobs.Json.t) option;
-  x_timeout_s : float;
 }
+
+(* A handler's verdict, before HTTP serialisation. *)
+type answer = {
+  a_status : string;
+  a_content_type : string;
+  a_extra : (string * string) list;
+  a_body : string;
+}
+
+let plain ?(extra = []) status body =
+  { a_status = status; a_content_type = "text/plain; charset=utf-8"; a_extra = extra; a_body = body }
 
 (* GET endpoints safe to serve from a frozen snapshot view. *)
 let pool_routable = function
@@ -465,15 +562,16 @@ let pool_routable = function
 
 let lsn_header lsn = ("X-PDB-LSN", string_of_int lsn)
 
-let serve_get (x : ctx) out path params headers =
+let serve_get (x : ctx) path params headers : answer =
   let content_type =
     if path = "/repl" then "application/json; charset=utf-8" else content_type_of_path path
   in
+  let mk ?(extra = []) (status, body) =
+    { a_status = status; a_content_type = content_type; a_extra = extra; a_body = body }
+  in
   let timed f = Pobs.Metrics.time m_request_ns f in
   match (path, x.x_repl_status) with
-  | "/repl", Some f ->
-      let status, body = timed (fun () -> ("200 OK", f () ^ "\n")) in
-      respond out ~status ~content_type ~body
+  | "/repl", Some f -> mk (timed (fun () -> ("200 OK", f () ^ "\n")))
   | _ -> (
       match x.x_pool with
       | Some pool when pool_routable path -> (
@@ -484,10 +582,8 @@ let serve_get (x : ctx) out path params headers =
             Reader_pool.read pool ?min_lsn (fun view ->
                 timed (fun () -> handle ?serving:x.x_serving view path params))
           with
-          | Reader_pool.Served ((status, body), lsn) ->
-              respond out ~status ~content_type
-                ~extra:[ lsn_header lsn; ("X-PDB-Route", "pool") ]
-                ~body
+          | Reader_pool.Served (sb, lsn) ->
+              mk ~extra:[ lsn_header lsn; ("X-PDB-Route", "pool") ] sb
           | Reader_pool.Behind best -> (
               match x.x_writer with
               | Some w -> (
@@ -500,39 +596,32 @@ let serve_get (x : ctx) out path params headers =
                         timed (fun () -> handle ?serving:x.x_serving live path params))
                   in
                   match r with
-                  | Ok (status, body) ->
-                      respond out ~status ~content_type
-                        ~extra:[ lsn_header lsn; ("X-PDB-Route", "primary") ]
-                        ~body
+                  | Ok sb -> mk ~extra:[ lsn_header lsn; ("X-PDB-Route", "primary") ] sb
                   | Error e ->
-                      respond out ~status:"500 Internal Server Error"
-                        ~body:(Printexc.to_string e ^ "\n"))
+                      plain "500 Internal Server Error" (Printexc.to_string e ^ "\n"))
               | None ->
                   (* A replica has no primary handle to fall through
                      to: be honest about the lag. *)
-                  respond out ~status:"503 Service Unavailable"
+                  plain
                     ~extra:[ lsn_header best; ("Retry-After", "1") ]
-                    ~body:(Printf.sprintf "behind: serving lsn %d\n" best))
+                    "503 Service Unavailable"
+                    (Printf.sprintf "behind: serving lsn %d\n" best))
           | exception Reader_pool.Stopped ->
-              respond out ~status:"503 Service Unavailable" ~body:"shutting down\n"
+              plain "503 Service Unavailable" "shutting down\n"
           | exception e ->
-              respond out ~status:"500 Internal Server Error"
-                ~body:(Printexc.to_string e ^ "\n"))
+              plain "500 Internal Server Error" (Printexc.to_string e ^ "\n"))
       | _ ->
-          let status, body =
-            timed (fun () -> handle ?serving:x.x_serving x.x_db path params)
-          in
+          let sb = timed (fun () -> handle ?serving:x.x_serving x.x_db path params) in
           let extra =
             match x.x_pool with
             | None -> [ lsn_header (Pstore.Store.lsn (Database.store x.x_db)) ]
             | Some _ -> []
           in
-          respond out ~status ~content_type ~extra ~body)
+          mk ~extra sb)
 
-let serve_mutation (x : ctx) out path params =
+let serve_mutation (x : ctx) path params : answer =
   match parse_mutation path params with
-  | exception Bad_param m ->
-      respond out ~status:"400 Bad Request" ~body:("error: " ^ m ^ "\n")
+  | exception Bad_param m -> plain "400 Bad Request" ("error: " ^ m ^ "\n")
   | mut -> (
       match
         Pobs.Metrics.time m_request_ns (fun () ->
@@ -548,70 +637,129 @@ let serve_mutation (x : ctx) out path params =
                 let body = Database.with_tx x.x_db (fun () -> apply_mutation x.x_db mut) in
                 (Pstore.Store.lsn (Database.store x.x_db), body))
       with
-      | lsn, body -> respond out ~status:"200 OK" ~extra:[ lsn_header lsn ] ~body
-      | exception Database.Model_error m ->
-          respond out ~status:"400 Bad Request" ~body:("error: " ^ m ^ "\n")
+      | lsn, body -> plain ~extra:[ lsn_header lsn ] "200 OK" body
+      | exception Database.Model_error m -> plain "400 Bad Request" ("error: " ^ m ^ "\n")
       | exception Pstore.Store.Group.Stopped ->
-          respond out ~status:"503 Service Unavailable" ~body:"shutting down\n"
-      | exception e ->
-          respond out ~status:"500 Internal Server Error" ~body:(Printexc.to_string e ^ "\n"))
+          plain "503 Service Unavailable" "shutting down\n"
+      | exception e -> plain "500 Internal Server Error" (Printexc.to_string e ^ "\n"))
 
-let dispatch (x : ctx) out line headers =
-  match parse_request_line (String.trim line) with
-  | Some ("GET", target) ->
-      let path, params = split_target target in
-      Pobs.Metrics.inc m_requests;
-      serve_get x out path params headers
-  | Some _ when x.x_readonly ->
-      respond out ~status:"403 Forbidden" ~body:"read-only replica\n"
-  | Some ("POST", target) when List.mem (fst (split_target target)) write_paths ->
-      let path, params = split_target target in
-      Pobs.Metrics.inc m_requests;
-      serve_mutation x out path params
-  | Some _ -> respond out ~status:"405 Method Not Allowed" ~body:"GET only\n"
-  | None -> respond out ~status:"400 Bad Request" ~body:"bad request\n"
+(* Dispatch one parsed HTTP request to an answer.  [m_requests] counts
+   every routed request — a pipelined connection is as many requests
+   as it carries, not one. *)
+let dispatch (x : ctx) (r : http_req) : answer =
+  if r.r_bad then plain "400 Bad Request" "bad request\n"
+  else
+    match r.r_meth with
+    | "GET" ->
+        let path, params = split_target r.r_target in
+        Pobs.Metrics.inc m_requests;
+        serve_get x path params r.r_headers
+    | _ when x.x_readonly -> plain "403 Forbidden" "read-only replica\n"
+    | "POST" when List.mem (fst (split_target r.r_target)) write_paths ->
+        let path, params = split_target r.r_target in
+        Pobs.Metrics.inc m_requests;
+        serve_mutation x path params
+    | _ -> plain "405 Method Not Allowed" "GET only\n"
 
-(* One full connection: framing, dispatch, response, close.  Never
-   raises — per-connection errors are logged and the server moves on. *)
-let handle_conn (x : ctx) client =
-  (try
-     (try
-        Unix.setsockopt_float client Unix.SO_RCVTIMEO x.x_timeout_s;
-        Unix.setsockopt_float client Unix.SO_SNDTIMEO x.x_timeout_s
-      with Unix.Unix_error _ -> ());
-     let inp = Unix.in_channel_of_descr client in
-     let out = Unix.out_channel_of_descr client in
-     let deadline = Pobs.Monotonic.now_ns () + int_of_float (x.x_timeout_s *. 1e9) in
-     (match read_line_bounded ~deadline inp ~max:max_request_line with
-     | line -> (
-         match read_headers ~deadline inp with
-         | headers -> dispatch x out line headers
-         | exception Headers_too_large ->
-             respond out ~status:"431 Request Header Fields Too Large"
-               ~body:"header block too large\n"
-         | exception Header_timeout ->
-             respond out ~status:"408 Request Timeout" ~body:"timed out reading headers\n"
-         | exception End_of_file ->
-             respond out ~status:"400 Bad Request" ~body:"bad request\n")
-     | exception End_of_file -> () (* client disconnected before sending *)
-     | exception Line_too_long ->
-         respond out ~status:"414 URI Too Long" ~body:"request line too long\n"
-     | exception Header_timeout ->
-         respond out ~status:"408 Request Timeout" ~body:"timed out reading request\n");
-     flush out
-   with e ->
-     (* EPIPE/ECONNRESET/timeout from this client: log and move on;
-        one broken connection must never take the server down. *)
-     Printf.eprintf "prometheus: client error: %s\n%!" (Printexc.to_string e));
-  try Unix.close client with Unix.Unix_error _ -> ()
+let execute_http (x : ctx) (r : http_req) : Event_loop.response =
+  let a = dispatch x r in
+  let keep_alive = r.r_keep_alive && not r.r_bad in
+  {
+    Event_loop.rsp_data =
+      response_string ~content_type:a.a_content_type ~extra:a.a_extra ~keep_alive
+        ~status:a.a_status ~body:a.a_body ();
+    rsp_close = not keep_alive;
+  }
 
-(* How often the accept loop wakes to check the stop flag when no
-   connection is pending.  Bounds shutdown latency. *)
-let accept_poll_s = 0.25
+(* --- binary protocol dispatch ------------------------------------------- *)
 
-(* Connections queued for handler threads in pool mode; beyond this the
-   accept loop stops accepting (backpressure into the listen backlog). *)
-let conn_queue_cap = 128
+(* Run one POOL query through the same routing as GET /query: the
+   snapshot pool when present (falling through to the writer-serialised
+   primary when the pool is behind), the live handle otherwise. *)
+let run_query (x : ctx) (q : string) : (string, string) result =
+  let on db =
+    match Pobs.Metrics.time m_request_ns (fun () -> Pool_lang.Pool.query db q) with
+    | v -> Ok (Value.to_string v)
+    | exception Pool_lang.Lexer.Syntax_error (m, pos) ->
+        Error (Printf.sprintf "syntax error at %d: %s" pos m)
+    | exception Pool_lang.Eval.Eval_error m -> Error ("evaluation error: " ^ m)
+    | exception e -> Error (Printexc.to_string e)
+  in
+  Pobs.Metrics.inc m_bin_queries;
+  match x.x_pool with
+  | None -> on x.x_db
+  | Some pool -> (
+      match Reader_pool.read pool (fun view -> on view) with
+      | Reader_pool.Served (r, _) -> r
+      | Reader_pool.Behind best -> (
+          match x.x_writer with
+          | Some w -> (
+              Pobs.Metrics.inc m_fallthrough;
+              match Database.Writer.read w (fun live -> on live) with
+              | _, Ok r -> r
+              | _, Error e -> Error (Printexc.to_string e))
+          | None -> Error (Printf.sprintf "behind: serving lsn %d" best))
+      | exception Reader_pool.Stopped -> Error "shutting down"
+      | exception e -> Error (Printexc.to_string e))
+
+let execute_bin (x : ctx) (f : Binary_proto.frame) : Event_loop.response =
+  let answer (id, q) : string =
+    let frame =
+      match run_query x q with
+      | Ok v -> Binary_proto.Result { id; v }
+      | Error msg -> Binary_proto.Error { id; msg }
+    in
+    try Binary_proto.encode frame
+    with Binary_proto.Malformed m ->
+      Binary_proto.encode (Binary_proto.Error { id; msg = "response too large: " ^ m })
+  in
+  match f with
+  | Binary_proto.Query { id; q } -> { Event_loop.rsp_data = answer (id, q); rsp_close = false }
+  | Binary_proto.Batch qs ->
+      let b = Buffer.create 256 in
+      List.iter (fun iq -> Buffer.add_string b (answer iq)) qs;
+      { Event_loop.rsp_data = Buffer.contents b; rsp_close = false }
+  | Binary_proto.Result _ | Binary_proto.Error _ ->
+      (* only clients send answers; a server receiving one is talking
+         to something confused — answer in kind and hang up *)
+      {
+        Event_loop.rsp_data =
+          Binary_proto.encode (Binary_proto.Error { id = 0; msg = "unexpected frame type" });
+        rsp_close = true;
+      }
+
+let bin_error msg = Binary_proto.encode (Binary_proto.Error { id = 0; msg })
+
+(* --- the server --------------------------------------------------------- *)
+
+type req = RHttp of http_req | RBin of Binary_proto.frame
+
+let http_listener sock : req Event_loop.listener =
+  {
+    Event_loop.l_sock = sock;
+    l_parse =
+      (fun buf ~off ->
+        match parse_http buf ~off with
+        | Event_loop.Parsed (r, n) -> Event_loop.Parsed (RHttp r, n)
+        | Event_loop.Incomplete -> Event_loop.Incomplete
+        | Event_loop.Reject r -> Event_loop.Reject r);
+    l_overload = resp_503;
+    l_timeout = resp_408;
+  }
+
+let bin_listener sock : req Event_loop.listener =
+  {
+    Event_loop.l_sock = sock;
+    l_parse =
+      (fun buf ~off ->
+        match Binary_proto.parse buf ~off with
+        | Binary_proto.Frame (f, n) -> Event_loop.Parsed (RBin f, n)
+        | Binary_proto.Need_more -> Event_loop.Incomplete
+        | Binary_proto.Bad m ->
+            Event_loop.Reject { Event_loop.rsp_data = bin_error m; rsp_close = true });
+    l_overload = { Event_loop.rsp_data = bin_error "overloaded"; rsp_close = true };
+    l_timeout = { Event_loop.rsp_data = bin_error "timed out reading frame"; rsp_close = true };
+  }
 
 (** Serve [db] on [port] until [max_requests] requests have been
     handled (None = forever), [stop] is set, or a SIGTERM/SIGINT
@@ -620,34 +768,34 @@ let conn_queue_cap = 128
     Graceful shutdown: signals only set a flag; in-flight requests are
     always finished and responded to, then the listen socket is closed,
     the previous signal dispositions are restored, and [serve] returns
-    so the caller can flush and close the store.  The accept loop waits
-    in [select] with a short timeout rather than a blocking [accept],
-    so a stop request on an idle server is honoured within
-    {!accept_poll_s}.
+    so the caller can flush and close the store.  The event loop polls
+    with a short timeout, so a stop request on an idle server is
+    honoured within a fraction of a second.
 
     Snapshot serving: [?readers] > 0 builds a {!Reader_pool} over [db]
-    (refreshed within [?max_lag_ms]) plus a [Database.Writer] group,
-    and handles connections on a small thread pool so slow clients
-    don't serialise the accept loop; [?pool] supplies an external
-    pool instead (the read-only replica path — no writer is started
-    when [readonly]).  Both are stopped before [serve] returns iff
-    they were created here.
+    (refreshed within [?max_lag_ms]) plus a [Database.Writer] group;
+    [?pool] supplies an external pool instead (the read-only replica
+    path — no writer is started when [readonly]).  Both are stopped
+    before [serve] returns iff they were created here.
 
     Replication hooks: [?readonly] rejects every non-GET method with
     403 (a read-only replica serves queries but accepts no writes) and
     [?repl_status] is exposed verbatim as [GET /repl] (JSON).
     [?ready] is called with the actually bound port (useful with
-    [~port:0]) once the socket is listening.
+    [~port:0]) once the socket is listening; [?binary_port] opens a
+    second listener speaking {!Binary_proto} and reports its bound
+    port through [?binary_ready].
 
-    Robust against misbehaving clients: SIGPIPE is ignored (a client
-    closing mid-response must surface as [EPIPE], not kill the
-    process), per-connection errors are logged and the loop continues,
-    request lines and header blocks are size- and count-bounded (414 /
-    431), and a wall-clock deadline spans all request reads (408), so
-    neither a flood nor a trickle can wedge a handler. *)
+    Robust against misbehaving clients: SIGPIPE is ignored, framing is
+    size-bounded (414/431/413 and oversized binary frames), a
+    wall-clock deadline spans each request's reads (408 on a partial
+    request, silent close when idle), and connections past [max_conns]
+    are answered 503 + [Retry-After] — the event loop's admission
+    control — instead of being silently dropped. *)
 let serve ?(host = "127.0.0.1") ?max_requests ?stop ?ready ?(readonly = false)
     ?repl_status ?(readers = 0) ?(max_lag_ms = 50.) ?pool
-    ?(client_timeout = client_timeout_s) (db : Database.t) ~port () =
+    ?(client_timeout = client_timeout_s) ?(max_conns = 1024) ?binary_port ?binary_ready
+    (db : Database.t) ~port () =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> () (* no SIGPIPE on this platform *));
   let stop = match stop with Some r -> r | None -> ref false in
@@ -666,21 +814,42 @@ let serve ?(host = "127.0.0.1") ?max_requests ?stop ?ready ?(readonly = false)
   let writer =
     match pool with Some _ when not readonly -> Some (Database.Writer.start db) | _ -> None
   in
+  let loop_ref = ref None in
+  let loop_json () =
+    match !loop_ref with
+    | None -> []
+    | Some t ->
+        let ls = Event_loop.stats t in
+        let open Pobs.Json in
+        [
+          ( "loop",
+            Obj
+              [
+                ("backend", Str (Event_loop.backend_name t));
+                ("accepted", Int ls.Event_loop.s_accepted);
+                ("overloaded", Int ls.Event_loop.s_overloaded);
+                ("timeouts", Int ls.Event_loop.s_timeouts);
+                ("handled", Int ls.Event_loop.s_handled);
+                ("open_connections", Int ls.Event_loop.s_open_conns);
+              ] );
+        ]
+  in
+  (* always present: legacy mode still reports the event loop *)
   let serving_json =
-    match pool with
-    | None -> None
-    | Some p ->
-        Some
-          (fun () ->
-            Reader_pool.update_metrics p;
-            let ps = Reader_pool.stats p in
-            let open Pobs.Json in
-            let cnt c = Int (int_of_float (Pobs.Metrics.counter_value c)) in
-            let p99 =
-              let v = Pobs.Metrics.hist_quantile m_request_ns 0.99 /. 1e6 in
-              Float (if Float.is_nan v then 0. else v)
-            in
-            let base =
+    Some
+      (fun () ->
+        let open Pobs.Json in
+        let cnt c = Int (int_of_float (Pobs.Metrics.counter_value c)) in
+        let pool_part =
+          match pool with
+          | None -> []
+          | Some p ->
+              Reader_pool.update_metrics p;
+              let ps = Reader_pool.stats p in
+              let p99 =
+                let v = Pobs.Metrics.hist_quantile m_request_ns 0.99 /. 1e6 in
+                Float (if Float.is_nan v then 0. else v)
+              in
               [
                 ("readers", Int ps.Reader_pool.p_readers);
                 ("generation_lsn", Int ps.Reader_pool.p_gen_lsn);
@@ -693,25 +862,25 @@ let serve ?(host = "127.0.0.1") ?max_requests ?stop ?ready ?(readonly = false)
                 ("fallthroughs", cnt m_fallthrough);
                 ("request_p99_ms", p99);
               ]
-            in
-            let group =
-              match writer with
-              | None -> []
-              | Some w ->
-                  let gs = Database.Writer.stats w in
-                  [
-                    ( "group",
-                      Obj
-                        [
-                          ("batches", Int gs.Pstore.Store.Group.batches);
-                          ("commits", Int gs.Pstore.Store.Group.commits);
-                          ("aborts", Int gs.Pstore.Store.Group.aborts);
-                          ("queued", Int gs.Pstore.Store.Group.queued);
-                          ("group_writes", cnt m_group_writes);
-                        ] );
-                  ]
-            in
-            Obj (base @ group))
+        in
+        let group =
+          match writer with
+          | None -> []
+          | Some w ->
+              let gs = Database.Writer.stats w in
+              [
+                ( "group",
+                  Obj
+                    [
+                      ("batches", Int gs.Pstore.Store.Group.batches);
+                      ("commits", Int gs.Pstore.Store.Group.commits);
+                      ("aborts", Int gs.Pstore.Store.Group.aborts);
+                      ("queued", Int gs.Pstore.Store.Group.queued);
+                      ("group_writes", cnt m_group_writes);
+                    ] );
+              ]
+        in
+        Obj (pool_part @ group @ loop_json ()))
   in
   let ctx =
     {
@@ -721,94 +890,60 @@ let serve ?(host = "127.0.0.1") ?max_requests ?stop ?ready ?(readonly = false)
       x_pool = pool;
       x_writer = writer;
       x_serving = serving_json;
-      x_timeout_s = client_timeout;
     }
   in
-  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt sock Unix.SO_REUSEADDR true;
-  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-  Unix.listen sock 64;
-  let bound_port =
-    match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | _ -> port
+  let bind_sock port =
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+    (* the backlog must absorb a full admission-control burst: a SYN
+       dropped off a short queue is retransmitted after ~1 s, which
+       reads as a one-second connect stall, not backpressure *)
+    Unix.listen sock (max 128 max_conns);
+    let bound = match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | _ -> port in
+    (sock, bound)
   in
+  let sock, bound_port = bind_sock port in
   (match ready with Some f -> f bound_port | None -> ());
-  Printf.printf "prometheus: serving on http://%s:%d/%s%s\n%!" host bound_port
+  let bin =
+    match binary_port with
+    | None -> None
+    | Some p ->
+        let bsock, bport = bind_sock p in
+        (match binary_ready with Some f -> f bport | None -> ());
+        Some (bsock, bport)
+  in
+  let listeners =
+    http_listener sock :: (match bin with Some (b, _) -> [ bin_listener b ] | None -> [])
+  in
+  (* Legacy mode executes on exactly one worker thread — the live
+     handle keeps its single-threaded discipline; pool mode sizes the
+     executor to the reader fleet, as handlers block on reader-domain
+     results and group-commit fsyncs. *)
+  let workers =
+    match pool with Some p -> max 4 (2 * Reader_pool.size p) | None -> 1
+  in
+  let execute = function RHttp r -> execute_http ctx r | RBin f -> execute_bin ctx f in
+  let t, worker_threads =
+    Event_loop.create ~max_conns ~timeout_s:client_timeout ~workers ~execute listeners
+  in
+  loop_ref := Some t;
+  Printf.printf "prometheus: serving on http://%s:%d/%s%s%s (%s)\n%!" host bound_port
     (if readonly then " (read-only replica)" else "")
     (match pool with
     | Some p -> Printf.sprintf " (snapshot pool: %d readers)" (Reader_pool.size p)
-    | None -> "");
-  let handled = Atomic.make 0 in
+    | None -> "")
+    (match bin with
+    | Some (_, bp) -> Printf.sprintf " (binary protocol on %d)" bp
+    | None -> "")
+    (Event_loop.backend_name t);
   let continue () =
-    (not !stop) && match max_requests with None -> true | Some m -> Atomic.get handled < m
+    (not !stop)
+    && match max_requests with None -> true | Some m -> Event_loop.requests_handled t < m
   in
-  (* Pool mode handles connections on a small thread pool: handler
-     threads block on reader-domain results and on client I/O, so a
-     slow client no longer serialises everyone behind it. *)
-  let pooled = Option.is_some pool in
-  let conn_q = Queue.create () in
-  let conn_mu = Mutex.create () in
-  let conn_cv = Condition.create () in
-  let conn_stop = ref false in
-  let worker () =
-    let rec loop () =
-      Mutex.lock conn_mu;
-      while Queue.is_empty conn_q && not !conn_stop do
-        Condition.wait conn_cv conn_mu
-      done;
-      (* drain before exiting: every accepted connection gets a response *)
-      if Queue.is_empty conn_q then Mutex.unlock conn_mu
-      else begin
-        let c = Queue.pop conn_q in
-        Condition.broadcast conn_cv;
-        Mutex.unlock conn_mu;
-        handle_conn ctx c;
-        Atomic.incr handled;
-        loop ()
-      end
-    in
-    loop ()
-  in
-  let workers =
-    if pooled then
-      let n = max 4 (2 * match pool with Some p -> Reader_pool.size p | None -> 0) in
-      Array.init n (fun _ -> Thread.create worker ())
-    else [||]
-  in
-  while continue () do
-    (* Wait for a connection with a bounded select so [stop] — set by a
-       signal handler or another thread — is noticed on an idle server.
-       EINTR (the signal itself) just re-checks the flag. *)
-    let pending =
-      match Unix.select [ sock ] [] [] accept_poll_s with
-      | [], _, _ -> false
-      | _ -> true
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
-    in
-    if pending && continue () then begin
-      let client, _addr = Unix.accept sock in
-      if pooled then begin
-        Mutex.lock conn_mu;
-        while Queue.length conn_q >= conn_queue_cap && not !conn_stop do
-          Condition.wait conn_cv conn_mu
-        done;
-        Queue.push client conn_q;
-        Condition.broadcast conn_cv;
-        Mutex.unlock conn_mu
-      end
-      else begin
-        handle_conn ctx client;
-        Atomic.incr handled
-      end
-    end
-  done;
-  if pooled then begin
-    Mutex.lock conn_mu;
-    conn_stop := true;
-    Condition.broadcast conn_cv;
-    Mutex.unlock conn_mu;
-    Array.iter Thread.join workers
-  end;
+  Event_loop.run t worker_threads ~continue ();
   Unix.close sock;
+  (match bin with Some (b, _) -> Unix.close b | None -> ());
   List.iter
     (fun (signum, prev) -> try Sys.set_signal signum prev with Invalid_argument _ | Sys_error _ -> ())
     saved;

@@ -81,7 +81,7 @@ let check_status msg expected response =
 
 (* Run a server for [f]; the stop flag (and a nudge request so the
    accept loop wakes) shuts it down afterwards. *)
-let with_server ?readonly ?repl_status f =
+let with_server ?readonly ?repl_status ?client_timeout ?max_conns f =
   let path = tmp_path () in
   let db = Database.open_ path in
   Taxonomy.Tax_schema.install db;
@@ -98,7 +98,9 @@ let with_server ?readonly ?repl_status f =
   let th =
     Thread.create
       (fun () ->
-        try Pserver.Http_server.serve ?readonly ?repl_status db ~port:0 ~stop ~ready ()
+        try
+          Pserver.Http_server.serve ?readonly ?repl_status ?client_timeout ?max_conns db
+            ~port:0 ~stop ~ready ()
         with e -> Printf.eprintf "server died: %s\n%!" (Printexc.to_string e))
       ()
   in
@@ -211,6 +213,184 @@ let test_malformed_request_line () =
       Unix.close fd;
       check_status "server alive after silent client" "HTTP/1.0 200 OK" (get port "/"))
 
+(* --- keep-alive, pipelining, event-loop edges ---------------------------- *)
+
+(* A persistent raw-socket client: send bytes, read exactly one
+   response at a time (framed by Content-Length), keep the connection
+   open between requests. *)
+type kconn = { kfd : Unix.file_descr; mutable kbuf : string }
+
+let kconnect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  { kfd = fd; kbuf = "" }
+
+let kclose k = try Unix.close k.kfd with Unix.Unix_error _ -> ()
+
+let ksend k s =
+  let b = Bytes.unsafe_of_string s in
+  let pos = ref 0 in
+  while !pos < String.length s do
+    pos := !pos + Unix.write k.kfd b !pos (String.length s - !pos)
+  done
+
+(* Read one complete response off the connection; extra pipelined bytes
+   stay buffered for the next call. *)
+let kresponse k =
+  let chunk = Bytes.create 4096 in
+  let refill () =
+    match Unix.read k.kfd chunk 0 4096 with
+    | 0 -> Alcotest.fail "connection closed mid-response"
+    | n -> k.kbuf <- k.kbuf ^ Bytes.sub_string chunk 0 n
+  in
+  let rec headers_end () =
+    match find_sub k.kbuf "\r\n\r\n" with
+    | Some i -> i + 4
+    | None ->
+        refill ();
+        headers_end ()
+  in
+  let he = headers_end () in
+  let head = String.sub k.kbuf 0 he in
+  let clen =
+    let lower = String.lowercase_ascii head in
+    match find_sub lower "content-length:" with
+    | None -> Alcotest.fail "response has no Content-Length"
+    | Some i -> (
+        let rest = String.sub lower (i + 15) (String.length lower - i - 15) in
+        let line = List.hd (String.split_on_char '\r' rest) in
+        match int_of_string_opt (String.trim line) with
+        | Some n -> n
+        | None -> Alcotest.fail "bad Content-Length")
+  in
+  while String.length k.kbuf < he + clen do
+    refill ()
+  done;
+  let resp = String.sub k.kbuf 0 (he + clen) in
+  k.kbuf <- String.sub k.kbuf (he + clen) (String.length k.kbuf - he - clen);
+  resp
+
+let requests_counted () =
+  int_of_float (Pobs.Metrics.counter_value Pserver.Http_server.m_requests)
+
+let test_keep_alive () =
+  with_server (fun port ->
+      let k = kconnect port in
+      Fun.protect
+        ~finally:(fun () -> kclose k)
+        (fun () ->
+          (* HTTP/1.1 defaults to keep-alive: two requests, one socket *)
+          ksend k "GET /schema HTTP/1.1\r\nHost: x\r\n\r\n";
+          let r1 = kresponse k in
+          check_status "first keep-alive response" "HTTP/1.0 200 OK" r1;
+          if not (contains r1 "Connection: keep-alive") then
+            Alcotest.fail "response advertises keep-alive";
+          ksend k "GET /contexts HTTP/1.1\r\nHost: x\r\n\r\n";
+          check_status "second response on the same socket" "HTTP/1.0 200 OK" (kresponse k);
+          (* an explicit close is honoured *)
+          ksend k "GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+          let r3 = kresponse k in
+          check_status "final response" "HTTP/1.0 200 OK" r3;
+          if not (contains r3 "Connection: close") then
+            Alcotest.fail "explicit close is echoed"))
+
+let test_pipelining_counts_per_request () =
+  with_server (fun port ->
+      let before = requests_counted () in
+      let k = kconnect port in
+      Fun.protect
+        ~finally:(fun () -> kclose k)
+        (fun () ->
+          (* three requests in one write: responses must come back
+             complete, in order, and each must count in the metric *)
+          ksend k
+            ("GET /schema HTTP/1.1\r\nHost: x\r\n\r\n"
+           ^ "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n"
+           ^ "GET /contexts HTTP/1.1\r\nHost: x\r\n\r\n");
+          check_status "pipelined 1" "HTTP/1.0 200 OK" (kresponse k);
+          check_status "pipelined 2 (in order)" "HTTP/1.0 404 Not Found" (kresponse k);
+          check_status "pipelined 3" "HTTP/1.0 200 OK" (kresponse k);
+          Alcotest.(check int) "pdb_http_requests_total counts per request, not per connection"
+            (before + 3) (requests_counted ())))
+
+let test_partial_frame_across_reads () =
+  with_server (fun port ->
+      let k = kconnect port in
+      Fun.protect
+        ~finally:(fun () -> kclose k)
+        (fun () ->
+          (* one request dribbled in three writes: the loop must
+             re-parse as bytes arrive, not require one-read framing *)
+          ksend k "GET /sch";
+          Thread.delay 0.05;
+          ksend k "ema HTTP/1.1\r\nHos";
+          Thread.delay 0.05;
+          ksend k "t: x\r\n\r\n";
+          let r = kresponse k in
+          check_status "split request answered" "HTTP/1.0 200 OK" r;
+          if not (contains (body_of r) "class Taxon") then
+            Alcotest.fail "split request routed to /schema"))
+
+let test_slow_drip_408 () =
+  with_server ~client_timeout:0.4 (fun port ->
+      let k = kconnect port in
+      Fun.protect
+        ~finally:(fun () -> kclose k)
+        (fun () ->
+          (* a partial request held past the deadline: 408, then close *)
+          ksend k "GET / HTT";
+          Thread.delay 0.9;
+          let r = recv_all k.kfd in
+          check_status "slow drip answered with 408" "HTTP/1.0 408 Request Timeout" r))
+
+let test_admission_control_503 () =
+  with_server ~max_conns:2 (fun port ->
+      (* two keep-alive connections occupy the admission bound ... *)
+      let a = kconnect port and b = kconnect port in
+      Fun.protect
+        ~finally:(fun () ->
+          kclose a;
+          kclose b)
+        (fun () ->
+          ksend a "GET / HTTP/1.1\r\nHost: x\r\n\r\n";
+          check_status "conn A served" "HTTP/1.0 200 OK" (kresponse a);
+          ksend b "GET / HTTP/1.1\r\nHost: x\r\n\r\n";
+          check_status "conn B served" "HTTP/1.0 200 OK" (kresponse b);
+          (* ... so the third is answered 503 + Retry-After, not dropped *)
+          let r = get port "/" in
+          check_status "over capacity answered 503" "HTTP/1.0 503 Service Unavailable" r;
+          if not (contains r "Retry-After:") then
+            Alcotest.fail "503 carries Retry-After");
+      (* capacity freed: service resumes — retry briefly, the loop
+         reaps the closed connections asynchronously *)
+      let rec resume tries =
+        let r = get port "/" in
+        if String.length r >= 12 && String.sub r 9 3 = "200" then r
+        else if tries = 0 then r
+        else begin
+          Thread.delay 0.05;
+          resume (tries - 1)
+        end
+      in
+      check_status "served again after load drops" "HTTP/1.0 200 OK" (resume 40))
+
+let test_select_fallback_backend () =
+  (* PDB_POLLER=select forces the poller's portable backend; the whole
+     request path must behave identically on it. *)
+  Unix.putenv "PDB_POLLER" "select";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "PDB_POLLER" "")
+    (fun () ->
+      with_server (fun port ->
+          let k = kconnect port in
+          Fun.protect
+            ~finally:(fun () -> kclose k)
+            (fun () ->
+              ksend k "GET /schema HTTP/1.1\r\nHost: x\r\n\r\n";
+              check_status "select backend serves" "HTTP/1.0 200 OK" (kresponse k);
+              ksend k "GET / HTTP/1.1\r\nHost: x\r\n\r\n";
+              check_status "keep-alive on select backend" "HTTP/1.0 200 OK" (kresponse k))))
+
 (* --- graceful shutdown --------------------------------------------------- *)
 
 let test_stop_flag_finishes_in_flight () =
@@ -276,6 +456,17 @@ let () =
             test_readonly_rejects_non_get;
           Alcotest.test_case "414 on overlong request line" `Quick test_long_request_line_414;
           Alcotest.test_case "400 on malformed request" `Quick test_malformed_request_line;
+        ] );
+      ( "event-loop",
+        [
+          Alcotest.test_case "keep-alive" `Quick test_keep_alive;
+          Alcotest.test_case "pipelining counts per request" `Quick
+            test_pipelining_counts_per_request;
+          Alcotest.test_case "partial frame across reads" `Quick
+            test_partial_frame_across_reads;
+          Alcotest.test_case "slow drip 408" `Quick test_slow_drip_408;
+          Alcotest.test_case "admission control 503" `Quick test_admission_control_503;
+          Alcotest.test_case "select fallback backend" `Quick test_select_fallback_backend;
         ] );
       ( "shutdown",
         [
