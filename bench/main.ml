@@ -2186,6 +2186,456 @@ let bench_loadgen () =
   write_record "BENCH_PR9.json" (Buffer.contents buf)
 
 (* ------------------------------------------------------------------ *)
+(* cluster: router replica scaling, lagging-replica tail, failover     *)
+(* ------------------------------------------------------------------ *)
+
+let bench_cluster () =
+  let module CP = Pcluster.Promote in
+  let module CR = Pcluster.Router in
+  Printf.printf "\n== cluster: replica-fleet router, failover, promotion ==\n";
+  (* --- raw HTTP client plumbing (HTTP/1.0, one connection/request) --- *)
+  let send_all fd s =
+    let b = Bytes.unsafe_of_string s in
+    let pos = ref 0 in
+    while !pos < String.length s do
+      pos := !pos + Unix.write fd b !pos (String.length s - !pos)
+    done
+  in
+  let recv_until_eof fd =
+    let b = Buffer.create 512 in
+    let chunk = Bytes.create 4096 in
+    let rec go () =
+      match Unix.read fd chunk 0 4096 with
+      | 0 -> ()
+      | n ->
+          Buffer.add_subbytes b chunk 0 n;
+          go ()
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let talk port req =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        send_all fd req;
+        Unix.shutdown fd Unix.SHUTDOWN_SEND;
+        recv_until_eof fd)
+  in
+  let http_get ?(headers = []) port target =
+    let hs =
+      String.concat ""
+        (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers)
+    in
+    talk port (Printf.sprintf "GET %s HTTP/1.0\r\nHost: x\r\n%s\r\n" target hs)
+  in
+  let http_post port target =
+    talk port (Printf.sprintf "POST %s HTTP/1.0\r\nHost: x\r\n\r\n" target)
+  in
+  let is_200 r = String.length r >= 12 && String.sub r 9 3 = "200" in
+  let header_of r name =
+    (* the router re-emits backend headers lowercased *)
+    let lower = String.lowercase_ascii r in
+    let tag = "\r\n" ^ name ^ ":" in
+    match
+      let nh = String.length lower and nn = String.length tag in
+      let rec go i =
+        if i + nn > nh then None
+        else if String.sub lower i nn = tag then Some i
+        else go (i + 1)
+      in
+      go 0
+    with
+    | None -> None
+    | Some i -> (
+        let at = i + String.length tag in
+        let rest = String.sub lower at (min 64 (String.length lower - at)) in
+        match String.split_on_char '\r' rest with
+        | v :: _ -> int_of_string_opt (String.trim v)
+        | [] -> None)
+  in
+  let p99_ms (a : int array) =
+    let a = Array.copy a in
+    Array.sort compare a;
+    if Array.length a = 0 then 0.
+    else float_of_int a.(min (Array.length a - 1) (Array.length a * 99 / 100)) /. 1e6
+  in
+  (* --- fleet plumbing ---------------------------------------------------- *)
+  let cleanup_node p =
+    List.iter
+      (fun q -> if Sys.file_exists q then Sys.remove q)
+      [ p; p ^ ".journal"; p ^ ".replid"; p ^ ".replid.tmp"; p ^ ".snap" ]
+  in
+  let seed path =
+    let db = Database.open_ path in
+    ignore (Database.define_class db "Rec" [ Meta.attr "n" Value.TInt ]);
+    Database.with_tx db (fun () ->
+        for i = 0 to 99 do
+          ignore (Database.create db "Rec" [ ("n", Value.VInt i) ])
+        done);
+    Database.close db
+  in
+  let start_node node =
+    let stop = ref false in
+    let m = Mutex.create () and cv = Condition.create () in
+    let bbox = ref 0 in
+    let th =
+      Thread.create
+        (fun () ->
+          try
+            CP.serve node ~stop ~binary_port:0
+              ~binary_ready:(fun p ->
+                Mutex.lock m;
+                bbox := p;
+                Condition.broadcast cv;
+                Mutex.unlock m)
+              ~port:0 ()
+          with e ->
+            Printf.eprintf "cluster bench node died: %s\n%!" (Printexc.to_string e))
+        ()
+    in
+    Mutex.lock m;
+    while !bbox = 0 do
+      Condition.wait cv m
+    done;
+    Mutex.unlock m;
+    (!bbox, stop, th)
+  in
+  let kill_node node (bport, stop, th) =
+    stop := true;
+    (try
+       ignore
+         (Pserver.Client.close (Pserver.Client.connect ~port:bport ()))
+     with _ -> ());
+    (try Thread.join th with _ -> ());
+    CP.shutdown node
+  in
+  let feed_port node =
+    match node.CP.n_state with
+    | CP.Leading l -> l.l_fsrv.Prepl.Feed.port
+    | CP.Following _ -> failwith "bench node is not leading"
+  in
+  (* A fleet: one primary, [replicas] followers, one router over all of
+     them.  Returns the router port plus a closure tearing it all down. *)
+  let mk_fleet ?(sync_writes = false) replicas =
+    let pp = tmp_path "bench_cluster_p" in
+    seed pp;
+    let prim = CP.create_leading ~readers:1 ~path:pp ~host:"127.0.0.1" ~repl_port:0 () in
+    let upstream = Printf.sprintf "127.0.0.1:%d" (feed_port prim) in
+    let lp = start_node prim in
+    let reps =
+      List.init replicas (fun _ ->
+          let p = tmp_path "bench_cluster_r" in
+          match
+            CP.create_following ~readers:1 ~path:p ~host:"127.0.0.1" ~repl_port:0
+              ~upstream ()
+          with
+          | Ok n -> (p, n, start_node n)
+          | Error e -> failwith ("cluster bench follower: " ^ e))
+    in
+    let bport (b, _, _) = b in
+    let r =
+      CR.create ~sync_writes ~probe_every_s:0.05 ~fail_threshold:3
+        (("127.0.0.1", bport lp)
+        :: List.map (fun (_, _, ln) -> ("127.0.0.1", bport ln)) reps)
+    in
+    let rstop = ref false in
+    let m = Mutex.create () and cv = Condition.create () in
+    let pbox = ref 0 in
+    let rth =
+      Thread.create
+        (fun () ->
+          try
+            CR.serve r ~stop:rstop
+              ~ready:(fun p ->
+                Mutex.lock m;
+                pbox := p;
+                Condition.broadcast cv;
+                Mutex.unlock m)
+              ~port:0 ()
+          with e ->
+            Printf.eprintf "cluster bench router died: %s\n%!" (Printexc.to_string e))
+        ()
+    in
+    Mutex.lock m;
+    while !pbox = 0 do
+      Condition.wait cv m
+    done;
+    Mutex.unlock m;
+    let teardown () =
+      rstop := true;
+      (try ignore (http_get !pbox "/") with _ -> ());
+      (try Thread.join rth with _ -> ());
+      List.iter (fun (_, n, ln) -> kill_node n ln) reps;
+      kill_node prim lp;
+      cleanup_node pp;
+      List.iter (fun (p, _, _) -> cleanup_node p) reps
+    in
+    (!pbox, prim, lp, reps, teardown)
+  in
+  let query_target = "/query?q=count(select%20r%20from%20Rec%20r%20where%20r.n%20%3C%2050)" in
+  let run_gets ?headers ~conns ~per port =
+    let lat = Array.make (conns * per) 0 in
+    let ok = Atomic.make 0 and stale = Atomic.make 0 in
+    let min_lsn =
+      match headers with
+      | Some [ (_, v) ] -> Option.value (int_of_string_opt v) ~default:0
+      | _ -> 0
+    in
+    let (), ms =
+      time_once (fun () ->
+          let ths =
+            List.init conns (fun ci ->
+                Thread.create
+                  (fun () ->
+                    for j = 0 to per - 1 do
+                      let t0 = Pobs.Monotonic.now_ns () in
+                      (try
+                         let r = http_get ?headers port query_target in
+                         if is_200 r then begin
+                           Atomic.incr ok;
+                           match header_of r "x-pdb-lsn" with
+                           | Some served when served < min_lsn -> Atomic.incr stale
+                           | _ -> ()
+                         end
+                       with _ -> ());
+                      lat.((ci * per) + j) <- Pobs.Monotonic.now_ns () - t0
+                    done)
+                  ())
+          in
+          List.iter Thread.join ths)
+    in
+    (float_of_int (Atomic.get ok) /. (ms /. 1000.), p99_ms lat, Atomic.get ok, Atomic.get stale)
+  in
+  (* --- aggregate GET QPS vs replica count ------------------------------- *)
+  let conns = 8 and per = 50 in
+  let scaling =
+    List.map
+      (fun replicas ->
+        let rport, _prim, _lp, _reps, teardown = mk_fleet replicas in
+        (* warm the routed path once *)
+        ignore (http_get rport query_target);
+        let qps, p99, okc, _ = run_gets ~conns ~per rport in
+        teardown ();
+        Printf.printf "  %d replica%s   %8.0f GET/s   p99 %6.2f ms  (%d ok)\n%!"
+          replicas
+          (if replicas = 1 then " " else "s")
+          qps p99 okc;
+        (replicas, qps, p99, okc))
+      [ 1; 2; 4 ]
+  in
+  let qps_at k =
+    let _, qps, _, _ = List.find (fun (r, _, _, _) -> r = k) scaling in
+    qps
+  in
+  let scaling_4_vs_1 = qps_at 4 /. qps_at 1 in
+  (* --- tail latency with one lagging replica ----------------------------- *)
+  (* Freeze one replica's applier (its session loop exits; the node
+     stays up, healthy, role "replica", LSN frozen): tokened reads must
+     steer around it — stale answers are gated at zero, and the p99
+     shows the cost of the detour. *)
+  let rport, prim, _lp, reps, teardown = mk_fleet 2 in
+  let lagging_p99, lag_stale =
+    match reps with
+    | (_, lagger, _) :: _ ->
+        (match lagger.CP.n_state with
+        | CP.Following f -> f.f_sess.Prepl.Replica.running := false
+        | CP.Leading _ -> ());
+        (* advance the primary past the frozen replica *)
+        let acked_lsn = ref 0 in
+        for i = 0 to 19 do
+          let r = http_post rport (Printf.sprintf "/create?class=Rec&n=%d" (1000 + i)) in
+          match header_of r "x-pdb-lsn" with
+          | Some l when l > !acked_lsn -> acked_lsn := l
+          | _ -> ()
+        done;
+        let _, p99, _, stale =
+          run_gets
+            ~headers:[ ("X-PDB-Min-LSN", string_of_int !acked_lsn) ]
+            ~conns ~per:25 rport
+        in
+        (p99, stale)
+    | [] -> (0., 0)
+  in
+  ignore prim;
+  teardown ();
+  Printf.printf "  lagging replica: tokened-read p99 %6.2f ms, %d stale answers\n%!"
+    lagging_p99 lag_stale;
+  (* --- failover: primary kill -> first successful routed write ----------- *)
+  let rport, _prim, lp, reps, teardown = mk_fleet ~sync_writes:true 2 in
+  ignore (http_get rport query_target);
+  let acked = ref 0 and last_lsn = ref 0 in
+  let write i =
+    let r = http_post rport (Printf.sprintf "/create?class=Rec&n=%d" (2000 + i)) in
+    if is_200 r then begin
+      incr acked;
+      (match header_of r "x-pdb-lsn" with
+      | Some l when l > !last_lsn -> last_lsn := l
+      | _ -> ());
+      true
+    end
+    else false
+  in
+  for i = 0 to 9 do
+    ignore (write i)
+  done;
+  let stop_load = ref false in
+  let rywr_violations = ref 0 in
+  let reader =
+    Thread.create
+      (fun () ->
+        while not !stop_load do
+          let tok = !last_lsn in
+          (try
+             let r =
+               http_get
+                 ~headers:[ ("X-PDB-Min-LSN", string_of_int tok) ]
+                 rport query_target
+             in
+             if is_200 r then
+               match header_of r "x-pdb-lsn" with
+               | Some served when served < tok -> incr rywr_violations
+               | _ -> ()
+           with _ -> ());
+          Thread.delay 0.01
+        done)
+      ()
+  in
+  let prim_node = _prim in
+  let t_kill = Unix.gettimeofday () in
+  kill_node prim_node lp;
+  let rec until_write i =
+    if write i then Unix.gettimeofday ()
+    else begin
+      Thread.delay 0.01;
+      until_write (i + 1)
+    end
+  in
+  let t_ok = until_write 10 in
+  let failover_ms = (t_ok -. t_kill) *. 1000. in
+  for i = 1000 to 1009 do
+    ignore (write i)
+  done;
+  stop_load := true;
+  Thread.join reader;
+  (* zero acknowledged writes lost: every acked create is a row over
+     the 100 seeded ones, served by the promoted primary *)
+  let rows =
+    let r =
+      http_get
+        ~headers:[ ("X-PDB-Min-LSN", string_of_int !last_lsn) ]
+        rport "/query?q=count(select%20r%20from%20Rec%20r)"
+    in
+    if not (is_200 r) then -1
+    else
+      let body_at =
+        let nh = String.length r in
+        let rec go i =
+          if i + 4 > nh then nh
+          else if String.sub r i 4 = "\r\n\r\n" then i + 4
+          else go (i + 1)
+        in
+        go 0
+      in
+      let digits =
+        String.to_seq (String.sub r body_at (String.length r - body_at))
+        |> Seq.filter (fun c -> c >= '0' && c <= '9')
+        |> String.of_seq
+      in
+      Option.value (int_of_string_opt digits) ~default:(-1)
+  in
+  let promoted =
+    List.exists
+      (fun (_, n, _) -> match n.CP.n_state with CP.Leading _ -> true | _ -> false)
+      reps
+  in
+  teardown ();
+  let acked_writes_lost = if rows < 0 then !acked else max 0 (!acked - (rows - 100)) in
+  Printf.printf
+    "  failover: %.0f ms to first routed write after primary kill (%d acked, %d rows, promoted=%b)\n%!"
+    failover_ms !acked rows promoted;
+  let cores = Domain.recommended_domain_count () in
+  let floor_ok =
+    if cores >= 4 then scaling_4_vs_1 >= 1.8 else scaling_4_vs_1 >= 0.5
+  in
+  let pass =
+    floor_ok && lag_stale = 0 && acked_writes_lost = 0 && !rywr_violations = 0
+    && promoted
+  in
+  Printf.printf
+    "cluster gate: %s (4-replica vs 1-replica GET QPS: %.2fx, %d core%s; lagging-replica \
+     stale reads: %d; failover %.0f ms; acked writes lost: %d; rywr violations: %d)\n"
+    (if pass then "PASS" else "FAIL")
+    scaling_4_vs_1 cores
+    (if cores = 1 then "" else "s")
+    lag_stale failover_ms acked_writes_lost !rywr_violations;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": \"cluster\",\n";
+  Buffer.add_string buf "  \"pr\": 10,\n";
+  Buffer.add_string buf "  \"workloads\": [\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    { \"name\": \"replica_scaling\", \"note\": \"aggregate GET QPS through \
+        the router, %d closed-loop HTTP clients, count query over 100 objects, \
+        replica fleet behind one router on one host; every fleet is built fresh \
+        and torn down\", \"unit\": \"requests/s\",\n"
+       conns);
+  Buffer.add_string buf "      \"curve\": [";
+  List.iteri
+    (fun j (replicas, qps, p99, okc) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%s{ \"replicas\": %d, \"qps\": %.0f, \"p99_ms\": %.2f, \"requests\": %d }"
+           (if j = 0 then " " else ", ")
+           replicas qps p99 okc))
+    scaling;
+  Buffer.add_string buf " ] },\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    { \"name\": \"lagging_replica\", \"note\": \"one of two replicas has its \
+        applier frozen; tokened reads must steer around it — stale answers gated at \
+        zero\", \"lagging_p99_ms\": %.2f, \"stale_reads\": %d },\n"
+       lagging_p99 lag_stale);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    { \"name\": \"failover\", \"note\": \"primary killed under concurrent \
+        semi-sync writes and tokened reads; time from kill to the first successful \
+        routed write on the promoted replica; acknowledged-write loss and \
+        read-your-writes violations gated at zero\", \"failover_ms\": %.0f, \
+        \"acked_writes\": %d, \"rows_after\": %d, \"replica_promoted\": %b }\n"
+       failover_ms !acked rows promoted);
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"acceptance\": {\n";
+  Buffer.add_string buf
+    "    \"criterion\": \"aggregate routed GET QPS at 4 replicas >= 1.8x the \
+     1-replica fleet on >= 4 cores (>= 0.5x no-collapse floor on smaller hosts); \
+     failover time recorded; zero acknowledged writes lost, zero read-your-writes \
+     violations, zero stale answers from the lagging replica; a replica must be \
+     promoted\",\n";
+  Buffer.add_string buf (Printf.sprintf "    \"qps_1_replica\": %.0f,\n" (qps_at 1));
+  Buffer.add_string buf (Printf.sprintf "    \"qps_2_replicas\": %.0f,\n" (qps_at 2));
+  Buffer.add_string buf (Printf.sprintf "    \"qps_4_replicas\": %.0f,\n" (qps_at 4));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"scaling_4_vs_1\": %.2f,\n" scaling_4_vs_1);
+  Buffer.add_string buf (Printf.sprintf "    \"lagging_p99_ms\": %.2f,\n" lagging_p99);
+  Buffer.add_string buf (Printf.sprintf "    \"lagging_stale_reads\": %d,\n" lag_stale);
+  Buffer.add_string buf (Printf.sprintf "    \"failover_ms\": %.0f,\n" failover_ms);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"acked_writes_lost\": %d,\n" acked_writes_lost);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"rywr_violations\": %d,\n" !rywr_violations);
+  Buffer.add_string buf (Printf.sprintf "    \"replica_promoted\": %b,\n" promoted);
+  Buffer.add_string buf (Printf.sprintf "    \"cores\": %d,\n" cores);
+  Buffer.add_string buf (Printf.sprintf "    \"pass\": %b\n" pass);
+  Buffer.add_string buf "  }\n";
+  Buffer.add_string buf "}\n";
+  write_record "BENCH_PR10.json" (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
 (* validate: real JSON validation of emitted bench records             *)
 (* ------------------------------------------------------------------ *)
 
@@ -2452,6 +2902,7 @@ let () =
     | "mvcc" -> bench_mvcc ()
     | "serving" -> bench_serving ()
     | "loadgen" -> bench_loadgen ()
+    | "cluster" -> bench_cluster ()
     | "schema" -> print_schema ()
     | s ->
         Printf.eprintf "unknown section %s\n" s;
@@ -2478,5 +2929,6 @@ let () =
       bench_integrity ();
       bench_mvcc ();
       bench_serving ();
-      bench_loadgen ()
+      bench_loadgen ();
+      bench_cluster ()
   | s -> run s

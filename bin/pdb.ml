@@ -11,6 +11,8 @@
      pdb verify FILE            verify every page checksum (exit 1 on corruption)
      pdb scrub FILE [--from H:P] scrub checksums; repair from a primary
      pdb serve FILE [-p PORT]   HTTP interface (thesis 6.1.7)
+     pdb replica FILE --from H:P  follow a primary, serve read-only
+     pdb router --backends H:P,H:P  fleet front-end: balance, failover
      pdb demo FILE              populate FILE with a demo flora
 *)
 
@@ -67,8 +69,81 @@ let contexts_cmd =
   in
   Cmd.v (Cmd.info "contexts" ~doc:"List classifications.") Term.(const run $ db_arg)
 
+(* Minimal HTTP/1.0 GET, for `pdb stats --url` — good enough to ask a
+   server (or a router) for its /stats without pulling in a client
+   library. *)
+let http_get_url (url : string) : string =
+  let rest =
+    if String.length url >= 7 && String.sub url 0 7 = "http://" then
+      String.sub url 7 (String.length url - 7)
+    else url
+  in
+  let hostport, path =
+    match String.index_opt rest '/' with
+    | Some i -> (String.sub rest 0 i, String.sub rest i (String.length rest - i))
+    | None -> (rest, "/stats")
+  in
+  let host, port =
+    match String.rindex_opt hostport ':' with
+    | Some i -> (
+        let h = String.sub hostport 0 i in
+        let p = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+        match int_of_string_opt p with
+        | Some p -> ((if h = "" then "127.0.0.1" else h), p)
+        | None ->
+            Printf.eprintf "pdb stats: bad --url %S\n" url;
+            exit 2)
+    | None -> (hostport, 80)
+  in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with _ -> ())
+    (fun () ->
+      (try Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+       with Unix.Unix_error (e, _, _) ->
+         Printf.eprintf "pdb stats: connect %s:%d: %s\n" host port (Unix.error_message e);
+         exit 1);
+      let req =
+        Printf.sprintf "GET %s HTTP/1.0\r\nHost: %s\r\nConnection: close\r\n\r\n" path host
+      in
+      let _ = Unix.write_substring sock req 0 (String.length req) in
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read sock chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            drain ()
+      in
+      drain ();
+      let all = Buffer.contents buf in
+      (* strip the header block *)
+      let n = String.length all in
+      let rec find i =
+        if i + 3 >= n then None
+        else if all.[i] = '\r' && all.[i + 1] = '\n' && all.[i + 2] = '\r' && all.[i + 3] = '\n'
+        then Some (i + 4)
+        else find (i + 1)
+      in
+      match find 0 with Some i -> String.sub all i (n - i) | None -> all)
+
 let stats_cmd =
-  let run file =
+  let url =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "url" ] ~docv:"URL"
+          ~doc:
+            "Fetch statistics from a running server (or cluster router) over \
+             HTTP instead of opening a database file. $(docv) may omit the \
+             path, which defaults to /stats.")
+  in
+  let file_opt =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Database file.")
+  in
+  let run_url url = print_string (http_get_url url) in
+  let run_file file =
     with_db file (fun db ->
         let s = Pstore.Store.stats (Database.store db) in
         Printf.printf
@@ -83,7 +158,17 @@ let stats_cmd =
           q.Pool_lang.Eval.extent_scans q.Pool_lang.Eval.plan_cache_hits
           q.Pool_lang.Eval.plan_cache_misses q.Pool_lang.Eval.adjacency_rebuilds)
   in
-  Cmd.v (Cmd.info "stats" ~doc:"Print storage statistics.") Term.(const run $ db_arg)
+  let run file url =
+    match (url, file) with
+    | Some u, _ -> run_url u
+    | None, Some f -> run_file f
+    | None, None ->
+        Printf.eprintf "pdb stats: need a database FILE or --url URL\n";
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print storage statistics (local file or a running server's /stats).")
+    Term.(const run $ file_opt $ url)
 
 let metrics_cmd =
   let run file = with_db file (fun db -> print_string (Pserver.Http_server.metrics_text db)) in
@@ -282,7 +367,17 @@ let serve_cmd =
             "Admission-control bound: connections beyond $(docv) are answered \
              503 + Retry-After and closed instead of being queued without limit.")
   in
-  let run file port primary proto binary_port max_conns slowlog_ms readers max_lag_ms =
+  let cluster =
+    Arg.(
+      value & flag
+      & info [ "cluster" ]
+          ~doc:
+            "Serve as a promotable cluster node (requires --primary RPORT). \
+             The binary port accepts Ping/Ctl cluster verbs, so a router can \
+             health-check this node and a deposed primary can be demoted to \
+             follow a newly elected one in place.")
+  in
+  let run file port primary proto binary_port max_conns slowlog_ms readers max_lag_ms cluster =
     apply_slowlog slowlog_ms;
     let binary_port =
       match (proto, binary_port) with
@@ -290,6 +385,27 @@ let serve_cmd =
       | `Binary, None -> Some (if port = 0 then 0 else port + 1)
       | `Http, _ -> None
     in
+    if cluster then begin
+      let rport =
+        match primary with
+        | Some r -> r
+        | None ->
+            Printf.eprintf "pdb serve: --cluster requires --primary RPORT\n";
+            exit 2
+      in
+      (* cluster verbs ride the binary protocol: always open that port *)
+      let binary_port =
+        match binary_port with Some p -> p | None -> (if port = 0 then 0 else port + 1)
+      in
+      let node =
+        Pcluster.Promote.create_leading ~readers:(max 1 readers) ~max_lag_ms
+          ~path:file ~host:"127.0.0.1" ~repl_port:rport ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Pcluster.Promote.shutdown node)
+        (fun () -> Pcluster.Promote.serve node ~binary_port ~port ())
+    end
+    else
     with_db file (fun db ->
         match primary with
         | None ->
@@ -312,7 +428,7 @@ let serve_cmd =
     (Cmd.info "serve" ~doc:"Serve the database over HTTP (optionally as a replication primary).")
     Term.(
       const run $ db_arg $ port_arg $ primary $ proto $ binary_port $ max_conns $ slowlog_arg
-      $ readers_arg ~default:0 $ max_lag_arg)
+      $ readers_arg ~default:0 $ max_lag_arg $ cluster)
 
 let replica_cmd =
   let from =
@@ -330,8 +446,54 @@ let replica_cmd =
             "Background-scrub the replica file every $(docv) seconds, \
              repairing corrupt pages from the primary.")
   in
-  let run file from port slowlog_ms scrub_every_s readers max_lag_ms =
+  let promotable =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "promotable" ] ~docv:"RPORT"
+          ~doc:
+            "Run as a promotable cluster node: open the binary port for \
+             Ping/Ctl cluster verbs so a router can elect this replica \
+             primary; after promotion it serves its replication feed on \
+             $(docv) (0 = ephemeral).")
+  in
+  let serve_repl =
+    Arg.(
+      value & flag
+      & info [ "serve-repl" ]
+          ~doc:
+            "Chained replication: republish everything this replica applies \
+             as a replication feed on the --promotable port, so downstream \
+             replicas can follow this node instead of the primary.")
+  in
+  let binary_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "binary-port" ] ~docv:"BPORT"
+          ~doc:"Binary-protocol port (with --promotable); defaults to PORT+1.")
+  in
+  let run file from port slowlog_ms scrub_every_s readers max_lag_ms promotable serve_repl
+      binary_port =
     apply_slowlog slowlog_ms;
+    match promotable with
+    | Some rport -> (
+        let bport =
+          match binary_port with Some b -> b | None -> (if port = 0 then 0 else port + 1)
+        in
+        match
+          Pcluster.Promote.create_following ~readers:(max 1 readers) ~max_lag_ms
+            ~cascade:serve_repl ~path:file ~host:"127.0.0.1" ~repl_port:rport
+            ~upstream:from ()
+        with
+        | Error e ->
+            Printf.eprintf "pdb replica: %s\n" e;
+            exit 1
+        | Ok node ->
+            Fun.protect
+              ~finally:(fun () -> Pcluster.Promote.shutdown node)
+              (fun () -> Pcluster.Promote.serve node ~binary_port:bport ~port ()))
+    | None ->
     let host, rport = parse_host_port ~what:"replica" from in
     let sess = Prepl.Replica.start ?scrub_every_s ~host ~port:rport file in
     let apply = sess.Prepl.Replica.apply in
@@ -386,7 +548,68 @@ let replica_cmd =
        ~doc:"Follow a primary's replication feed and serve the replica read-only over HTTP.")
     Term.(
       const run $ db_arg $ from $ port_arg $ slowlog_arg $ scrub_interval
-      $ readers_arg ~default:1 $ max_lag_arg)
+      $ readers_arg ~default:1 $ max_lag_arg $ promotable $ serve_repl $ binary_port)
+
+(* --- router ---------------------------------------------------------------- *)
+
+let router_cmd =
+  let backends =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "backends" ] ~docv:"HOST:BPORT,..."
+          ~doc:
+            "Comma-separated binary-protocol addresses of the fleet's \
+             backends (primaries and replicas alike — roles are discovered \
+             by health probing).")
+  in
+  let sync_writes =
+    Arg.(
+      value & flag
+      & info [ "sync-writes" ]
+          ~doc:
+            "Semi-synchronous writes: acknowledge a mutation only once some \
+             healthy replica reports having applied its LSN, so a primary \
+             dying right after the ack cannot lose acknowledged writes. \
+             Degrades to asynchronous when no healthy replica is in view.")
+  in
+  let probe_interval =
+    Arg.(
+      value
+      & opt float 0.1
+      & info [ "probe-interval" ] ~docv:"SEC"
+          ~doc:"Health-probe period per backend.")
+  in
+  let fail_threshold =
+    Arg.(
+      value
+      & opt int 3
+      & info [ "fail-threshold" ] ~docv:"N"
+          ~doc:"Consecutive failed probes before a backend is marked down.")
+  in
+  let run port backends sync_writes probe_interval fail_threshold =
+    let addrs =
+      String.split_on_char ',' backends
+      |> List.filter (fun s -> String.trim s <> "")
+      |> List.map (fun s -> parse_host_port ~what:"router" (String.trim s))
+    in
+    if addrs = [] then begin
+      Printf.eprintf "pdb router: --backends lists no addresses\n";
+      exit 2
+    end;
+    let r =
+      Pcluster.Router.create ~sync_writes ~probe_every_s:probe_interval
+        ~fail_threshold addrs
+    in
+    Pcluster.Router.serve r ~port ()
+  in
+  Cmd.v
+    (Cmd.info "router"
+       ~doc:
+         "Front a replica fleet: load-balance reads across healthy replicas \
+          (honouring X-PDB-Min-LSN read-your-writes tokens), forward writes \
+          to the primary, and promote a replica when the primary dies.")
+    Term.(const run $ port_arg $ backends $ sync_writes $ probe_interval $ fail_threshold)
 
 (* --- schema loading ----------------------------------------------------------- *)
 
@@ -431,4 +654,4 @@ let demo_cmd =
 
 let () =
   let info = Cmd.info "pdb" ~version:"1.0" ~doc:"Prometheus taxonomic database tool" in
-  exit (Cmd.eval (Cmd.group info [ query_cmd; check_cmd; schema_cmd; contexts_cmd; stats_cmd; metrics_cmd; trace_cmd; verify_cmd; scrub_cmd; serve_cmd; replica_cmd; demo_cmd; load_schema_cmd; dump_schema_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ query_cmd; check_cmd; schema_cmd; contexts_cmd; stats_cmd; metrics_cmd; trace_cmd; verify_cmd; scrub_cmd; serve_cmd; replica_cmd; router_cmd; demo_cmd; load_schema_cmd; dump_schema_cmd ]))

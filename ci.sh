@@ -2,8 +2,8 @@
 # CI gate: build, full test suite (includes the smoke crash,
 # replication and bit-rot sweeps), bench smoke (micro + storage hot
 # paths + query engine + observability overhead + replication + page
-# integrity + mvcc + serving + loadgen, which emit BENCH_PR2.json ..
-# BENCH_PR9.json into a temp dir — the committed trajectory records in
+# integrity + mvcc + serving + loadgen + cluster, which emit
+# BENCH_PR2.json .. BENCH_PR10.json into a temp dir — the committed trajectory records in
 # the repo tree are never touched), then the long fixed-seed
 # crash-torture, replication fault and bit-rot sweeps.  Equivalent to
 # `dune build @ci` plus the bench smoke.  Pass `smoke` to skip the
@@ -49,7 +49,7 @@ fi
 records_digest() {
   cat BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json \
     BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json BENCH_PR9.json \
-    2>/dev/null | cksum
+    BENCH_PR10.json 2>/dev/null | cksum
 }
 digest_before="$(records_digest)"
 
@@ -109,6 +109,17 @@ check_bench_json "$BENCH_OUT/BENCH_PR9.json" \
   connection_scaling admission_control qps_http_close_256 \
   qps_binary_batch_256 speedup_batch_vs_close_256 cores \
   p99_binary_batch_256_ms dropped_without_503 workloads acceptance
+
+# cluster tier (PR10): aggregate routed GET QPS vs replica count
+# (gated, core-aware), tail latency with one lagging replica (stale
+# answers gated at zero), and failover time from primary kill to the
+# first successful routed write (acknowledged-write loss and
+# read-your-writes violations gated at zero)
+dune exec bench/main.exe -- cluster --out "$BENCH_OUT" >/dev/null
+check_bench_json "$BENCH_OUT/BENCH_PR10.json" \
+  replica_scaling lagging_replica failover qps_1_replica qps_4_replicas \
+  scaling_4_vs_1 lagging_p99_ms failover_ms acked_writes_lost \
+  rywr_violations replica_promoted cores workloads acceptance
 
 # the bench smoke must leave the committed trajectory records untouched
 [ "$(records_digest)" = "$digest_before" ] \

@@ -1,0 +1,125 @@
+(** Health checking: the probe loop that keeps {!Topology} honest and
+    raises the failover triggers.
+
+    Every backend is probed with a binary [Ping] each tick; a pong
+    refreshes role, durable LSN, stream id and replication port.  A
+    probe failure bumps a consecutive-failure streak; [fail_threshold]
+    consecutive misses mark the backend unhealthy — one dropped packet
+    or a slow GC pause must not trigger an election.
+
+    Two conditions fire callbacks (from the monitor thread):
+    - [on_primary_down]: the primary is unhealthy and at least one
+      healthy replica is reachable — sustained failure, promote someone.
+      Latched: it fires once per outage, re-arming only after a healthy
+      primary is observed again.
+    - [on_dual_primary]: two healthy backends both claim the primary
+      role — the post-failover rejoin case; the resolver demotes the
+      loser. *)
+
+open Pserver
+
+let g_healthy =
+  Pobs.Metrics.gauge "pdb_cluster_backends_healthy"
+    ~help:"Backends currently passing health checks"
+
+let m_probes =
+  Pobs.Metrics.counter "pdb_cluster_probes_total" ~help:"Health probes sent"
+
+let m_probe_failures =
+  Pobs.Metrics.counter "pdb_cluster_probe_failures_total"
+    ~help:"Health probes that failed"
+
+let m_primary_down =
+  Pobs.Metrics.counter "pdb_cluster_primary_down_total"
+    ~help:"Sustained primary failures detected"
+
+type monitor = {
+  topo : Topology.t;
+  every_s : float;
+  fail_threshold : int;
+  mutable on_primary_down : unit -> unit;
+  mutable on_dual_primary : Topology.backend list -> unit;
+  mutable armed : bool; (* failover latch: fire once per outage *)
+  running : bool ref;
+  mutable thread : Thread.t option;
+}
+
+let create ?(every_s = 0.1) ?(fail_threshold = 3) (topo : Topology.t) : monitor
+    =
+  {
+    topo;
+    every_s;
+    fail_threshold;
+    on_primary_down = (fun () -> ());
+    on_dual_primary = (fun _ -> ());
+    armed = true;
+    running = ref false;
+    thread = None;
+  }
+
+(** One probe sweep.  Exposed for tests and for the router's initial
+    synchronous discovery pass. *)
+let probe_once (m : monitor) =
+  Array.iter
+    (fun (b : Topology.backend) ->
+      Pobs.Metrics.inc m_probes;
+      match Backend_pool.ping b.Topology.b_pool with
+      | pong ->
+          b.Topology.b_healthy <- true;
+          b.b_fail_streak <- 0;
+          b.b_role <- pong.Client.p_role;
+          b.b_lsn <- pong.Client.p_lsn;
+          b.b_stream_id <- pong.Client.p_stream_id;
+          b.b_repl_port <- pong.Client.p_repl_port
+      | exception (Client.Backend_down _ | Client.Protocol_error _) ->
+          Pobs.Metrics.inc m_probe_failures;
+          b.b_fail_streak <- b.b_fail_streak + 1;
+          if b.b_fail_streak >= m.fail_threshold then b.Topology.b_healthy <- false)
+    m.topo.Topology.backends;
+  Pobs.Metrics.seti g_healthy
+    (Array.fold_left
+       (fun acc (b : Topology.backend) -> acc + if b.Topology.b_healthy then 1 else 0)
+       0 m.topo.Topology.backends)
+
+(* Evaluate the triggers after a sweep. *)
+let evaluate (m : monitor) =
+  let prims = Topology.healthy_primaries m.topo in
+  let healthy_replica_exists =
+    Array.exists
+      (fun (b : Topology.backend) -> b.Topology.b_healthy && b.b_role <> "primary")
+      m.topo.Topology.backends
+  in
+  (match prims with
+  | [] when m.armed && healthy_replica_exists ->
+      (* No reachable primary at all, but replicas answer: sustained
+         primary failure. *)
+      m.armed <- false;
+      Pobs.Metrics.inc m_primary_down;
+      m.on_primary_down ()
+  | _ :: _ :: _ -> m.on_dual_primary prims
+  | _ -> ());
+  (* re-arm once a healthy primary is back *)
+  if prims <> [] then m.armed <- true
+
+let start (m : monitor) =
+  if not !(m.running) then begin
+    m.running := true;
+    m.thread <-
+      Some
+        (Thread.create
+           (fun () ->
+             while !(m.running) do
+               probe_once m;
+               evaluate m;
+               Thread.delay m.every_s
+             done)
+           ())
+  end
+
+let stop (m : monitor) =
+  m.running := false;
+  match m.thread with
+  | Some th ->
+      (try Thread.join th with _ -> ());
+      m.thread <- None
+  | None -> ()

@@ -1,0 +1,464 @@
+(** The fleet front-end: one HTTP endpoint that load-balances reads
+    across replicas, forwards writes to the primary, and fails over.
+
+    Clients speak plain HTTP to the router; the router speaks the
+    binary protocol to every backend through per-backend pipelined
+    {!Pserver.Backend_pool}s, so one router connection fan-in does not
+    become one backend connection fan-out.
+
+    Routing policy:
+    - [GET] goes to the least-loaded healthy replica that has already
+      applied the client's [X-PDB-Min-LSN] token (the token is also
+      forwarded, so the backend re-checks it — read-your-writes holds
+      even when the router's health view is stale).  The primary is the
+      fallback when no replica qualifies.  Reads are idempotent, so a
+      connection failure or a 503 retries on a different backend with
+      capped exponential backoff.
+    - [POST] goes to the primary, once — mutations are not idempotent.
+      With [sync_writes] the router acknowledges only after some
+      healthy replica has applied the write's LSN {e on the same stream
+      incarnation} (LSNs from different incarnations are not
+      comparable), so a primary that dies right after acking cannot
+      take acknowledged writes down with its incarnation.  With no
+      healthy replica in view, semi-sync degrades to async rather than
+      refusing writes.
+
+    Failover: the {!Health} monitor detects sustained primary failure
+    and triggers {!Promote.run_election}; dual-primary observations
+    (an old primary rejoining after failover) are resolved in favour of
+    the router's designated primary. *)
+
+open Pserver
+
+let m_requests =
+  Pobs.Metrics.counter "pdb_router_requests_total"
+    ~help:"Requests forwarded to backends"
+
+let m_retries =
+  Pobs.Metrics.counter "pdb_router_retries_total"
+    ~help:"Read retries after a backend failure or 503"
+
+let m_failed =
+  Pobs.Metrics.counter "pdb_router_failed_total"
+    ~help:"Requests answered with no backend available"
+
+let m_writes =
+  Pobs.Metrics.counter "pdb_router_writes_total"
+    ~help:"Writes forwarded to the primary"
+
+type t = {
+  topo : Topology.t;
+  mon : Health.monitor;
+  sync_writes : bool;
+  sync_timeout_s : float;
+  max_read_attempts : int;
+  em : Mutex.t; (* serialises elections *)
+  routed : int Atomic.t;
+  retried : int Atomic.t;
+  failed : int Atomic.t;
+  writes : int Atomic.t;
+  mutable elections : int;
+  mutable last_failover_ms : float; (* election duration; -1 = never *)
+  mutable loop : Http_server.req Event_loop.t option;
+}
+
+(* One election, serialised: concurrent triggers (monitor tick plus a
+   test poking us) collapse into one. *)
+let failover (r : t) =
+  Mutex.lock r.em;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock r.em)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      match Promote.run_election r.topo with
+      | Ok _ ->
+          r.elections <- r.elections + 1;
+          r.last_failover_ms <- (Unix.gettimeofday () -. t0) *. 1000.
+      | Error _ ->
+          (* Nothing electable yet.  Re-arm the monitor's failover latch
+             explicitly: it cleared on firing and only re-arms after a
+             healthy primary is seen — which is exactly what does not
+             exist right now — so without this a failed election would
+             never be retried. *)
+          r.mon.Health.armed <- true)
+
+let create ?(sync_writes = false) ?(sync_timeout_s = 5.)
+    ?(max_read_attempts = 4) ?(probe_every_s = 0.1) ?(fail_threshold = 3)
+    (addrs : (string * int) list) : t =
+  let topo = Topology.create addrs in
+  let mon = Health.create ~every_s:probe_every_s ~fail_threshold topo in
+  let r =
+    {
+      topo;
+      mon;
+      sync_writes;
+      sync_timeout_s;
+      max_read_attempts;
+      em = Mutex.create ();
+      routed = Atomic.make 0;
+      retried = Atomic.make 0;
+      failed = Atomic.make 0;
+      writes = Atomic.make 0;
+      elections = 0;
+      last_failover_ms = -1.;
+      loop = None;
+    }
+  in
+  mon.Health.on_primary_down <- (fun () -> failover r);
+  mon.Health.on_dual_primary <- (fun prims -> Promote.resolve_dual topo prims);
+  (* Synchronous discovery pass so the first request already has a
+     health view, and designate whoever currently leads. *)
+  Health.probe_once mon;
+  (match Topology.primary topo with
+  | Some b -> topo.Topology.current_primary <- Some b.Topology.b_addr
+  | None -> ());
+  r
+
+let close (r : t) =
+  Health.stop r.mon;
+  Topology.close r.topo
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let status_line = function
+  | 200 -> "200 OK"
+  | 400 -> "400 Bad Request"
+  | 403 -> "403 Forbidden"
+  | 404 -> "404 Not Found"
+  | 405 -> "405 Method Not Allowed"
+  | 408 -> "408 Request Timeout"
+  | 500 -> "500 Internal Server Error"
+  | 502 -> "502 Bad Gateway"
+  | 503 -> "503 Service Unavailable"
+  | s -> Printf.sprintf "%d Status" s
+
+let header_opt name headers =
+  Option.map String.trim (List.assoc_opt name headers)
+
+(* Re-render a backend's binary-protocol answer as an HTTP response. *)
+let render ~keep_alive (status, headers, body) : Event_loop.response =
+  let content_type =
+    Option.value
+      (List.assoc_opt "content-type" headers)
+      ~default:"text/plain; charset=utf-8"
+  in
+  let extra = List.filter (fun (k, _) -> k <> "content-type") headers in
+  {
+    Event_loop.rsp_data =
+      Http_server.response_string ~content_type ~extra ~keep_alive
+        ~status:(status_line status) ~body ();
+    rsp_close = not keep_alive;
+  }
+
+let plain ~keep_alive ?extra status body : Event_loop.response =
+  {
+    Event_loop.rsp_data =
+      Http_server.response_string ?extra ~keep_alive ~status ~body ();
+    rsp_close = not keep_alive;
+  }
+
+let forward_get (r : t) ~keep_alive (req : Http_server.http_req) :
+    Event_loop.response =
+  let min_lsn =
+    match header_opt "x-pdb-min-lsn" req.Http_server.r_headers with
+    | Some v -> ( match int_of_string_opt v with Some n -> n | None -> 0)
+    | None -> 0
+  in
+  (* forward the token: the backend re-checks, so rywr survives a stale
+     router-side LSN view *)
+  let fwd_headers =
+    List.filter (fun (k, _) -> k = "x-pdb-min-lsn") req.Http_server.r_headers
+  in
+  let rec attempt n tried delay =
+    match Topology.pick_read ~min_lsn ~exclude:tried r.topo with
+    | None ->
+        Atomic.incr r.failed;
+        Pobs.Metrics.inc m_failed;
+        plain ~keep_alive
+          ~extra:[ ("Retry-After", "1") ]
+          "503 Service Unavailable" "no backend available\n"
+    | Some b -> (
+        let retry msg =
+          Atomic.incr r.retried;
+          Pobs.Metrics.inc m_retries;
+          if n + 1 < r.max_read_attempts then begin
+            Thread.delay delay;
+            attempt (n + 1) (b.Topology.b_id :: tried) (Float.min 0.5 (delay *. 2.))
+          end
+          else begin
+            Atomic.incr r.failed;
+            Pobs.Metrics.inc m_failed;
+            plain ~keep_alive
+              ~extra:[ ("Retry-After", "1") ]
+              "503 Service Unavailable"
+              (Printf.sprintf "no backend available (%s)\n" msg)
+          end
+        in
+        match
+          Backend_pool.http b.Topology.b_pool ~headers:fwd_headers ~meth:"GET"
+            ~target:req.Http_server.r_target
+        with
+        | 503, _, _ -> retry "backend busy"
+        | answer ->
+            Atomic.incr r.routed;
+            Pobs.Metrics.inc m_requests;
+            render ~keep_alive answer
+        | exception Client.Backend_down m -> retry m
+        | exception Client.Protocol_error m -> retry m)
+  in
+  attempt 0 [] 0.01
+
+(* Semi-sync confirmation: poll the healthy replicas until one reports
+   having applied [lsn] on stream [stream] — the incarnation the acking
+   primary committed it under.  LSNs are only comparable within one
+   incarnation: a freshly promoted node restarts publication under a new
+   stream id at an LSN that can collide with unreplicated commits of the
+   dead incarnation, so a bare [p_lsn >= lsn] check can be satisfied by
+   a backend that never saw the write.  The pong's own role and stream
+   id are checked (not the cached health view, which races elections).
+   Vacuously confirmed when no healthy replica is in view — semi-sync
+   degrades to async rather than refusing writes. *)
+let confirmed (r : t) ~(stream : int) (lsn : int) : bool =
+  let deadline = Unix.gettimeofday () +. r.sync_timeout_s in
+  let rec go () =
+    let replicas =
+      Array.to_list r.topo.Topology.backends
+      |> List.filter (fun (b : Topology.backend) ->
+             b.Topology.b_healthy && b.b_role = "replica")
+    in
+    if replicas = [] then true
+    else if
+      List.exists
+        (fun (b : Topology.backend) ->
+          match Backend_pool.ping ~force:true b.Topology.b_pool with
+          | p ->
+              b.b_lsn <- p.Client.p_lsn;
+              p.Client.p_role = "replica"
+              && (stream = 0 || p.Client.p_stream_id = stream)
+              && p.Client.p_lsn >= lsn
+          | exception _ -> false)
+        replicas
+    then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.delay 0.01;
+      go ()
+    end
+  in
+  go ()
+
+let forward_post (r : t) ~keep_alive (req : Http_server.http_req) :
+    Event_loop.response =
+  Atomic.incr r.writes;
+  Pobs.Metrics.inc m_writes;
+  match Topology.primary r.topo with
+  | None ->
+      Atomic.incr r.failed;
+      Pobs.Metrics.inc m_failed;
+      plain ~keep_alive
+        ~extra:[ ("Retry-After", "1") ]
+        "503 Service Unavailable" "no primary available\n"
+  | Some b -> (
+      match
+        Backend_pool.http b.Topology.b_pool ~meth:req.Http_server.r_meth
+          ~target:req.Http_server.r_target
+      with
+      | (200, headers, _) as answer ->
+          Atomic.incr r.routed;
+          Pobs.Metrics.inc m_requests;
+          if r.sync_writes then begin
+            let lsn =
+              match header_opt "x-pdb-lsn" headers with
+              | Some v -> Option.value (int_of_string_opt v) ~default:(-1)
+              | None -> -1
+            in
+            if lsn < 0 || confirmed r ~stream:b.Topology.b_stream_id lsn then
+              render ~keep_alive answer
+            else
+              plain ~keep_alive "502 Bad Gateway"
+                "write not confirmed by any replica\n"
+          end
+          else render ~keep_alive answer
+      | answer ->
+          Atomic.incr r.routed;
+          Pobs.Metrics.inc m_requests;
+          render ~keep_alive answer
+      | exception Client.Backend_down m ->
+          Atomic.incr r.failed;
+          Pobs.Metrics.inc m_failed;
+          plain ~keep_alive
+            ~extra:[ ("Retry-After", "1") ]
+            "503 Service Unavailable"
+            (Printf.sprintf "primary unreachable (%s)\n" m)
+      | exception Client.Protocol_error m ->
+          Atomic.incr r.failed;
+          Pobs.Metrics.inc m_failed;
+          plain ~keep_alive "502 Bad Gateway" (Printf.sprintf "primary answered garbage (%s)\n" m))
+
+(* ------------------------------------------------------------------ *)
+(* Router-local endpoints                                              *)
+(* ------------------------------------------------------------------ *)
+
+let usage =
+  "prometheus cluster router\n\
+   \n\
+   GET  /stats             router + per-backend fleet status (JSON)\n\
+   GET  /metrics           Prometheus text exposition\n\
+   GET  <anything else>    load-balanced across healthy replicas\n\
+   POST <mutation>         forwarded to the primary\n\
+   \n\
+   X-PDB-Min-LSN on a GET routes to a caught-up backend (read-your-writes).\n"
+
+let stats_json (r : t) : string =
+  let open Pobs.Json in
+  let backends =
+    Array.to_list
+      (Array.map
+         (fun (b : Topology.backend) ->
+           Obj
+             [
+               ("addr", Str b.Topology.b_addr);
+               ("role", Str b.b_role);
+               ("healthy", Bool b.b_healthy);
+               ("lsn", Int b.b_lsn);
+               ("stream_id", Int b.b_stream_id);
+               ("repl_port", Int b.b_repl_port);
+               ("outstanding", Int (Backend_pool.outstanding b.Topology.b_pool));
+               ("connections", Int (Backend_pool.connected b.Topology.b_pool));
+               ("fail_streak", Int b.b_fail_streak);
+             ])
+         r.topo.Topology.backends)
+  in
+  let loop =
+    match r.loop with
+    | None -> []
+    | Some t ->
+        let ls = Event_loop.stats t in
+        [
+          ( "loop",
+            Obj
+              [
+                ("backend", Str (Event_loop.backend_name t));
+                ("accepted", Int ls.Event_loop.s_accepted);
+                ("overloaded", Int ls.Event_loop.s_overloaded);
+                ("timeouts", Int ls.Event_loop.s_timeouts);
+                ("handled", Int ls.Event_loop.s_handled);
+                ("open_connections", Int ls.Event_loop.s_open_conns);
+              ] );
+        ]
+  in
+  to_string
+    (Obj
+       ([
+          ( "cluster",
+            Obj
+              [
+                ( "primary",
+                  match r.topo.Topology.current_primary with
+                  | Some a -> Str a
+                  | None -> Null );
+                ("sync_writes", Bool r.sync_writes);
+                ("routed", Int (Atomic.get r.routed));
+                ("retried", Int (Atomic.get r.retried));
+                ("failed", Int (Atomic.get r.failed));
+                ("writes", Int (Atomic.get r.writes));
+                ("elections", Int r.elections);
+                ("last_failover_ms", Float r.last_failover_ms);
+                ("backends", List backends);
+              ] );
+        ]
+       @ loop))
+
+let handle (r : t) (req : Http_server.http_req) : Event_loop.response =
+  if req.Http_server.r_bad then
+    plain ~keep_alive:false "400 Bad Request" "bad request\n"
+  else begin
+    let keep_alive = req.Http_server.r_keep_alive in
+    let path =
+      match String.index_opt req.Http_server.r_target '?' with
+      | Some i -> String.sub req.Http_server.r_target 0 i
+      | None -> req.Http_server.r_target
+    in
+    match (req.Http_server.r_meth, path) with
+    | "GET", "/" -> plain ~keep_alive "200 OK" usage
+    | "GET", "/stats" ->
+        {
+          Event_loop.rsp_data =
+            Http_server.response_string
+              ~content_type:"application/json; charset=utf-8" ~keep_alive
+              ~status:"200 OK" ~body:(stats_json r) ();
+          rsp_close = not keep_alive;
+        }
+    | "GET", "/metrics" ->
+        {
+          Event_loop.rsp_data =
+            Http_server.response_string
+              ~content_type:Http_server.metrics_content_type ~keep_alive
+              ~status:"200 OK"
+              ~body:(Pobs.Metrics.expose ())
+              ();
+          rsp_close = not keep_alive;
+        }
+    | "GET", _ -> forward_get r ~keep_alive req
+    | "POST", _ -> forward_post r ~keep_alive req
+    | _ -> plain ~keep_alive "405 Method Not Allowed" "method not allowed\n"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Serving                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Serve the router on [port] until [stop] is set or SIGTERM/SIGINT.
+    Blocks.  Handler workers default to 8 — every handler blocks on
+    backend round-trips, so the executor must be wider than the
+    core count. *)
+let serve ?(host = "127.0.0.1") ?stop ?ready ?(max_conns = 1024)
+    ?(workers = 8) ?max_requests (r : t) ~port () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let stop = match stop with Some s -> s | None -> ref false in
+  let install signum =
+    try Some (signum, Sys.signal signum (Sys.Signal_handle (fun _ -> stop := true)))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let saved = List.filter_map install [ Sys.sigterm; Sys.sigint ] in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen sock (max 128 max_conns);
+  let bound =
+    match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  Health.start r.mon;
+  (match ready with Some f -> f bound | None -> ());
+  let execute = function
+    | Http_server.RHttp req -> handle r req
+    | Http_server.RBin _ ->
+        (* the router's client side is HTTP-only; backends speak binary *)
+        { Event_loop.rsp_data = ""; rsp_close = true }
+  in
+  let t, worker_threads =
+    Event_loop.create ~max_conns ~timeout_s:10. ~workers ~execute
+      [ Http_server.http_listener sock ]
+  in
+  r.loop <- Some t;
+  Printf.printf "prometheus: router on http://%s:%d/ (%d backends, %s)\n%!" host
+    bound
+    (Array.length r.topo.Topology.backends)
+    (Event_loop.backend_name t);
+  let continue () =
+    (not !stop)
+    &&
+    match max_requests with
+    | None -> true
+    | Some m -> Event_loop.requests_handled t < m
+  in
+  Event_loop.run t worker_threads ~continue ();
+  Unix.close sock;
+  List.iter
+    (fun (signum, prev) ->
+      try Sys.set_signal signum prev with Invalid_argument _ | Sys_error _ -> ())
+    saved;
+  close r

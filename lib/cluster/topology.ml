@@ -1,0 +1,132 @@
+(** The router's view of the fleet: who exists, who is healthy, who
+    leads, and — pure and separately testable — who {e should} lead.
+
+    One {!backend} per configured address, each owning a pipelined
+    {!Pserver.Backend_pool} to that backend's binary port.  Health and
+    identity fields are refreshed by {!Health}; routing decisions
+    ({!pick_read}, {!primary}) read them.
+
+    The election rule lives here as a pure function, {!elect}: highest
+    durable LSN wins, lowest address breaks ties.  Determinism is the
+    split-brain defence — two routers that observe the same candidate
+    set must choose the same winner, so concurrent elections converge
+    on one primary instead of two. *)
+
+open Pserver
+
+type backend = {
+  b_id : int;
+  b_host : string;
+  b_port : int; (* the backend's binary-protocol port *)
+  b_addr : string; (* "host:port", the canonical identity *)
+  b_pool : Backend_pool.t;
+  mutable b_healthy : bool;
+  mutable b_role : string; (* "primary" | "replica" | "unknown" *)
+  mutable b_lsn : int;
+  mutable b_stream_id : int;
+  mutable b_repl_port : int; (* the Feed (or cascade) port it serves, -1 if none *)
+  mutable b_fail_streak : int; (* consecutive failed probes *)
+}
+
+type t = {
+  backends : backend array;
+  mutable current_primary : string option; (* b_addr the router designated *)
+}
+
+let create (addrs : (string * int) list) : t =
+  let backends =
+    Array.of_list
+      (List.mapi
+         (fun i (host, port) ->
+           {
+             b_id = i;
+             b_host = host;
+             b_port = port;
+             b_addr = Printf.sprintf "%s:%d" host port;
+             b_pool = Backend_pool.create ~host ~port ();
+             b_healthy = false;
+             b_role = "unknown";
+             b_lsn = 0;
+             b_stream_id = 0;
+             b_repl_port = -1;
+             b_fail_streak = 0;
+           })
+         addrs)
+  in
+  { backends; current_primary = None }
+
+let close (t : t) = Array.iter (fun b -> Backend_pool.close b.b_pool) t.backends
+
+(** The election rule, pure: among [(address, durable_lsn)] candidates
+    the highest LSN wins and the {e lowest} address breaks ties.  Total
+    order over any candidate set — every router that sees the same set
+    picks the same winner. *)
+let elect (cands : (string * int) list) : string option =
+  List.fold_left
+    (fun acc (addr, lsn) ->
+      match acc with
+      | None -> Some (addr, lsn)
+      | Some (best_addr, best_lsn) ->
+          if lsn > best_lsn || (lsn = best_lsn && addr < best_addr) then
+            Some (addr, lsn)
+          else acc)
+    None cands
+  |> Option.map fst
+
+let backend_by_addr (t : t) (addr : string) : backend option =
+  Array.fold_left
+    (fun acc b -> if b.b_addr = addr then Some b else acc)
+    None t.backends
+
+(** The backend currently serving as primary: the router's designated
+    one when it still looks the part, else any healthy self-declared
+    primary. *)
+let primary (t : t) : backend option =
+  let declared b = b.b_healthy && b.b_role = "primary" in
+  match t.current_primary with
+  | Some addr when Option.fold ~none:false ~some:declared (backend_by_addr t addr)
+    ->
+      backend_by_addr t addr
+  | _ ->
+      Array.fold_left
+        (fun acc b -> match acc with Some _ -> acc | None -> if declared b then Some b else None)
+        None t.backends
+
+(* Healthy primaries beyond the designated one — the dual-primary
+   signal the resolver acts on. *)
+let healthy_primaries (t : t) : backend list =
+  Array.fold_left
+    (fun acc b -> if b.b_healthy && b.b_role = "primary" then b :: acc else acc)
+    [] t.backends
+  |> List.rev
+
+(** Pick a backend for an idempotent read.  Healthy replicas first —
+    already caught up to [min_lsn] when one is presented — by least
+    outstanding requests (the pipelined pools make "outstanding" an
+    honest load signal); the primary is the fallback when no replica
+    qualifies.  [exclude] lists backend ids already tried this
+    request. *)
+let pick_read ?(min_lsn = 0) ?(exclude = []) (t : t) : backend option =
+  let usable b =
+    b.b_healthy && b.b_role <> "primary" && not (List.mem b.b_id exclude)
+  in
+  let caught_up b = usable b && b.b_lsn >= min_lsn in
+  let least pred =
+    Array.fold_left
+      (fun acc b ->
+        if not (pred b) then acc
+        else
+          match acc with
+          | None -> Some b
+          | Some best ->
+              if Backend_pool.outstanding b.b_pool < Backend_pool.outstanding best.b_pool
+              then Some b
+              else acc)
+      None t.backends
+  in
+  match least caught_up with
+  | Some b -> Some b
+  | None -> (
+      match primary t with
+      | Some p when not (List.mem p.b_id exclude) -> Some p
+      | _ -> least usable)

@@ -73,7 +73,7 @@ type conn = {
 }
 
 type t = {
-  store : Store.t;
+  store : Store.t option; (* None: a detached (cascade) feed, fed by [publish] *)
   stream_id : int;
   mutable mirror : Bytes.t; (* page-multiple; first [mirror_pages] pages valid *)
   mutable mirror_pages : int;
@@ -107,10 +107,10 @@ let locked t f =
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
-let on_commit t (r : Pager.redo_record) =
+let ingest t ~(lsn : int) ~(pages : (int * string) list) =
   locked t (fun () ->
       (* grow the mirror to cover the record's highest page *)
-      let maxp = List.fold_left (fun acc (no, _) -> max acc no) (-1) r.Pager.pages in
+      let maxp = List.fold_left (fun acc (no, _) -> max acc no) (-1) pages in
       if maxp >= t.mirror_pages then begin
         let need = (maxp + 1) * Pager.page_size in
         if Bytes.length t.mirror < need then begin
@@ -123,11 +123,11 @@ let on_commit t (r : Pager.redo_record) =
       List.iter
         (fun (no, data) ->
           Bytes.blit_string data 0 t.mirror (no * Pager.page_size) Pager.page_size)
-        r.Pager.pages;
-      t.lsn <- r.Pager.lsn;
-      let bytes = List.length r.Pager.pages * Pager.page_size in
+        pages;
+      t.lsn <- lsn;
+      let bytes = List.length pages * Pager.page_size in
       Queue.add
-        { r_lsn = r.Pager.lsn; r_pages = r.Pager.pages; r_bytes = bytes;
+        { r_lsn = lsn; r_pages = pages; r_bytes = bytes;
           r_at_ns = Pobs.Monotonic.now_ns () }
         t.backlog;
       t.records_captured <- t.records_captured + 1;
@@ -137,6 +137,13 @@ let on_commit t (r : Pager.redo_record) =
         t.backlog_bytes <- t.backlog_bytes - dropped.r_bytes
       done;
       Pobs.Metrics.seti g_backlog_bytes t.backlog_bytes)
+
+let on_commit t (r : Pager.redo_record) = ingest t ~lsn:r.Pager.lsn ~pages:r.Pager.pages
+
+(** Feed an applied record into a {e detached} feed — the cascade path:
+    a replica republishes every delta it applies so downstream replicas
+    can subscribe to it instead of the primary. *)
+let publish t ~lsn ~pages = ingest t ~lsn ~pages
 
 (** Create a feed over [store] and install its redo hook.  Must be
     called with no transaction in progress: the mirror is seeded from
@@ -153,7 +160,7 @@ let create ?(backlog_cap_bytes = 64 * 1024 * 1024) (store : Store.t) : t =
   done;
   let t =
     {
-      store;
+      store = Some store;
       stream_id = fresh_stream_id ();
       mirror;
       mirror_pages = pages;
@@ -173,7 +180,35 @@ let create ?(backlog_cap_bytes = 64 * 1024 * 1024) (store : Store.t) : t =
   Store.set_redo_hook store (fun r -> on_commit t r);
   t
 
-let detach t = Store.clear_redo_hook t.store
+(** A feed with no store of its own: the mirror is seeded from a
+    snapshot [image] at [lsn], the stream identity is {e inherited} —
+    a cascading replica serves the same stream its upstream does, so a
+    downstream replica's LSNs stay comparable when it re-attaches
+    anywhere in the tree.  New records arrive via {!publish}. *)
+let create_detached ?(backlog_cap_bytes = 64 * 1024 * 1024) ~stream_id ~lsn
+    ~(image : string) () : t =
+  let mirror = Bytes.of_string image in
+  if Bytes.length mirror mod Pager.page_size <> 0 then
+    invalid_arg "Feed.create_detached: image is not a whole number of pages";
+  {
+    store = None;
+    stream_id;
+    mirror;
+    mirror_pages = Bytes.length mirror / Pager.page_size;
+    lsn;
+    backlog = Queue.create ();
+    backlog_bytes = 0;
+    backlog_cap = backlog_cap_bytes;
+    snapshots_sent = 0;
+    records_captured = 0;
+    pages_served = 0;
+    fetch_refusals = 0;
+    conns = [];
+    next_conn_id = 1;
+    m = Mutex.create ();
+  }
+
+let detach t = match t.store with Some s -> Store.clear_redo_hook s | None -> ()
 let lsn t = locked t (fun () -> t.lsn)
 let stream_id t = t.stream_id
 
@@ -367,7 +402,26 @@ let handle_conn t (link : Link.t) ~(running : bool ref) =
                 (* the backlog no longer covers this connection *)
                 send_snapshot t link ~lsn ~data;
                 conn.sent_lsn <- lsn
-          done
+          done;
+          (* Shutdown drain: a repair fetch that arrived as [running]
+             dropped must still get an answer — an unanswered
+             [PageFetch] leaves the fetching replica waiting out its
+             timeout.  Answer the typed refusal (empty page list): the
+             feed is going away, so "re-bootstrap elsewhere" is the
+             honest verdict.  [stop_server] holds the link open for a
+             grace window so this can actually be sent. *)
+          (try
+             while link.Link.poll 0. do
+               match Wire.from_link link with
+               | Wire.Ack { lsn } -> note_ack t conn lsn
+               | Wire.PageFetch { lsn; _ } ->
+                   locked t (fun () ->
+                       t.fetch_refusals <- t.fetch_refusals + 1;
+                       Pobs.Metrics.inc m_page_fetch_refusals);
+                   Wire.to_link link (Wire.PageData { lsn; pages = [] })
+               | _ -> ()
+             done
+           with Link.Link_down _ | Wire.Wire_error _ -> ())
       | _ -> raise (Wire.Wire_error "expected Hello"))
 
 (* --- the TCP server ----------------------------------------------------- *)
@@ -428,21 +482,39 @@ let serve ?(host = "127.0.0.1") t ~port : server =
   srv.acceptor <- Some acceptor;
   srv
 
-(** Stop accepting, wake every sender — [shutdown], not [close], so a
-    thread blocked mid-send on a stalled replica fails over to
-    {!Link.Link_down} instead of wedging the join — and wait for all of
-    them.  The acceptor is joined first, so no new connection can
-    register behind the teardown's back. *)
+(** Stop accepting, let the handlers run their shutdown drains, then
+    wake any straggler — [shutdown], not [close], so a thread blocked
+    mid-send on a stalled replica fails over to {!Link.Link_down}
+    instead of wedging the join — and wait for all of them.  The
+    acceptor is joined first, so no new connection can register behind
+    the teardown's back.
+
+    The grace window matters for correctness, not politeness: a handler
+    that noticed [running] dropping may still owe a refusal to an
+    in-flight [PageFetch]; shutting its link down first would strand
+    the fetching replica until its own timeout. *)
 let stop_server (srv : server) =
   srv.running := false;
   Link.close_listener srv.listener;
   (match srv.acceptor with
   | Some th -> ( try Thread.join th with _ -> ())
   | None -> ());
+  (* handlers deregister their link as they exit; wait briefly for the
+     drains to finish before forcing the rest down *)
+  let deadline = Unix.gettimeofday () +. 1.0 in
+  let links_left () =
+    Mutex.lock srv.sm;
+    let l = srv.links in
+    Mutex.unlock srv.sm;
+    l
+  in
+  while links_left () <> [] && Unix.gettimeofday () < deadline do
+    Thread.delay 0.005
+  done;
+  List.iter (fun l -> try l.Link.shutdown () with _ -> ()) (links_left ());
   Mutex.lock srv.sm;
-  let links = srv.links and threads = srv.threads in
+  let threads = srv.threads in
   Mutex.unlock srv.sm;
-  List.iter (fun l -> try l.Link.shutdown () with _ -> ()) links;
   List.iter (fun th -> try Thread.join th with _ -> ()) threads
 
 (** The primary half of the [/repl] admin document. *)

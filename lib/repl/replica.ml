@@ -352,6 +352,13 @@ type session = {
   mutable reconnects : int;
   mutable last_error : string;
   mutable on_applied : int -> unit; (* called (outside the lock) after the LSN advances *)
+  (* Cascade hooks: republish what this replica applies so it can feed
+     downstream replicas (chained replication).  [on_record] fires only
+     for deltas that actually advanced the file; [on_snapshot] fires
+     after a snapshot install, with the stream id and raw image, so the
+     cascade feed can be rebuilt around the new incarnation. *)
+  mutable on_record : lsn:int -> pages:(int * string) list -> unit;
+  mutable on_snapshot : stream_id:int -> lsn:int -> image:string -> unit;
   mutable thread : Thread.t option;
   scrub_every_s : float option; (* in-session background scrub period *)
   mutable scrubs_run : int;
@@ -393,16 +400,22 @@ let run_once (s : session) =
             match Wire.from_link link with
             | Wire.Snapshot { stream_id; lsn; data } ->
                 Apply.install_snapshot s.apply ~stream_id ~lsn ~data;
+                s.on_snapshot ~stream_id ~lsn ~image:data;
                 lsn
-            | Wire.Delta { lsn; pages } -> (
-                (* At-rest rot surfaces here as [Page_corrupt] when the
-                   apply journals the damaged before-image.  The apply
-                   aborted cleanly; repair the page from the peer and
-                   re-apply the same record. *)
-                try Apply.apply_delta s.apply ~lsn ~pages
-                with Pager.Page_corrupt { page; _ } ->
-                  repair_via s.apply link [ page ];
-                  Apply.apply_delta s.apply ~lsn ~pages)
+            | Wire.Delta { lsn; pages } ->
+                let before = Apply.last_lsn s.apply in
+                let a =
+                  (* At-rest rot surfaces here as [Page_corrupt] when the
+                     apply journals the damaged before-image.  The apply
+                     aborted cleanly; repair the page from the peer and
+                     re-apply the same record. *)
+                  try Apply.apply_delta s.apply ~lsn ~pages
+                  with Pager.Page_corrupt { page; _ } ->
+                    repair_via s.apply link [ page ];
+                    Apply.apply_delta s.apply ~lsn ~pages
+                in
+                if a > before then s.on_record ~lsn ~pages;
+                a
             | _ -> raise (Wire.Wire_error "unexpected frame from primary")
           in
           (* Ack only what is durably applied; duplicates re-ack the
@@ -431,6 +444,8 @@ let start ?(vfs = Vfs.unix) ?scrub_every_s ~host ~port path : session =
       reconnects = 0;
       last_error = "";
       on_applied = (fun _ -> ());
+      on_record = (fun ~lsn:_ ~pages:_ -> ());
+      on_snapshot = (fun ~stream_id:_ ~lsn:_ ~image:_ -> ());
       thread = None;
       scrub_every_s;
       scrubs_run = 0;

@@ -24,20 +24,68 @@
     - [Batch qs] — several queries in one frame; the server answers
       with one [Result]/[Error] frame per query, in order.  Batching is
       the client-side amortisation lever: one write syscall, one read
-      burst, N answers. *)
+      burst, N answers.
+
+    Cluster frames (PR 10) — the router speaks these to backends so a
+    whole HTTP request can ride the pipelined binary connection instead
+    of a second HTTP socket:
+    - [Hreq {id; meth; target; headers}] — an HTTP-shaped request
+      (GET/POST + target + selected headers, e.g. [x-pdb-min-lsn] and a
+      body smuggled under [x-pdb-body]); answered by [Hresp].
+    - [Hresp {id; status; headers; body}] — status + headers (the
+      backend's applied LSN rides in [x-pdb-lsn]) + body.
+    - [Ping {id}] / [Pong {id; role; lsn; stream_id; repl_port}] — the
+      health-check probe; [role] is ["primary"] or ["replica"], [lsn]
+      the applied/durable LSN, [stream_id] the replication stream
+      identity, [repl_port] the port a [Feed] (primary or cascade)
+      listens on, or [-1].
+    - [Ctl {id; verb; arg}] — a control verb ("promote", "demote",
+      "follow") used during failover; answered with [Result]/[Error]. *)
 
 let magic = 0x50444251 (* "PDBQ" *)
 let header_size = 9 (* magic u32 + type u8 + length u32 *)
 let max_payload = 1 lsl 20
 let max_batch = 4096
 
+let max_headers = 64
+
 type frame =
   | Query of { id : int; q : string }
   | Result of { id : int; v : string }
   | Error of { id : int; msg : string }
   | Batch of (int * string) list
+  | Hreq of {
+      id : int;
+      meth : string;
+      target : string;
+      headers : (string * string) list;
+    }
+  | Hresp of {
+      id : int;
+      status : int;
+      headers : (string * string) list;
+      body : string;
+    }
+  | Ping of { id : int }
+  | Pong of {
+      id : int;
+      role : string;
+      lsn : int;
+      stream_id : int;
+      repl_port : int;
+    }
+  | Ctl of { id : int; verb : string; arg : string }
 
-let tag = function Query _ -> 1 | Result _ -> 2 | Error _ -> 3 | Batch _ -> 4
+let tag = function
+  | Query _ -> 1
+  | Result _ -> 2
+  | Error _ -> 3
+  | Batch _ -> 4
+  | Hreq _ -> 5
+  | Hresp _ -> 6
+  | Ping _ -> 7
+  | Pong _ -> 8
+  | Ctl _ -> 9
 
 let encode_payload (f : frame) : string =
   let open Pstore.Codec in
@@ -58,7 +106,38 @@ let encode_payload (f : frame) : string =
         (fun (id, q) ->
           Enc.int e id;
           Enc.string e q)
-        qs);
+        qs
+  | Hreq { id; meth; target; headers } ->
+      Enc.int e id;
+      Enc.string e meth;
+      Enc.string e target;
+      Enc.u32 e (List.length headers);
+      List.iter
+        (fun (k, v) ->
+          Enc.string e k;
+          Enc.string e v)
+        headers
+  | Hresp { id; status; headers; body } ->
+      Enc.int e id;
+      Enc.u32 e status;
+      Enc.u32 e (List.length headers);
+      List.iter
+        (fun (k, v) ->
+          Enc.string e k;
+          Enc.string e v)
+        headers;
+      Enc.string e body
+  | Ping { id } -> Enc.int e id
+  | Pong { id; role; lsn; stream_id; repl_port } ->
+      Enc.int e id;
+      Enc.string e role;
+      Enc.int e lsn;
+      Enc.int e stream_id;
+      Enc.int e repl_port
+  | Ctl { id; verb; arg } ->
+      Enc.int e id;
+      Enc.string e verb;
+      Enc.string e arg);
   Enc.to_string e
 
 exception Malformed of string
@@ -86,6 +165,42 @@ let decode_payload (ty : int) (payload : string) : frame =
             (List.init n (fun _ ->
                  let id = Dec.int d in
                  (id, Dec.string d)))
+      | 5 ->
+          let id = Dec.int d in
+          let meth = Dec.string d in
+          let target = Dec.string d in
+          let n = Dec.u32 d in
+          if n > max_headers then
+            raise (Malformed (Printf.sprintf "%d request headers" n));
+          let headers =
+            List.init n (fun _ ->
+                let k = Dec.string d in
+                (k, Dec.string d))
+          in
+          Hreq { id; meth; target; headers }
+      | 6 ->
+          let id = Dec.int d in
+          let status = Dec.u32 d in
+          let n = Dec.u32 d in
+          if n > max_headers then
+            raise (Malformed (Printf.sprintf "%d response headers" n));
+          let headers =
+            List.init n (fun _ ->
+                let k = Dec.string d in
+                (k, Dec.string d))
+          in
+          Hresp { id; status; headers; body = Dec.string d }
+      | 7 -> Ping { id = Dec.int d }
+      | 8 ->
+          let id = Dec.int d in
+          let role = Dec.string d in
+          let lsn = Dec.int d in
+          let stream_id = Dec.int d in
+          Pong { id; role; lsn; stream_id; repl_port = Dec.int d }
+      | 9 ->
+          let id = Dec.int d in
+          let verb = Dec.string d in
+          Ctl { id; verb; arg = Dec.string d }
       | ty -> raise (Malformed (Printf.sprintf "unknown frame type %d" ty))
     in
     if Dec.remaining d <> 0 then raise (Malformed "trailing payload bytes");

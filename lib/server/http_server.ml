@@ -533,8 +533,21 @@ let parse_http (buf : string) ~(off : int) : http_req Event_loop.parse_result =
 
 (* --- request dispatch --------------------------------------------------- *)
 
+(* Cluster identity and control hooks (PR 10): answer [Ping] and [Ctl]
+   frames so a router can health-check this node and steer failover. *)
+type cluster_hooks = {
+  c_role : unit -> string; (* "primary" | "replica" *)
+  c_lsn : unit -> int; (* durable (primary) / applied (replica) LSN *)
+  c_stream_id : unit -> int; (* replication stream identity, 0 if none *)
+  c_repl_port : unit -> int; (* port a Feed listens on, -1 if none *)
+  c_ctl : verb:string -> arg:string -> (string, string) result;
+}
+
 (* Everything a request handler needs; one value per [serve] call,
-   shared by all worker threads. *)
+   shared by all worker threads.  Handlers fetch the current ctx from
+   an [Atomic.t] per request, so a cluster node can swap its whole
+   serving role (replica -> primary) in place without restarting the
+   event loop. *)
 type ctx = {
   x_db : Database.t;
   x_readonly : bool;
@@ -542,6 +555,7 @@ type ctx = {
   x_pool : Reader_pool.t option;
   x_writer : Database.Writer.w option;
   x_serving : (unit -> Pobs.Json.t) option;
+  x_cluster : cluster_hooks option;
 }
 
 (* A handler's verdict, before HTTP serialisation. *)
@@ -713,13 +727,84 @@ let execute_bin (x : ctx) (f : Binary_proto.frame) : Event_loop.response =
     with Binary_proto.Malformed m ->
       Binary_proto.encode (Binary_proto.Error { id; msg = "response too large: " ^ m })
   in
+  let reply frame =
+    try { Event_loop.rsp_data = Binary_proto.encode frame; rsp_close = false }
+    with Binary_proto.Malformed m ->
+      {
+        Event_loop.rsp_data =
+          Binary_proto.encode
+            (Binary_proto.Error { id = 0; msg = "response too large: " ^ m });
+        rsp_close = false;
+      }
+  in
   match f with
   | Binary_proto.Query { id; q } -> { Event_loop.rsp_data = answer (id, q); rsp_close = false }
   | Binary_proto.Batch qs ->
       let b = Buffer.create 256 in
       List.iter (fun iq -> Buffer.add_string b (answer iq)) qs;
       { Event_loop.rsp_data = Buffer.contents b; rsp_close = false }
-  | Binary_proto.Result _ | Binary_proto.Error _ ->
+  | Binary_proto.Hreq { id; meth; target; headers } ->
+      (* An HTTP-shaped request riding the binary connection: same
+         dispatch as the HTTP listener, answered as [Hresp].  Header
+         names arrive lowercased from {!Client.http}. *)
+      let r =
+        {
+          r_meth = meth;
+          r_target = target;
+          r_headers = List.map (fun (k, v) -> (String.lowercase_ascii k, v)) headers;
+          r_keep_alive = true;
+          r_bad = false;
+        }
+      in
+      let a = dispatch x r in
+      let status =
+        match int_of_string_opt (String.sub a.a_status 0 (min 3 (String.length a.a_status))) with
+        | Some s -> s
+        | None -> 500
+      in
+      reply
+        (Binary_proto.Hresp
+           {
+             id;
+             status;
+             headers =
+               ("content-type", a.a_content_type)
+               :: List.map (fun (k, v) -> (String.lowercase_ascii k, v)) a.a_extra;
+             body = a.a_body;
+           })
+  | Binary_proto.Ping { id } ->
+      let pong =
+        match x.x_cluster with
+        | Some c ->
+            Binary_proto.Pong
+              {
+                id;
+                role = c.c_role ();
+                lsn = c.c_lsn ();
+                stream_id = c.c_stream_id ();
+                repl_port = c.c_repl_port ();
+              }
+        | None ->
+            Binary_proto.Pong
+              {
+                id;
+                role = (if x.x_readonly then "replica" else "primary");
+                lsn = Pstore.Store.lsn (Database.store x.x_db);
+                stream_id = 0;
+                repl_port = -1;
+              }
+      in
+      reply pong
+  | Binary_proto.Ctl { id; verb; arg } -> (
+      match x.x_cluster with
+      | None -> reply (Binary_proto.Error { id; msg = "no cluster control on this node" })
+      | Some c -> (
+          match c.c_ctl ~verb ~arg with
+          | Ok v -> reply (Binary_proto.Result { id; v })
+          | Error msg -> reply (Binary_proto.Error { id; msg })
+          | exception e ->
+              reply (Binary_proto.Error { id; msg = Printexc.to_string e })))
+  | Binary_proto.Result _ | Binary_proto.Error _ | Binary_proto.Hresp _ | Binary_proto.Pong _ ->
       (* only clients send answers; a server receiving one is talking
          to something confused — answer in kind and hang up *)
       {
@@ -795,7 +880,7 @@ let bin_listener sock : req Event_loop.listener =
 let serve ?(host = "127.0.0.1") ?max_requests ?stop ?ready ?(readonly = false)
     ?repl_status ?(readers = 0) ?(max_lag_ms = 50.) ?pool
     ?(client_timeout = client_timeout_s) ?(max_conns = 1024) ?binary_port ?binary_ready
-    (db : Database.t) ~port () =
+    ?cluster ?ctx_cell (db : Database.t) ~port () =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> () (* no SIGPIPE on this platform *));
   let stop = match stop with Some r -> r | None -> ref false in
@@ -890,7 +975,18 @@ let serve ?(host = "127.0.0.1") ?max_requests ?stop ?ready ?(readonly = false)
       x_pool = pool;
       x_writer = writer;
       x_serving = serving_json;
+      x_cluster = cluster;
     }
+  in
+  (* Handlers read the ctx through this cell on every request; a
+     cluster node hands in its own [?ctx_cell] and swaps a new ctx in
+     when its role flips. *)
+  let ctx_cell =
+    match ctx_cell with
+    | Some cell ->
+        Atomic.set cell ctx;
+        cell
+    | None -> Atomic.make ctx
   in
   let bind_sock port =
     let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -923,7 +1019,10 @@ let serve ?(host = "127.0.0.1") ?max_requests ?stop ?ready ?(readonly = false)
   let workers =
     match pool with Some p -> max 4 (2 * Reader_pool.size p) | None -> 1
   in
-  let execute = function RHttp r -> execute_http ctx r | RBin f -> execute_bin ctx f in
+  let execute = function
+    | RHttp r -> execute_http (Atomic.get ctx_cell) r
+    | RBin f -> execute_bin (Atomic.get ctx_cell) f
+  in
   let t, worker_threads =
     Event_loop.create ~max_conns ~timeout_s:client_timeout ~workers ~execute listeners
   in
